@@ -1,0 +1,641 @@
+(* Reproduction harness: one experiment per table/figure of the paper.
+
+     dune exec bench/main.exe                 -- run everything (quick)
+     dune exec bench/main.exe -- fig4 fig7    -- selected experiments
+     dune exec bench/main.exe -- --full fig4  -- paper-scale parameters
+
+   Quick mode shrinks seeds / evaluation budgets so the whole harness
+   finishes in a few minutes; --full restores the paper's scale.
+   EXPERIMENTS.md records paper-vs-measured numbers. *)
+
+open Netgraph
+open Te
+
+let full = ref false
+
+let section title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+let row fmt = Printf.printf fmt
+
+let mean xs = List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+
+let fmin xs = List.fold_left min infinity xs
+
+let fmax xs = List.fold_left max neg_infinity xs
+
+(* ------------------------------------------------------------------ *)
+(* Shared algorithm ladder (Figures 4, 5, 6)                           *)
+(* ------------------------------------------------------------------ *)
+
+let ls_params ~seed ~evals =
+  { Local_search.default_params with max_evals = evals; seed }
+
+(* The four heuristics of Figure 4, in the paper's order. *)
+let ladder g demands ~seed ~evals =
+  let inv_w = Weights.inverse_capacity g in
+  let inv = Ecmp.mlu_of g inv_w demands in
+  let ls = Local_search.optimize ~params:(ls_params ~seed ~evals) g demands in
+  let greedy = Greedy_wpo.optimize g inv_w demands in
+  let joint =
+    Joint.optimize ~ls_params:(ls_params ~seed ~evals) g demands
+  in
+  [ ("InverseCapacity", inv); ("HeurOSPF", ls.Local_search.mlu);
+    ("GreedyWaypoints", greedy.Greedy_wpo.mlu); ("JointHeur", joint.Joint.mlu) ]
+
+let alg_names = [ "InverseCapacity"; "HeurOSPF"; "GreedyWaypoints"; "JointHeur" ]
+
+(* ------------------------------------------------------------------ *)
+(* Table 1                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let exp_table1 () =
+  section "Table 1: TE gaps for single source-target demands";
+  row "Lower bounds (measured gap = separate-optimization MLU / Joint MLU):\n\n";
+  row "%-34s %-12s %4s %12s %14s\n" "instance / weight setting" "capacities" "W"
+    "measured" "paper bound";
+  let sizes = if !full then [ 4; 8; 16; 32 ] else [ 4; 8; 16 ] in
+  (* W = 1 rows: TE-Instance 1 (Theorem 3.4). *)
+  List.iter
+    (fun m ->
+      let inst = Instances.Gap_instances.instance1 ~m in
+      let net = inst.Instances.Gap_instances.network in
+      let g = net.Network.graph in
+      let joint =
+        Ecmp.mlu_of ~waypoints:inst.Instances.Gap_instances.joint_waypoints g
+          inst.Instances.Gap_instances.joint_weights net.Network.demands
+      in
+      let lwo =
+        Ecmp.mlu_of g
+          (Option.get inst.Instances.Gap_instances.lwo_weights)
+          net.Network.demands
+      in
+      let wpo_unit =
+        if m <= 4 then
+          snd (Exact.wpo g (Weights.unit g) net.Network.demands)
+        else
+          (Greedy_wpo.optimize g (Weights.unit g) net.Network.demands).Greedy_wpo.mlu
+      in
+      row "%-34s %-12s %4d %12.2f %14s\n"
+        (Printf.sprintf "I1(m=%d) optimal-LWO weights" m)
+        "arbitrary" 1 (lwo /. joint)
+        (Printf.sprintf "Omega(n)=%g" (float_of_int m /. 2.));
+      row "%-34s %-12s %4d %12.2f %14s\n"
+        (Printf.sprintf "I1(m=%d) unit weights, WPO" m)
+        "arbitrary" 1 (wpo_unit /. joint)
+        (Printf.sprintf ">=(n-1)/3=%g" (float_of_int m /. 3.)))
+    sizes;
+  (* W = 2 rows: TE-Instance 3 (Theorem 3.15 flavour). *)
+  List.iter
+    (fun m ->
+      let inst = Instances.Gap_instances.instance3 ~m in
+      let net = inst.Instances.Gap_instances.network in
+      let g = net.Network.graph in
+      let joint =
+        Ecmp.mlu_of ~waypoints:inst.Instances.Gap_instances.joint_waypoints g
+          inst.Instances.Gap_instances.joint_weights net.Network.demands
+      in
+      (* Approximately optimal LWO weights from Algorithm 1; on this
+         instance they achieve the max ES-flow of 2, i.e. MLU = D/2. *)
+      let apx =
+        Lwo_apx.solve g ~source:inst.Instances.Gap_instances.source
+          ~target:inst.Instances.Gap_instances.target
+      in
+      let lwo_apx = Ecmp.mlu_of g apx.Lwo_apx.weights net.Network.demands in
+      let d = Network.total_demand net in
+      row "%-34s %-12s %4d %12.2f %14s\n"
+        (Printf.sprintf "I3(m=%d) LWO-APX weights" m)
+        "arbitrary" 2 (lwo_apx /. joint)
+        (Printf.sprintf "Omega(nlogn)~%.1f" (d /. 2.)))
+    (if !full then [ 4; 8; 16 ] else [ 4; 8 ]);
+  row "\nUpper bounds:\n\n";
+  (* Theorem 4.2: uniform capacities -> gap 1. *)
+  let g =
+    Digraph.of_edges ~n:8
+      [ (0, 1, 3.); (1, 7, 3.); (0, 2, 3.); (2, 7, 3.); (0, 3, 3.); (3, 4, 3.);
+        (4, 7, 3.); (1, 4, 3.); (2, 3, 3.); (0, 7, 3.) ]
+  in
+  let demands = [| Network.demand 0 7 6. |] in
+  let w = Lwo_apx.uniform_optimal_weights g ~source:0 ~target:7 in
+  let lwo = Ecmp.mlu_of g w demands in
+  let opt = Mcf.opt_mlu g [| { Mcf.src = 0; dst = 7; demand = 6. } |] in
+  row "%-34s %-12s %4s %12.2f %14s\n" "Theorem 4.2 construction" "uniform" "-"
+    (lwo /. opt) "= 1";
+  (* Theorem 4.3: widest-path weights -> gap <= |P| <= |E|. *)
+  let inst = Instances.Gap_instances.instance2 ~m:8 in
+  let net = inst.Instances.Gap_instances.network in
+  let g2 = net.Network.graph in
+  let w2 =
+    Lwo_apx.widest_path_weights g2 ~source:inst.Instances.Gap_instances.source
+      ~target:inst.Instances.Gap_instances.target
+  in
+  let lwo2 = Ecmp.mlu_of g2 w2 net.Network.demands in
+  let comms =
+    Array.map
+      (fun (d : Network.demand) ->
+        { Mcf.src = d.Network.src; dst = d.Network.dst; demand = d.Network.size })
+      net.Network.demands
+  in
+  let opt2 = Mcf.opt_mlu g2 comms in
+  row "%-34s %-12s %4s %12.2f %14s\n" "Theorem 4.3 (I2 m=8, widest path)"
+    "arbitrary" "-" (lwo2 /. opt2)
+    (Printf.sprintf "<=|E|=%d" (Digraph.edge_count g2));
+  (* Corollary 4.4 via LWO-APX on instance 3. *)
+  let inst3 = Instances.Gap_instances.instance3 ~m:6 in
+  let g3 = inst3.Instances.Gap_instances.network.Network.graph in
+  let r =
+    Lwo_apx.solve g3 ~source:inst3.Instances.Gap_instances.source
+      ~target:inst3.Instances.Gap_instances.target
+  in
+  let n3 = float_of_int (Digraph.node_count g3) in
+  row "%-34s %-12s %4s %12.2f %14s\n" "LWO-APX ratio (I3 m=6)" "arbitrary" "-"
+    (Lwo_apx.approximation_ratio r)
+    (Printf.sprintf "<=n*ln n=%.0f" (n3 *. Float.round (log n3)))
+
+(* ------------------------------------------------------------------ *)
+(* Figure 1                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let exp_fig1 () =
+  section "Figure 1 / Lemmas 3.5-3.7: TE-Instance 1 gaps vs n";
+  row "%6s %6s %10s %12s %12s %16s\n" "m" "n" "Joint" "LWO(opt w)" "WPO(unit)"
+    "paper: m/2, >=m/3";
+  let sizes = if !full then [ 4; 8; 16; 32; 64 ] else [ 4; 8; 16; 32 ] in
+  List.iter
+    (fun m ->
+      let inst = Instances.Gap_instances.instance1 ~m in
+      let net = inst.Instances.Gap_instances.network in
+      let g = net.Network.graph in
+      let joint =
+        Ecmp.mlu_of ~waypoints:inst.Instances.Gap_instances.joint_waypoints g
+          inst.Instances.Gap_instances.joint_weights net.Network.demands
+      in
+      let lwo =
+        Ecmp.mlu_of g
+          (Option.get inst.Instances.Gap_instances.lwo_weights)
+          net.Network.demands
+      in
+      let wpo =
+        (Greedy_wpo.optimize g (Weights.unit g) net.Network.demands).Greedy_wpo.mlu
+      in
+      row "%6d %6d %10.3f %12.3f %12.3f %16s\n" m (m + 1) joint lwo wpo
+        (Printf.sprintf "%.1f, %.1f" (float_of_int m /. 2.) (float_of_int m /. 3.)))
+    sizes
+
+(* ------------------------------------------------------------------ *)
+(* Figure 2                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let exp_fig2 () =
+  section "Figure 2 / Lemmas 3.10-3.14: harmonic instances";
+  row "(a) TE-Instance 2: max ES-flow vs max flow\n";
+  row "%6s %12s %12s %14s\n" "m" "max-flow" "max ES-flow" "paper: H_m, 1";
+  List.iter
+    (fun m ->
+      let inst = Instances.Gap_instances.instance2 ~m in
+      let g = inst.Instances.Gap_instances.network.Network.graph in
+      let f =
+        Maxflow.max_flow g ~source:inst.Instances.Gap_instances.source
+          ~target:inst.Instances.Gap_instances.target
+      in
+      let es =
+        Ecmp.max_es_flow_value g (Weights.unit g)
+          ~src:inst.Instances.Gap_instances.source
+          ~dst:inst.Instances.Gap_instances.target
+      in
+      row "%6d %12.3f %12.3f %14.3f\n" m f.Maxflow.value es
+        (Instances.Gap_instances.harmonic m))
+    (if !full then [ 4; 8; 16; 32; 64 ] else [ 4; 8; 16 ]);
+  row "\n(b,c) TE-Instances 3/4/5: Joint = 1 with 2 waypoints per half\n";
+  row "%-14s %6s %10s %14s %18s\n" "instance" "n" "Joint" "LWO(APX w)" "paper: 1, ~D/2";
+  List.iter
+    (fun (name, inst) ->
+      let net = inst.Instances.Gap_instances.network in
+      let g = net.Network.graph in
+      let joint =
+        Ecmp.mlu_of ~waypoints:inst.Instances.Gap_instances.joint_waypoints g
+          inst.Instances.Gap_instances.joint_weights net.Network.demands
+      in
+      let apx =
+        Lwo_apx.solve g ~source:inst.Instances.Gap_instances.source
+          ~target:inst.Instances.Gap_instances.target
+      in
+      let apx_mlu = Ecmp.mlu_of g apx.Lwo_apx.weights net.Network.demands in
+      row "%-14s %6d %10.3f %14.3f %18.1f\n" name (Digraph.node_count g) joint
+        apx_mlu
+        (Network.total_demand net /. 2.))
+    [ ("instance3", Instances.Gap_instances.instance3 ~m:6);
+      ("instance4", Instances.Gap_instances.instance4 ~m:6);
+      ("instance5", Instances.Gap_instances.instance5 ~m:4) ]
+
+(* ------------------------------------------------------------------ *)
+(* Figure 3                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let exp_fig3 () =
+  section "Figure 3: effective capacities (Definition 5.1)";
+  let show name (g, s, t) expected =
+    row "%s:\n" name;
+    let usable = Array.init (Digraph.edge_count g) (Digraph.cap g) in
+    let ec = Lwo_apx.effective_capacities g ~usable ~source:s ~target:t in
+    List.iter
+      (fun (node, paper) ->
+        let v = Digraph.node_of_name g node in
+        row "  ec(%-3s) = %8.4f   (paper: %s)\n" node ec.Lwo_apx.node.(v) paper)
+      expected;
+    ignore s
+  in
+  show "Figure 3a" (Instances.Gap_instances.fig3a ())
+    [ ("v1", "1/2"); ("v2", "2 x 1/4 = 1/2"); ("v3", "3/4"); ("s", "3/2") ];
+  show "Figure 3b" (Instances.Gap_instances.fig3b ())
+    [ ("v1", "2 x 1/6 = 1/3"); ("v2", "2 x 1/3 = 2/3"); ("v3", "1/2");
+      ("v4", "1"); ("s", "2 x 1/3 = 2/3") ]
+
+(* ------------------------------------------------------------------ *)
+(* Figures 4 and 6                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let run_ladder_table ~title ~names ~gen_demands ~seeds ~evals =
+  section title;
+  row "%-14s" "topology";
+  List.iter (fun a -> row " %15s" a) alg_names;
+  row "\n";
+  let sums = Hashtbl.create 8 in
+  List.iter (fun a -> Hashtbl.replace sums a []) alg_names;
+  List.iter
+    (fun name ->
+      let g = Topology.Datasets.load name in
+      let per_alg = Hashtbl.create 8 in
+      List.iter (fun a -> Hashtbl.replace per_alg a []) alg_names;
+      for seed = 1 to seeds do
+        let demands = gen_demands g seed in
+        List.iter
+          (fun (a, v) ->
+            Hashtbl.replace per_alg a (v :: Hashtbl.find per_alg a);
+            Hashtbl.replace sums a (v :: Hashtbl.find sums a))
+          (ladder g demands ~seed ~evals)
+      done;
+      row "%-14s" name;
+      List.iter
+        (fun a -> row " %15.3f" (mean (Hashtbl.find per_alg a)))
+        alg_names;
+      row "\n%!")
+    names;
+  row "%-14s" "AVERAGE";
+  List.iter (fun a -> row " %15.3f" (mean (Hashtbl.find sums a))) alg_names;
+  row "\n"
+
+let exp_fig4 () =
+  let seeds = if !full then 10 else 2 in
+  let evals = if !full then 3000 else 400 in
+  let gen g seed =
+    let flows =
+      if !full then max 1 (Digraph.edge_count g / 4)
+      else max 2 (Digraph.edge_count g / 16)
+    in
+    let epsilon = if !full then 0.08 else 0.15 in
+    Demand_gen.mcf_synthetic ~epsilon ~seed ~flows_per_pair:flows g
+  in
+  run_ladder_table
+    ~title:
+      (Printf.sprintf
+         "Figure 4: MLU on the 10 largest topologies, MCF synthetic demands \
+          (%d seeds; paper averages: 2.74 / 1.65 / - / 1.58)"
+         seeds)
+    ~names:Topology.Datasets.fig4_names ~gen_demands:gen ~seeds ~evals
+
+let exp_fig6 () =
+  let seeds = if !full then 10 else 3 in
+  let evals = if !full then 3000 else 500 in
+  let gen g seed = Demand_gen.gravity ~epsilon:0.15 ~seed g in
+  run_ladder_table
+    ~title:
+      (Printf.sprintf
+         "Figure 6: MLU under skewed all-pairs (real-like) demands (%d seeds; \
+          paper averages: HeurOSPF 1.11 -> Joint 1.05)"
+         seeds)
+    ~names:Topology.Datasets.fig6_names ~gen_demands:gen ~seeds ~evals
+
+(* ------------------------------------------------------------------ *)
+(* Figure 5                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let exp_fig5 () =
+  section
+    "Figure 5: heuristics vs exact references on Abilene (paper averages: \
+     WPO 1.17, LWO 1.04, Joint 1.03)";
+  let g = Topology.Datasets.abilene () in
+  let seeds = if !full then 10 else 3 in
+  let evals = if !full then 4000 else 800 in
+  let flows = if !full then 7 else 2 in
+  let acc = Hashtbl.create 16 in
+  let push k v =
+    Hashtbl.replace acc k (v :: (try Hashtbl.find acc k with Not_found -> []))
+  in
+  for seed = 1 to seeds do
+    let demands =
+      Demand_gen.mcf_synthetic ~epsilon:0.05 ~seed ~flows_per_pair:flows g
+    in
+    push "UnitWeights" (Ecmp.mlu_of g (Weights.unit g) demands);
+    let inv_w = Weights.inverse_capacity g in
+    push "InverseCapacity" (Ecmp.mlu_of g inv_w demands);
+    let ls = Local_search.optimize ~params:(ls_params ~seed ~evals) g demands in
+    push "HeurOSPF" ls.Local_search.mlu;
+    (* ILP-Weights proxy: the best of several deeper local searches
+       (see DESIGN.md: the weight MILP is out of reach for our B&B). *)
+    let deep =
+      List.fold_left
+        (fun best s ->
+          let r =
+            Local_search.optimize
+              ~params:
+                { Local_search.default_params with
+                  max_evals = 2 * evals; seed = s; wmax = 24 }
+              g demands
+          in
+          min best r.Local_search.mlu)
+        infinity
+        [ seed; seed + 100; seed + 200 ]
+    in
+    push "ILP-Weights*" deep;
+    push "GreedyWaypoints"
+      (Greedy_wpo.optimize g inv_w demands).Greedy_wpo.mlu;
+    (* ILP Waypoints: the WPO MILP under the standard (inverse-capacity)
+       weight setting, as in the paper's WPO-with-fixed-weights MILP. *)
+    let milp =
+      Wpo_milp.solve ~max_nodes:(if !full then 20_000 else 3_000) g inv_w
+        (Network.aggregate demands)
+    in
+    push
+      (if milp.Wpo_milp.exact then "ILP-Waypoints" else "ILP-Waypoints(cap)")
+      milp.Wpo_milp.mlu;
+    let joint = Joint.optimize ~ls_params:(ls_params ~seed ~evals) g demands in
+    push "JointHeur" joint.Joint.mlu;
+    (* ILP-Joint proxy: deep weights + exact WPO MILP on top. *)
+    let deep_w =
+      (Local_search.optimize
+         ~params:
+           { Local_search.default_params with max_evals = 2 * evals;
+             seed = seed + 300; wmax = 24 }
+         g demands)
+        .Local_search.weights
+    in
+    let milp2 =
+      Wpo_milp.solve ~max_nodes:(if !full then 20_000 else 3_000) g
+        (Weights.of_ints deep_w) (Network.aggregate demands)
+    in
+    (* Best joint setting any of our searches found. *)
+    push "ILP-Joint*" (min (min deep milp2.Wpo_milp.mlu) joint.Joint.mlu)
+  done;
+  row "%-22s %10s %10s %10s\n" "algorithm" "mean" "min" "max";
+  List.iter
+    (fun k ->
+      match Hashtbl.find_opt acc k with
+      | Some vs -> row "%-22s %10.3f %10.3f %10.3f\n" k (mean vs) (fmin vs) (fmax vs)
+      | None -> ())
+    [ "UnitWeights"; "InverseCapacity"; "HeurOSPF"; "ILP-Weights*";
+      "GreedyWaypoints"; "ILP-Waypoints"; "ILP-Waypoints(cap)"; "JointHeur";
+      "ILP-Joint*" ];
+  row "(* = exhaustive-search proxy for the paper's weight MILP, see DESIGN.md)\n"
+
+(* ------------------------------------------------------------------ *)
+(* MILP demonstration on small networks (§7.1 "Small Networks")        *)
+(* ------------------------------------------------------------------ *)
+
+let exp_milp () =
+  section
+    "MILP on small networks (the paper's exact-solver demonstration, \
+     USPR regime; see DESIGN.md)";
+  row "%-22s %10s %10s %12s %12s %12s\n" "instance" "LWO-MILP" "WPO-MILP"
+    "Joint-MILP" "brute Joint" "Joint(lemma)";
+  List.iter
+    (fun m ->
+      let inst = Instances.Gap_instances.instance1 ~m in
+      let net = inst.Instances.Gap_instances.network in
+      let g = net.Network.graph in
+      let lwo = Uspr_milp.lwo g net.Network.demands in
+      let wpo =
+        Wpo_milp.solve g (Weights.unit g) net.Network.demands
+      in
+      let jm = Uspr_milp.joint ~max_combos:300 g net.Network.demands in
+      let _, _, brute = Exact.joint ~weight_domain:[ 1; 3 ] g net.Network.demands in
+      let lemma =
+        Ecmp.mlu_of ~waypoints:inst.Instances.Gap_instances.joint_waypoints g
+          inst.Instances.Gap_instances.joint_weights net.Network.demands
+      in
+      row "%-22s %9.3f%s %9.3f%s %11.3f%s %12.3f %12.3f\n"
+        (Printf.sprintf "TE-Instance-1 (m=%d)" m)
+        lwo.Uspr_milp.mlu
+        (if lwo.Uspr_milp.exact then "" else "~")
+        wpo.Wpo_milp.mlu
+        (if wpo.Wpo_milp.exact then "" else "~")
+        jm.Uspr_milp.setting.Uspr_milp.mlu
+        (if jm.Uspr_milp.setting.Uspr_milp.exact then "" else "~")
+        brute lemma)
+    [ 2; 3 ];
+  row "(~ = node-limit hit; USPR LWO cannot split same-pair demands, so its\n";
+  row " optimum is m while the joint MILP reaches the true optimum 1.)\n"
+
+(* ------------------------------------------------------------------ *)
+(* Figure 7                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let exp_fig7 () =
+  section
+    "Figure 7: Nanonet substitute - hash-based ECMP on TE-Instance 1 (paper: \
+     Joint ~1.014; Weights median ~2.27, range 2.14-2.52)";
+  let s = Netsim.Nanonet.run ~trials:10 () in
+  row "%-8s %12s %12s\n" "trial" "Joint" "Weights";
+  List.iteri
+    (fun i t ->
+      row "%-8d %12.4f %12.4f\n" (i + 1) t.Netsim.Nanonet.joint
+        t.Netsim.Nanonet.weights)
+    s.Netsim.Nanonet.trials;
+  row "\nJoint median   %.4f\n" s.Netsim.Nanonet.joint_median;
+  row "Weights median %.4f (range %.4f - %.4f)\n" s.Netsim.Nanonet.weights_median
+    s.Netsim.Nanonet.weights_min s.Netsim.Nanonet.weights_max
+
+(* ------------------------------------------------------------------ *)
+(* Ablations                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let exp_ablation () =
+  section "Ablations (design choices, see DESIGN.md)";
+  let g = Topology.Datasets.abilene () in
+  let demands =
+    Demand_gen.mcf_synthetic ~epsilon:0.05 ~seed:1 ~flows_per_pair:2 g
+  in
+  let evals = if !full then 2000 else 500 in
+  (* 1. HeurOSPF objective: Phi vs MLU. *)
+  row "HeurOSPF guiding objective (Abilene, %d evals):\n" evals;
+  List.iter
+    (fun (label, use_phi) ->
+      let r =
+        Local_search.optimize
+          ~params:
+            { Local_search.default_params with max_evals = evals; seed = 5; use_phi }
+          g demands
+      in
+      row "  %-18s MLU %.3f\n" label r.Local_search.mlu)
+    [ ("Fortz-Thorup Phi", true); ("raw MLU", false) ];
+  (* 2. GreedyWPO demand order. *)
+  row "GreedyWPO demand order (Abilene, inverse-capacity weights):\n";
+  let inv_w = Weights.inverse_capacity g in
+  List.iter
+    (fun (label, order) ->
+      let r = Greedy_wpo.optimize ~order g inv_w demands in
+      row "  %-18s MLU %.3f (from %.3f)\n" label r.Greedy_wpo.mlu
+        r.Greedy_wpo.initial_mlu)
+    [ ("descending (paper)", Greedy_wpo.Desc); ("ascending", Greedy_wpo.Asc);
+      ("random", Greedy_wpo.Random 42) ];
+  (* 3. JOINT-Heur pipeline depth. *)
+  row "JOINT-Heur stages (paper: steps 3-4 gains negligible):\n";
+  List.iter
+    (fun (label, full_pipeline) ->
+      let r =
+        Joint.optimize ~ls_params:(ls_params ~seed:5 ~evals) ~full_pipeline g demands
+      in
+      row "  %-18s MLU %.3f\n" label r.Joint.mlu)
+    [ ("steps 1-2", false); ("steps 1-4", true) ];
+  (* 4. LWO-APX pruning. *)
+  row "LWO-APX argmax pruning (instance 3, m=6):\n";
+  let inst = Instances.Gap_instances.instance3 ~m:6 in
+  let g3 = inst.Instances.Gap_instances.network.Network.graph in
+  List.iter
+    (fun (label, prune) ->
+      let r =
+        Lwo_apx.solve ~prune g3 ~source:inst.Instances.Gap_instances.source
+          ~target:inst.Instances.Gap_instances.target
+      in
+      row "  %-18s ES-flow %.3f (of max-flow %.3f)\n" label
+        r.Lwo_apx.es_flow_value r.Lwo_apx.max_flow_value)
+    [ ("with pruning", true); ("no pruning", false) ];
+  (* 4b. Improvement passes over Algorithm 3 (extension): revisiting
+     demands repairs part of the sequential greedy's order-dependence. *)
+  row "GreedyWPO improvement passes (Germany50, inverse-capacity weights):\n";
+  let g50 = Topology.Datasets.load "Germany50" in
+  let d50 =
+    Demand_gen.mcf_synthetic ~epsilon:0.15 ~seed:3 ~flows_per_pair:4 g50
+  in
+  List.iter
+    (fun passes ->
+      let r = Greedy_wpo.optimize ~passes g50 (Weights.inverse_capacity g50) d50 in
+      row "  %d pass%s            MLU %.3f\n" passes
+        (if passes = 1 then " " else "es")
+        r.Greedy_wpo.mlu)
+    [ 1; 2; 3 ];
+  (* 5. How many waypoints suffice?  (the paper's §8 open question) —
+     multi-round greedy on instance 3, where 1 waypoint is provably not
+     enough but 2 are (Lemma 3.11). *)
+  row "Waypoints per demand (multi-round greedy, instance 3 m=4, lemma weights):\n";
+  let i3 = Instances.Gap_instances.instance3 ~m:4 in
+  let n3 = i3.Instances.Gap_instances.network in
+  List.iter
+    (fun rounds ->
+      let r =
+        Greedy_wpo.optimize_multi ~rounds n3.Network.graph
+          i3.Instances.Gap_instances.joint_weights n3.Network.demands
+      in
+      row "  W <= %d             MLU %.3f\n" rounds r.Greedy_wpo.mlu)
+    [ 1; 2; 3 ];
+  (* 6. How many weight/waypoint iterations?  (also §8). *)
+  row "Iterated JOINT-Heur (Abilene):\n";
+  List.iter
+    (fun iterations ->
+      let r =
+        Joint.optimize_iterated
+          ~ls_params:(ls_params ~seed:5 ~evals:(evals / iterations))
+          ~iterations g demands
+      in
+      row "  %d iterations       MLU %.3f\n" iterations r.Joint.mlu)
+    [ 1; 2; 3 ]
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks                                           *)
+(* ------------------------------------------------------------------ *)
+
+let exp_perf () =
+  section "Micro-benchmarks (bechamel; ns per run, OLS fit)";
+  let open Bechamel in
+  let abilene = Topology.Datasets.abilene () in
+  let ta2 = Topology.Datasets.load "Ta2" in
+  let demands =
+    Demand_gen.mcf_synthetic ~epsilon:0.25 ~seed:1 ~flows_per_pair:2 abilene
+  in
+  let unit_w_ta2 = Weights.unit ta2 in
+  let unit_w_ab = Weights.unit abilene in
+  let inst1 = Instances.Gap_instances.instance1 ~m:16 in
+  let g1 = inst1.Instances.Gap_instances.network.Network.graph in
+  let lp =
+    { Linprog.Simplex.nvars = 12; sense = Linprog.Simplex.Maximize;
+      objective = List.init 12 (fun j -> (j, 1. +. float_of_int (j mod 3)));
+      constrs =
+        Linprog.Simplex.constr (List.init 12 (fun j -> (j, 1.))) Linprog.Simplex.Le 10.
+        :: List.init 12 (fun j ->
+               Linprog.Simplex.constr [ (j, 1.) ] Linprog.Simplex.Le 2.) }
+  in
+  let tests =
+    [
+      Test.make ~name:"dijkstra-ta2" (Staged.stage (fun () ->
+          ignore (Paths.dijkstra ta2 ~weights:unit_w_ta2 ~source:0)));
+      Test.make ~name:"ecmp-eval-abilene" (Staged.stage (fun () ->
+          ignore (Ecmp.mlu_of abilene unit_w_ab demands)));
+      Test.make ~name:"dinic-instance1" (Staged.stage (fun () ->
+          ignore
+            (Maxflow.max_flow g1 ~source:inst1.Instances.Gap_instances.source
+               ~target:inst1.Instances.Gap_instances.target)));
+      Test.make ~name:"simplex-12var" (Staged.stage (fun () ->
+          ignore (Linprog.Simplex.solve lp)));
+      Test.make ~name:"greedy-wpo-abilene" (Staged.stage (fun () ->
+          ignore (Greedy_wpo.optimize abilene unit_w_ab demands)));
+    ]
+  in
+  let grouped = Test.make_grouped ~name:"te" tests in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.5) ~kde:None () in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let raw = Benchmark.all cfg instances grouped in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  Hashtbl.iter
+    (fun name ols ->
+      match Analyze.OLS.estimates ols with
+      | Some [ est ] -> row "%-24s %14.0f ns/run\n" name est
+      | _ -> row "%-24s (no estimate)\n" name)
+    results
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let experiments =
+  [ ("table1", exp_table1); ("fig1", exp_fig1); ("fig2", exp_fig2);
+    ("fig3", exp_fig3); ("fig4", exp_fig4); ("fig5", exp_fig5);
+    ("fig6", exp_fig6); ("fig7", exp_fig7); ("milp", exp_milp);
+    ("ablation", exp_ablation); ("perf", exp_perf) ]
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let args =
+    List.filter
+      (fun a ->
+        if a = "--full" then begin
+          full := true;
+          false
+        end
+        else true)
+      args
+  in
+  let selected = if args = [] then List.map fst experiments else args in
+  Printf.printf
+    "Joint link-weight and segment optimization - reproduction harness%s\n"
+    (if !full then " (FULL scale)" else " (quick scale; use --full for paper scale)");
+  List.iter
+    (fun name ->
+      match List.assoc_opt name experiments with
+      | Some f -> f ()
+      | None ->
+        Printf.printf "unknown experiment %S; available: %s\n" name
+          (String.concat ", " (List.map fst experiments)))
+    selected

@@ -1,0 +1,348 @@
+(* te-tool: command-line front end for the joint link-weight and segment
+   optimization library.
+
+     te-tool topos                       list bundled topologies
+     te-tool mlu -t Abilene -w invcap    MLU of a standard weight setting
+     te-tool lwo -t Germany50            HeurOSPF link-weight optimization
+     te-tool wpo -t Abilene -w invcap    GreedyWPO waypoints
+     te-tool joint -t Abilene            JOINT-Heur (Algorithm 2)
+     te-tool gap -i 1 -m 16              gap summary of a paper instance
+     te-tool lwo-apx -i 3 -m 6           Algorithm 1 on a paper instance
+     te-tool nanonet                     the Figure 7 experiment
+
+   Topologies may also be read from SNDLib (XML or native) or GraphML
+   files with --file. *)
+
+open Cmdliner
+open Te
+
+(* Returns the graph plus any demand matrix carried by the file. *)
+let load_topology name file =
+  match file with
+  | Some path ->
+    if Filename.check_suffix path ".graphml" || Filename.check_suffix path ".gml"
+    then (Topology.Graphml.load_file path, [])
+    else
+      let t = Topology.Sndlib.load_file path in
+      (t.Topology.Sndlib.graph, t.Topology.Sndlib.demands)
+  | None -> (
+    try (Topology.Datasets.load name, [])
+    with Not_found ->
+      Printf.eprintf "unknown topology %S; try `te-tool topos'\n" name;
+      exit 2)
+
+let load_graph name file = fst (load_topology name file)
+
+let make_demands ?(file_demands = []) g ~seed ~kind ~flows =
+  match (kind, file_demands) with
+  | "file", [] ->
+    Printf.eprintf "--demands file requires an SNDLib file with a DEMANDS section\n";
+    exit 2
+  | "file", ds ->
+    (* The file's own matrix, MCF-rescaled so OPT = 1 like the paper. *)
+    let demands =
+      List.filter_map
+        (fun (s, t, v) ->
+          match
+            ( Netgraph.Digraph.node_of_name g s,
+              Netgraph.Digraph.node_of_name g t )
+          with
+          | exception Not_found -> None
+          | s, t when s <> t && v > 0. -> Some (Network.demand s t v)
+          | _ -> None)
+        ds
+      |> Array.of_list
+    in
+    fst (Demand_gen.scale_to_opt ~epsilon:0.1 g demands)
+  | "mcf", _ -> Demand_gen.mcf_synthetic ~epsilon:0.15 ~seed ~flows_per_pair:flows g
+  | "gravity", _ -> Demand_gen.gravity ~epsilon:0.15 ~seed ~flows_per_pair:flows g
+  | other, _ ->
+    Printf.eprintf "unknown demand kind %S (mcf|gravity|file)\n" other;
+    exit 2
+
+let weights_of g = function
+  | "unit" -> Weights.unit g
+  | "invcap" -> Weights.inverse_capacity g
+  | other ->
+    Printf.eprintf "unknown weight setting %S (unit|invcap)\n" other;
+    exit 2
+
+(* Shared options *)
+let topo_arg =
+  Arg.(value & opt string "Abilene" & info [ "t"; "topology" ] ~docv:"NAME"
+         ~doc:"Bundled topology name (see `te-tool topos').")
+
+let file_arg =
+  Arg.(value & opt (some file) None & info [ "file" ] ~docv:"PATH"
+         ~doc:"Load the topology from an SNDLib (XML/native) or GraphML file.")
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed for demand generation.")
+
+let demands_arg =
+  Arg.(value & opt string "mcf" & info [ "demands" ] ~docv:"KIND"
+         ~doc:"Demand generator: mcf (Figure 4 style), gravity (Figure 6 \
+               style), or file (the SNDLib file's own matrix, MCF-rescaled).")
+
+let flows_arg =
+  Arg.(value & opt int 2 & info [ "flows" ] ~doc:"Sub-flows per demand pair.")
+
+let weights_arg =
+  Arg.(value & opt string "invcap" & info [ "w"; "weights" ] ~docv:"SETTING"
+         ~doc:"Weight setting: unit or invcap.")
+
+let evals_arg =
+  Arg.(value & opt int 1500 & info [ "evals" ] ~doc:"Local-search evaluation budget.")
+
+let m_arg =
+  Arg.(value & opt int 8 & info [ "m" ] ~doc:"Size parameter of the paper instance.")
+
+let instance_arg =
+  Arg.(value & opt int 1 & info [ "i"; "instance" ] ~doc:"Paper TE-Instance number (1-5).")
+
+let instance_of i m =
+  match i with
+  | 1 -> Instances.Gap_instances.instance1 ~m
+  | 2 -> Instances.Gap_instances.instance2 ~m
+  | 3 -> Instances.Gap_instances.instance3 ~m
+  | 4 -> Instances.Gap_instances.instance4 ~m
+  | 5 -> Instances.Gap_instances.instance5 ~m
+  | _ ->
+    Printf.eprintf "instance must be 1-5\n";
+    exit 2
+
+(* topos *)
+let topos_cmd =
+  let run () =
+    Printf.printf "%-14s %6s %6s %s\n" "name" "nodes" "links" "kind";
+    List.iter
+      (fun i ->
+        Printf.printf "%-14s %6d %6d %s\n" i.Topology.Datasets.name
+          i.Topology.Datasets.nodes i.Topology.Datasets.links
+          (match i.Topology.Datasets.kind with
+          | Topology.Datasets.Embedded -> "embedded (real structure)"
+          | Topology.Datasets.Synthetic -> "synthetic stand-in"))
+      Topology.Datasets.all
+  in
+  Cmd.v (Cmd.info "topos" ~doc:"List the bundled topologies")
+    Term.(const run $ const ())
+
+(* mlu *)
+let mlu_cmd =
+  let run topo file seed kind flows wsetting =
+    let g, file_demands = load_topology topo file in
+    let demands = make_demands ~file_demands g ~seed ~kind ~flows in
+    let w = weights_of g wsetting in
+    let mlu = Ecmp.mlu_of g w demands in
+    Printf.printf "topology %s: %d nodes, %d edges, %d demands\n" topo
+      (Netgraph.Digraph.node_count g) (Netgraph.Digraph.edge_count g)
+      (Array.length demands);
+    Printf.printf "MLU under %s weights: %.4f (demands scaled so OPT = 1)\n"
+      wsetting mlu
+  in
+  Cmd.v (Cmd.info "mlu" ~doc:"Evaluate the MLU of a standard weight setting")
+    Term.(const run $ topo_arg $ file_arg $ seed_arg $ demands_arg $ flows_arg
+          $ weights_arg)
+
+(* lwo *)
+let lwo_cmd =
+  let run topo file seed kind flows evals =
+    let g, file_demands = load_topology topo file in
+    let demands = make_demands ~file_demands g ~seed ~kind ~flows in
+    let params = { Local_search.default_params with max_evals = evals; seed } in
+    let init_mlu = Ecmp.mlu_of g (Weights.inverse_capacity g) demands in
+    let r = Local_search.optimize ~params g demands in
+    Printf.printf "HeurOSPF: MLU %.4f -> %.4f (%d evaluations)\n" init_mlu
+      r.Local_search.mlu r.Local_search.evals;
+    Printf.printf "weights:";
+    Array.iteri
+      (fun e w ->
+        if e < 20 then Printf.printf " %d" w
+        else if e = 20 then Printf.printf " ...")
+      r.Local_search.weights;
+    print_newline ()
+  in
+  Cmd.v (Cmd.info "lwo" ~doc:"Link-weight optimization (HeurOSPF local search)")
+    Term.(const run $ topo_arg $ file_arg $ seed_arg $ demands_arg $ flows_arg
+          $ evals_arg)
+
+(* wpo *)
+let wpo_cmd =
+  let run topo file seed kind flows wsetting =
+    let g, file_demands = load_topology topo file in
+    let demands = make_demands ~file_demands g ~seed ~kind ~flows in
+    let w = weights_of g wsetting in
+    let r = Greedy_wpo.optimize g w demands in
+    let used =
+      Array.fold_left (fun acc o -> if o = None then acc else acc + 1) 0
+        r.Greedy_wpo.waypoints
+    in
+    Printf.printf
+      "GreedyWPO under %s weights: MLU %.4f -> %.4f (%d/%d demands got a waypoint)\n"
+      wsetting r.Greedy_wpo.initial_mlu r.Greedy_wpo.mlu used (Array.length demands)
+  in
+  Cmd.v (Cmd.info "wpo" ~doc:"Waypoint optimization (Algorithm 3, GreedyWPO)")
+    Term.(const run $ topo_arg $ file_arg $ seed_arg $ demands_arg $ flows_arg
+          $ weights_arg)
+
+(* joint *)
+let joint_cmd =
+  let run topo file seed kind flows evals full_pipeline =
+    let g, file_demands = load_topology topo file in
+    let demands = make_demands ~file_demands g ~seed ~kind ~flows in
+    let ls_params = { Local_search.default_params with max_evals = evals; seed } in
+    let r = Joint.optimize ~ls_params ~full_pipeline g demands in
+    List.iter
+      (fun (stage, mlu) -> Printf.printf "%-12s MLU %.4f\n" stage mlu)
+      r.Joint.stage_mlu;
+    Printf.printf "final        MLU %.4f (%d waypoints in use)\n" r.Joint.mlu
+      (Segments.count_waypoints r.Joint.waypoints)
+  in
+  let full_arg =
+    Arg.(value & flag & info [ "full-pipeline" ]
+           ~doc:"Run Algorithm 2 steps 3-4 (split demands, re-optimize weights).")
+  in
+  Cmd.v (Cmd.info "joint" ~doc:"Joint optimization (Algorithm 2, JOINT-Heur)")
+    Term.(const run $ topo_arg $ file_arg $ seed_arg $ demands_arg $ flows_arg
+          $ evals_arg $ full_arg)
+
+(* gap *)
+let gap_cmd =
+  let run i m =
+    let inst = instance_of i m in
+    let net = inst.Instances.Gap_instances.network in
+    let g = net.Network.graph in
+    Printf.printf "%s: %d nodes, %d edges, %d demands (total %.3f)\n"
+      inst.Instances.Gap_instances.name (Netgraph.Digraph.node_count g)
+      (Netgraph.Digraph.edge_count g)
+      (Array.length net.Network.demands)
+      (Network.total_demand net);
+    let joint =
+      Ecmp.mlu_of ~waypoints:inst.Instances.Gap_instances.joint_waypoints g
+        inst.Instances.Gap_instances.joint_weights net.Network.demands
+    in
+    Printf.printf "Joint (lemma construction)  MLU %.4f (predicted %.4f)\n" joint
+      inst.Instances.Gap_instances.predicted_joint_mlu;
+    (match inst.Instances.Gap_instances.lwo_weights with
+    | Some w ->
+      let lwo = Ecmp.mlu_of g w net.Network.demands in
+      Printf.printf "LWO (optimal weights)       MLU %.4f" lwo;
+      (match inst.Instances.Gap_instances.predicted_lwo_mlu with
+      | Some p -> Printf.printf " (predicted %.4f)" p
+      | None -> ());
+      Printf.printf "  -> gap %.2f\n" (lwo /. joint)
+    | None -> ());
+    let wpo =
+      Greedy_wpo.optimize g (Weights.unit g) net.Network.demands
+    in
+    Printf.printf "WPO greedy (unit weights)   MLU %.4f  -> gap %.2f\n"
+      wpo.Greedy_wpo.mlu (wpo.Greedy_wpo.mlu /. joint)
+  in
+  Cmd.v (Cmd.info "gap" ~doc:"Optimality-gap summary of a paper TE instance")
+    Term.(const run $ instance_arg $ m_arg)
+
+(* lwo-apx *)
+let lwo_apx_cmd =
+  let run i m =
+    let inst = instance_of i m in
+    let g = inst.Instances.Gap_instances.network.Network.graph in
+    let r =
+      Lwo_apx.solve g ~source:inst.Instances.Gap_instances.source
+        ~target:inst.Instances.Gap_instances.target
+    in
+    Printf.printf "LWO-APX on %s:\n" inst.Instances.Gap_instances.name;
+    Printf.printf "  max (s,t)-flow       %.4f\n" r.Lwo_apx.max_flow_value;
+    Printf.printf "  realized ES-flow     %.4f\n" r.Lwo_apx.es_flow_value;
+    Printf.printf "  approximation ratio  %.4f (Theorem 5.4 bound: n ln n = %.1f)\n"
+      (Lwo_apx.approximation_ratio r)
+      (let n = float_of_int (Netgraph.Digraph.node_count g) in
+       n *. log n)
+  in
+  Cmd.v
+    (Cmd.info "lwo-apx"
+       ~doc:"Run Algorithm 1 (approximate LWO) on a paper TE instance")
+    Term.(const run $ instance_arg $ m_arg)
+
+(* nanonet *)
+let nanonet_cmd =
+  let run trials streams =
+    let s = Netsim.Nanonet.run ~trials ~streams_per_demand:streams () in
+    List.iteri
+      (fun i t ->
+        Printf.printf "trial %-2d  Joint %.4f  Weights %.4f\n" (i + 1)
+          t.Netsim.Nanonet.joint t.Netsim.Nanonet.weights)
+      s.Netsim.Nanonet.trials;
+    Printf.printf "Joint median %.4f; Weights median %.4f (range %.4f-%.4f)\n"
+      s.Netsim.Nanonet.joint_median s.Netsim.Nanonet.weights_median
+      s.Netsim.Nanonet.weights_min s.Netsim.Nanonet.weights_max
+  in
+  let trials_arg = Arg.(value & opt int 10 & info [ "trials" ] ~doc:"Trials.") in
+  let streams_arg =
+    Arg.(value & opt int 32 & info [ "streams" ] ~doc:"Hashed streams per demand.")
+  in
+  Cmd.v
+    (Cmd.info "nanonet" ~doc:"Hash-based ECMP validation experiment (Figure 7)")
+    Term.(const run $ trials_arg $ streams_arg)
+
+(* failures *)
+let failures_cmd =
+  let run topo file seed kind flows evals =
+    let g, file_demands = load_topology topo file in
+    let demands = make_demands ~file_demands g ~seed ~kind ~flows in
+    let ls_params = { Local_search.default_params with max_evals = evals; seed } in
+    let joint = Joint.optimize ~ls_params g demands in
+    Printf.printf "no-failure MLU %.4f; sweeping single link-pair failures:\n"
+      joint.Joint.mlu;
+    List.iter
+      (fun o ->
+        Printf.printf "  %-8s -> %-8s  %s\n"
+          (Netgraph.Digraph.node_name g (Netgraph.Digraph.src g o.Failures.edge))
+          (Netgraph.Digraph.node_name g (Netgraph.Digraph.dst g o.Failures.edge))
+          (if o.Failures.disconnected > 0 then
+             Printf.sprintf "disconnects %d demands" o.Failures.disconnected
+           else Printf.sprintf "MLU %.4f" o.Failures.mlu))
+      (Failures.single_failures ~waypoints:joint.Joint.waypoints g
+         joint.Joint.weights demands)
+  in
+  Cmd.v
+    (Cmd.info "failures" ~doc:"Single-link-failure sweep of an optimized setting")
+    Term.(const run $ topo_arg $ file_arg $ seed_arg $ demands_arg $ flows_arg
+          $ evals_arg)
+
+(* export *)
+let export_cmd =
+  let run topo file fmt out =
+    let g = load_graph topo file in
+    let contents =
+      match fmt with
+      | "dot" -> Topology.Export.to_dot g
+      | "sndlib" -> Topology.Export.to_sndlib_native g
+      | other ->
+        Printf.eprintf "unknown format %S (dot|sndlib)\n" other;
+        exit 2
+    in
+    match out with
+    | Some path ->
+      Topology.Export.write_file path contents;
+      Printf.printf "wrote %s\n" path
+    | None -> print_string contents
+  in
+  let fmt_arg =
+    Arg.(value & opt string "dot" & info [ "format" ] ~docv:"FMT"
+           ~doc:"Output format: dot or sndlib.")
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"PATH"
+           ~doc:"Write to a file instead of stdout.")
+  in
+  Cmd.v (Cmd.info "export" ~doc:"Export a topology as Graphviz DOT or SNDLib native")
+    Term.(const run $ topo_arg $ file_arg $ fmt_arg $ out_arg)
+
+let () =
+  let doc = "Traffic engineering with joint link weight and segment optimization" in
+  let info = Cmd.info "te-tool" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ topos_cmd; mlu_cmd; lwo_cmd; wpo_cmd; joint_cmd; gap_cmd;
+            lwo_apx_cmd; nanonet_cmd; failures_cmd; export_cmd ]))

@@ -1,0 +1,63 @@
+(** ECMP flow evaluation (§2: ES-flows restricted to shortest paths).
+
+    Given a weight setting, traffic from [s] to [t] follows the
+    shortest-path DAG towards [t] and splits evenly at every node over
+    all outgoing DAG links.  A {!ctx} caches, per weight setting, the
+    per-target DAGs and the sparse unit-load vectors of every (src, dst)
+    pair, which makes the heuristics' inner loops cheap. *)
+
+exception Unroutable of int * int
+(** Raised when a demand's destination is unreachable from its source. *)
+
+type sparse = {
+  edges : int array;  (** touched edge ids, ascending *)
+  flows : float array;  (** load per touched edge for one flow unit *)
+}
+
+type dag = {
+  target : int;
+  dist : float array;  (** distance of every node to [target] *)
+  out_sp : int array array;  (** per node: outgoing shortest-path edges *)
+  order : int array;  (** nodes with finite distance, decreasing distance *)
+}
+
+type ctx
+
+val make : Netgraph.Digraph.t -> Weights.t -> ctx
+(** Caches are lazy: nothing is computed until first use. *)
+
+val graph : ctx -> Netgraph.Digraph.t
+
+val weights : ctx -> Weights.t
+
+val dag : ctx -> target:int -> dag
+
+val unit_load : ctx -> src:int -> dst:int -> sparse
+(** The per-edge load of one unit of ECMP flow from [src] to [dst]
+    ([src = dst] yields the empty vector).
+    @raise Unroutable if [dst] is unreachable. *)
+
+val loads :
+  ?waypoints:int list array -> ctx -> Network.demand array -> float array
+(** Per-edge load of the whole demand list; [waypoints.(i)] is the
+    ordered waypoint list of demand [i] (visited before the final
+    destination, §2.1).  Waypoints equal to the current segment head or
+    to a repeat of the previous one are skipped. *)
+
+val add_sparse : float array -> sparse -> scale:float -> unit
+(** [add_sparse acc v ~scale] accumulates [scale * v] into [acc]. *)
+
+val mlu : Netgraph.Digraph.t -> float array -> float
+(** max over links of load / capacity. *)
+
+val utilizations : Netgraph.Digraph.t -> float array -> float array
+
+val mlu_of :
+  ?waypoints:int list array -> Netgraph.Digraph.t -> Weights.t ->
+  Network.demand array -> float
+(** One-shot [mlu (loads ...)]. *)
+
+val max_es_flow_value : Netgraph.Digraph.t -> Weights.t -> src:int -> dst:int -> float
+(** Size of the largest even-split ECMP flow from [src] to [dst] that
+    respects capacities under this weight setting: the flow pattern is
+    fixed by the weights, so this is [1 / max_e (unit_load_e / cap_e)]. *)

@@ -1,0 +1,38 @@
+(** Brute-force exact solvers for tiny instances.
+
+    These enumerate the discrete search spaces directly and exist to
+    (a) validate the heuristics and the MILP in tests and (b) provide
+    the "optimal" reference on the paper's small worked examples.  All
+    of them guard their search-space size. *)
+
+exception Too_large of string
+
+val lwo :
+  ?weight_domain:int list ->
+  ?max_settings:int ->
+  Netgraph.Digraph.t ->
+  Network.demand array ->
+  int array * float
+(** Optimal integer weight setting over [weight_domain]^E (default
+    domain [[1; 2; 3]]; default cap 2_000_000 settings).
+    @raise Too_large when the space exceeds the cap. *)
+
+val wpo :
+  Netgraph.Digraph.t ->
+  Weights.t ->
+  Network.demand array ->
+  int option array * float
+(** Optimal single-waypoint-per-demand setting under fixed weights, by
+    branch and bound over demands (loads are additive, so the MLU of a
+    partial assignment lower-bounds every completion). *)
+
+val joint :
+  ?weight_domain:int list ->
+  ?max_settings:int ->
+  Netgraph.Digraph.t ->
+  Network.demand array ->
+  int array * int option array * float
+(** Optimal (weights, single waypoints) over the Cartesian product of
+    the weight grid and waypoint assignments — the paper's Joint
+    (§2.1) restricted to W = 1 and integer weights.
+    @raise Too_large when the weight space exceeds the cap. *)

@@ -1,0 +1,86 @@
+open Netgraph
+
+type outcome = { edge : int; mlu : float; disconnected : int }
+
+let without_edges g removed =
+  let removed_set = Hashtbl.create 4 in
+  List.iter (fun e -> Hashtbl.replace removed_set e ()) removed;
+  let b = Digraph.Builder.create () in
+  for v = 0 to Digraph.node_count g - 1 do
+    ignore (Digraph.Builder.add_named_node b (Digraph.node_name g v))
+  done;
+  let mapping = ref [] in
+  for e = 0 to Digraph.edge_count g - 1 do
+    if not (Hashtbl.mem removed_set e) then begin
+      ignore
+        (Digraph.Builder.add_edge b ~src:(Digraph.src g e) ~dst:(Digraph.dst g e)
+           ~cap:(Digraph.cap g e));
+      mapping := e :: !mapping
+    end
+  done;
+  (Digraph.Builder.build b, Array.of_list (List.rev !mapping))
+
+let twin g e =
+  let u = Digraph.src g e and v = Digraph.dst g e in
+  let found = ref None in
+  Array.iter
+    (fun e' ->
+      if !found = None && e' <> e && Digraph.dst g e' = u
+         && Digraph.cap g e' = Digraph.cap g e
+      then found := Some e')
+    (Digraph.out_edges g v);
+  !found
+
+let evaluate_failure g weights demands waypoints removed edge_id =
+  let g', mapping = without_edges g removed in
+  let w' = Array.map (fun old -> weights.(old)) mapping in
+  let ctx = Ecmp.make g' w' in
+  let loads = Array.make (Digraph.edge_count g') 0. in
+  let disconnected = ref 0 in
+  Array.iteri
+    (fun i (d : Network.demand) ->
+      let wps = match waypoints with Some s -> s.(i) | None -> [] in
+      let segs = Segments.segment_endpoints d wps in
+      match
+        List.map (fun (a, b) -> Ecmp.unit_load ctx ~src:a ~dst:b) segs
+      with
+      | exception Ecmp.Unroutable _ -> incr disconnected
+      | units ->
+        List.iter (fun u -> Ecmp.add_sparse loads u ~scale:d.Network.size) units)
+    demands;
+  let mlu = if !disconnected > 0 then nan else Ecmp.mlu g' loads in
+  { edge = edge_id; mlu; disconnected = !disconnected }
+
+let single_failures ?(fail_pairs = true) ?waypoints g weights demands =
+  let m = Digraph.edge_count g in
+  let seen = Array.make m false in
+  let out = ref [] in
+  for e = 0 to m - 1 do
+    if not seen.(e) then begin
+      seen.(e) <- true;
+      let removed =
+        if fail_pairs then
+          match twin g e with
+          | Some e' when not seen.(e') ->
+            seen.(e') <- true;
+            [ e; e' ]
+          | _ -> [ e ]
+        else [ e ]
+      in
+      out := evaluate_failure g weights demands waypoints removed e :: !out
+    end
+  done;
+  List.rev !out
+
+let worse a b =
+  (* Disconnections dominate; then larger MLU. *)
+  match (a.disconnected > 0, b.disconnected > 0) with
+  | true, false -> a
+  | false, true -> b
+  | true, true -> if a.disconnected >= b.disconnected then a else b
+  | false, false -> if a.mlu >= b.mlu then a else b
+
+let worst_case ?fail_pairs ?waypoints g weights demands =
+  match single_failures ?fail_pairs ?waypoints g weights demands with
+  | [] -> invalid_arg "Failures.worst_case: graph has no edges"
+  | first :: rest -> List.fold_left worse first rest

@@ -1,0 +1,45 @@
+(** Single-link-failure analysis.
+
+    The paper closes by asking for TE that reacts to network changes
+    (§8); this module provides the measurement side: how does a weight
+    (+ waypoint) setting behave when one link fails and OSPF/ECMP
+    reconverges on the surviving topology?
+
+    A failed link is modelled by removal (both the link and, with
+    [fail_pairs], its reverse twin, matching fiber cuts on bidirected
+    ISP links).  Demands whose (segment) paths become disconnected are
+    reported separately rather than folded into the MLU. *)
+
+type outcome = {
+  edge : int;  (** the failed edge id (in the original graph) *)
+  mlu : float;  (** MLU after ECMP reconvergence, [nan] if disconnected *)
+  disconnected : int;  (** demands with no surviving route *)
+}
+
+val without_edges : Netgraph.Digraph.t -> int list -> Netgraph.Digraph.t * int array
+(** The graph minus the given edges, plus a mapping from new edge ids to
+    original ids. *)
+
+val twin : Netgraph.Digraph.t -> int -> int option
+(** The reverse edge of equal capacity, if one exists. *)
+
+val single_failures :
+  ?fail_pairs:bool ->
+  ?waypoints:Segments.setting ->
+  Netgraph.Digraph.t ->
+  Weights.t ->
+  Network.demand array ->
+  outcome list
+(** One outcome per link (per unordered link pair with [fail_pairs],
+    default true).  Weights and waypoints are kept fixed — this is the
+    "static setting under failure" regime. *)
+
+val worst_case :
+  ?fail_pairs:bool ->
+  ?waypoints:Segments.setting ->
+  Netgraph.Digraph.t ->
+  Weights.t ->
+  Network.demand array ->
+  outcome
+(** The failure with the largest post-failure MLU (disconnections count
+    as worse than any MLU). *)

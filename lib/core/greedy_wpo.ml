@@ -1,0 +1,189 @@
+open Netgraph
+
+type order = Desc | Asc | Random of int
+
+type result = {
+  waypoints : int option array;
+  mlu : float;
+  initial_mlu : float;
+}
+
+type multi_result = {
+  setting : Segments.setting;
+  mlu : float;
+  round_mlu : float list;
+}
+
+let order_indices order demands =
+  let indices = Array.init (Array.length demands) Fun.id in
+  (match order with
+  | Desc ->
+    Array.sort
+      (fun a b -> compare demands.(b).Network.size demands.(a).Network.size)
+      indices
+  | Asc ->
+    Array.sort
+      (fun a b -> compare demands.(a).Network.size demands.(b).Network.size)
+      indices
+  | Random seed ->
+    let st = Random.State.make [| seed; 0x3e0 |] in
+    for i = Array.length indices - 1 downto 1 do
+      let j = Random.State.int st (i + 1) in
+      let t = indices.(i) in
+      indices.(i) <- indices.(j);
+      indices.(j) <- t
+    done);
+  indices
+
+let optimize_multi ?(order = Desc) ~rounds g weights demands =
+  if rounds < 1 then invalid_arg "Greedy_wpo.optimize_multi: rounds >= 1";
+  let n = Digraph.node_count g and m = Digraph.edge_count g in
+  let ctx = Ecmp.make g weights in
+  let loads = Ecmp.loads ctx demands in
+  let setting = Array.make (Array.length demands) [] in
+  let indices = order_indices order demands in
+  let u_min = ref (Ecmp.mlu g loads) in
+  let round_mlu = ref [] in
+  let apply sign (s : Ecmp.sparse) scale =
+    for i = 0 to Array.length s.Ecmp.edges - 1 do
+      let e = s.Ecmp.edges.(i) in
+      loads.(e) <- loads.(e) +. (sign *. scale *. s.Ecmp.flows.(i))
+    done
+  in
+  for _round = 1 to rounds do
+    Array.iter
+      (fun i ->
+        let d = demands.(i) in
+        let size = d.Network.size in
+        (* The greedy re-splits the LAST segment (anchor -> t), where
+           the anchor is the most recent waypoint (or the source). *)
+        let anchor =
+          match List.rev setting.(i) with w :: _ -> w | [] -> d.Network.src
+        in
+        if anchor <> d.Network.dst then begin
+          let last_seg = Ecmp.unit_load ctx ~src:anchor ~dst:d.Network.dst in
+          apply (-1.) last_seg size;
+          let best_w = ref None and best_u = ref !u_min in
+          for w = 0 to n - 1 do
+            if w <> anchor && w <> d.Network.dst then begin
+              match
+                ( Ecmp.unit_load ctx ~src:anchor ~dst:w,
+                  Ecmp.unit_load ctx ~src:w ~dst:d.Network.dst )
+              with
+              | exception Ecmp.Unroutable _ -> ()
+              | seg1, seg2 ->
+                apply 1. seg1 size;
+                apply 1. seg2 size;
+                let u = ref 0. in
+                for e = 0 to m - 1 do
+                  let r = loads.(e) /. Digraph.cap g e in
+                  if r > !u then u := r
+                done;
+                if !u < !best_u -. 1e-12 then begin
+                  best_u := !u;
+                  best_w := Some w
+                end;
+                apply (-1.) seg1 size;
+                apply (-1.) seg2 size
+            end
+          done;
+          match !best_w with
+          | Some w ->
+            setting.(i) <- setting.(i) @ [ w ];
+            u_min := !best_u;
+            apply 1. (Ecmp.unit_load ctx ~src:anchor ~dst:w) size;
+            apply 1. (Ecmp.unit_load ctx ~src:w ~dst:d.Network.dst) size
+          | None -> apply 1. last_seg size
+        end)
+      indices;
+    round_mlu := Ecmp.mlu g loads :: !round_mlu
+  done;
+  { setting; mlu = Ecmp.mlu g loads; round_mlu = List.rev !round_mlu }
+
+let optimize ?(order = Desc) ?(passes = 1) g weights demands =
+  if passes < 1 then invalid_arg "Greedy_wpo.optimize: passes >= 1";
+  let n = Digraph.node_count g and m = Digraph.edge_count g in
+  let ctx = Ecmp.make g weights in
+  let loads = Ecmp.loads ctx demands in
+  let initial_mlu = Ecmp.mlu g loads in
+  let waypoints = Array.make (Array.length demands) None in
+  let indices = order_indices order demands in
+  let u_min = ref initial_mlu in
+  let apply sign (s : Ecmp.sparse) scale =
+    for i = 0 to Array.length s.Ecmp.edges - 1 do
+      let e = s.Ecmp.edges.(i) in
+      loads.(e) <- loads.(e) +. (sign *. scale *. s.Ecmp.flows.(i))
+    done
+  in
+  (* The segments a demand currently loads onto the network. *)
+  let segments_of i =
+    let d = demands.(i) in
+    match waypoints.(i) with
+    | None -> [ Ecmp.unit_load ctx ~src:d.Network.src ~dst:d.Network.dst ]
+    | Some w ->
+      [ Ecmp.unit_load ctx ~src:d.Network.src ~dst:w;
+        Ecmp.unit_load ctx ~src:w ~dst:d.Network.dst ]
+  in
+  (* Pass 1 is Algorithm 3 verbatim; later passes revisit each demand,
+     allowing reassignment or removal of its waypoint (the sequential
+    greedy is order-fragile and an improvement pass recovers most of
+    the loss). *)
+  for pass = 1 to passes do
+    Array.iter
+      (fun i ->
+        let d = demands.(i) in
+        let size = d.Network.size in
+        let current = segments_of i in
+        List.iter (fun s -> apply (-1.) s size) current;
+        let scan () =
+          let u = ref 0. in
+          for e = 0 to m - 1 do
+            let r = loads.(e) /. Digraph.cap g e in
+            if r > !u then u := r
+          done;
+          !u
+        in
+        let best_w = ref waypoints.(i) and best_u = ref !u_min in
+        (* On improvement passes, also consider dropping the waypoint. *)
+        if pass > 1 && waypoints.(i) <> None then begin
+          let direct = Ecmp.unit_load ctx ~src:d.Network.src ~dst:d.Network.dst in
+          apply 1. direct size;
+          let u = scan () in
+          if u < !best_u -. 1e-12 then begin
+            best_u := u;
+            best_w := None
+          end;
+          apply (-1.) direct size
+        end;
+        for w = 0 to n - 1 do
+          if w <> d.Network.src && w <> d.Network.dst && Some w <> waypoints.(i)
+          then begin
+            match
+              ( Ecmp.unit_load ctx ~src:d.Network.src ~dst:w,
+                Ecmp.unit_load ctx ~src:w ~dst:d.Network.dst )
+            with
+            | exception Ecmp.Unroutable _ -> ()
+            | seg1, seg2 ->
+              apply 1. seg1 size;
+              apply 1. seg2 size;
+              let u = scan () in
+              if u < !best_u -. 1e-12 then begin
+                best_u := u;
+                best_w := Some w
+              end;
+              apply (-1.) seg1 size;
+              apply (-1.) seg2 size
+          end
+        done;
+        if !best_w <> waypoints.(i) then begin
+          waypoints.(i) <- !best_w;
+          u_min := !best_u
+        end;
+        List.iter (fun s -> apply 1. s size) (segments_of i);
+        (* Keep u_min honest when nothing changed (restoring the demand
+           restores the previous MLU). *)
+        if !best_w = waypoints.(i) then u_min := Ecmp.mlu g loads)
+      indices
+  done;
+  let final_mlu = Ecmp.mlu g loads in
+  { waypoints; mlu = final_mlu; initial_mlu }

@@ -1,0 +1,46 @@
+(** Algorithm 3 (GreedyWPO): greedy single-waypoint selection under a
+    fixed weight setting.
+
+    Demands are visited in descending size order (the paper's order; the
+    alternatives are exposed for the ablation bench).  For each demand
+    every node is tried as its single waypoint, and the assignment is
+    kept when it strictly improves the running MLU. *)
+
+type order = Desc | Asc | Random of int
+
+type result = {
+  waypoints : int option array;  (** parallel to the demand array *)
+  mlu : float;  (** MLU of the final assignment *)
+  initial_mlu : float;  (** MLU with no waypoints, for the gap *)
+}
+
+val optimize :
+  ?order:order ->
+  ?passes:int ->
+  Netgraph.Digraph.t ->
+  Weights.t ->
+  Network.demand array ->
+  result
+(** [passes = 1] (default) is Algorithm 3 verbatim; additional passes
+    revisit every demand and may reassign or drop its waypoint, which
+    repairs most of the sequential greedy's order-dependence.
+    @raise Ecmp.Unroutable if a demand itself is unroutable (candidate
+    waypoints that would make a segment unroutable are skipped). *)
+
+type multi_result = {
+  setting : Segments.setting;
+  mlu : float;
+  round_mlu : float list;  (** MLU after each greedy round *)
+}
+
+val optimize_multi :
+  ?order:order ->
+  rounds:int ->
+  Netgraph.Digraph.t ->
+  Weights.t ->
+  Network.demand array ->
+  multi_result
+(** The paper's open question "how many waypoints suffice?" (§8): runs
+    the greedy [rounds] times; round [k] may append one more waypoint to
+    each demand's list (so W <= rounds), greedily re-splitting the last
+    segment.  [rounds = 1] coincides with {!optimize}. *)

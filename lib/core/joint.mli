@@ -1,0 +1,41 @@
+(** Algorithm 2 (JOINT-Heur): the paper's heuristic for joint link
+    weight and waypoint optimization.
+
+    Pipeline: (1) HeurOSPF gives weights; (2) GreedyWPO picks one
+    waypoint per demand under those weights; (3) each demand is split at
+    its waypoint into two demands; (4) HeurOSPF runs again on the split
+    list.  The paper reports the gains of steps 3–4 as negligible and
+    plots the first two stages; both variants are available and the
+    returned setting is the better of the two evaluations. *)
+
+type result = {
+  weights : Weights.t;
+  int_weights : int array;
+  waypoints : Segments.setting;
+  mlu : float;
+  stage_mlu : (string * float) list;
+      (** MLU after each pipeline stage, for reporting *)
+}
+
+val optimize :
+  ?ls_params:Local_search.params ->
+  ?full_pipeline:bool ->
+  Netgraph.Digraph.t ->
+  Network.demand array ->
+  result
+(** [full_pipeline] (default [false], as plotted in the paper) enables
+    steps 3–4. *)
+
+val optimize_iterated :
+  ?ls_params:Local_search.params ->
+  ?iterations:int ->
+  ?waypoint_rounds:int ->
+  Netgraph.Digraph.t ->
+  Network.demand array ->
+  result
+(** The paper's open question (§8): alternate weight optimization and
+    (multi-round) greedy waypoint optimization for [iterations] rounds
+    (default 3), each weight search warm-started on the split demand
+    list induced by the current waypoints, keeping the best setting
+    seen.  [waypoint_rounds] (default 1) allows up to that many
+    waypoints per demand per iteration. *)

@@ -1,0 +1,189 @@
+open Netgraph
+
+type params = {
+  wmax : int;
+  max_evals : int;
+  seed : int;
+  use_phi : bool;
+  stall_limit : int;
+}
+
+let default_params =
+  { wmax = 16; max_evals = 1500; seed = 1; use_phi = true; stall_limit = 60 }
+
+type result = { weights : int array; mlu : float; phi : float; evals : int }
+
+(* Fortz–Thorup piecewise-linear congestion cost.  phi_hat is the
+   integral of the slope function 1/3/10/70/500/5000 over utilization. *)
+let breakpoints = [| 0.; 1. /. 3.; 2. /. 3.; 0.9; 1.; 1.1 |]
+
+let slopes = [| 1.; 3.; 10.; 70.; 500.; 5000. |]
+
+let phi_hat u =
+  let acc = ref 0. in
+  let i = ref 0 in
+  let continue = ref true in
+  while !continue && !i < 6 do
+    let lo = breakpoints.(!i) in
+    let hi = if !i = 5 then infinity else breakpoints.(!i + 1) in
+    if u > hi then acc := !acc +. (slopes.(!i) *. (hi -. lo))
+    else begin
+      acc := !acc +. (slopes.(!i) *. (u -. lo));
+      continue := false
+    end;
+    incr i
+  done;
+  !acc
+
+let phi_cost g loads =
+  let total = ref 0. in
+  for e = 0 to Digraph.edge_count g - 1 do
+    let c = Digraph.cap g e in
+    total := !total +. (c *. phi_hat (loads.(e) /. c))
+  done;
+  !total
+
+let evaluate g demands int_weights =
+  let w = Weights.of_ints int_weights in
+  let ctx = Ecmp.make g w in
+  let loads = Ecmp.loads ctx demands in
+  (Ecmp.mlu g loads, phi_cost g loads)
+
+let optimize ?(params = default_params) ?init g demands =
+  if params.wmax < 2 then invalid_arg "Local_search.optimize: wmax < 2";
+  let m = Digraph.edge_count g in
+  let demands = Network.aggregate demands in
+  let st = Random.State.make [| params.seed; 0x05f |] in
+  let init =
+    match init with
+    | Some w ->
+      if Array.length w <> m then
+        invalid_arg "Local_search.optimize: init length mismatch";
+      Array.copy w
+    | None -> Weights.round_to_range ~wmax:params.wmax (Weights.inverse_capacity g)
+  in
+  let evals = ref 0 in
+  (* Fortz–Thorup keep a hash table of already-evaluated settings; memo
+     hits do not consume the evaluation budget. *)
+  let memo : (int array, float * float * float array) Hashtbl.t =
+    Hashtbl.create 1024
+  in
+  let eval w =
+    match Hashtbl.find_opt memo w with
+    | Some r -> r
+    | None ->
+      incr evals;
+      let wts = Weights.of_ints w in
+      let ctx = Ecmp.make g wts in
+      let loads = Ecmp.loads ctx demands in
+      let mlu = Ecmp.mlu g loads in
+      let phi = phi_cost g loads in
+      let r = (mlu, phi, loads) in
+      if Hashtbl.length memo < 200_000 then Hashtbl.replace memo (Array.copy w) r;
+      r
+  in
+  let objective (mlu, phi) = if params.use_phi then phi else mlu in
+  let current = init in
+  let cur_mlu, cur_phi, cur_loads = eval current in
+  let cur_obj = ref (objective (cur_mlu, cur_phi)) in
+  let cur_loads = ref cur_loads in
+  let best_w = ref (Array.copy current) in
+  let best_mlu = ref cur_mlu and best_phi = ref cur_phi in
+  let stall = ref 0 in
+  let pick_edge () =
+    (* Bias towards congested links: the argmax-utilization link with
+       probability ~0.55, one of five random samples' most utilized with
+       0.25, uniform otherwise. *)
+    let r = Random.State.float st 1. in
+    if r < 0.55 then begin
+      let arg = ref 0 and best = ref neg_infinity in
+      for e = 0 to m - 1 do
+        let u = !cur_loads.(e) /. Digraph.cap g e in
+        if u > !best then begin
+          best := u;
+          arg := e
+        end
+      done;
+      !arg
+    end
+    else if r < 0.8 then begin
+      let arg = ref (Random.State.int st m) and best = ref neg_infinity in
+      for _ = 1 to 5 do
+        let e = Random.State.int st m in
+        let u = !cur_loads.(e) /. Digraph.cap g e in
+        if u > !best then begin
+          best := u;
+          arg := e
+        end
+      done;
+      !arg
+    end
+    else Random.State.int st m
+  in
+  let candidates cur =
+    let cs =
+      [ cur + 1; cur + 2; cur + 4; params.wmax; cur - 1; cur - 2; 1;
+        1 + Random.State.int st params.wmax ]
+    in
+    List.sort_uniq compare
+      (List.filter (fun w -> w >= 1 && w <= params.wmax && w <> cur) cs)
+  in
+  (* The memo means an iteration may consume no budget; the iteration
+     cap prevents spinning once a tiny search space is fully explored. *)
+  let iterations = ref 0 in
+  let max_iterations = 20 * params.max_evals in
+  while !evals < params.max_evals && !iterations < max_iterations do
+    incr iterations;
+    let e = pick_edge () in
+    let old = current.(e) in
+    let best_cand = ref None in
+    List.iter
+      (fun wv ->
+        if !evals < params.max_evals then begin
+          current.(e) <- wv;
+          let mlu, phi, loads = eval current in
+          let obj = objective (mlu, phi) in
+          if mlu < !best_mlu -. 1e-12 then begin
+            best_mlu := mlu;
+            best_phi := phi;
+            best_w := Array.copy current
+          end;
+          (match !best_cand with
+          | Some (o, _, _, _) when o <= obj -> ()
+          | _ -> best_cand := Some (obj, wv, mlu, loads))
+        end)
+      (candidates old);
+    current.(e) <- old;
+    (match !best_cand with
+    | Some (obj, wv, _mlu, loads) when obj < !cur_obj -. 1e-12 ->
+      current.(e) <- wv;
+      cur_obj := obj;
+      cur_loads := loads;
+      stall := 0
+    | Some (obj, wv, _mlu, loads)
+      when obj <= !cur_obj +. 1e-12 && Random.State.float st 1. < 0.3 ->
+      (* Sideways move to escape plateaus. *)
+      current.(e) <- wv;
+      cur_obj := obj;
+      cur_loads := loads
+    | _ -> incr stall);
+    if !stall >= params.stall_limit && !evals < params.max_evals then begin
+      (* Perturbation: restart the walk from the best solution with a
+         random kick on ~10% of the links. *)
+      Array.blit !best_w 0 current 0 m;
+      let kicks = max 1 (m / 10) in
+      for _ = 1 to kicks do
+        current.(Random.State.int st m) <- 1 + Random.State.int st params.wmax
+      done;
+      let mlu, phi, loads = eval current in
+      if mlu < !best_mlu -. 1e-12 then begin
+        best_mlu := mlu;
+        best_phi := phi;
+        best_w := Array.copy current
+      end;
+      cur_obj := objective (mlu, phi);
+      cur_loads := loads;
+      stall := 0
+    end
+  done;
+  { weights = !best_w; mlu = !best_mlu; phi = !best_phi; evals = !evals }

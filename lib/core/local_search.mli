@@ -1,0 +1,44 @@
+(** HeurOSPF: link-weight local search in the style of Fortz and
+    Thorup [11], used as the LWO subroutine of Algorithm 2.
+
+    The search walks integer weight vectors in [1, wmax]^E, repeatedly
+    re-weighting one link (biased towards the most utilized one) and
+    keeping improving moves; random perturbations escape plateaus.  The
+    guiding objective is either the Fortz–Thorup piecewise-linear cost
+    [Phi] (default; smoother than MLU and the choice of [11]) or the MLU
+    itself — the returned solution is always the best-MLU one seen. *)
+
+type params = {
+  wmax : int;  (** weight grid [1, wmax] (default 16) *)
+  max_evals : int;  (** evaluation budget (default 1500) *)
+  seed : int;
+  use_phi : bool;  (** guide by Phi instead of MLU (default true) *)
+  stall_limit : int;  (** non-improving moves before a perturbation *)
+}
+
+val default_params : params
+
+type result = {
+  weights : int array;
+  mlu : float;
+  phi : float;
+  evals : int;  (** evaluations actually performed *)
+}
+
+val phi_cost : Netgraph.Digraph.t -> float array -> float
+(** The Fortz–Thorup cost: [sum_e c_e * phi_hat(load_e / c_e)] with
+    slopes 1, 3, 10, 70, 500, 5000 at breakpoints 1/3, 2/3, 9/10, 1,
+    11/10. *)
+
+val evaluate :
+  Netgraph.Digraph.t -> Network.demand array -> int array -> float * float
+(** [(mlu, phi)] of a weight vector. *)
+
+val optimize :
+  ?params:params ->
+  ?init:int array ->
+  Netgraph.Digraph.t ->
+  Network.demand array ->
+  result
+(** [init] defaults to the inverse-capacity setting rounded onto the
+    weight grid. *)

@@ -1,0 +1,42 @@
+(** TE instances: a capacitated network plus a demand list (§2 of the
+    paper).  Nodes and edges are those of the underlying
+    {!Netgraph.Digraph}. *)
+
+type demand = {
+  src : int;
+  dst : int;
+  size : float;  (** required bandwidth, > 0 *)
+}
+
+type t = {
+  graph : Netgraph.Digraph.t;
+  demands : demand array;
+}
+
+val demand : int -> int -> float -> demand
+(** @raise Invalid_argument on non-positive size or equal endpoints. *)
+
+val make : Netgraph.Digraph.t -> demand array -> t
+(** @raise Invalid_argument on an endpoint outside the graph. *)
+
+val total_demand : t -> float
+(** [D], the sum of all demand sizes. *)
+
+val aggregate : demand array -> demand array
+(** Merges demands sharing (src, dst) into one demand of the summed size.
+    MLU under any weight setting is invariant under this. *)
+
+val targets : t -> int list
+(** Distinct destinations appearing in the demand list (sorted). *)
+
+val sources_for : t -> int -> int list
+(** Distinct sources of demands towards the given target. *)
+
+val split_demands : parts:int -> demand array -> demand array
+(** Splits every demand into [parts] equal sub-demands (the paper's
+    MCF-synthetic generation splits per-pair demands into |E|/4 flows). *)
+
+val is_routable : t -> bool
+(** Every demand's destination reachable from its source? *)
+
+val pp_demand : Format.formatter -> demand -> unit

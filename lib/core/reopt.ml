@@ -1,0 +1,120 @@
+open Netgraph
+
+type churn = { weight_changes : int; waypoint_changes : int }
+
+let churn_between ~deployed_weights ~deployed_waypoints weights waypoints =
+  if Array.length deployed_weights <> Array.length weights then
+    invalid_arg "Reopt.churn_between: weight vectors differ in length";
+  if Array.length deployed_waypoints <> Array.length waypoints then
+    invalid_arg "Reopt.churn_between: waypoint settings differ in length";
+  let weight_changes = ref 0 in
+  Array.iteri
+    (fun e w -> if w <> deployed_weights.(e) then incr weight_changes)
+    weights;
+  let waypoint_changes = ref 0 in
+  Array.iteri
+    (fun i wps -> if wps <> deployed_waypoints.(i) then incr waypoint_changes)
+    waypoints;
+  { weight_changes = !weight_changes; waypoint_changes = !waypoint_changes }
+
+type result = {
+  weights : int array;
+  waypoints : Segments.setting;
+  mlu : float;
+  churn : churn;
+}
+
+let reoptimize ?(ls_params = Local_search.default_params) ?max_weight_changes
+    ~deployed_weights ~deployed_waypoints g demands =
+  let m = Digraph.edge_count g in
+  if Array.length deployed_weights <> m then
+    invalid_arg "Reopt.reoptimize: deployed weight length mismatch";
+  let budget =
+    match max_weight_changes with Some b -> b | None -> max 1 (m / 10)
+  in
+  let st = Random.State.make [| ls_params.Local_search.seed; 0x4e09 |] in
+  let wmax = ls_params.Local_search.wmax in
+  let eval w =
+    Ecmp.mlu_of ~waypoints:deployed_waypoints g (Weights.of_ints w) demands
+  in
+  let current = Array.copy deployed_weights in
+  let cur_mlu = ref (eval current) in
+  let deployed_mlu = !cur_mlu in
+  let changed = Hashtbl.create 8 in
+  let changes () = Hashtbl.length changed in
+  let best_w = ref (Array.copy current) and best_mlu = ref !cur_mlu in
+  let evals = ref 0 in
+  (* Budgeted local search: a move on edge e is admissible if it keeps
+     |{e : w_e <> deployed}| within the budget (reverting frees it). *)
+  while !evals < ls_params.Local_search.max_evals do
+    let e =
+      if Random.State.float st 1. < 0.6 then begin
+        (* Most utilized edge under the current weights. *)
+        let ctx = Ecmp.make g (Weights.of_ints current) in
+        let loads = Ecmp.loads ~waypoints:deployed_waypoints ctx demands in
+        let arg = ref 0 and best = ref neg_infinity in
+        for e = 0 to m - 1 do
+          let u = loads.(e) /. Digraph.cap g e in
+          if u > !best then begin
+            best := u;
+            arg := e
+          end
+        done;
+        !arg
+      end
+      else Random.State.int st m
+    in
+    let admissible = Hashtbl.mem changed e || changes () < budget in
+    if admissible then begin
+      let old = current.(e) in
+      let candidates =
+        List.sort_uniq compare
+          (List.filter
+             (fun w -> w >= 1 && w <= wmax && w <> old)
+             [ old + 1; old + 2; wmax; old - 1; 1; deployed_weights.(e);
+               1 + Random.State.int st wmax ])
+      in
+      let best_cand = ref None in
+      List.iter
+        (fun wv ->
+          if !evals < ls_params.Local_search.max_evals then begin
+            incr evals;
+            current.(e) <- wv;
+            let mlu = eval current in
+            match !best_cand with
+            | Some (bm, _) when bm <= mlu -> ()
+            | _ -> best_cand := Some (mlu, wv)
+          end)
+        candidates;
+      current.(e) <- old;
+      match !best_cand with
+      | Some (mlu, wv) when mlu < !cur_mlu -. 1e-12 ->
+        current.(e) <- wv;
+        cur_mlu := mlu;
+        if wv = deployed_weights.(e) then Hashtbl.remove changed e
+        else Hashtbl.replace changed e ();
+        if mlu < !best_mlu -. 1e-12 then begin
+          best_mlu := mlu;
+          best_w := Array.copy current
+        end
+      | _ -> ()
+    end
+    else incr evals
+  done;
+  (* Waypoint step: re-pick greedily under the new weights (not
+     budgeted; segment-stack changes are local to ingresses). *)
+  let wpo = Greedy_wpo.optimize g (Weights.of_ints !best_w) demands in
+  let greedy_setting = Segments.of_single wpo.Greedy_wpo.waypoints in
+  (* Candidates, cheapest-churn first so ties keep the network stable. *)
+  let candidates =
+    [ (Array.copy deployed_weights, deployed_waypoints, deployed_mlu);
+      (!best_w, deployed_waypoints, !best_mlu);
+      (!best_w, greedy_setting, wpo.Greedy_wpo.mlu) ]
+  in
+  let weights, waypoints, mlu =
+    List.fold_left
+      (fun (bw, bs, bm) (w, s, v) -> if v < bm -. 1e-12 then (w, s, v) else (bw, bs, bm))
+      (List.hd candidates) (List.tl candidates)
+  in
+  { weights; waypoints; mlu;
+    churn = churn_between ~deployed_weights ~deployed_waypoints weights waypoints }

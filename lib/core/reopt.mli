@@ -1,0 +1,46 @@
+(** Reconfiguration-aware re-optimization.
+
+    The paper's closing future-work item: "TE algorithms that react to
+    shifts in the traffic demand and account for reconfiguration costs"
+    (§8).  Re-running the optimizers from scratch after a demand shift
+    may rewrite many link weights; every OSPF weight change triggers a
+    network-wide reconvergence, so operators prefer settings that are
+    close to the deployed ones.
+
+    [reoptimize] runs a budgeted variant of the HeurOSPF local search
+    whose moves are restricted to at most [max_weight_changes] links
+    away from the deployed setting, then re-picks waypoints greedily
+    (waypoint changes are cheap — they only touch ingress segment
+    stacks and are therefore not budgeted). *)
+
+type churn = {
+  weight_changes : int;  (** links whose weight differs from deployed *)
+  waypoint_changes : int;  (** demands whose waypoint list changed *)
+}
+
+val churn_between :
+  deployed_weights:int array ->
+  deployed_waypoints:Segments.setting ->
+  int array ->
+  Segments.setting ->
+  churn
+
+type result = {
+  weights : int array;
+  waypoints : Segments.setting;
+  mlu : float;
+  churn : churn;
+}
+
+val reoptimize :
+  ?ls_params:Local_search.params ->
+  ?max_weight_changes:int ->
+  deployed_weights:int array ->
+  deployed_waypoints:Segments.setting ->
+  Netgraph.Digraph.t ->
+  Network.demand array ->
+  result
+(** Re-optimize for (shifted) [demands] starting from the deployed
+    setting.  [max_weight_changes] defaults to [max 1 (|E| / 10)].
+    The result's MLU is never worse than keeping the deployed setting
+    as-is. *)

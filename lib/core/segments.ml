@@ -1,0 +1,33 @@
+type setting = int list array
+
+let none demands = Array.make (Array.length demands) []
+
+let of_single opts =
+  Array.map (function Some w -> [ w ] | None -> []) opts
+
+let segment_endpoints (d : Network.demand) wps =
+  let rec go cur acc = function
+    | [] -> List.rev ((cur, d.Network.dst) :: acc)
+    | w :: rest ->
+      if w = cur then go cur acc rest else go w ((cur, w) :: acc) rest
+  in
+  go d.Network.src [] wps |> List.filter (fun (a, b) -> a <> b)
+
+let expand demands setting =
+  if Array.length setting <> Array.length demands then
+    invalid_arg "Segments.expand: setting length mismatch";
+  let out = ref [] in
+  for i = Array.length demands - 1 downto 0 do
+    let d = demands.(i) in
+    List.iter
+      (fun (a, b) ->
+        out := { Network.src = a; dst = b; size = d.Network.size } :: !out)
+      (List.rev (segment_endpoints d setting.(i)))
+  done;
+  Array.of_list !out
+
+let count_waypoints setting =
+  Array.fold_left (fun acc wps -> acc + List.length wps) 0 setting
+
+let max_waypoints setting =
+  Array.fold_left (fun acc wps -> max acc (List.length wps)) 0 setting

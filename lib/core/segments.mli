@@ -1,0 +1,26 @@
+(** Waypoint (segment) handling: turning demands-with-waypoints into
+    per-segment demands (Algorithm 2, step 3). *)
+
+type setting = int list array
+(** One ordered waypoint list per demand (parallel to the demand array);
+    [[]] means "route directly". *)
+
+val none : Network.demand array -> setting
+
+val of_single : int option array -> setting
+(** Lift a one-waypoint-per-demand assignment (Algorithm 3's output). *)
+
+val segment_endpoints : Network.demand -> int list -> (int * int) list
+(** Consecutive (from, to) hops [s -> w1 -> ... -> wk -> t], with
+    degenerate hops (repeated node, waypoint equal to segment head or
+    final hop of zero length) removed. *)
+
+val expand : Network.demand array -> setting -> Network.demand array
+(** The demand list where each demand is replaced by one demand per
+    segment (same size on every segment). *)
+
+val count_waypoints : setting -> int
+(** Total number of (non-degenerate) waypoints in use. *)
+
+val max_waypoints : setting -> int
+(** Largest per-demand waypoint count [W] in use. *)

@@ -1,0 +1,27 @@
+open Netgraph
+
+type t = float array
+
+let unit g = Array.make (Digraph.edge_count g) 1.
+
+let inverse_capacity g =
+  let max_cap = Digraph.max_capacity g in
+  Array.init (Digraph.edge_count g) (fun e -> max_cap /. Digraph.cap g e)
+
+let random ~seed ~wmax g =
+  if wmax < 1 then invalid_arg "Weights.random: wmax < 1";
+  let st = Random.State.make [| seed; 0x7e |] in
+  Array.init (Digraph.edge_count g) (fun _ ->
+      float_of_int (1 + Random.State.int st wmax))
+
+let of_ints ints = Array.map float_of_int ints
+
+let round_to_range ~wmax w =
+  if wmax < 1 then invalid_arg "Weights.round_to_range: wmax < 1";
+  let max_w = Array.fold_left max 0. w in
+  Array.map
+    (fun x ->
+      let scaled = x /. max_w *. float_of_int wmax in
+      let r = int_of_float (Float.round scaled) in
+      max 1 (min wmax r))
+    w

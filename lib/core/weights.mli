@@ -1,0 +1,22 @@
+(** Link-weight settings (Definition 3.2: the "standard" settings). *)
+
+type t = float array
+(** One positive weight per edge, indexed by edge id. *)
+
+val unit : Netgraph.Digraph.t -> t
+(** Weight 1 on every link. *)
+
+val inverse_capacity : Netgraph.Digraph.t -> t
+(** Cisco-style weights proportional to the reciprocal of capacity,
+    scaled so the largest-capacity link gets weight 1
+    (w_e = max_cap / cap_e). *)
+
+val random : seed:int -> wmax:int -> Netgraph.Digraph.t -> t
+(** Uniform integer weights in [1, wmax] (an "arbitrary" setting). *)
+
+val of_ints : int array -> t
+
+val round_to_range : wmax:int -> t -> int array
+(** Scales and rounds a real weight setting onto the integer grid
+    [1, wmax] used by the local search (relative order preserved up to
+    rounding). *)

@@ -1,0 +1,147 @@
+type status = Optimal | Feasible
+
+type solution = {
+  status : status;
+  value : float;
+  point : float array;
+  nodes_explored : int;
+}
+
+type result = Solution of solution | Infeasible | Unbounded | NoIncumbent
+
+(* A node is the root problem plus a list of added bound constraints.
+   Nodes are explored best-bound-first from a sorted list keyed by the
+   parent relaxation value. *)
+type node = { extra : Simplex.constr list; bound : float }
+
+let frac x = x -. Float.round x
+
+let solve ?(max_nodes = 200_000) ?(int_tol = 1e-6) ?initial (lp : Simplex.problem)
+    ~integer_vars =
+  let maximizing = lp.Simplex.sense = Simplex.Maximize in
+  let better a b = if maximizing then a > b +. 1e-9 else a < b -. 1e-9 in
+  let objective_of x =
+    List.fold_left (fun acc (j, c) -> acc +. (c *. x.(j))) 0. lp.Simplex.objective
+  in
+  let find_fractional x =
+    (* Most-fractional branching. *)
+    let best = ref None in
+    List.iter
+      (fun j ->
+        let f = abs_float (frac x.(j)) in
+        if f > int_tol then
+          match !best with
+          | Some (_, bf) when bf >= f -> ()
+          | _ -> best := Some (j, f))
+      integer_vars;
+    !best
+  in
+  let incumbent = ref None in
+  (* Warm start: accept a caller-provided integer-feasible point as the
+     initial incumbent (ignored when infeasible or fractional). *)
+  (match initial with
+  | Some x
+    when Simplex.check_feasible lp x
+         && List.for_all (fun j -> abs_float (frac x.(j)) <= int_tol) integer_vars
+    -> incumbent := Some (objective_of x, Array.copy x)
+  | _ -> ());
+  let nodes_explored = ref 0 in
+  let root_unbounded = ref false in
+  let root_infeasible = ref false in
+  (* Worklist kept sorted so the best relaxation bound is explored first;
+     pruning then closes the gap quickly. *)
+  let insert queue (n : node) =
+    let rec go = function
+      | [] -> [ n ]
+      | hd :: tl ->
+        if better n.bound hd.bound then n :: hd :: tl else hd :: go tl
+    in
+    go queue
+  in
+  let queue =
+    ref [ { extra = []; bound = (if maximizing then infinity else neg_infinity) } ]
+  in
+  let limit_hit = ref false in
+  while !queue <> [] do
+    match !queue with
+    | [] -> ()
+    | node :: rest ->
+      queue := rest;
+      if !nodes_explored >= max_nodes then begin
+        limit_hit := true;
+        queue := []
+      end
+      else begin
+        incr nodes_explored;
+        let prune_by_incumbent bound =
+          match !incumbent with
+          | Some (v, _) -> not (better bound v)
+          | None -> false
+        in
+        if prune_by_incumbent node.bound then ()
+        else begin
+          let sub = { lp with Simplex.constrs = node.extra @ lp.Simplex.constrs } in
+          match
+            try Simplex.solve sub
+            with Failure _ ->
+              (* Pivot limit on a degenerate subproblem: drop the node
+                 and degrade the status to Feasible (the subtree is not
+                 certified). *)
+              limit_hit := true;
+              Simplex.Infeasible
+          with
+          | Simplex.Infeasible ->
+            if node.extra = [] then root_infeasible := true
+          | Simplex.Unbounded ->
+            (* An unbounded relaxation at the root makes the MILP
+               unbounded or infeasible; we report unbounded (the TE
+               formulations are always bounded, so this is a user
+               error path). *)
+            if node.extra = [] then begin
+              root_unbounded := true;
+              queue := []
+            end
+          | Simplex.Optimal { value; solution } ->
+            if prune_by_incumbent value then ()
+            else begin
+              match find_fractional solution with
+              | None ->
+                (* Integer feasible. *)
+                let accept =
+                  match !incumbent with
+                  | None -> true
+                  | Some (v, _) -> better value v
+                in
+                if accept then incumbent := Some (value, Array.copy solution)
+              | Some (j, _) ->
+                let x = solution.(j) in
+                let lo = floor x and hi = ceil x in
+                let left =
+                  { extra = Simplex.constr [ (j, 1.) ] Simplex.Le lo :: node.extra;
+                    bound = value }
+                and right =
+                  { extra = Simplex.constr [ (j, 1.) ] Simplex.Ge hi :: node.extra;
+                    bound = value }
+                in
+                queue := insert (insert !queue left) right
+            end
+        end
+      end
+  done;
+  if !root_unbounded then Unbounded
+  else if !root_infeasible && !incumbent = None then Infeasible
+  else
+    match !incumbent with
+    | None -> if !limit_hit then NoIncumbent else Infeasible
+    | Some (value, point) ->
+      (* Snap near-integral entries for downstream consumers. *)
+      List.iter
+        (fun j ->
+          if abs_float (frac point.(j)) <= 1e-5 then
+            point.(j) <- Float.round point.(j))
+        integer_vars;
+      Solution
+        { status = (if !limit_hit then Feasible else Optimal);
+          value;
+          point;
+          nodes_explored = !nodes_explored }

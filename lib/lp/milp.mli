@@ -1,0 +1,31 @@
+(** Mixed-integer linear programming by LP-based branch and bound.
+
+    The integer-feasible search replaces the Gurobi MIP solver of the
+    paper's artifact at small scale (exact WPO MILP, toy joint instances,
+    validation tests). *)
+
+type status = Optimal | Feasible  (** node-limit hit with an incumbent *)
+
+type solution = {
+  status : status;
+  value : float;
+  point : float array;
+  nodes_explored : int;
+}
+
+type result = Solution of solution | Infeasible | Unbounded | NoIncumbent
+(** [NoIncumbent]: the node limit was reached before any integer-feasible
+    point was found. *)
+
+val solve :
+  ?max_nodes:int ->
+  ?int_tol:float ->
+  ?initial:float array ->
+  Simplex.problem ->
+  integer_vars:int list ->
+  result
+(** Best-first branch and bound on the listed variables.  [max_nodes]
+    defaults to [200_000]; [int_tol] (default [1e-6]) is the integrality
+    tolerance.  [initial] warm-starts the incumbent with a feasible
+    integer point (silently ignored if it is not one), so the result is
+    never worse than it even under the node limit. *)

@@ -1,0 +1,41 @@
+(** Dense two-phase primal simplex.
+
+    Solves linear programs over non-negative variables:
+    optimize [c.x] subject to rows [a.x (<= | = | >=) b], [x >= 0].
+    This is the reproduction's stand-in for the LP part of Gurobi; it is
+    exact (up to floating point) and intended for small and medium
+    instances (a few thousand nonzeros). *)
+
+type relation = Le | Ge | Eq
+
+type sense = Maximize | Minimize
+
+type constr = {
+  coeffs : (int * float) list;  (** sparse row: (variable, coefficient) *)
+  rel : relation;
+  rhs : float;
+}
+
+type problem = {
+  nvars : int;
+  sense : sense;
+  objective : (int * float) list;  (** sparse objective *)
+  constrs : constr list;
+}
+
+type result =
+  | Optimal of { value : float; solution : float array }
+  | Infeasible
+  | Unbounded
+
+val constr : (int * float) list -> relation -> float -> constr
+
+val solve : ?max_iters:int -> problem -> result
+(** @raise Invalid_argument on out-of-range variable indices.
+    [max_iters] defaults to [50_000] pivots; exceeding it raises
+    [Failure] (never observed on the reproduction's workloads). *)
+
+val check_feasible : ?tol:float -> problem -> float array -> bool
+(** Does the point satisfy every constraint and non-negativity? *)
+
+val pp_result : Format.formatter -> result -> unit

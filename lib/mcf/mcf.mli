@@ -1,0 +1,35 @@
+(** Multi-commodity flow: the paper's [OPT] (§2.1), the min-MLU flow with
+    no routing restriction.
+
+    [OPT] relates to maximum concurrent flow: if [lambda] is the largest
+    factor such that [lambda *. d_k] is simultaneously routable within
+    capacities, then the minimum MLU for demands [d_k] is [1 /. lambda].
+    Small instances are solved exactly by LP (destination-aggregated);
+    large ones by the Fleischer variant of the Garg–Könemann FPTAS. *)
+
+type commodity = { src : int; dst : int; demand : float }
+
+val commodity : int -> int -> float -> commodity
+
+val aggregate : commodity array -> commodity array
+(** Merge commodities sharing (src, dst). *)
+
+val opt_mlu_lp : Netgraph.Digraph.t -> commodity array -> float
+(** Exact minimum MLU via the LP
+    [min U  s.t. flow conservation, sum_k f_k(e) <= U c(e)].
+    Intended for small instances (|targets| * |E| up to a few thousand
+    variables).
+    @raise Failure if some demand is not routable. *)
+
+val max_concurrent_flow :
+  ?epsilon:float -> Netgraph.Digraph.t -> commodity array -> float
+(** FPTAS for the maximum concurrent flow factor [lambda]; the result is
+    within [(1 - O(epsilon))] of optimal (never above it beyond
+    numerical noise).  [epsilon] defaults to [0.1]. *)
+
+val opt_mlu :
+  ?epsilon:float -> ?lp_var_limit:int -> Netgraph.Digraph.t ->
+  commodity array -> float
+(** Minimum MLU.  Dispatches: single source-target pair -> max flow
+    (exact); small LP (fewer than [lp_var_limit] variables, default
+    3000) -> simplex (exact); otherwise [1 / max_concurrent_flow]. *)

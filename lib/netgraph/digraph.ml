@@ -1,0 +1,165 @@
+type t = {
+  n : int;
+  m : int;
+  esrc : int array;
+  edst : int array;
+  ecap : float array;
+  outs : int array array;
+  ins : int array array;
+  names : string array;
+  by_name : (string, int) Hashtbl.t;
+}
+
+module Builder = struct
+  type graph = t
+
+  type t = {
+    mutable nodes : int;
+    mutable node_names : string list; (* reversed *)
+    mutable edges : (int * int * float) list; (* reversed *)
+    mutable nedges : int;
+    name_tbl : (string, int) Hashtbl.t;
+  }
+
+  let create () =
+    { nodes = 0; node_names = []; edges = []; nedges = 0;
+      name_tbl = Hashtbl.create 16 }
+
+  let add_node b ?name () =
+    let id = b.nodes in
+    let name = match name with Some s -> s | None -> "n" ^ string_of_int id in
+    if Hashtbl.mem b.name_tbl name then
+      invalid_arg (Printf.sprintf "Digraph.Builder.add_node: duplicate name %S" name);
+    b.nodes <- id + 1;
+    b.node_names <- name :: b.node_names;
+    Hashtbl.replace b.name_tbl name id;
+    id
+
+  let add_named_node b name =
+    match Hashtbl.find_opt b.name_tbl name with
+    | Some id -> id
+    | None -> add_node b ~name ()
+
+  let add_edge b ~src ~dst ~cap =
+    if src < 0 || src >= b.nodes then invalid_arg "Digraph.Builder.add_edge: bad src";
+    if dst < 0 || dst >= b.nodes then invalid_arg "Digraph.Builder.add_edge: bad dst";
+    if src = dst then invalid_arg "Digraph.Builder.add_edge: self-loop";
+    if not (cap > 0.) then invalid_arg "Digraph.Builder.add_edge: capacity must be positive";
+    let id = b.nedges in
+    b.edges <- (src, dst, cap) :: b.edges;
+    b.nedges <- id + 1;
+    id
+
+  let add_biedge b u v ~cap =
+    ignore (add_edge b ~src:u ~dst:v ~cap);
+    ignore (add_edge b ~src:v ~dst:u ~cap)
+
+  let node_count b = b.nodes
+
+  let build b =
+    let n = b.nodes and m = b.nedges in
+    let esrc = Array.make m 0 and edst = Array.make m 0 and ecap = Array.make m 0. in
+    List.iteri
+      (fun i (u, v, c) ->
+        let e = m - 1 - i in
+        esrc.(e) <- u; edst.(e) <- v; ecap.(e) <- c)
+      b.edges;
+    let outd = Array.make n 0 and ind = Array.make n 0 in
+    for e = 0 to m - 1 do
+      outd.(esrc.(e)) <- outd.(esrc.(e)) + 1;
+      ind.(edst.(e)) <- ind.(edst.(e)) + 1
+    done;
+    let outs = Array.init n (fun v -> Array.make outd.(v) 0) in
+    let ins = Array.init n (fun v -> Array.make ind.(v) 0) in
+    let oi = Array.make n 0 and ii = Array.make n 0 in
+    for e = 0 to m - 1 do
+      let u = esrc.(e) and v = edst.(e) in
+      outs.(u).(oi.(u)) <- e; oi.(u) <- oi.(u) + 1;
+      ins.(v).(ii.(v)) <- e; ii.(v) <- ii.(v) + 1
+    done;
+    let names = Array.make n "" in
+    List.iteri (fun i nm -> names.(n - 1 - i) <- nm) b.node_names;
+    { n; m; esrc; edst; ecap; outs; ins; names; by_name = Hashtbl.copy b.name_tbl }
+end
+
+let of_edges ?names ~n edge_list =
+  let b = Builder.create () in
+  for i = 0 to n - 1 do
+    let name = match names with Some a -> Some a.(i) | None -> None in
+    ignore (Builder.add_node b ?name ())
+  done;
+  List.iter (fun (u, v, c) -> ignore (Builder.add_edge b ~src:u ~dst:v ~cap:c)) edge_list;
+  Builder.build b
+
+let node_count g = g.n
+let edge_count g = g.m
+let src g e = g.esrc.(e)
+let dst g e = g.edst.(e)
+let cap g e = g.ecap.(e)
+let node_name g v = g.names.(v)
+
+let node_of_name g name =
+  match Hashtbl.find_opt g.by_name name with
+  | Some v -> v
+  | None -> raise Not_found
+
+let out_edges g v = g.outs.(v)
+let in_edges g v = g.ins.(v)
+let out_degree g v = Array.length g.outs.(v)
+let in_degree g v = Array.length g.ins.(v)
+
+let find_edge g ~src ~dst =
+  let rec scan i es =
+    if i >= Array.length es then None
+    else if g.edst.(es.(i)) = dst then Some es.(i)
+    else scan (i + 1) es
+  in
+  scan 0 g.outs.(src)
+
+let edges g =
+  List.init g.m (fun e -> (g.esrc.(e), g.edst.(e), g.ecap.(e)))
+
+let with_capacities g caps =
+  if Array.length caps <> g.m then
+    invalid_arg "Digraph.with_capacities: length mismatch";
+  Array.iter (fun c -> if not (c > 0.) then
+    invalid_arg "Digraph.with_capacities: capacity must be positive") caps;
+  { g with ecap = Array.copy caps }
+
+let reverse g =
+  { g with esrc = g.edst; edst = g.esrc; outs = g.ins; ins = g.outs }
+
+let max_capacity g = Array.fold_left max neg_infinity g.ecap
+let min_capacity g = Array.fold_left min infinity g.ecap
+
+let is_connected_from g s =
+  let seen = Array.make g.n false in
+  let stack = ref [ s ] in
+  seen.(s) <- true;
+  let count = ref 1 in
+  let rec go () =
+    match !stack with
+    | [] -> ()
+    | v :: rest ->
+      stack := rest;
+      Array.iter
+        (fun e ->
+          let w = g.edst.(e) in
+          if not seen.(w) then begin
+            seen.(w) <- true;
+            incr count;
+            stack := w :: !stack
+          end)
+        g.outs.(v);
+      go ()
+  in
+  go ();
+  !count = g.n
+
+let pp ppf g =
+  Format.fprintf ppf "@[<v>digraph: %d nodes, %d edges@," g.n g.m;
+  for e = 0 to g.m - 1 do
+    Format.fprintf ppf "  %s -> %s (cap %g)@,"
+      g.names.(g.esrc.(e)) g.names.(g.edst.(e)) g.ecap.(e)
+  done;
+  Format.fprintf ppf "@]"

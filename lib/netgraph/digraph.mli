@@ -1,0 +1,92 @@
+(** Directed capacitated multigraphs.
+
+    The graph representation used throughout the reproduction: nodes are
+    dense integers [0 .. n-1], edges are dense integers [0 .. m-1] with a
+    source, a destination and a strictly positive capacity.  The structure
+    is immutable once built; incremental construction goes through
+    {!Builder}. *)
+
+type t
+
+(** {1 Construction} *)
+
+module Builder : sig
+  type graph = t
+
+  type t
+
+  val create : unit -> t
+
+  val add_node : t -> ?name:string -> unit -> int
+  (** Allocates a fresh node id.  [name] defaults to ["n<id>"]. *)
+
+  val add_named_node : t -> string -> int
+  (** Returns the id already associated with this name, allocating a new
+      node on first use. *)
+
+  val add_edge : t -> src:int -> dst:int -> cap:float -> int
+  (** Adds a directed edge and returns its id.
+      @raise Invalid_argument if [cap <= 0], on a self-loop, or on an
+      unknown endpoint. *)
+
+  val add_biedge : t -> int -> int -> cap:float -> unit
+  (** Adds the two directed edges [(u,v)] and [(v,u)], each of
+      capacity [cap]. *)
+
+  val node_count : t -> int
+
+  val build : t -> graph
+end
+
+val of_edges : ?names:string array -> n:int -> (int * int * float) list -> t
+(** [of_edges ~n edges] builds a graph with nodes [0..n-1] and the given
+    [(src, dst, cap)] edges, in order (edge ids follow list order). *)
+
+(** {1 Accessors} *)
+
+val node_count : t -> int
+
+val edge_count : t -> int
+
+val src : t -> int -> int
+
+val dst : t -> int -> int
+
+val cap : t -> int -> float
+
+val node_name : t -> int -> string
+
+val node_of_name : t -> string -> int
+(** @raise Not_found if no node carries this name. *)
+
+val out_edges : t -> int -> int array
+(** Edge ids leaving a node.  Do not mutate the returned array. *)
+
+val in_edges : t -> int -> int array
+(** Edge ids entering a node.  Do not mutate the returned array. *)
+
+val out_degree : t -> int -> int
+
+val in_degree : t -> int -> int
+
+val find_edge : t -> src:int -> dst:int -> int option
+(** First edge from [src] to [dst], if any. *)
+
+val edges : t -> (int * int * float) list
+(** All edges as [(src, dst, cap)], in edge-id order. *)
+
+val with_capacities : t -> float array -> t
+(** Same topology with the given per-edge capacities.
+    @raise Invalid_argument on length mismatch or non-positive entry. *)
+
+val reverse : t -> t
+(** Graph with every edge flipped; edge ids are preserved. *)
+
+val max_capacity : t -> float
+
+val min_capacity : t -> float
+
+val is_connected_from : t -> int -> bool
+(** Are all nodes reachable from the given node along directed edges? *)
+
+val pp : Format.formatter -> t -> unit

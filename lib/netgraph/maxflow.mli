@@ -1,0 +1,24 @@
+(** Maximum flow (Dinic), acyclic flows, flow decomposition and min cuts. *)
+
+type flow = {
+  value : float;  (** total flow from source to target *)
+  on_edge : float array;  (** per-edge flow, indexed by edge id *)
+}
+
+val max_flow : Digraph.t -> source:int -> target:int -> flow
+(** Dinic's algorithm on the graph's capacities. *)
+
+val remove_cycles : Digraph.t -> flow -> flow
+(** Cancels flow cycles (§2 "Acyclic Maximum Flow" of the paper): the
+    result has the same value and its positive-flow subgraph is a DAG. *)
+
+val acyclic_max_flow : Digraph.t -> source:int -> target:int -> flow
+(** [remove_cycles] applied to [max_flow]. *)
+
+val decompose : Digraph.t -> source:int -> target:int -> flow -> (float * int list) list
+(** Path decomposition of an acyclic flow: [(amount, edge-id path)] list
+    whose amounts sum to the flow value.  At most [m] paths. *)
+
+val min_cut : Digraph.t -> source:int -> target:int -> float * bool array
+(** Min-cut value and the source-side node set (from the max-flow residual
+    graph). *)

@@ -1,0 +1,226 @@
+(* Binary min-heap keyed by float priority, holding node ids.  We allow
+   duplicate entries and skip stale pops, which keeps the code simple and
+   is the usual trade-off for Dijkstra. *)
+module Heap = struct
+  type t = {
+    mutable keys : float array;
+    mutable vals : int array;
+    mutable size : int;
+  }
+
+  let create cap = { keys = Array.make (max 1 cap) 0.; vals = Array.make (max 1 cap) 0; size = 0 }
+
+  let is_empty h = h.size = 0
+
+  let grow h =
+    let c = Array.length h.keys in
+    let keys = Array.make (2 * c) 0. and vals = Array.make (2 * c) 0 in
+    Array.blit h.keys 0 keys 0 h.size;
+    Array.blit h.vals 0 vals 0 h.size;
+    h.keys <- keys;
+    h.vals <- vals
+
+  let push h k v =
+    if h.size = Array.length h.keys then grow h;
+    let i = ref h.size in
+    h.size <- h.size + 1;
+    h.keys.(!i) <- k;
+    h.vals.(!i) <- v;
+    while !i > 0 && h.keys.((!i - 1) / 2) > h.keys.(!i) do
+      let p = (!i - 1) / 2 in
+      let tk = h.keys.(p) and tv = h.vals.(p) in
+      h.keys.(p) <- h.keys.(!i); h.vals.(p) <- h.vals.(!i);
+      h.keys.(!i) <- tk; h.vals.(!i) <- tv;
+      i := p
+    done
+
+  let pop h =
+    let k = h.keys.(0) and v = h.vals.(0) in
+    h.size <- h.size - 1;
+    h.keys.(0) <- h.keys.(h.size);
+    h.vals.(0) <- h.vals.(h.size);
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let smallest = ref !i in
+      if l < h.size && h.keys.(l) < h.keys.(!smallest) then smallest := l;
+      if r < h.size && h.keys.(r) < h.keys.(!smallest) then smallest := r;
+      if !smallest = !i then continue := false
+      else begin
+        let s = !smallest in
+        let tk = h.keys.(s) and tv = h.vals.(s) in
+        h.keys.(s) <- h.keys.(!i); h.vals.(s) <- h.vals.(!i);
+        h.keys.(!i) <- tk; h.vals.(!i) <- tv;
+        i := s
+      end
+    done;
+    (k, v)
+end
+
+let check_weights g weights =
+  if Array.length weights <> Digraph.edge_count g then
+    invalid_arg "Paths: weight vector length mismatch";
+  Array.iter
+    (fun w -> if not (w > 0.) then invalid_arg "Paths: weights must be positive")
+    weights
+
+let dijkstra_generic out_of g weights source =
+  check_weights g weights;
+  let n = Digraph.node_count g in
+  let dist = Array.make n infinity in
+  let heap = Heap.create (n + 1) in
+  dist.(source) <- 0.;
+  Heap.push heap 0. source;
+  while not (Heap.is_empty heap) do
+    let d, v = Heap.pop heap in
+    if d <= dist.(v) then
+      Array.iter
+        (fun e ->
+          let w = Digraph.dst g e in
+          (* [out_of] decides traversal direction; on reversed traversal
+             the "dst" is the edge's source. *)
+          let w = if out_of then w else Digraph.src g e in
+          let nd = d +. weights.(e) in
+          if nd < dist.(w) then begin
+            dist.(w) <- nd;
+            Heap.push heap nd w
+          end)
+        (if out_of then Digraph.out_edges g v else Digraph.in_edges g v)
+  done;
+  dist
+
+let dijkstra g ~weights ~source = dijkstra_generic true g weights source
+
+let dijkstra_to g ~weights ~target = dijkstra_generic false g weights target
+
+let dijkstra_with_parents ?stop_at g ~weights ~source =
+  check_weights g weights;
+  let n = Digraph.node_count g in
+  let dist = Array.make n infinity in
+  let parent = Array.make n (-1) in
+  let heap = Heap.create (n + 1) in
+  dist.(source) <- 0.;
+  Heap.push heap 0. source;
+  let stopped = ref false in
+  while not (!stopped || Heap.is_empty heap) do
+    let d, v = Heap.pop heap in
+    if d <= dist.(v) then begin
+      if stop_at = Some v then stopped := true
+      else
+        Array.iter
+          (fun e ->
+            let w = Digraph.dst g e in
+            let nd = d +. weights.(e) in
+            if nd < dist.(w) then begin
+              dist.(w) <- nd;
+              parent.(w) <- e;
+              Heap.push heap nd w
+            end)
+          (Digraph.out_edges g v)
+    end
+  done;
+  (dist, parent)
+
+let shortest_path g ~weights ~source ~target =
+  (* Parent-tracking Dijkstra: exact, robust to arbitrarily small
+     weights (a tolerance-based walk is not). *)
+  let dist, parent = dijkstra_with_parents ~stop_at:target g ~weights ~source in
+  if dist.(target) = infinity then None
+  else begin
+    let rec collect v acc =
+      if v = source then acc
+      else
+        let e = parent.(v) in
+        collect (Digraph.src g e) (e :: acc)
+    in
+    Some (collect target [])
+  end
+
+let path_cost ~weights path =
+  List.fold_left (fun acc e -> acc +. weights.(e)) 0. path
+
+let topo_order g ~keep =
+  let n = Digraph.node_count g in
+  let indeg = Array.make n 0 in
+  let m = Digraph.edge_count g in
+  for e = 0 to m - 1 do
+    if keep e then indeg.(Digraph.dst g e) <- indeg.(Digraph.dst g e) + 1
+  done;
+  let order = Array.make n 0 in
+  let head = ref 0 and tail = ref 0 in
+  for v = 0 to n - 1 do
+    if indeg.(v) = 0 then begin
+      order.(!tail) <- v;
+      incr tail
+    end
+  done;
+  while !head < !tail do
+    let v = order.(!head) in
+    incr head;
+    Array.iter
+      (fun e ->
+        if keep e then begin
+          let w = Digraph.dst g e in
+          indeg.(w) <- indeg.(w) - 1;
+          if indeg.(w) = 0 then begin
+            order.(!tail) <- w;
+            incr tail
+          end
+        end)
+      (Digraph.out_edges g v)
+  done;
+  if !tail <> n then failwith "Paths.topo_order: subgraph has a cycle";
+  order
+
+let is_acyclic g ~keep =
+  match topo_order g ~keep with
+  | _ -> true
+  | exception Failure _ -> false
+
+let reachable g ~source =
+  let n = Digraph.node_count g in
+  let seen = Array.make n false in
+  let rec go stack =
+    match stack with
+    | [] -> ()
+    | v :: rest ->
+      let stack = ref rest in
+      Array.iter
+        (fun e ->
+          let w = Digraph.dst g e in
+          if not seen.(w) then begin
+            seen.(w) <- true;
+            stack := w :: !stack
+          end)
+        (Digraph.out_edges g v);
+      go !stack
+  in
+  seen.(source) <- true;
+  go [ source ];
+  seen
+
+let all_simple_paths ?(max_paths = 10_000) g ~source ~target =
+  let n = Digraph.node_count g in
+  let on_path = Array.make n false in
+  let found = ref [] in
+  let count = ref 0 in
+  let rec dfs v acc =
+    if !count < max_paths then begin
+      if v = target then begin
+        found := List.rev acc :: !found;
+        incr count
+      end
+      else begin
+        on_path.(v) <- true;
+        Array.iter
+          (fun e ->
+            let w = Digraph.dst g e in
+            if not on_path.(w) then dfs w (e :: acc))
+          (Digraph.out_edges g v);
+        on_path.(v) <- false
+      end
+    end
+  in
+  dfs source [];
+  List.rev !found

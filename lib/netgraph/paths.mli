@@ -1,0 +1,40 @@
+(** Shortest paths and DAG utilities over {!Digraph}. *)
+
+val dijkstra : Digraph.t -> weights:float array -> source:int -> float array
+(** Distance from [source] to every node along directed edges; unreachable
+    nodes get [infinity].
+    @raise Invalid_argument on a non-positive weight. *)
+
+val dijkstra_to : Digraph.t -> weights:float array -> target:int -> float array
+(** Distance from every node {e to} [target] (runs on the reversed graph). *)
+
+val dijkstra_with_parents :
+  ?stop_at:int ->
+  Digraph.t -> weights:float array -> source:int -> float array * int array
+(** Distances from [source] plus, per node, the edge through which it
+    was reached ([-1] for the source and unreachable nodes).
+    [stop_at] terminates the search once that node is settled (its
+    distance and parents along its path are then final; other entries
+    may be partial). *)
+
+val shortest_path :
+  Digraph.t -> weights:float array -> source:int -> target:int -> int list option
+(** One shortest path as an edge-id list, or [None] if unreachable.
+    Exact for arbitrarily small positive weights (parent tracking, no
+    tolerance). *)
+
+val path_cost : weights:float array -> int list -> float
+
+val topo_order : Digraph.t -> keep:(int -> bool) -> int array
+(** Topological order of the subgraph containing only edges [e] with
+    [keep e = true].  @raise Failure if that subgraph has a cycle. *)
+
+val is_acyclic : Digraph.t -> keep:(int -> bool) -> bool
+
+val reachable : Digraph.t -> source:int -> bool array
+(** Forward reachability along all edges. *)
+
+val all_simple_paths :
+  ?max_paths:int -> Digraph.t -> source:int -> target:int -> int list list
+(** Every simple path (edge-id lists) from [source] to [target], for the
+    brute-force exact solvers.  Stops after [max_paths] (default 10_000). *)

@@ -1,0 +1,30 @@
+(** The Figure 7 experiment: TE-Instance 1 in a virtual network with
+    hash-based ECMP, comparing the optimal LWO weight setting ("Weights",
+    expected MLU 2 under perfect splitting) against the joint
+    weight-and-waypoint setting ("Joint", expected MLU 1).
+
+    Imperfect per-flow hashing makes the Weights runs land above 2 with
+    a wide spread, while Joint — whose paths never split — stays at 1
+    plus a small control-plane noise term (the paper attributes its
+    ~1.4% offset to Neighbor Discovery Protocol chatter). *)
+
+type trial = { joint : float; weights : float }
+
+type summary = {
+  trials : trial list;
+  joint_median : float;
+  weights_median : float;
+  weights_min : float;
+  weights_max : float;
+}
+
+val run :
+  ?m:int ->
+  ?trials:int ->
+  ?streams_per_demand:int ->
+  ?noise:float ->
+  unit ->
+  summary
+(** Defaults follow the paper: [m = 4] demands, [trials = 10],
+    [streams_per_demand = 32], [noise = 0.014] (relative load added to
+    every used link to model protocol chatter). *)

@@ -1,0 +1,86 @@
+open Netgraph
+
+type kind = Embedded | Synthetic
+
+type info = { name : string; nodes : int; links : int; kind : kind }
+
+(* The Abilene backbone in SNDLib native format: real node set and link
+   structure; OC-192 trunks (9920 Mbit/s) with the Atlanta M5 access
+   link at OC-48 (2480 Mbit/s). *)
+let abilene_native =
+  "# Abilene (Internet2) backbone, SNDLib native format\n\
+   NODES (\n\
+  \  ATLAM5 ( -84.3833 33.75 )\n\
+  \  ATLAng ( -85.50 34.50 )\n\
+  \  CHINng ( -87.6167 41.8333 )\n\
+  \  DNVRng ( -105.00 40.75 )\n\
+  \  HSTNng ( -95.517364 29.770031 )\n\
+  \  IPLSng ( -86.159535 39.780622 )\n\
+  \  KSCYng ( -96.596704 38.961694 )\n\
+  \  LOSAng ( -118.25 34.05 )\n\
+  \  NYCMng ( -73.9667 40.7833 )\n\
+  \  SNVAng ( -122.02553 37.38575 )\n\
+  \  STTLng ( -122.30 47.60 )\n\
+  \  WASHng ( -77.026842 38.897303 )\n\
+   )\n\
+   LINKS (\n\
+  \  L1  ( ATLAM5 ATLAng ) 2480.0 0.0 0.0 0.0 ( )\n\
+  \  L2  ( ATLAng HSTNng ) 9920.0 0.0 0.0 0.0 ( )\n\
+  \  L3  ( ATLAng IPLSng ) 9920.0 0.0 0.0 0.0 ( )\n\
+  \  L4  ( ATLAng WASHng ) 9920.0 0.0 0.0 0.0 ( )\n\
+  \  L5  ( CHINng IPLSng ) 9920.0 0.0 0.0 0.0 ( )\n\
+  \  L6  ( CHINng NYCMng ) 9920.0 0.0 0.0 0.0 ( )\n\
+  \  L7  ( DNVRng KSCYng ) 9920.0 0.0 0.0 0.0 ( )\n\
+  \  L8  ( DNVRng SNVAng ) 9920.0 0.0 0.0 0.0 ( )\n\
+  \  L9  ( DNVRng STTLng ) 9920.0 0.0 0.0 0.0 ( )\n\
+  \  L10 ( HSTNng KSCYng ) 9920.0 0.0 0.0 0.0 ( )\n\
+  \  L11 ( HSTNng LOSAng ) 9920.0 0.0 0.0 0.0 ( )\n\
+  \  L12 ( IPLSng KSCYng ) 9920.0 0.0 0.0 0.0 ( )\n\
+  \  L13 ( LOSAng SNVAng ) 9920.0 0.0 0.0 0.0 ( )\n\
+  \  L14 ( NYCMng WASHng ) 9920.0 0.0 0.0 0.0 ( )\n\
+  \  L15 ( SNVAng STTLng ) 9920.0 0.0 0.0 0.0 ( )\n\
+   )\n"
+
+let abilene () = (Sndlib.of_native abilene_native).Sndlib.graph
+
+(* Published sizes of the evaluation topologies (SNDLib / TopologyZoo). *)
+let synthetic_catalog =
+  [
+    ("Cost266", 37, 57);
+    ("Germany50", 50, 88);
+    ("Giul39", 39, 86);
+    ("Janos-US-CA", 39, 61);
+    ("Myren", 37, 41);
+    ("Pioro40", 40, 89);
+    ("Renater2010", 43, 56);
+    ("SwitchL3", 42, 63);
+    ("Ta2", 65, 108);
+    ("Zib54", 54, 80);
+    ("Geant", 22, 36);
+  ]
+
+let all =
+  { name = "Abilene"; nodes = 12; links = 15; kind = Embedded }
+  :: List.map
+       (fun (name, nodes, links) -> { name; nodes; links; kind = Synthetic })
+       synthetic_catalog
+
+let fig4_names =
+  [ "Cost266"; "Germany50"; "Giul39"; "Janos-US-CA"; "Myren"; "Pioro40";
+    "Renater2010"; "SwitchL3"; "Ta2"; "Zib54" ]
+
+let fig6_names = [ "Abilene"; "Germany50"; "Geant" ]
+
+let load name =
+  let lname = String.lowercase_ascii name in
+  if lname = "abilene" then abilene ()
+  else
+    match
+      List.find_opt
+        (fun (n, _, _) -> String.lowercase_ascii n = lname)
+        synthetic_catalog
+    with
+    | Some (n, nodes, links) -> Gen.synthetic ~name:n ~nodes ~links ()
+    | None -> raise Not_found
+
+let _ = Digraph.node_count (* silence unused-open warnings in some setups *)

@@ -1,0 +1,35 @@
+(** The evaluation's topology registry (§7 "Data Sources").
+
+    Abilene is embedded with its real node set and backbone link
+    structure (SNDLib native format, exercising {!Sndlib.of_native});
+    the remaining SNDLib/TopologyZoo topologies cannot be bundled
+    offline and are deterministic synthetic stand-ins matching the
+    published node and (undirected) link counts — see DESIGN.md for the
+    substitution rationale.  Real files can be substituted at runtime
+    through {!Sndlib.load_file} / {!Graphml.load_file}. *)
+
+type kind = Embedded | Synthetic
+
+type info = {
+  name : string;
+  nodes : int;
+  links : int;  (** undirected links; the digraph has twice as many edges *)
+  kind : kind;
+}
+
+val all : info list
+
+val fig4_names : string list
+(** The 10 largest capacitated non-tree topologies of Figure 4. *)
+
+val fig6_names : string list
+(** Abilene, Germany50, Géant (Figure 6). *)
+
+val load : string -> Netgraph.Digraph.t
+(** Case-insensitive lookup.  @raise Not_found for unknown names. *)
+
+val abilene : unit -> Netgraph.Digraph.t
+(** The embedded Abilene backbone (12 nodes, 15 links). *)
+
+val abilene_native : string
+(** The embedded SNDLib-native source text for Abilene. *)

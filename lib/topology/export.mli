@@ -1,0 +1,17 @@
+(** Topology writers: SNDLib native (round-trips through
+    {!Sndlib.of_native}) and Graphviz DOT for visual inspection. *)
+
+val to_sndlib_native :
+  ?demands:(string * string * float) list -> Netgraph.Digraph.t -> string
+(** Serializes to the SNDLib native format.  Edge pairs (u, v)/(v, u)
+    with equal capacity are emitted as one undirected SNDLib link; a
+    remaining one-way edge raises [Invalid_argument] (SNDLib links are
+    undirected). *)
+
+val to_dot :
+  ?utilizations:float array -> Netgraph.Digraph.t -> string
+(** Graphviz digraph; with [utilizations], edges above 100% are drawn
+    red and bold, above 80% orange. *)
+
+val write_file : string -> string -> unit
+(** [write_file path contents]. *)

@@ -1,0 +1,55 @@
+open Netgraph
+
+let capacity_classes =
+  (* SNDLib-like module sizes (Mbit/s) with heterogeneity: a 40G core,
+     10G aggregation, 2.5G edge mix. *)
+  [| (40_000., 0.25); (10_000., 0.5); (2_500., 0.25) |]
+
+let pick_capacity st =
+  let total = Array.fold_left (fun acc (_, w) -> acc +. w) 0. capacity_classes in
+  let r = Random.State.float st total in
+  let rec go i acc =
+    let c, w = capacity_classes.(i) in
+    if r < acc +. w || i = Array.length capacity_classes - 1 then c
+    else go (i + 1) (acc +. w)
+  in
+  go 0 0.
+
+let synthetic ?seed ~name ~nodes ~links () =
+  if nodes < 3 then invalid_arg "Gen.synthetic: nodes >= 3 required";
+  if links < nodes then invalid_arg "Gen.synthetic: links >= nodes required";
+  let seed = match seed with Some s -> s | None -> Hashtbl.hash name in
+  let st = Random.State.make [| seed; 0x70b0 |] in
+  let b = Digraph.Builder.create () in
+  let node =
+    Array.init nodes (fun i ->
+        Digraph.Builder.add_named_node b (Printf.sprintf "%s.%d" name i))
+  in
+  let present = Hashtbl.create (2 * links) in
+  let add u v =
+    let key = (min u v, max u v) in
+    if u <> v && not (Hashtbl.mem present key) then begin
+      Hashtbl.replace present key ();
+      Digraph.Builder.add_biedge b node.(u) node.(v) ~cap:(pick_capacity st);
+      true
+    end
+    else false
+  in
+  (* Ring backbone guarantees strong connectivity. *)
+  for i = 0 to nodes - 1 do
+    ignore (add i ((i + 1) mod nodes))
+  done;
+  (* Chords: biased towards short hops, as in real ISP graphs. *)
+  let remaining = ref (links - nodes) in
+  let attempts = ref 0 in
+  while !remaining > 0 && !attempts < 100 * links do
+    incr attempts;
+    let u = Random.State.int st nodes in
+    let span =
+      if Random.State.float st 1. < 0.6 then 2 + Random.State.int st (max 1 (nodes / 8))
+      else 2 + Random.State.int st (nodes - 2)
+    in
+    let v = (u + span) mod nodes in
+    if add u v then decr remaining
+  done;
+  Digraph.Builder.build b

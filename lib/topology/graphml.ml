@@ -1,0 +1,93 @@
+open Netgraph
+
+let default_capacity_mbps = 1000.
+
+let of_string src =
+  let root = Xmlparse.parse src in
+  if Xmlparse.tag root <> "graphml" then failwith "Graphml: not a graphml document";
+  (* Resolve key ids to attribute names, e.g. d33 -> label. *)
+  let keys = Hashtbl.create 16 in
+  List.iter
+    (fun k ->
+      match (Xmlparse.attr k "id", Xmlparse.attr k "attr.name") with
+      | Some id, Some name -> Hashtbl.replace keys id name
+      | _ -> ())
+    (Xmlparse.find_all root "key");
+  let data_value el name =
+    List.find_map
+      (fun d ->
+        match Xmlparse.attr d "key" with
+        | Some k when Hashtbl.find_opt keys k = Some name ->
+          Some (Xmlparse.text_content d)
+        | _ -> None)
+      (Xmlparse.find_all el "data")
+  in
+  let graph =
+    match Xmlparse.find_first root "graph" with
+    | Some g -> g
+    | None -> failwith "Graphml: missing graph element"
+  in
+  let b = Digraph.Builder.create () in
+  let by_id = Hashtbl.create 64 in
+  List.iter
+    (fun n ->
+      match Xmlparse.attr n "id" with
+      | None -> failwith "Graphml: node without id"
+      | Some id ->
+        let label =
+          match data_value n "label" with
+          | Some l when String.trim l <> "" -> l
+          | _ -> id
+        in
+        (* Labels may repeat in TopologyZoo; disambiguate with the id. *)
+        let before = Digraph.Builder.node_count b in
+        let node = Digraph.Builder.add_named_node b label in
+        let node =
+          if Digraph.Builder.node_count b = before then
+            (* the label was taken: mint a unique name *)
+            Digraph.Builder.add_named_node b (label ^ "#" ^ id)
+          else node
+        in
+        Hashtbl.replace by_id id node)
+    (Xmlparse.find_all graph "node");
+  let capacity el =
+    match data_value el "LinkSpeedRaw" with
+    | Some raw -> (
+      match float_of_string_opt raw with
+      | Some bps when bps > 0. -> bps /. 1e6
+      | _ -> default_capacity_mbps)
+    | None -> (
+      match (data_value el "LinkSpeed", data_value el "LinkSpeedUnits") with
+      | Some v, Some unit -> (
+        match float_of_string_opt v with
+        | Some x when x > 0. ->
+          let mult =
+            match String.uppercase_ascii unit with
+            | "K" -> 1e-3
+            | "M" -> 1.
+            | "G" -> 1e3
+            | "T" -> 1e6
+            | _ -> 1.
+          in
+          x *. mult
+        | _ -> default_capacity_mbps)
+      | _ -> default_capacity_mbps)
+  in
+  List.iter
+    (fun e ->
+      match (Xmlparse.attr e "source", Xmlparse.attr e "target") with
+      | Some s, Some t -> (
+        match (Hashtbl.find_opt by_id s, Hashtbl.find_opt by_id t) with
+        | Some sn, Some tn when sn <> tn ->
+          Digraph.Builder.add_biedge b sn tn ~cap:(capacity e)
+        | _ -> () (* dangling endpoints or self loops are dropped *))
+      | _ -> failwith "Graphml: edge without endpoints")
+    (Xmlparse.find_all graph "edge");
+  Digraph.Builder.build b
+
+let load_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let src = really_input_string ic len in
+  close_in ic;
+  of_string src

@@ -1,0 +1,258 @@
+open Netgraph
+
+type t = {
+  graph : Digraph.t;
+  demands : (string * string * float) list;
+}
+
+let default_capacity = 1000.
+
+(* ------------------------------------------------------------------ *)
+(* XML format                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let link_capacity_xml link =
+  let module_caps parent =
+    List.filter_map
+      (fun m ->
+        match Xmlparse.find_first m "capacity" with
+        | Some c -> float_of_string_opt (Xmlparse.text_content c)
+        | None -> None)
+      (Xmlparse.descendants parent "addModule")
+  in
+  let pre =
+    match Xmlparse.find_first link "preInstalledModule" with
+    | Some m -> (
+      match Xmlparse.find_first m "capacity" with
+      | Some c -> float_of_string_opt (Xmlparse.text_content c)
+      | None -> None)
+    | None -> None
+  in
+  match pre with
+  | Some c when c > 0. -> c
+  | _ -> (
+    match module_caps link with
+    | [] -> default_capacity
+    | caps -> List.fold_left max 0. caps)
+
+let of_xml src =
+  let root = Xmlparse.parse src in
+  let structure =
+    match Xmlparse.find_first root "networkStructure" with
+    | Some s -> s
+    | None -> failwith "Sndlib.of_xml: missing networkStructure"
+  in
+  let b = Digraph.Builder.create () in
+  (match Xmlparse.find_first structure "nodes" with
+  | None -> failwith "Sndlib.of_xml: missing nodes"
+  | Some nodes ->
+    List.iter
+      (fun n ->
+        match Xmlparse.attr n "id" with
+        | Some id -> ignore (Digraph.Builder.add_named_node b id)
+        | None -> failwith "Sndlib.of_xml: node without id")
+      (Xmlparse.find_all nodes "node"));
+  (match Xmlparse.find_first structure "links" with
+  | None -> failwith "Sndlib.of_xml: missing links"
+  | Some links ->
+    List.iter
+      (fun l ->
+        let text_of tagname =
+          match Xmlparse.find_first l tagname with
+          | Some n -> Xmlparse.text_content n
+          | None -> failwith ("Sndlib.of_xml: link missing " ^ tagname)
+        in
+        let s = Digraph.Builder.add_named_node b (text_of "source") in
+        let t = Digraph.Builder.add_named_node b (text_of "target") in
+        Digraph.Builder.add_biedge b s t ~cap:(link_capacity_xml l))
+      (Xmlparse.find_all links "link"));
+  let demands =
+    match Xmlparse.find_first root "demands" with
+    | None -> []
+    | Some ds ->
+      List.filter_map
+        (fun d ->
+          let get tagname =
+            Option.map Xmlparse.text_content (Xmlparse.find_first d tagname)
+          in
+          match (get "source", get "target", get "demandValue") with
+          | Some s, Some t, Some v -> (
+            match float_of_string_opt v with
+            | Some v -> Some (s, t, v)
+            | None -> None)
+          | _ -> None)
+        (Xmlparse.find_all ds "demand")
+  in
+  { graph = Digraph.Builder.build b; demands }
+
+(* ------------------------------------------------------------------ *)
+(* Native format                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* The native format is a sequence of sections
+     SECTION ( entry entry ... )
+   where entries may contain nested parentheses.  We tokenize into
+   atoms and parens, then interpret the NODES / LINKS / DEMANDS
+   sections. *)
+
+type token = Atom of string | LParen | RParen
+
+let tokenize src =
+  let tokens = ref [] in
+  let n = String.length src in
+  let i = ref 0 in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '#' then begin
+      (* comment to end of line *)
+      while !i < n && src.[!i] <> '\n' do
+        incr i
+      done
+    end
+    else if c = '(' then begin
+      tokens := LParen :: !tokens;
+      incr i
+    end
+    else if c = ')' then begin
+      tokens := RParen :: !tokens;
+      incr i
+    end
+    else if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else begin
+      let start = !i in
+      while
+        !i < n
+        && (match src.[!i] with
+           | ' ' | '\t' | '\n' | '\r' | '(' | ')' | '#' -> false
+           | _ -> true)
+      do
+        incr i
+      done;
+      tokens := Atom (String.sub src start (!i - start)) :: !tokens
+    end
+  done;
+  List.rev !tokens
+
+(* Group a token list into a forest of s-expressions. *)
+type sexp = A of string | L of sexp list
+
+let rec parse_sexprs tokens =
+  match tokens with
+  | [] -> ([], [])
+  | RParen :: rest -> ([], rest)
+  | LParen :: rest ->
+    let inner, rest = parse_sexprs rest in
+    let siblings, rest = parse_sexprs rest in
+    (L inner :: siblings, rest)
+  | Atom a :: rest ->
+    let siblings, rest = parse_sexprs rest in
+    (A a :: siblings, rest)
+
+let sections src =
+  let forest, _ = parse_sexprs (tokenize src) in
+  (* Pair section names with their following list. *)
+  let rec pair = function
+    | A name :: L body :: rest -> (String.uppercase_ascii name, body) :: pair rest
+    | _ :: rest -> pair rest
+    | [] -> []
+  in
+  pair forest
+
+let of_native src =
+  let secs = sections src in
+  let b = Digraph.Builder.create () in
+  (match List.assoc_opt "NODES" secs with
+  | None -> failwith "Sndlib.of_native: missing NODES"
+  | Some body ->
+    (* entries: name ( x y ) *)
+    let rec go = function
+      | A name :: L _ :: rest ->
+        ignore (Digraph.Builder.add_named_node b name);
+        go rest
+      | A name :: rest ->
+        ignore (Digraph.Builder.add_named_node b name);
+        go rest
+      | _ :: rest -> go rest
+      | [] -> ()
+    in
+    go body);
+  (match List.assoc_opt "LINKS" secs with
+  | None -> failwith "Sndlib.of_native: missing LINKS"
+  | Some body ->
+    (* entries: id ( src dst ) pre_cap pre_cost routing setup ( modules ) *)
+    let rec go = function
+      | A _id :: L [ A src; A dst ] :: rest ->
+        let s = Digraph.Builder.add_named_node b src in
+        let t = Digraph.Builder.add_named_node b dst in
+        (* Exactly four scalar fields (pre-capacity, pre-cost, routing
+           cost, setup cost) precede the module list. *)
+        let rec scalars k acc = function
+          | A x :: more when k > 0 -> scalars (k - 1) (x :: acc) more
+          | tail -> (List.rev acc, tail)
+        in
+        let fields, tail = scalars 4 [] rest in
+        let modules =
+          match tail with
+          | L mods :: _ ->
+            let rec caps = function
+              | A c :: _ :: more -> (
+                match float_of_string_opt c with
+                | Some v -> v :: caps more
+                | None -> caps more)
+              | _ -> []
+            in
+            caps mods
+          | _ -> []
+        in
+        let pre_cap =
+          match fields with
+          | c :: _ -> Option.value ~default:0. (float_of_string_opt c)
+          | [] -> 0.
+        in
+        let cap =
+          if pre_cap > 0. then pre_cap
+          else
+            match modules with
+            | [] -> default_capacity
+            | caps -> List.fold_left max 0. caps
+        in
+        Digraph.Builder.add_biedge b s t ~cap;
+        let rest = match tail with L _ :: r -> r | r -> r in
+        go rest
+      | _ :: rest -> go rest
+      | [] -> ()
+    in
+    go body);
+  let demands =
+    match List.assoc_opt "DEMANDS" secs with
+    | None -> []
+    | Some body ->
+      (* entries: id ( src dst ) routing_unit value max_path_length *)
+      let rec go acc = function
+        | A _id :: L [ A src; A dst ] :: A _unit :: A value :: rest ->
+          let acc =
+            match float_of_string_opt value with
+            | Some v -> (src, dst, v) :: acc
+            | None -> acc
+          in
+          go acc rest
+        | _ :: rest -> go acc rest
+        | [] -> List.rev acc
+      in
+      go [] body
+  in
+  { graph = Digraph.Builder.build b; demands }
+
+let load_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let src = really_input_string ic len in
+  close_in ic;
+  let rec first_nonblank i =
+    if i >= String.length src then ' '
+    else
+      match src.[i] with
+      | ' ' | '\t' | '\n' | '\r' -> first_nonblank (i + 1)
+      | c -> c
+  in
+  if first_nonblank 0 = '<' then of_xml src else of_native src

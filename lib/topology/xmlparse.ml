@@ -1,0 +1,246 @@
+type node =
+  | El of string * (string * string) list * node list
+  | Text of string
+
+exception Parse_error of string
+
+type state = { src : string; mutable pos : int }
+
+let fail st msg =
+  raise (Parse_error (Printf.sprintf "%s at offset %d" msg st.pos))
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let advance st = st.pos <- st.pos + 1
+
+let looking_at st s =
+  let n = String.length s in
+  st.pos + n <= String.length st.src && String.sub st.src st.pos n = s
+
+let skip st s =
+  if looking_at st s then st.pos <- st.pos + String.length s
+  else fail st (Printf.sprintf "expected %S" s)
+
+let is_space = function ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+
+let skip_spaces st =
+  while (match peek st with Some c when is_space c -> true | _ -> false) do
+    advance st
+  done
+
+let is_name_char = function
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '-' | '.' | ':' -> true
+  | _ -> false
+
+let read_name st =
+  let start = st.pos in
+  while (match peek st with Some c when is_name_char c -> true | _ -> false) do
+    advance st
+  done;
+  if st.pos = start then fail st "expected a name";
+  String.sub st.src start (st.pos - start)
+
+let decode_entities s =
+  if not (String.contains s '&') then s
+  else begin
+    let buf = Buffer.create (String.length s) in
+    let i = ref 0 in
+    let n = String.length s in
+    while !i < n do
+      if s.[!i] = '&' then begin
+        match String.index_from_opt s !i ';' with
+        | Some j when j - !i <= 8 ->
+          let ent = String.sub s (!i + 1) (j - !i - 1) in
+          let repl =
+            match ent with
+            | "amp" -> "&"
+            | "lt" -> "<"
+            | "gt" -> ">"
+            | "quot" -> "\""
+            | "apos" -> "'"
+            | _ ->
+              if String.length ent > 1 && ent.[0] = '#' then begin
+                let code =
+                  if ent.[1] = 'x' || ent.[1] = 'X' then
+                    int_of_string ("0x" ^ String.sub ent 2 (String.length ent - 2))
+                  else int_of_string (String.sub ent 1 (String.length ent - 1))
+                in
+                if code < 128 then String.make 1 (Char.chr code) else "?"
+              end
+              else "&" ^ ent ^ ";"
+          in
+          Buffer.add_string buf repl;
+          i := j + 1
+        | _ ->
+          Buffer.add_char buf '&';
+          incr i
+      end
+      else begin
+        Buffer.add_char buf s.[!i];
+        incr i
+      end
+    done;
+    Buffer.contents buf
+  end
+
+let skip_misc st =
+  (* Prolog, comments, doctype, processing instructions, whitespace. *)
+  let continue = ref true in
+  while !continue do
+    skip_spaces st;
+    if looking_at st "<!--" then begin
+      match
+        let rec find i =
+          if i + 3 > String.length st.src then None
+          else if String.sub st.src i 3 = "-->" then Some i
+          else find (i + 1)
+        in
+        find (st.pos + 4)
+      with
+      | Some i -> st.pos <- i + 3
+      | None -> fail st "unterminated comment"
+    end
+    else if looking_at st "<?" then begin
+      match String.index_from_opt st.src st.pos '>' with
+      | Some i -> st.pos <- i + 1
+      | None -> fail st "unterminated processing instruction"
+    end
+    else if looking_at st "<!DOCTYPE" || looking_at st "<!doctype" then begin
+      (* Skip to the matching '>' (no internal subset support needed). *)
+      let depth = ref 0 in
+      let stop = ref false in
+      while not !stop do
+        (match peek st with
+        | None -> fail st "unterminated DOCTYPE"
+        | Some '[' -> incr depth
+        | Some ']' -> decr depth
+        | Some '>' when !depth = 0 -> stop := true
+        | Some _ -> ());
+        if not !stop then advance st else advance st
+      done
+    end
+    else continue := false
+  done
+
+let read_attr_value st =
+  let quote =
+    match peek st with
+    | Some (('"' | '\'') as q) -> q
+    | _ -> fail st "expected a quoted attribute value"
+  in
+  advance st;
+  let start = st.pos in
+  while (match peek st with Some c when c <> quote -> true | _ -> false) do
+    advance st
+  done;
+  if peek st = None then fail st "unterminated attribute value";
+  let v = String.sub st.src start (st.pos - start) in
+  advance st;
+  decode_entities v
+
+let rec parse_element st =
+  skip st "<";
+  let name = read_name st in
+  let attrs = ref [] in
+  let rec attrs_loop () =
+    skip_spaces st;
+    match peek st with
+    | Some '/' | Some '>' | None -> ()
+    | Some _ ->
+      let an = read_name st in
+      skip_spaces st;
+      skip st "=";
+      skip_spaces st;
+      let av = read_attr_value st in
+      attrs := (an, av) :: !attrs;
+      attrs_loop ()
+  in
+  attrs_loop ();
+  let attrs = List.rev !attrs in
+  if looking_at st "/>" then begin
+    skip st "/>";
+    El (name, attrs, [])
+  end
+  else begin
+    skip st ">";
+    let children = parse_children st name in
+    El (name, attrs, children)
+  end
+
+and parse_children st parent =
+  let out = ref [] in
+  let closed = ref false in
+  while not !closed do
+    if looking_at st "</" then begin
+      skip st "</";
+      let name = read_name st in
+      skip_spaces st;
+      skip st ">";
+      if name <> parent then
+        fail st (Printf.sprintf "mismatched close tag %s for %s" name parent);
+      closed := true
+    end
+    else if looking_at st "<!--" then skip_misc st
+    else if looking_at st "<![CDATA[" then begin
+      let start = st.pos + 9 in
+      let rec find i =
+        if i + 3 > String.length st.src then fail st "unterminated CDATA"
+        else if String.sub st.src i 3 = "]]>" then i
+        else find (i + 1)
+      in
+      let stop = find start in
+      out := Text (String.sub st.src start (stop - start)) :: !out;
+      st.pos <- stop + 3
+    end
+    else if looking_at st "<?" then skip_misc st
+    else if looking_at st "<" then out := parse_element st :: !out
+    else begin
+      match peek st with
+      | None -> fail st (Printf.sprintf "unterminated element %s" parent)
+      | Some _ ->
+        let start = st.pos in
+        while (match peek st with Some c when c <> '<' -> true | None -> false | _ -> false) do
+          advance st
+        done;
+        let text = String.sub st.src start (st.pos - start) in
+        if String.trim text <> "" then out := Text (decode_entities text) :: !out
+    end
+  done;
+  List.rev !out
+
+let parse src =
+  let st = { src; pos = 0 } in
+  skip_misc st;
+  if not (looking_at st "<") then fail st "expected a root element";
+  let root = parse_element st in
+  skip_misc st;
+  root
+
+let tag = function El (t, _, _) -> t | Text _ -> ""
+
+let attr n key =
+  match n with
+  | Text _ -> None
+  | El (_, attrs, _) -> List.assoc_opt key attrs
+
+let children = function El (_, _, c) -> c | Text _ -> []
+
+let find_all n t = List.filter (fun c -> tag c = t) (children n)
+
+let find_first n t = List.find_opt (fun c -> tag c = t) (children n)
+
+let rec descendants n t =
+  List.concat_map
+    (fun c ->
+      let below = match c with El _ -> descendants c t | Text _ -> [] in
+      if tag c = t then c :: below else below)
+    (children n)
+
+let text_content n =
+  let buf = Buffer.create 32 in
+  let rec go = function
+    | Text s -> Buffer.add_string buf s
+    | El (_, _, cs) -> List.iter go cs
+  in
+  go n;
+  String.trim (Buffer.contents buf)

@@ -1,0 +1,35 @@
+(** A minimal, dependency-free XML parser — enough for SNDLib network
+    files and TopologyZoo GraphML (elements, attributes, text, comments,
+    prolog, CDATA and the five predefined entities). *)
+
+type node =
+  | El of string * (string * string) list * node list
+      (** tag, attributes, children *)
+  | Text of string
+
+exception Parse_error of string
+(** Carries a human-readable message with the offending position. *)
+
+val parse : string -> node
+(** Parses a document and returns its root element.
+    @raise Parse_error on malformed input. *)
+
+(** {1 Tree helpers} *)
+
+val tag : node -> string
+(** The element's tag; [""] for text nodes. *)
+
+val attr : node -> string -> string option
+
+val children : node -> node list
+
+val find_all : node -> string -> node list
+(** Direct children with the given tag. *)
+
+val find_first : node -> string -> node option
+
+val descendants : node -> string -> node list
+(** All descendants (any depth) with the given tag, document order. *)
+
+val text_content : node -> string
+(** Concatenated text of the node and its descendants, trimmed. *)

@@ -1,0 +1,188 @@
+(* Tests for the multi-commodity flow substrate (OPT). *)
+
+open Netgraph
+
+let checkf6 = Alcotest.(check (float 1e-6))
+
+let parallel_links () =
+  Digraph.of_edges ~n:2 [ (0, 1, 1.); (0, 1, 3.) ]
+
+let test_commodity_validation () =
+  Alcotest.check_raises "self" (Invalid_argument "Mcf.commodity: src = dst")
+    (fun () -> ignore (Mcf.commodity 0 0 1.));
+  Alcotest.check_raises "size" (Invalid_argument "Mcf.commodity: demand must be positive")
+    (fun () -> ignore (Mcf.commodity 0 1 0.))
+
+let test_aggregate () =
+  let a = Mcf.aggregate [| Mcf.commodity 0 1 1.; Mcf.commodity 0 1 2. |] in
+  Alcotest.(check int) "merged" 1 (Array.length a);
+  checkf6 "sum" 3. a.(0).Mcf.demand
+
+let test_lp_parallel () =
+  (* Demand 2 over caps {1,3}: optimum spreads proportionally, U = 1/2. *)
+  let g = parallel_links () in
+  let u = Mcf.opt_mlu_lp g [| Mcf.commodity 0 1 2. |] in
+  checkf6 "U" 0.5 u
+
+let test_lp_two_commodities () =
+  (* Shared bottleneck: 0->1 cap 2, 1->2 cap 2, demands 0->2 of 1 and
+     1->2 of 1 -> U on (1,2) is 1. *)
+  let g = Digraph.of_edges ~n:3 [ (0, 1, 2.); (1, 2, 2.) ] in
+  let u = Mcf.opt_mlu_lp g [| Mcf.commodity 0 2 1.; Mcf.commodity 1 2 1. |] in
+  checkf6 "U" 1. u
+
+let test_lp_uses_both_paths () =
+  let g = Digraph.of_edges ~n:4 [ (0, 1, 1.); (1, 3, 1.); (0, 2, 1.); (2, 3, 1.) ] in
+  let u = Mcf.opt_mlu_lp g [| Mcf.commodity 0 3 2. |] in
+  checkf6 "split perfectly" 1. u
+
+let test_single_pair_uses_maxflow () =
+  let g = parallel_links () in
+  let u = Mcf.opt_mlu g [| Mcf.commodity 0 1 2. |] in
+  checkf6 "D/maxflow" 0.5 u
+
+let test_unroutable_reported () =
+  let g = Digraph.of_edges ~n:3 [ (0, 1, 1.) ] in
+  (match Mcf.opt_mlu g [| Mcf.commodity 0 2 1. |] with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "expected failure")
+
+let test_gk_close_to_lp () =
+  (* GK must land within ~15% of the LP optimum on a multi-commodity
+     instance with distinct sources. *)
+  let g =
+    Digraph.of_edges ~n:5
+      [ (0, 1, 4.); (1, 2, 3.); (0, 3, 2.); (3, 2, 2.); (1, 3, 1.); (3, 4, 3.);
+        (2, 4, 2.) ]
+  in
+  let comms = [| Mcf.commodity 0 2 2.; Mcf.commodity 1 4 1.; Mcf.commodity 0 4 1. |] in
+  let exact = Mcf.opt_mlu_lp g comms in
+  let lambda = Mcf.max_concurrent_flow ~epsilon:0.05 g comms in
+  let approx = 1. /. lambda in
+  Alcotest.(check bool) "lambda lower-bounds 1/OPT" true (approx >= exact -. 1e-6);
+  Alcotest.(check bool)
+    (Printf.sprintf "within 15%% (exact %g approx %g)" exact approx)
+    true
+    (approx <= exact *. 1.15)
+
+let test_gk_single_commodity () =
+  let g = parallel_links () in
+  let lambda = Mcf.max_concurrent_flow ~epsilon:0.05 g [| Mcf.commodity 0 1 2. |] in
+  Alcotest.(check bool)
+    (Printf.sprintf "lambda ~ 2 (got %g)" lambda)
+    true
+    (lambda >= 1.7 && lambda <= 2.0 +. 1e-9)
+
+let test_dispatch_consistency () =
+  (* opt_mlu via LP and via GK agree on a medium instance. *)
+  let g =
+    Digraph.of_edges ~n:6
+      [ (0, 1, 2.); (1, 2, 2.); (2, 5, 2.); (0, 3, 2.); (3, 4, 2.); (4, 5, 2.);
+        (1, 4, 1.); (3, 2, 1.) ]
+  in
+  let comms = [| Mcf.commodity 0 5 2.; Mcf.commodity 1 5 1. |] in
+  let lp = Mcf.opt_mlu_lp g comms in
+  let gk = 1. /. Mcf.max_concurrent_flow ~epsilon:0.05 g comms in
+  Alcotest.(check bool)
+    (Printf.sprintf "agree within 15%% (lp %g gk %g)" lp gk)
+    true
+    (gk >= lp -. 1e-9 && gk <= lp *. 1.15)
+
+let test_opt_on_instance2 () =
+  (* OPT(instance 2) = 1: the harmonic demands exactly fill the
+     harmonic parallel paths. *)
+  let inst = Instances.Gap_instances.instance2 ~m:7 in
+  let net = inst.Instances.Gap_instances.network in
+  let comms =
+    Array.map
+      (fun (d : Te.Network.demand) ->
+        Mcf.commodity d.Te.Network.src d.Te.Network.dst d.Te.Network.size)
+      net.Te.Network.demands
+  in
+  checkf6 "OPT = 1" 1. (Mcf.opt_mlu net.Te.Network.graph comms)
+
+let test_gk_multi_source () =
+  (* Commodities from several sources exercise the per-source grouping. *)
+  let g =
+    Digraph.of_edges ~n:4
+      [ (0, 1, 2.); (1, 3, 2.); (0, 2, 2.); (2, 3, 2.); (1, 2, 1.); (2, 1, 1.) ]
+  in
+  let comms =
+    [| Mcf.commodity 0 3 2.; Mcf.commodity 1 3 1.; Mcf.commodity 2 3 1. |]
+  in
+  let exact = Mcf.opt_mlu_lp g comms in
+  let gk = 1. /. Mcf.max_concurrent_flow ~epsilon:0.05 g comms in
+  Alcotest.(check bool)
+    (Printf.sprintf "within 15%% (lp %g gk %g)" exact gk)
+    true
+    (gk >= exact -. 1e-9 && gk <= exact *. 1.15)
+
+let test_transportation_lp () =
+  (* A classic 2x2 transportation problem solved through the min-MLU
+     LP on a bipartite graph with a super source and sink of generous
+     capacity; the bottleneck is the 1-capacity middle links. *)
+  let g =
+    Digraph.of_edges ~n:6
+      [ (0, 1, 100.); (0, 2, 100.); (1, 3, 1.); (1, 4, 1.); (2, 3, 1.);
+        (2, 4, 1.); (3, 5, 100.); (4, 5, 100.) ]
+  in
+  let u = Mcf.opt_mlu_lp g [| Mcf.commodity 0 5 4. |] in
+  checkf6 "four units over four unit links" 1. u
+
+(* Property: LP OPT is never larger than the MLU of any concrete routing
+   (here: ECMP under unit weights computed through the Te library). *)
+let prop_opt_lower_bounds_ecmp =
+  QCheck.Test.make ~name:"OPT <= ECMP MLU" ~count:60
+    (QCheck.make
+       QCheck.Gen.(
+         int_range 4 8 >>= fun n ->
+         int_range 2 6 >>= fun k ->
+         return (n, k))
+       ~print:(fun (n, k) -> Printf.sprintf "n=%d k=%d" n k))
+    (fun (n, k) ->
+      let edges = ref [] in
+      for i = 0 to n - 2 do
+        edges := (i, i + 1, 2.) :: (i + 1, i, 2.) :: !edges
+      done;
+      edges := (0, n - 1, 1.) :: !edges;
+      let g = Digraph.of_edges ~n !edges in
+      let st = Random.State.make [| n; k |] in
+      let comms =
+        Array.init k (fun _ ->
+            let s = Random.State.int st n in
+            let t = (s + 1 + Random.State.int st (n - 1)) mod n in
+            Mcf.commodity s t (0.5 +. Random.State.float st 1.))
+      in
+      let opt = Mcf.opt_mlu_lp g comms in
+      let demands =
+        Array.map
+          (fun c -> { Te.Network.src = c.Mcf.src; dst = c.Mcf.dst; size = c.Mcf.demand })
+          comms
+      in
+      let ecmp = Te.Ecmp.mlu_of g (Te.Weights.unit g) demands in
+      opt <= ecmp +. 1e-6)
+
+let () =
+  Alcotest.run "mcf"
+    [
+      ( "lp",
+        [
+          Alcotest.test_case "commodity validation" `Quick test_commodity_validation;
+          Alcotest.test_case "aggregate" `Quick test_aggregate;
+          Alcotest.test_case "parallel links" `Quick test_lp_parallel;
+          Alcotest.test_case "two commodities" `Quick test_lp_two_commodities;
+          Alcotest.test_case "uses both paths" `Quick test_lp_uses_both_paths;
+          Alcotest.test_case "single pair via maxflow" `Quick test_single_pair_uses_maxflow;
+          Alcotest.test_case "unroutable" `Quick test_unroutable_reported;
+        ] );
+      ( "garg-koenemann",
+        [
+          Alcotest.test_case "close to LP" `Quick test_gk_close_to_lp;
+          Alcotest.test_case "single commodity" `Quick test_gk_single_commodity;
+          Alcotest.test_case "dispatch consistency" `Quick test_dispatch_consistency;
+          Alcotest.test_case "OPT on instance 2" `Quick test_opt_on_instance2;
+          Alcotest.test_case "multi-source GK" `Quick test_gk_multi_source;
+          Alcotest.test_case "transportation LP" `Quick test_transportation_lp;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest [ prop_opt_lower_bounds_ecmp ]);
+    ]

@@ -1,0 +1,1019 @@
+(* Tests for the core TE library: ECMP evaluation, weight settings,
+   segments, LWO-APX, local search, GreedyWPO, JOINT-Heur, exact
+   solvers and the WPO MILP. *)
+
+open Netgraph
+open Te
+
+let checkf = Alcotest.(check (float 1e-9))
+let checkf6 = Alcotest.(check (float 1e-6))
+
+let diamond () =
+  (* 0 -> {1,2} -> 3; symmetric square. *)
+  Digraph.of_edges ~n:4 [ (0, 1, 10.); (1, 3, 10.); (0, 2, 10.); (2, 3, 10.) ]
+
+(* ------------------------------------------------------------------ *)
+(* Network                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_demand_validation () =
+  Alcotest.check_raises "self demand" (Invalid_argument "Network.demand: src = dst")
+    (fun () -> ignore (Network.demand 1 1 1.));
+  Alcotest.check_raises "zero size"
+    (Invalid_argument "Network.demand: size must be positive") (fun () ->
+      ignore (Network.demand 0 1 0.))
+
+let test_aggregate () =
+  let d = [| Network.demand 0 1 1.; Network.demand 0 1 2.; Network.demand 1 2 1. |] in
+  let a = Network.aggregate d in
+  Alcotest.(check int) "two pairs" 2 (Array.length a);
+  checkf "merged size" 3. a.(0).Network.size
+
+let test_split () =
+  let d = [| Network.demand 0 1 4. |] in
+  let s = Network.split_demands ~parts:4 d in
+  Alcotest.(check int) "four parts" 4 (Array.length s);
+  checkf "each size 1" 1. s.(2).Network.size
+
+let test_total_and_targets () =
+  let g = diamond () in
+  let net =
+    Network.make g [| Network.demand 0 3 2.; Network.demand 1 3 1.; Network.demand 0 2 1. |]
+  in
+  checkf "total" 4. (Network.total_demand net);
+  Alcotest.(check (list int)) "targets" [ 2; 3 ] (Network.targets net);
+  Alcotest.(check (list int)) "sources for 3" [ 0; 1 ] (Network.sources_for net 3)
+
+(* ------------------------------------------------------------------ *)
+(* Weights                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_unit_weights () =
+  let g = diamond () in
+  let w = Weights.unit g in
+  checkf "all one" 1. w.(3)
+
+let test_inverse_capacity () =
+  let g = Digraph.of_edges ~n:3 [ (0, 1, 10.); (1, 2, 2.) ] in
+  let w = Weights.inverse_capacity g in
+  checkf "big cap small weight" 1. w.(0);
+  checkf "small cap big weight" 5. w.(1)
+
+let test_round_to_range () =
+  let w = Weights.round_to_range ~wmax:10 [| 1.; 2.; 1000. |] in
+  Alcotest.(check int) "min clamps to 1" 1 w.(0);
+  Alcotest.(check int) "max is wmax" 10 w.(2)
+
+(* ------------------------------------------------------------------ *)
+(* ECMP                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_even_split () =
+  let g = diamond () in
+  let ctx = Ecmp.make g (Weights.unit g) in
+  let loads = Ecmp.loads ctx [| Network.demand 0 3 4. |] in
+  checkf "upper path" 2. loads.(0);
+  checkf "lower path" 2. loads.(2)
+
+let test_single_path () =
+  let g = diamond () in
+  let ctx = Ecmp.make g [| 1.; 1.; 5.; 5. |] in
+  let loads = Ecmp.loads ctx [| Network.demand 0 3 4. |] in
+  checkf "upper path carries all" 4. loads.(0);
+  checkf "lower path empty" 0. loads.(2)
+
+let test_recursive_split () =
+  (* 0 -> {1,2}; 1 -> {3}; 2 -> {3}; plus 1 -> 4 -> 3 making two equal
+     paths from 1: flow 1/2 at 1 splits into 1/4 and 1/4. *)
+  let g =
+    Digraph.of_edges ~n:5
+      [ (0, 1, 1.); (0, 2, 1.); (1, 3, 1.); (2, 3, 1.); (1, 4, 1.); (4, 3, 1.) ]
+  in
+  let w = [| 1.; 1.; 2.; 2.; 1.; 1. |] in
+  let ctx = Ecmp.make g w in
+  let u = Ecmp.unit_load ctx ~src:0 ~dst:3 in
+  let load e =
+    let rec find i =
+      if i >= Array.length u.Ecmp.edges then 0.
+      else if u.Ecmp.edges.(i) = e then u.Ecmp.flows.(i)
+      else find (i + 1)
+    in
+    find 0
+  in
+  checkf "0->1 half" 0.5 (load 0);
+  checkf "1->3 quarter" 0.25 (load 2);
+  checkf "1->4 quarter" 0.25 (load 4)
+
+let test_unit_load_conservation () =
+  let g = diamond () in
+  let ctx = Ecmp.make g (Weights.unit g) in
+  let u = Ecmp.unit_load ctx ~src:0 ~dst:3 in
+  let into_target =
+    Array.to_list u.Ecmp.edges
+    |> List.mapi (fun i e -> (e, u.Ecmp.flows.(i)))
+    |> List.filter (fun (e, _) -> Digraph.dst g e = 3)
+    |> List.fold_left (fun acc (_, f) -> acc +. f) 0.
+  in
+  checkf "unit arrives" 1. into_target
+
+let test_unroutable () =
+  let g = Digraph.of_edges ~n:3 [ (0, 1, 1.) ] in
+  let ctx = Ecmp.make g (Weights.unit g) in
+  (match Ecmp.unit_load ctx ~src:0 ~dst:2 with
+  | exception Ecmp.Unroutable (0, 2) -> ()
+  | _ -> Alcotest.fail "expected Unroutable")
+
+let test_waypoint_routing () =
+  let g = diamond () in
+  let ctx = Ecmp.make g (Weights.unit g) in
+  (* Waypoint 1 forces the upper path even though ECMP would split. *)
+  let loads =
+    Ecmp.loads ~waypoints:[| [ 1 ] |] ctx [| Network.demand 0 3 4. |]
+  in
+  checkf "upper full" 4. loads.(0);
+  checkf "lower empty" 0. loads.(2)
+
+let test_degenerate_waypoints () =
+  let g = diamond () in
+  let ctx = Ecmp.make g (Weights.unit g) in
+  let direct = Ecmp.loads ctx [| Network.demand 0 3 4. |] in
+  let wps = [| [ 0; 0; 3 ] |] in
+  let same = Ecmp.loads ~waypoints:wps ctx [| Network.demand 0 3 4. |] in
+  Array.iteri (fun e l -> checkf (Printf.sprintf "edge %d" e) l same.(e)) direct
+
+let test_mlu () =
+  let g = Digraph.of_edges ~n:2 [ (0, 1, 4.) ] in
+  checkf "mlu" 0.5 (Ecmp.mlu g [| 2. |]);
+  checkf "utilization" 0.5 (Ecmp.utilizations g [| 2. |]).(0)
+
+let test_max_es_flow () =
+  let g = diamond () in
+  let v = Ecmp.max_es_flow_value g (Weights.unit g) ~src:0 ~dst:3 in
+  checkf "both paths, 10 each" 20. v
+
+let test_random_weights () =
+  let g = diamond () in
+  let w = Weights.random ~seed:4 ~wmax:7 g in
+  Array.iter
+    (fun x -> Alcotest.(check bool) "in range" true (x >= 1. && x <= 7.))
+    w;
+  let w2 = Weights.random ~seed:4 ~wmax:7 g in
+  Alcotest.(check bool) "deterministic" true (w = w2)
+
+let test_is_routable () =
+  let g = Digraph.of_edges ~n:3 [ (0, 1, 1.) ] in
+  Alcotest.(check bool) "routable" true
+    (Network.is_routable (Network.make g [| Network.demand 0 1 1. |]));
+  Alcotest.(check bool) "unroutable" false
+    (Network.is_routable (Network.make g [| Network.demand 0 2 1. |]))
+
+let test_dag_accessor () =
+  let g = diamond () in
+  let ctx = Ecmp.make g (Weights.unit g) in
+  let d = Ecmp.dag ctx ~target:3 in
+  checkf "dist from source" 2. d.Ecmp.dist.(0);
+  Alcotest.(check int) "two SP out-edges at source" 2
+    (Array.length d.Ecmp.out_sp.(0));
+  Alcotest.(check int) "target is last in decreasing-distance order" 3
+    d.Ecmp.order.(Array.length d.Ecmp.order - 1)
+
+(* ------------------------------------------------------------------ *)
+(* Segments                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_segment_endpoints () =
+  let d = Network.demand 0 5 1. in
+  Alcotest.(check (list (pair int int)))
+    "two waypoints" [ (0, 2); (2, 4); (4, 5) ]
+    (Segments.segment_endpoints d [ 2; 4 ]);
+  Alcotest.(check (list (pair int int)))
+    "degenerate skipped" [ (0, 5) ]
+    (Segments.segment_endpoints d [ 0; 5 ])
+
+let test_expand () =
+  let demands = [| Network.demand 0 5 2.; Network.demand 1 5 1. |] in
+  let setting = [| [ 3 ]; [] |] in
+  let ex = Segments.expand demands setting in
+  Alcotest.(check int) "three segments" 3 (Array.length ex);
+  checkf "segment size kept" 2. ex.(0).Network.size;
+  Alcotest.(check int) "waypoint count" 1 (Segments.count_waypoints setting);
+  Alcotest.(check int) "max waypoints" 1 (Segments.max_waypoints setting)
+
+(* ------------------------------------------------------------------ *)
+(* LWO-APX (Algorithm 1)                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_fig3a_effective_capacities () =
+  let g, s, t = Instances.Gap_instances.fig3a () in
+  let usable = Array.init (Digraph.edge_count g) (Digraph.cap g) in
+  let ec = Lwo_apx.effective_capacities g ~usable ~source:s ~target:t in
+  let v1 = Digraph.node_of_name g "v1"
+  and v2 = Digraph.node_of_name g "v2"
+  and v3 = Digraph.node_of_name g "v3" in
+  checkf "ec v1" 0.5 ec.Lwo_apx.node.(v1);
+  checkf "ec v2" 0.5 ec.Lwo_apx.node.(v2);
+  checkf "ec v3" 0.75 ec.Lwo_apx.node.(v3);
+  checkf "ec s = 3/2" 1.5 ec.Lwo_apx.node.(s)
+
+let test_fig3b_effective_capacities () =
+  let g, s, t = Instances.Gap_instances.fig3b () in
+  let usable = Array.init (Digraph.edge_count g) (Digraph.cap g) in
+  let ec = Lwo_apx.effective_capacities g ~usable ~source:s ~target:t in
+  let name = Digraph.node_of_name g in
+  checkf "ec v3" 0.5 ec.Lwo_apx.node.(name "v3");
+  checkf "ec v4" 1. ec.Lwo_apx.node.(name "v4");
+  checkf6 "ec v1 = 1/3" (1. /. 3.) ec.Lwo_apx.node.(name "v1");
+  checkf6 "ec v2 = 2/3" (2. /. 3.) ec.Lwo_apx.node.(name "v2");
+  checkf6 "ec s = 2/3" (2. /. 3.) ec.Lwo_apx.node.(s)
+
+let test_lwo_apx_realizes_es_flow () =
+  (* The weight setting must realize an ECMP flow of exactly the
+     computed ec(s): MLU of a demand of that size is 1. *)
+  let g, s, t = Instances.Gap_instances.fig3b () in
+  let r = Lwo_apx.solve g ~source:s ~target:t in
+  checkf6 "es flow value" (2. /. 3.) r.Lwo_apx.es_flow_value;
+  let mlu =
+    Ecmp.mlu_of g r.Lwo_apx.weights
+      [| Network.demand s t r.Lwo_apx.es_flow_value |]
+  in
+  checkf6 "weight setting achieves ec(s)" 1. mlu
+
+let test_lwo_apx_instance2 () =
+  (* Lemma 3.10: the best ES-flow on instance 2 has size 1, and
+     LWO-APX finds a setting realizing it. *)
+  let inst = Instances.Gap_instances.instance2 ~m:6 in
+  let g = inst.Instances.Gap_instances.network.Network.graph in
+  let r =
+    Lwo_apx.solve g ~source:inst.Instances.Gap_instances.source
+      ~target:inst.Instances.Gap_instances.target
+  in
+  checkf6 "ES-flow = 1" 1. r.Lwo_apx.es_flow_value;
+  Alcotest.(check bool)
+    "approximation ratio = H_m" true
+    (abs_float (Lwo_apx.approximation_ratio r -. Instances.Gap_instances.harmonic 6)
+     < 1e-6)
+
+let test_weights_for_dag_property () =
+  (* Keep only the upper path 0 -> 1 -> 3 of the diamond: the induced
+     ECMP flow from 0 must use exactly those edges (Lemma 4.1). *)
+  let g = diamond () in
+  let keep e = e = 0 || e = 1 in
+  let w = Lwo_apx.weights_for_dag g ~keep ~target:3 in
+  let ctx = Ecmp.make g w in
+  let u = Ecmp.unit_load ctx ~src:0 ~dst:3 in
+  Alcotest.(check (array int)) "uses kept edges" [| 0; 1 |] u.Ecmp.edges;
+  Array.iter (fun f -> checkf "full unit" 1. f) u.Ecmp.flows
+
+let test_uniform_optimal_weights () =
+  (* Theorem 4.2: uniform capacities + single pair -> LWO = OPT. *)
+  let g =
+    Digraph.of_edges ~n:6
+      [ (0, 1, 5.); (1, 3, 5.); (0, 2, 5.); (2, 3, 5.); (1, 2, 5.); (3, 4, 5.);
+        (3, 5, 5.); (4, 5, 5.); (0, 4, 5.) ]
+  in
+  let demands = [| Network.demand 0 5 9. |] in
+  let w = Lwo_apx.uniform_optimal_weights g ~source:0 ~target:5 in
+  let mlu = Ecmp.mlu_of g w demands in
+  let opt = Mcf.opt_mlu g [| { Mcf.src = 0; dst = 5; demand = 9. } |] in
+  checkf6 "LWO = OPT" opt mlu
+
+let test_widest_path_weights () =
+  let g = diamond () in
+  let w = Lwo_apx.widest_path_weights g ~source:0 ~target:3 in
+  let mlu = Ecmp.mlu_of g w [| Network.demand 0 3 5. |] in
+  (* Single path of capacity 10 carrying 5. *)
+  checkf6 "single path mlu" 0.5 mlu
+
+(* ------------------------------------------------------------------ *)
+(* Local search (HeurOSPF)                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_phi_monotone () =
+  let g = Digraph.of_edges ~n:2 [ (0, 1, 1.) ] in
+  let low = Local_search.phi_cost g [| 0.2 |] in
+  let mid = Local_search.phi_cost g [| 0.8 |] in
+  let high = Local_search.phi_cost g [| 1.2 |] in
+  Alcotest.(check bool) "increasing" true (low < mid && mid < high)
+
+let test_phi_slope_values () =
+  let g = Digraph.of_edges ~n:2 [ (0, 1, 1.) ] in
+  checkf6 "linear below 1/3" 0.25 (Local_search.phi_cost g [| 0.25 |]);
+  (* phi(2/3) = 1/3 + 3*(1/3) = 4/3 *)
+  checkf6 "at 2/3" (4. /. 3.) (Local_search.phi_cost g [| 2. /. 3. |])
+
+let test_local_search_improves () =
+  let inst = Instances.Gap_instances.instance1 ~m:5 in
+  let net = inst.Instances.Gap_instances.network in
+  let g = net.Network.graph in
+  let params = { Local_search.default_params with max_evals = 400; seed = 7 } in
+  let r = Local_search.optimize ~params g net.Network.demands in
+  let init_mlu, _ =
+    Local_search.evaluate g net.Network.demands
+      (Weights.round_to_range ~wmax:params.Local_search.wmax (Weights.inverse_capacity g))
+  in
+  Alcotest.(check bool) "no worse than init" true (r.Local_search.mlu <= init_mlu +. 1e-9);
+  (* Optimal LWO on instance 1 is m/2 = 2.5 (Lemma 3.6). *)
+  Alcotest.(check bool) "reaches the LWO optimum" true (r.Local_search.mlu <= 2.5 +. 1e-6);
+  Alcotest.(check bool) "cannot beat the LWO optimum" true
+    (r.Local_search.mlu >= 2.5 -. 1e-6);
+  Array.iter
+    (fun w -> Alcotest.(check bool) "weight in range" true (w >= 1 && w <= params.Local_search.wmax))
+    r.Local_search.weights
+
+let test_local_search_deterministic () =
+  let inst = Instances.Gap_instances.instance1 ~m:4 in
+  let net = inst.Instances.Gap_instances.network in
+  let params = { Local_search.default_params with max_evals = 150; seed = 3 } in
+  let r1 = Local_search.optimize ~params net.Network.graph net.Network.demands in
+  let r2 = Local_search.optimize ~params net.Network.graph net.Network.demands in
+  checkf "same mlu for same seed" r1.Local_search.mlu r2.Local_search.mlu
+
+(* ------------------------------------------------------------------ *)
+(* GreedyWPO (Algorithm 3)                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_greedy_wpo_never_worse () =
+  let inst = Instances.Gap_instances.instance1 ~m:5 in
+  let net = inst.Instances.Gap_instances.network in
+  let w = Weights.unit net.Network.graph in
+  let r = Greedy_wpo.optimize net.Network.graph w net.Network.demands in
+  Alcotest.(check bool) "mlu <= initial" true
+    (r.Greedy_wpo.mlu <= r.Greedy_wpo.initial_mlu +. 1e-9)
+
+let test_greedy_wpo_improves_under_joint_weights () =
+  (* Under the Lemma 3.5 weights on instance 1, the no-waypoint MLU is
+     m (all demands on (s,t)); the greedy is order-fragile (it may stack
+     two demands on one exit) but must at least halve the MLU. *)
+  let inst = Instances.Gap_instances.instance1 ~m:5 in
+  let net = inst.Instances.Gap_instances.network in
+  let r =
+    Greedy_wpo.optimize net.Network.graph inst.Instances.Gap_instances.joint_weights
+      net.Network.demands
+  in
+  checkf6 "no waypoints: everything on (s,t)" 5. r.Greedy_wpo.initial_mlu;
+  Alcotest.(check bool)
+    (Printf.sprintf "greedy (%g) at most 2" r.Greedy_wpo.mlu)
+    true (r.Greedy_wpo.mlu <= 2. +. 1e-9)
+
+let test_exact_wpo_finds_joint_waypoints () =
+  (* Exact WPO under the Lemma 3.5 weights reaches the optimum MLU 1:
+     under the right weights, waypoints alone recover OPT. *)
+  let inst = Instances.Gap_instances.instance1 ~m:3 in
+  let net = inst.Instances.Gap_instances.network in
+  let _, v =
+    Exact.wpo net.Network.graph inst.Instances.Gap_instances.joint_weights
+      net.Network.demands
+  in
+  checkf6 "exact WPO = 1 under lemma weights" 1. v
+
+let test_greedy_wpo_orders () =
+  let inst = Instances.Gap_instances.instance1 ~m:4 in
+  let net = inst.Instances.Gap_instances.network in
+  let w = inst.Instances.Gap_instances.joint_weights in
+  List.iter
+    (fun order ->
+      let r = Greedy_wpo.optimize ~order net.Network.graph w net.Network.demands in
+      Alcotest.(check bool) "improves" true
+        (r.Greedy_wpo.mlu <= r.Greedy_wpo.initial_mlu +. 1e-9))
+    [ Greedy_wpo.Desc; Greedy_wpo.Asc; Greedy_wpo.Random 5 ]
+
+(* ------------------------------------------------------------------ *)
+(* JOINT-Heur (Algorithm 2)                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_joint_heur_stages () =
+  let inst = Instances.Gap_instances.instance1 ~m:4 in
+  let net = inst.Instances.Gap_instances.network in
+  let ls_params = { Local_search.default_params with max_evals = 300; seed = 11 } in
+  let r = Joint.optimize ~ls_params net.Network.graph net.Network.demands in
+  Alcotest.(check int) "two stages" 2 (List.length r.Joint.stage_mlu);
+  let heur = List.assoc "HeurOSPF" r.Joint.stage_mlu in
+  Alcotest.(check bool) "joint <= heurospf" true (r.Joint.mlu <= heur +. 1e-9);
+  (* Verify the reported MLU matches re-evaluating the returned setting. *)
+  let mlu =
+    Ecmp.mlu_of ~waypoints:r.Joint.waypoints net.Network.graph r.Joint.weights
+      net.Network.demands
+  in
+  checkf6 "reported mlu consistent" r.Joint.mlu mlu
+
+let test_joint_heur_full_pipeline () =
+  let inst = Instances.Gap_instances.instance1 ~m:4 in
+  let net = inst.Instances.Gap_instances.network in
+  let ls_params = { Local_search.default_params with max_evals = 200; seed = 2 } in
+  let r = Joint.optimize ~ls_params ~full_pipeline:true net.Network.graph net.Network.demands in
+  Alcotest.(check int) "three stages" 3 (List.length r.Joint.stage_mlu);
+  let stage2 = List.assoc "GreedyWPO" r.Joint.stage_mlu in
+  Alcotest.(check bool) "never worse than stage 2" true (r.Joint.mlu <= stage2 +. 1e-9)
+
+(* ------------------------------------------------------------------ *)
+(* Exact solvers and the WPO MILP                                      *)
+(* ------------------------------------------------------------------ *)
+
+let tiny_instance () =
+  (* Instance 1 with m = 3: 4 nodes, 8 edges — small enough for brute
+     force with a restricted domain. *)
+  Instances.Gap_instances.instance1 ~m:3
+
+let test_exact_ordering () =
+  let inst = tiny_instance () in
+  let net = inst.Instances.Gap_instances.network in
+  let g = net.Network.graph in
+  let domain = [ 1; 3 ] in
+  let _, lwo = Exact.lwo ~weight_domain:domain g net.Network.demands in
+  let _, _, joint = Exact.joint ~weight_domain:domain g net.Network.demands in
+  let _, wpo_unit = Exact.wpo g (Weights.unit g) net.Network.demands in
+  Alcotest.(check bool) "joint <= lwo" true (joint <= lwo +. 1e-9);
+  Alcotest.(check bool) "joint <= wpo(unit)" true (joint <= wpo_unit +. 1e-9)
+
+let test_exact_joint_achieves_opt () =
+  (* With domain {1,3} the lemma's construction (weights m=3 vs 1) is
+     representable, so exact Joint must reach MLU 1. *)
+  let inst = tiny_instance () in
+  let net = inst.Instances.Gap_instances.network in
+  let _, _, joint = Exact.joint ~weight_domain:[ 1; 3 ] net.Network.graph net.Network.demands in
+  checkf6 "joint = 1" 1. joint
+
+let test_exact_too_large () =
+  let inst = Instances.Gap_instances.instance1 ~m:5 in
+  let net = inst.Instances.Gap_instances.network in
+  (match
+     Exact.lwo ~weight_domain:[ 1; 2; 3; 4 ] ~max_settings:10 net.Network.graph
+       net.Network.demands
+   with
+  | exception Exact.Too_large _ -> ()
+  | _ -> Alcotest.fail "expected Too_large")
+
+let test_wpo_milp_matches_exact () =
+  let inst = tiny_instance () in
+  let net = inst.Instances.Gap_instances.network in
+  let g = net.Network.graph in
+  List.iter
+    (fun w ->
+      let _, exact = Exact.wpo g w net.Network.demands in
+      let milp = Wpo_milp.solve g w net.Network.demands in
+      Alcotest.(check bool) "milp exact" true milp.Wpo_milp.exact;
+      checkf6 "milp = brute force" exact milp.Wpo_milp.mlu)
+    [ Weights.unit g; inst.Instances.Gap_instances.joint_weights ]
+
+let test_wpo_milp_two_waypoints () =
+  (* Lemma 3.11: under the lemma weights on instance 3, two waypoints
+     per demand reach MLU 1 — the W=2 MILP must find that (one waypoint
+     provably cannot). *)
+  let inst = Instances.Gap_instances.instance3 ~m:2 in
+  let net = inst.Instances.Gap_instances.network in
+  let g = net.Network.graph in
+  let w = inst.Instances.Gap_instances.joint_weights in
+  let one = Wpo_milp.solve ~max_waypoints:1 g w net.Network.demands in
+  let two = Wpo_milp.solve ~max_waypoints:2 g w net.Network.demands in
+  Alcotest.(check bool) "W=2 exact" true two.Wpo_milp.exact;
+  checkf6 "W=2 reaches 1" 1. two.Wpo_milp.mlu;
+  Alcotest.(check bool)
+    (Printf.sprintf "W=1 (%g) cannot reach 1" one.Wpo_milp.mlu)
+    true
+    (one.Wpo_milp.mlu > 1. +. 1e-9);
+  Alcotest.(check int) "two waypoints used" 2
+    (Segments.max_waypoints two.Wpo_milp.waypoints)
+
+let test_wpo_milp_respects_candidates () =
+  let inst = tiny_instance () in
+  let net = inst.Instances.Gap_instances.network in
+  let g = net.Network.graph in
+  (* With no usable candidates the MILP must return direct routing. *)
+  let r = Wpo_milp.solve ~candidates:[] g (Weights.unit g) net.Network.demands in
+  Alcotest.(check bool) "all none" true
+    (Array.for_all (fun w -> w = []) r.Wpo_milp.waypoints);
+  let direct = Ecmp.mlu_of g (Weights.unit g) net.Network.demands in
+  checkf6 "direct mlu" direct r.Wpo_milp.mlu
+
+(* ------------------------------------------------------------------ *)
+(* Failures                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let square () =
+  (* bidirected square 0-1-3-2-0, all caps 10 *)
+  Digraph.of_edges ~n:4
+    [ (0, 1, 10.); (1, 0, 10.); (1, 3, 10.); (3, 1, 10.); (0, 2, 10.);
+      (2, 0, 10.); (2, 3, 10.); (3, 2, 10.) ]
+
+let test_without_edges () =
+  let g = square () in
+  let g', mapping = Failures.without_edges g [ 0; 1 ] in
+  Alcotest.(check int) "two fewer edges" 6 (Digraph.edge_count g');
+  Alcotest.(check int) "mapping skips removed" 2 mapping.(0)
+
+let test_twin () =
+  let g = square () in
+  Alcotest.(check (option int)) "twin of 0" (Some 1) (Failures.twin g 0);
+  let g2 = Digraph.of_edges ~n:2 [ (0, 1, 1.) ] in
+  Alcotest.(check (option int)) "no twin" None (Failures.twin g2 0)
+
+let test_single_failures () =
+  let g = square () in
+  let demands = [| Network.demand 0 3 8. |] in
+  let outs = Failures.single_failures g (Weights.unit g) demands in
+  (* Four undirected links. *)
+  Alcotest.(check int) "four failure scenarios" 4 (List.length outs);
+  List.iter
+    (fun o ->
+      Alcotest.(check int) "still connected" 0 o.Failures.disconnected;
+      (* After any single link-pair failure one 2-hop path remains:
+         all 8 units on capacity-10 links. *)
+      Alcotest.(check (float 1e-9)) "mlu" 0.8 o.Failures.mlu)
+    outs
+
+let test_failure_disconnects () =
+  let g = Digraph.of_edges ~n:2 [ (0, 1, 10.) ] in
+  let demands = [| Network.demand 0 1 1. |] in
+  let o = Failures.worst_case ~fail_pairs:false g (Weights.unit g) demands in
+  Alcotest.(check int) "disconnected" 1 o.Failures.disconnected
+
+let test_worst_case_failure () =
+  (* Asymmetric: failing the fat path must be the worst case. *)
+  let g =
+    Digraph.of_edges ~n:3 [ (0, 1, 10.); (1, 2, 10.); (0, 2, 1.) ]
+  in
+  let demands = [| Network.demand 0 2 5. |] in
+  let o = Failures.worst_case ~fail_pairs:false g [| 1.; 1.; 1. |] demands in
+  (* Failing (0,2) leaves MLU 0.5; failing (0,1) or (1,2) pushes all 5
+     onto the capacity-1 link: MLU 5. *)
+  Alcotest.(check (float 1e-9)) "worst mlu" 5. o.Failures.mlu
+
+let test_failures_with_waypoints () =
+  let g = square () in
+  let demands = [| Network.demand 0 3 4. |] in
+  let wps = [| [ 1 ] |] in
+  let outs = Failures.single_failures ~waypoints:wps g (Weights.unit g) demands in
+  List.iter
+    (fun o -> Alcotest.(check int) "routable" 0 o.Failures.disconnected)
+    outs
+
+(* ------------------------------------------------------------------ *)
+(* Reoptimization                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_churn () =
+  let c =
+    Reopt.churn_between ~deployed_weights:[| 1; 2; 3 |]
+      ~deployed_waypoints:[| []; [ 1 ] |] [| 1; 5; 3 |] [| []; [ 2 ] |]
+  in
+  Alcotest.(check int) "weight changes" 1 c.Reopt.weight_changes;
+  Alcotest.(check int) "waypoint changes" 1 c.Reopt.waypoint_changes
+
+let test_reopt_never_worse () =
+  let inst = Instances.Gap_instances.instance1 ~m:5 in
+  let net = inst.Instances.Gap_instances.network in
+  let g = net.Network.graph in
+  let deployed = Array.make (Digraph.edge_count g) 1 in
+  let deployed_wps = Segments.none net.Network.demands in
+  let deployed_mlu =
+    Ecmp.mlu_of ~waypoints:deployed_wps g (Weights.of_ints deployed)
+      net.Network.demands
+  in
+  let r =
+    Reopt.reoptimize
+      ~ls_params:{ Local_search.default_params with max_evals = 150; seed = 3 }
+      ~max_weight_changes:3 ~deployed_weights:deployed
+      ~deployed_waypoints:deployed_wps g net.Network.demands
+  in
+  Alcotest.(check bool) "never worse" true (r.Reopt.mlu <= deployed_mlu +. 1e-9);
+  Alcotest.(check bool) "respects weight budget" true
+    (r.Reopt.churn.Reopt.weight_changes <= 3);
+  (* The reported MLU must re-evaluate. *)
+  checkf6 "consistent"
+    (Ecmp.mlu_of ~waypoints:r.Reopt.waypoints g (Weights.of_ints r.Reopt.weights)
+       net.Network.demands)
+    r.Reopt.mlu
+
+let test_reopt_zero_budget_keeps_weights () =
+  let g = diamond () in
+  let demands = [| Network.demand 0 3 4. |] in
+  let deployed = [| 1; 1; 2; 2 |] in
+  let r =
+    Reopt.reoptimize
+      ~ls_params:{ Local_search.default_params with max_evals = 80; seed = 1 }
+      ~max_weight_changes:0 ~deployed_weights:deployed
+      ~deployed_waypoints:(Segments.none demands) g demands
+  in
+  Alcotest.(check int) "no weight changes" 0 r.Reopt.churn.Reopt.weight_changes;
+  Alcotest.(check bool) "weights untouched" true (r.Reopt.weights = deployed)
+
+(* ------------------------------------------------------------------ *)
+(* Demand generation                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* ------------------------------------------------------------------ *)
+(* USPR MILP (the paper's MILP formulation, single-path regime)        *)
+(* ------------------------------------------------------------------ *)
+
+let test_uspr_lwo_diamond () =
+  (* One demand of 2 over two capacity-10 two-hop paths; a single path
+     gives MLU 0.2 and the MILP must prove it. *)
+  let g = diamond () in
+  let r = Uspr_milp.lwo g [| Network.demand 0 3 2. |] in
+  Alcotest.(check bool) "exact" true r.Uspr_milp.exact;
+  checkf6 "mlu" 0.2 r.Uspr_milp.mlu;
+  (* The returned weights must induce exactly that routing under ECMP
+     (the epsilon margin forbids ties). *)
+  checkf6 "ecmp re-evaluation" 0.2
+    (Ecmp.mlu_of g r.Uspr_milp.weights [| Network.demand 0 3 2. |])
+
+let test_uspr_lwo_cannot_split () =
+  (* All m demands of instance 1 share (s, t): without waypoints USPR
+     forces them onto one path, so the optimum is m (vs ECMP's m/2). *)
+  let inst = Instances.Gap_instances.instance1 ~m:3 in
+  let net = inst.Instances.Gap_instances.network in
+  let r = Uspr_milp.lwo net.Network.graph net.Network.demands in
+  Alcotest.(check bool) "exact" true r.Uspr_milp.exact;
+  checkf6 "single-path optimum is m" 3. r.Uspr_milp.mlu
+
+let test_uspr_joint_recovers_opt () =
+  (* With one waypoint per demand the MILP reaches the Lemma 3.5
+     optimum of 1 — the strongest form of the paper's point: under
+     unique-path routing waypoints are the ONLY way to separate demands
+     of the same pair. *)
+  let inst = Instances.Gap_instances.instance1 ~m:3 in
+  let net = inst.Instances.Gap_instances.network in
+  let j = Uspr_milp.joint ~max_combos:200 net.Network.graph net.Network.demands in
+  Alcotest.(check bool) "exact" true j.Uspr_milp.setting.Uspr_milp.exact;
+  checkf6 "joint = 1" 1. j.Uspr_milp.setting.Uspr_milp.mlu;
+  checkf6 "setting re-evaluates to 1" 1.
+    (Ecmp.mlu_of ~waypoints:j.Uspr_milp.waypoints net.Network.graph
+       j.Uspr_milp.setting.Uspr_milp.weights net.Network.demands)
+
+let test_uspr_weights_in_range () =
+  let g = diamond () in
+  let r = Uspr_milp.lwo ~wmax:5. g [| Network.demand 0 3 1. |] in
+  Array.iter
+    (fun w ->
+      Alcotest.(check bool) "w in [1, wmax]" true (w >= 1. -. 1e-6 && w <= 5. +. 1e-6))
+    r.Uspr_milp.weights
+
+let test_uspr_joint_combo_guard () =
+  let inst = Instances.Gap_instances.instance1 ~m:5 in
+  let net = inst.Instances.Gap_instances.network in
+  (match Uspr_milp.joint ~max_combos:10 net.Network.graph net.Network.demands with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected combo guard")
+
+let test_uspr_unroutable () =
+  let g = Digraph.of_edges ~n:3 [ (0, 1, 1.) ] in
+  (match Uspr_milp.lwo g [| Network.demand 0 2 1. |] with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "expected failure")
+
+(* ------------------------------------------------------------------ *)
+(* Multi-waypoint greedy and iterated joint (paper §8 extensions)      *)
+(* ------------------------------------------------------------------ *)
+
+let test_multi_round_one_matches_single () =
+  let inst = Instances.Gap_instances.instance1 ~m:5 in
+  let net = inst.Instances.Gap_instances.network in
+  let w = inst.Instances.Gap_instances.joint_weights in
+  let single = Greedy_wpo.optimize net.Network.graph w net.Network.demands in
+  let multi =
+    Greedy_wpo.optimize_multi ~rounds:1 net.Network.graph w net.Network.demands
+  in
+  checkf6 "same mlu" single.Greedy_wpo.mlu multi.Greedy_wpo.mlu
+
+let test_multi_rounds_monotone () =
+  let inst = Instances.Gap_instances.instance3 ~m:4 in
+  let net = inst.Instances.Gap_instances.network in
+  let w = inst.Instances.Gap_instances.joint_weights in
+  let r =
+    Greedy_wpo.optimize_multi ~rounds:3 net.Network.graph w net.Network.demands
+  in
+  let rec check_desc = function
+    | a :: (b :: _ as rest) ->
+      Alcotest.(check bool) "rounds never hurt" true (b <= a +. 1e-9);
+      check_desc rest
+    | _ -> ()
+  in
+  check_desc r.Greedy_wpo.round_mlu;
+  Alcotest.(check int) "three rounds recorded" 3 (List.length r.Greedy_wpo.round_mlu);
+  Alcotest.(check bool) "at most 3 waypoints" true
+    (Segments.max_waypoints r.Greedy_wpo.setting <= 3)
+
+let test_multi_two_waypoints_help_instance3 () =
+  (* On instance 3 a single waypoint per demand cannot reach MLU 1, but
+     two can (Lemma 3.11); the greedy should close most of the gap. *)
+  let inst = Instances.Gap_instances.instance3 ~m:3 in
+  let net = inst.Instances.Gap_instances.network in
+  let w = inst.Instances.Gap_instances.joint_weights in
+  let one = Greedy_wpo.optimize_multi ~rounds:1 net.Network.graph w net.Network.demands in
+  let two = Greedy_wpo.optimize_multi ~rounds:2 net.Network.graph w net.Network.demands in
+  Alcotest.(check bool)
+    (Printf.sprintf "2 rounds (%g) <= 1 round (%g)" two.Greedy_wpo.mlu one.Greedy_wpo.mlu)
+    true
+    (two.Greedy_wpo.mlu <= one.Greedy_wpo.mlu +. 1e-9)
+
+let test_greedy_passes_never_worse () =
+  let g = Topology.Datasets.abilene () in
+  let demands = Demand_gen.mcf_synthetic ~epsilon:0.05 ~seed:3 ~flows_per_pair:2 g in
+  let w = Weights.inverse_capacity g in
+  let p1 = Greedy_wpo.optimize ~passes:1 g w demands in
+  let p2 = Greedy_wpo.optimize ~passes:2 g w demands in
+  Alcotest.(check bool)
+    (Printf.sprintf "pass 2 (%g) <= pass 1 (%g)" p2.Greedy_wpo.mlu p1.Greedy_wpo.mlu)
+    true
+    (p2.Greedy_wpo.mlu <= p1.Greedy_wpo.mlu +. 1e-9)
+
+let test_iterated_joint () =
+  let inst = Instances.Gap_instances.instance1 ~m:4 in
+  let net = inst.Instances.Gap_instances.network in
+  let ls_params = { Local_search.default_params with max_evals = 200; seed = 9 } in
+  let r = Joint.optimize_iterated ~ls_params ~iterations:2 net.Network.graph net.Network.demands in
+  Alcotest.(check int) "four stages" 4 (List.length r.Joint.stage_mlu);
+  let check =
+    Ecmp.mlu_of ~waypoints:r.Joint.waypoints net.Network.graph r.Joint.weights
+      net.Network.demands
+  in
+  checkf6 "reported mlu is consistent" r.Joint.mlu check;
+  (* The best over stages is what is returned. *)
+  List.iter
+    (fun (_, v) -> Alcotest.(check bool) "best of stages" true (r.Joint.mlu <= v +. 1e-9))
+    r.Joint.stage_mlu
+
+(* ------------------------------------------------------------------ *)
+(* Property tests                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let arb_te_instance =
+  (* Random strongly-connected graph + demands + random waypoints. *)
+  let gen =
+    QCheck.Gen.(
+      int_range 4 9 >>= fun n ->
+      int_range 0 (2 * n) >>= fun extra ->
+      int_range 1 5 >>= fun k ->
+      int_range 0 1000 >>= fun seed -> return (n, extra, k, seed))
+  in
+  QCheck.make gen ~print:(fun (n, e, k, s) ->
+      Printf.sprintf "n=%d extra=%d k=%d seed=%d" n e k s)
+
+let build_te (n, extra, k, seed) =
+  let st = Random.State.make [| seed; 77 |] in
+  let edges = ref [] in
+  for i = 0 to n - 1 do
+    edges := (i, (i + 1) mod n, 1. +. Random.State.float st 9.) :: !edges
+  done;
+  for _ = 1 to extra do
+    let u = Random.State.int st n in
+    let v = Random.State.int st n in
+    if u <> v then edges := (u, v, 1. +. Random.State.float st 9.) :: !edges
+  done;
+  let g = Digraph.of_edges ~n !edges in
+  let demands =
+    Array.init k (fun _ ->
+        let s = Random.State.int st n in
+        let t = (s + 1 + Random.State.int st (n - 1)) mod n in
+        Network.demand s t (0.5 +. Random.State.float st 2.))
+  in
+  let wps =
+    Array.map
+      (fun _ ->
+        if Random.State.bool st then [ Random.State.int st n ] else [])
+      demands
+  in
+  (g, demands, wps)
+
+let prop_waypoints_equal_expansion =
+  QCheck.Test.make ~name:"waypointed loads = loads of expanded demands" ~count:150
+    arb_te_instance (fun spec ->
+      let g, demands, wps = build_te spec in
+      let w = Weights.unit g in
+      let ctx1 = Ecmp.make g w and ctx2 = Ecmp.make g w in
+      let a = Ecmp.loads ~waypoints:wps ctx1 demands in
+      let b = Ecmp.loads ctx2 (Segments.expand demands wps) in
+      Array.for_all2 (fun x y -> abs_float (x -. y) <= 1e-9 *. (1. +. x)) a b)
+
+let prop_unit_load_conserves =
+  QCheck.Test.make ~name:"unit load delivers one unit" ~count:150 arb_te_instance
+    (fun spec ->
+      let g, demands, _ = build_te spec in
+      let ctx = Ecmp.make g (Weights.unit g) in
+      Array.for_all
+        (fun (d : Network.demand) ->
+          let u = Ecmp.unit_load ctx ~src:d.Network.src ~dst:d.Network.dst in
+          let into =
+            ref 0.
+          in
+          Array.iteri
+            (fun i e ->
+              if Digraph.dst g e = d.Network.dst then into := !into +. u.Ecmp.flows.(i))
+            u.Ecmp.edges;
+          abs_float (!into -. 1.) <= 1e-9)
+        demands)
+
+let prop_aggregate_invariant =
+  QCheck.Test.make ~name:"MLU invariant under demand aggregation" ~count:100
+    arb_te_instance (fun spec ->
+      let g, demands, _ = build_te spec in
+      let w = Weights.inverse_capacity g in
+      let a = Ecmp.mlu_of g w demands in
+      let b = Ecmp.mlu_of g w (Network.aggregate demands) in
+      abs_float (a -. b) <= 1e-9 *. (1. +. a))
+
+let prop_lwo_apx_guarantee =
+  (* Theorem 5.4: the ECMP flow realized by the Algorithm-1 weights is
+     within n * ceil(ln n) of the max flow.  (On merging DAGs the
+     realized even-split flow may differ slightly from ec(s) in either
+     direction — Definition 5.1 reasons per node — so we check the
+     theorem's guarantee on the *realized* value, plus that ec(s) tracks
+     it within the same factor.) *)
+  QCheck.Test.make ~name:"LWO-APX satisfies the Theorem 5.4 guarantee" ~count:80
+    arb_te_instance (fun spec ->
+      let g, demands, _ = build_te spec in
+      let d = demands.(0) in
+      let r = Lwo_apx.solve g ~source:d.Network.src ~target:d.Network.dst in
+      let realized =
+        Ecmp.max_es_flow_value g r.Lwo_apx.weights ~src:d.Network.src
+          ~dst:d.Network.dst
+      in
+      let n = float_of_int (Digraph.node_count g) in
+      let bound = (n *. ceil (log n)) +. 1. in
+      realized > 0.
+      && r.Lwo_apx.max_flow_value <= (bound *. realized) +. 1e-6
+      && Lwo_apx.approximation_ratio r <= bound
+      && Lwo_apx.approximation_ratio r >= 1. -. 1e-9
+      && realized <= r.Lwo_apx.max_flow_value +. 1e-6)
+
+let prop_greedy_never_worse =
+  QCheck.Test.make ~name:"GreedyWPO never increases MLU" ~count:80 arb_te_instance
+    (fun spec ->
+      let g, demands, _ = build_te spec in
+      let r = Greedy_wpo.optimize g (Weights.unit g) demands in
+      r.Greedy_wpo.mlu <= r.Greedy_wpo.initial_mlu +. 1e-9)
+
+let prop_opt_lower_bounds_everything =
+  QCheck.Test.make ~name:"OPT lower-bounds heuristic MLUs" ~count:40 arb_te_instance
+    (fun spec ->
+      let g, demands, _ = build_te spec in
+      let comms =
+        Array.map
+          (fun (d : Network.demand) ->
+            { Mcf.src = d.Network.src; dst = d.Network.dst; demand = d.Network.size })
+          demands
+      in
+      let opt = Mcf.opt_mlu_lp g (Mcf.aggregate comms) in
+      let heur = Ecmp.mlu_of g (Weights.inverse_capacity g) demands in
+      opt <= heur +. 1e-6)
+
+let test_select_pairs () =
+  let g = diamond () in
+  let pairs = Demand_gen.select_pairs ~seed:1 ~frac:0.5 g in
+  Alcotest.(check bool) "non-empty" true (Array.length pairs > 0);
+  Array.iter
+    (fun (s, t) ->
+      Alcotest.(check bool) "distinct" true (s <> t);
+      Alcotest.(check bool) "reachable" true (Paths.reachable g ~source:s).(t))
+    pairs
+
+let test_mcf_synthetic_normalized () =
+  let g = diamond () in
+  let demands = Demand_gen.mcf_synthetic ~seed:3 ~flows_per_pair:2 g in
+  Alcotest.(check bool) "non-empty" true (Array.length demands > 0);
+  let comms =
+    Array.map
+      (fun (d : Network.demand) ->
+        { Mcf.src = d.Network.src; dst = d.Network.dst; demand = d.Network.size })
+      demands
+  in
+  let opt = Mcf.opt_mlu g comms in
+  Alcotest.(check (float 0.02)) "OPT = 1 after scaling" 1. opt
+
+let test_gravity_all_pairs () =
+  let g = diamond () in
+  let demands = Demand_gen.gravity ~seed:5 g in
+  (* diamond has 4 nodes; pairs reachable: from 0: 3, from 1: 1 (3), from 2: 1.
+     gravity must hit all of them. *)
+  let pairs =
+    Array.to_list demands
+    |> List.map (fun (d : Network.demand) -> (d.Network.src, d.Network.dst))
+    |> List.sort_uniq compare
+  in
+  Alcotest.(check int) "all reachable pairs" 5 (List.length pairs)
+
+let () =
+  Alcotest.run "te"
+    [
+      ( "network",
+        [
+          Alcotest.test_case "demand validation" `Quick test_demand_validation;
+          Alcotest.test_case "aggregate" `Quick test_aggregate;
+          Alcotest.test_case "split" `Quick test_split;
+          Alcotest.test_case "totals and targets" `Quick test_total_and_targets;
+          Alcotest.test_case "is routable" `Quick test_is_routable;
+        ] );
+      ( "weights",
+        [
+          Alcotest.test_case "unit" `Quick test_unit_weights;
+          Alcotest.test_case "inverse capacity" `Quick test_inverse_capacity;
+          Alcotest.test_case "round to range" `Quick test_round_to_range;
+          Alcotest.test_case "random weights" `Quick test_random_weights;
+        ] );
+      ( "ecmp",
+        [
+          Alcotest.test_case "even split" `Quick test_even_split;
+          Alcotest.test_case "single path" `Quick test_single_path;
+          Alcotest.test_case "recursive split" `Quick test_recursive_split;
+          Alcotest.test_case "conservation" `Quick test_unit_load_conservation;
+          Alcotest.test_case "unroutable" `Quick test_unroutable;
+          Alcotest.test_case "waypoint routing" `Quick test_waypoint_routing;
+          Alcotest.test_case "degenerate waypoints" `Quick test_degenerate_waypoints;
+          Alcotest.test_case "mlu" `Quick test_mlu;
+          Alcotest.test_case "max ES flow" `Quick test_max_es_flow;
+          Alcotest.test_case "dag accessor" `Quick test_dag_accessor;
+        ] );
+      ( "segments",
+        [
+          Alcotest.test_case "endpoints" `Quick test_segment_endpoints;
+          Alcotest.test_case "expand" `Quick test_expand;
+        ] );
+      ( "lwo-apx",
+        [
+          Alcotest.test_case "fig3a effective capacities" `Quick test_fig3a_effective_capacities;
+          Alcotest.test_case "fig3b effective capacities" `Quick test_fig3b_effective_capacities;
+          Alcotest.test_case "weights realize ec(s)" `Quick test_lwo_apx_realizes_es_flow;
+          Alcotest.test_case "instance 2 ES-flow = 1" `Quick test_lwo_apx_instance2;
+          Alcotest.test_case "weights-for-dag" `Quick test_weights_for_dag_property;
+          Alcotest.test_case "Theorem 4.2 uniform caps" `Quick test_uniform_optimal_weights;
+          Alcotest.test_case "Theorem 4.3 widest path" `Quick test_widest_path_weights;
+        ] );
+      ( "local-search",
+        [
+          Alcotest.test_case "phi monotone" `Quick test_phi_monotone;
+          Alcotest.test_case "phi values" `Quick test_phi_slope_values;
+          Alcotest.test_case "improves and bounded" `Quick test_local_search_improves;
+          Alcotest.test_case "deterministic per seed" `Quick test_local_search_deterministic;
+        ] );
+      ( "greedy-wpo",
+        [
+          Alcotest.test_case "never worse" `Quick test_greedy_wpo_never_worse;
+          Alcotest.test_case "halves MLU under lemma weights" `Quick
+            test_greedy_wpo_improves_under_joint_weights;
+          Alcotest.test_case "exact WPO rediscovers lemma 3.5" `Quick
+            test_exact_wpo_finds_joint_waypoints;
+          Alcotest.test_case "orders" `Quick test_greedy_wpo_orders;
+        ] );
+      ( "joint-heur",
+        [
+          Alcotest.test_case "stages" `Quick test_joint_heur_stages;
+          Alcotest.test_case "full pipeline" `Quick test_joint_heur_full_pipeline;
+        ] );
+      ( "exact",
+        [
+          Alcotest.test_case "ordering" `Quick test_exact_ordering;
+          Alcotest.test_case "joint reaches opt" `Quick test_exact_joint_achieves_opt;
+          Alcotest.test_case "too large guard" `Quick test_exact_too_large;
+          Alcotest.test_case "wpo milp = brute force" `Quick test_wpo_milp_matches_exact;
+          Alcotest.test_case "wpo milp candidates" `Quick test_wpo_milp_respects_candidates;
+          Alcotest.test_case "wpo milp W=2 (Lemma 3.11)" `Quick test_wpo_milp_two_waypoints;
+        ] );
+      ( "demand-gen",
+        [
+          Alcotest.test_case "select pairs" `Quick test_select_pairs;
+          Alcotest.test_case "mcf synthetic normalized" `Quick test_mcf_synthetic_normalized;
+          Alcotest.test_case "gravity all pairs" `Quick test_gravity_all_pairs;
+        ] );
+      ( "failures",
+        [
+          Alcotest.test_case "without edges" `Quick test_without_edges;
+          Alcotest.test_case "twin" `Quick test_twin;
+          Alcotest.test_case "single failures" `Quick test_single_failures;
+          Alcotest.test_case "disconnection" `Quick test_failure_disconnects;
+          Alcotest.test_case "worst case" `Quick test_worst_case_failure;
+          Alcotest.test_case "with waypoints" `Quick test_failures_with_waypoints;
+        ] );
+      ( "reopt",
+        [
+          Alcotest.test_case "churn" `Quick test_churn;
+          Alcotest.test_case "never worse" `Quick test_reopt_never_worse;
+          Alcotest.test_case "zero budget" `Quick test_reopt_zero_budget_keeps_weights;
+        ] );
+      ( "uspr-milp",
+        [
+          Alcotest.test_case "diamond single path" `Quick test_uspr_lwo_diamond;
+          Alcotest.test_case "cannot split same pair" `Quick test_uspr_lwo_cannot_split;
+          Alcotest.test_case "joint recovers opt" `Quick test_uspr_joint_recovers_opt;
+          Alcotest.test_case "weights in range" `Quick test_uspr_weights_in_range;
+          Alcotest.test_case "combo guard" `Quick test_uspr_joint_combo_guard;
+          Alcotest.test_case "unroutable" `Quick test_uspr_unroutable;
+        ] );
+      ( "extensions",
+        [
+          Alcotest.test_case "multi round 1 = single" `Quick test_multi_round_one_matches_single;
+          Alcotest.test_case "multi rounds monotone" `Quick test_multi_rounds_monotone;
+          Alcotest.test_case "two waypoints help (I3)" `Quick test_multi_two_waypoints_help_instance3;
+          Alcotest.test_case "improvement passes" `Quick test_greedy_passes_never_worse;
+          Alcotest.test_case "iterated joint" `Quick test_iterated_joint;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_waypoints_equal_expansion;
+            prop_unit_load_conserves;
+            prop_aggregate_invariant;
+            prop_lwo_apx_guarantee;
+            prop_greedy_never_worse;
+            prop_opt_lower_bounds_everything;
+          ] );
+    ]
