@@ -551,6 +551,127 @@ let exp_ablation () =
     [ 1; 2; 3 ]
 
 (* ------------------------------------------------------------------ *)
+(* Evaluation engine: incremental vs from-scratch                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Measures the move protocol the local searches live on: probe one
+   weight change, evaluate, undo.  The baseline rebuilds the full ECMP
+   state per candidate (a fresh evaluator each time, i.e. what
+   Ecmp.make used to cost); the engine repairs only the destinations
+   the changed edge can affect.  Results land in BENCH_engine.json. *)
+let exp_engine () =
+  section "Engine: incremental vs from-scratch single-weight-move evaluation";
+  let records = ref [] in
+  let emit r = records := r :: !records in
+  let topos = if !full then [ "Abilene"; "Germany50"; "Ta2" ]
+              else [ "Abilene"; "Germany50" ] in
+  row "%-12s %8s %14s %14s %9s %11s\n" "topology" "moves" "scratch ev/s"
+    "engine ev/s" "speedup" "full/incr";
+  List.iter
+    (fun name ->
+      let g = Topology.Datasets.load name in
+      let m = Digraph.edge_count g in
+      let demands =
+        Demand_gen.mcf_synthetic ~epsilon:0.15 ~seed:1
+          ~flows_per_pair:(max 2 (m / 16)) g
+      in
+      let comms = Network.to_commodities demands in
+      let st = Random.State.make [| 0xbe; 42 |] in
+      let base = Array.init m (fun _ -> float_of_int (1 + Random.State.int st 16)) in
+      let moves = if !full then 500 else 200 in
+      (* One fixed move sequence so both sides do identical work. *)
+      let seq =
+        Array.init moves (fun _ ->
+            (Random.State.int st m, float_of_int (1 + Random.State.int st 20)))
+      in
+      (* Baseline: full rebuild per candidate. *)
+      let w = Array.copy base in
+      let sink = ref 0. in
+      let t0 = Unix.gettimeofday () in
+      Array.iter
+        (fun (e, wv) ->
+          let old = w.(e) in
+          w.(e) <- wv;
+          sink := !sink +. Engine.Evaluator.mlu_of g w comms;
+          w.(e) <- old)
+        seq;
+      let t_scratch = Unix.gettimeofday () -. t0 in
+      (* Engine: persistent evaluator, probe / evaluate / undo. *)
+      let stats = Engine.Stats.create () in
+      let ev = Engine.Evaluator.create ~stats g base in
+      Engine.Evaluator.set_commodities ev comms;
+      ignore (Engine.Evaluator.evaluate ev);
+      (* warm start = the state any search holds between moves *)
+      Engine.Stats.reset stats;
+      let sink2 = ref 0. in
+      let t0 = Unix.gettimeofday () in
+      Array.iter
+        (fun (e, wv) ->
+          Engine.Evaluator.set_weight ev ~edge:e wv;
+          sink2 := !sink2 +. fst (Engine.Evaluator.evaluate ev);
+          Engine.Evaluator.undo ev)
+        seq;
+      let t_engine = Unix.gettimeofday () -. t0 in
+      if abs_float (!sink -. !sink2) > 1e-6 *. abs_float !sink then
+        row "  WARNING: scratch/engine MLU sums differ (%.9g vs %.9g)\n"
+          !sink !sink2;
+      let fm = float_of_int moves in
+      let ev_scratch = fm /. t_scratch and ev_engine = fm /. t_engine in
+      let ratio =
+        float_of_int stats.Engine.Stats.full_spf
+        /. float_of_int (max 1 stats.Engine.Stats.incr_spf)
+      in
+      row "%-12s %8d %14.0f %14.0f %8.1fx %11.4f\n" name moves ev_scratch
+        ev_engine (ev_engine /. ev_scratch) ratio;
+      emit
+        (Printf.sprintf
+           "{\"topology\": %S, \"algorithm\": \"single-weight-probe\", \
+            \"moves\": %d, \"scratch_evals_per_sec\": %.1f, \
+            \"engine_evals_per_sec\": %.1f, \"speedup\": %.3f, \
+            \"wall_seconds_scratch\": %.6f, \"wall_seconds_engine\": %.6f, \
+            \"full_spf\": %d, \"incr_spf\": %d, \
+            \"incremental_vs_full_ratio\": %.4f}"
+           name moves ev_scratch ev_engine (ev_engine /. ev_scratch) t_scratch
+           t_engine stats.Engine.Stats.full_spf stats.Engine.Stats.incr_spf
+           (float_of_int stats.Engine.Stats.incr_spf
+           /. float_of_int (max 1 stats.Engine.Stats.full_spf))))
+    topos;
+  (* The same instrumentation through a whole HeurOSPF run. *)
+  row "\nHeurOSPF through the engine (Abilene):\n";
+  let g = Topology.Datasets.abilene () in
+  let demands =
+    Demand_gen.mcf_synthetic ~epsilon:0.05 ~seed:1 ~flows_per_pair:2 g
+  in
+  let evals = if !full then 3000 else 600 in
+  let stats = Engine.Stats.create () in
+  let t0 = Unix.gettimeofday () in
+  let ls =
+    Local_search.optimize ~stats ~params:(ls_params ~seed:5 ~evals) g demands
+  in
+  let wall = Unix.gettimeofday () -. t0 in
+  row "  MLU %.3f  %s\n" ls.Local_search.mlu
+    (Format.asprintf "%a" Engine.Stats.pp stats);
+  emit
+    (Printf.sprintf
+       "{\"topology\": \"Abilene\", \"algorithm\": \"HeurOSPF\", \
+        \"evaluations\": %d, \"evals_per_sec\": %.1f, \
+        \"wall_seconds\": %.6f, \"full_spf\": %d, \"incr_spf\": %d, \
+        \"incremental_vs_full_ratio\": %.4f, \"dirty_dests\": %d, \
+        \"clean_dests\": %d}"
+       stats.Engine.Stats.evaluations
+       (float_of_int stats.Engine.Stats.evaluations /. wall)
+       wall stats.Engine.Stats.full_spf stats.Engine.Stats.incr_spf
+       (float_of_int stats.Engine.Stats.incr_spf
+       /. float_of_int (max 1 stats.Engine.Stats.full_spf))
+       stats.Engine.Stats.dirty_dests stats.Engine.Stats.clean_dests);
+  let oc = open_out "BENCH_engine.json" in
+  output_string oc "[\n";
+  output_string oc (String.concat ",\n" (List.rev !records));
+  output_string oc "\n]\n";
+  close_out oc;
+  row "\nwrote BENCH_engine.json (%d records)\n" (List.length !records)
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -613,7 +734,7 @@ let experiments =
   [ ("table1", exp_table1); ("fig1", exp_fig1); ("fig2", exp_fig2);
     ("fig3", exp_fig3); ("fig4", exp_fig4); ("fig5", exp_fig5);
     ("fig6", exp_fig6); ("fig7", exp_fig7); ("milp", exp_milp);
-    ("ablation", exp_ablation); ("perf", exp_perf) ]
+    ("ablation", exp_ablation); ("engine", exp_engine); ("perf", exp_perf) ]
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in

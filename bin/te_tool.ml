@@ -94,6 +94,21 @@ let weights_arg =
 let evals_arg =
   Arg.(value & opt int 1500 & info [ "evals" ] ~doc:"Local-search evaluation budget.")
 
+let stats_arg =
+  Arg.(value & flag & info [ "stats" ]
+         ~doc:"Print the evaluation engine's counters and timers \
+               (evaluations, full vs. incremental SPF rebuilds, cache \
+               hits) after the run.")
+
+(* When --stats is given, hand a Stats.t to the optimizer and print it
+   once the run is over. *)
+let with_stats enabled f =
+  let stats = if enabled then Some (Engine.Stats.create ()) else None in
+  f stats;
+  match stats with
+  | Some s -> Format.printf "%a@." Engine.Stats.pp s
+  | None -> ()
+
 let m_arg =
   Arg.(value & opt int 8 & info [ "m" ] ~doc:"Size parameter of the paper instance.")
 
@@ -146,57 +161,61 @@ let mlu_cmd =
 
 (* lwo *)
 let lwo_cmd =
-  let run topo file seed kind flows evals =
+  let run topo file seed kind flows evals stats =
     let g, file_demands = load_topology topo file in
     let demands = make_demands ~file_demands g ~seed ~kind ~flows in
     let params = { Local_search.default_params with max_evals = evals; seed } in
     let init_mlu = Ecmp.mlu_of g (Weights.inverse_capacity g) demands in
-    let r = Local_search.optimize ~params g demands in
-    Printf.printf "HeurOSPF: MLU %.4f -> %.4f (%d evaluations)\n" init_mlu
-      r.Local_search.mlu r.Local_search.evals;
-    Printf.printf "weights:";
-    Array.iteri
-      (fun e w ->
-        if e < 20 then Printf.printf " %d" w
-        else if e = 20 then Printf.printf " ...")
-      r.Local_search.weights;
-    print_newline ()
+    with_stats stats (fun stats ->
+        let r = Local_search.optimize ?stats ~params g demands in
+        Printf.printf "HeurOSPF: MLU %.4f -> %.4f (%d evaluations)\n" init_mlu
+          r.Local_search.mlu r.Local_search.evals;
+        Printf.printf "weights:";
+        Array.iteri
+          (fun e w ->
+            if e < 20 then Printf.printf " %d" w
+            else if e = 20 then Printf.printf " ...")
+          r.Local_search.weights;
+        print_newline ())
   in
   Cmd.v (Cmd.info "lwo" ~doc:"Link-weight optimization (HeurOSPF local search)")
     Term.(const run $ topo_arg $ file_arg $ seed_arg $ demands_arg $ flows_arg
-          $ evals_arg)
+          $ evals_arg $ stats_arg)
 
 (* wpo *)
 let wpo_cmd =
-  let run topo file seed kind flows wsetting =
+  let run topo file seed kind flows wsetting stats =
     let g, file_demands = load_topology topo file in
     let demands = make_demands ~file_demands g ~seed ~kind ~flows in
     let w = weights_of g wsetting in
-    let r = Greedy_wpo.optimize g w demands in
-    let used =
-      Array.fold_left (fun acc o -> if o = None then acc else acc + 1) 0
-        r.Greedy_wpo.waypoints
-    in
-    Printf.printf
-      "GreedyWPO under %s weights: MLU %.4f -> %.4f (%d/%d demands got a waypoint)\n"
-      wsetting r.Greedy_wpo.initial_mlu r.Greedy_wpo.mlu used (Array.length demands)
+    with_stats stats (fun stats ->
+        let r = Greedy_wpo.optimize ?stats g w demands in
+        let used =
+          Array.fold_left (fun acc o -> if o = None then acc else acc + 1) 0
+            r.Greedy_wpo.waypoints
+        in
+        Printf.printf
+          "GreedyWPO under %s weights: MLU %.4f -> %.4f (%d/%d demands got a waypoint)\n"
+          wsetting r.Greedy_wpo.initial_mlu r.Greedy_wpo.mlu used
+          (Array.length demands))
   in
   Cmd.v (Cmd.info "wpo" ~doc:"Waypoint optimization (Algorithm 3, GreedyWPO)")
     Term.(const run $ topo_arg $ file_arg $ seed_arg $ demands_arg $ flows_arg
-          $ weights_arg)
+          $ weights_arg $ stats_arg)
 
 (* joint *)
 let joint_cmd =
-  let run topo file seed kind flows evals full_pipeline =
+  let run topo file seed kind flows evals full_pipeline stats =
     let g, file_demands = load_topology topo file in
     let demands = make_demands ~file_demands g ~seed ~kind ~flows in
     let ls_params = { Local_search.default_params with max_evals = evals; seed } in
-    let r = Joint.optimize ~ls_params ~full_pipeline g demands in
-    List.iter
-      (fun (stage, mlu) -> Printf.printf "%-12s MLU %.4f\n" stage mlu)
-      r.Joint.stage_mlu;
-    Printf.printf "final        MLU %.4f (%d waypoints in use)\n" r.Joint.mlu
-      (Segments.count_waypoints r.Joint.waypoints)
+    with_stats stats (fun stats ->
+        let r = Joint.optimize ?stats ~ls_params ~full_pipeline g demands in
+        List.iter
+          (fun (stage, mlu) -> Printf.printf "%-12s MLU %.4f\n" stage mlu)
+          r.Joint.stage_mlu;
+        Printf.printf "final        MLU %.4f (%d waypoints in use)\n" r.Joint.mlu
+          (Segments.count_waypoints r.Joint.waypoints))
   in
   let full_arg =
     Arg.(value & flag & info [ "full-pipeline" ]
@@ -204,7 +223,7 @@ let joint_cmd =
   in
   Cmd.v (Cmd.info "joint" ~doc:"Joint optimization (Algorithm 2, JOINT-Heur)")
     Term.(const run $ topo_arg $ file_arg $ seed_arg $ demands_arg $ flows_arg
-          $ evals_arg $ full_arg)
+          $ evals_arg $ full_arg $ stats_arg)
 
 (* gap *)
 let gap_cmd =

@@ -11,126 +11,39 @@ type dag = {
   order : int array;
 }
 
-type ctx = {
-  graph : Digraph.t;
-  weights : float array;
-  dags : dag option array;
-  units : sparse option array array; (* [dst].[src] *)
-  (* scratch buffers for propagation *)
-  node_flow : float array;
-  edge_flow : float array;
-  touched : int array; (* touched edge ids *)
-}
-
-let rel_eps = 1e-9
+(* Since the lib/engine refactor this module is a thin shim: the DAG
+   construction, unit-flow propagation and caching all live in
+   {!Engine.Evaluator}, which is also what the optimizers drive
+   directly when they need incremental re-evaluation.  The shim keeps
+   the historical API (and exception) for the many one-shot callers. *)
+type ctx = { ev : Engine.Evaluator.t }
 
 let make graph weights =
   if Array.length weights <> Digraph.edge_count graph then
     invalid_arg "Ecmp.make: weight vector length mismatch";
-  let n = Digraph.node_count graph and m = Digraph.edge_count graph in
-  {
-    graph;
-    weights = Array.copy weights;
-    dags = Array.make n None;
-    units = Array.make_matrix n n None;
-    node_flow = Array.make n 0.;
-    edge_flow = Array.make m 0.;
-    touched = Array.make m 0;
-  }
+  { ev = Engine.Evaluator.create graph weights }
 
-let graph ctx = ctx.graph
+let of_evaluator ev = { ev }
 
-let weights ctx = ctx.weights
+let evaluator ctx = ctx.ev
 
-let build_dag g w target =
-  let dist = Paths.dijkstra_to g ~weights:w ~target in
-  let n = Digraph.node_count g in
-  let out_sp =
-    Array.init n (fun v ->
-        if dist.(v) = infinity then [||]
-        else begin
-          let es = Digraph.out_edges g v in
-          let keep = ref [] in
-          (* Collect in reverse then re-reverse to keep edge order. *)
-          for i = Array.length es - 1 downto 0 do
-            let e = es.(i) in
-            let u = Digraph.dst g e in
-            if
-              dist.(u) < infinity
-              && abs_float ((w.(e) +. dist.(u)) -. dist.(v))
-                 <= rel_eps *. (1. +. abs_float dist.(v))
-            then keep := e :: !keep
-          done;
-          Array.of_list !keep
-        end)
-  in
-  let finite = ref [] in
-  for v = n - 1 downto 0 do
-    if dist.(v) < infinity then finite := v :: !finite
-  done;
-  let order = Array.of_list !finite in
-  (* Decreasing distance; ties broken by node id for determinism. *)
-  Array.sort
-    (fun a b ->
-      let c = compare dist.(b) dist.(a) in
-      if c <> 0 then c else compare a b)
-    order;
-  { target; dist; out_sp; order }
+let graph ctx = Engine.Evaluator.graph ctx.ev
+
+let weights ctx = Engine.Evaluator.weights ctx.ev
 
 let dag ctx ~target =
-  match ctx.dags.(target) with
-  | Some d -> d
-  | None ->
-    let d = build_dag ctx.graph ctx.weights target in
-    ctx.dags.(target) <- Some d;
-    d
-
-let compute_unit ctx src dst =
-  if src = dst then { edges = [||]; flows = [||] }
-  else begin
-    let d = dag ctx ~target:dst in
-    if d.dist.(src) = infinity then raise (Unroutable (src, dst));
-    let nf = ctx.node_flow and ef = ctx.edge_flow in
-    let ntouched = ref 0 in
-    nf.(src) <- 1.;
-    (* Propagate in decreasing-distance order; a node's whole inflow is
-       known before it is processed because SP-DAG edges strictly
-       decrease the distance to the target. *)
-    Array.iter
-      (fun v ->
-        let f = nf.(v) in
-        if f > 0. && v <> dst then begin
-          nf.(v) <- 0.;
-          let es = d.out_sp.(v) in
-          let share = f /. float_of_int (Array.length es) in
-          Array.iter
-            (fun e ->
-              if ef.(e) = 0. then begin
-                ctx.touched.(!ntouched) <- e;
-                incr ntouched
-              end;
-              ef.(e) <- ef.(e) +. share;
-              nf.(Digraph.dst ctx.graph e) <- nf.(Digraph.dst ctx.graph e) +. share)
-            es
-        end
-        else if v = dst then nf.(v) <- 0.)
-      d.order;
-    let k = !ntouched in
-    let ids = Array.sub ctx.touched 0 k in
-    Array.sort compare ids;
-    let flows = Array.map (fun e -> ef.(e)) ids in
-    (* Clear scratch. *)
-    Array.iter (fun e -> ef.(e) <- 0.) ids;
-    { edges = ids; flows }
-  end
+  let d = Engine.Evaluator.dag ctx.ev ~target in
+  {
+    target;
+    dist = d.Engine.Evaluator.dist;
+    out_sp = d.Engine.Evaluator.out_sp;
+    order = d.Engine.Evaluator.order;
+  }
 
 let unit_load ctx ~src ~dst =
-  match ctx.units.(dst).(src) with
-  | Some s -> s
-  | None ->
-    let s = compute_unit ctx src dst in
-    ctx.units.(dst).(src) <- Some s;
-    s
+  match Engine.Evaluator.unit_load ctx.ev ~src ~dst with
+  | s -> { edges = s.Engine.Evaluator.edges; flows = s.Engine.Evaluator.flows }
+  | exception Engine.Evaluator.Unroutable (s, t) -> raise (Unroutable (s, t))
 
 let add_sparse acc s ~scale =
   for i = 0 to Array.length s.edges - 1 do
@@ -154,7 +67,7 @@ let loads ?waypoints ctx demands =
   | Some w when Array.length w <> Array.length demands ->
     invalid_arg "Ecmp.loads: waypoints length mismatch"
   | _ -> ());
-  let acc = Array.make (Digraph.edge_count ctx.graph) 0. in
+  let acc = Array.make (Digraph.edge_count (graph ctx)) 0. in
   Array.iteri
     (fun i (d : Network.demand) ->
       let wps =
@@ -167,13 +80,7 @@ let loads ?waypoints ctx demands =
     demands;
   acc
 
-let mlu g loads =
-  let best = ref 0. in
-  for e = 0 to Digraph.edge_count g - 1 do
-    let u = loads.(e) /. Digraph.cap g e in
-    if u > !best then best := u
-  done;
-  !best
+let mlu = Engine.Evaluator.mlu_of_loads
 
 let utilizations g loads =
   Array.init (Digraph.edge_count g) (fun e -> loads.(e) /. Digraph.cap g e)

@@ -24,7 +24,16 @@ type dag = {
 type ctx
 
 val make : Netgraph.Digraph.t -> Weights.t -> ctx
-(** Caches are lazy: nothing is computed until first use. *)
+(** Caches are lazy: nothing is computed until first use.  Since the
+    engine refactor a [ctx] is a shim over {!Engine.Evaluator}; one-shot
+    callers keep this API, while the optimizers drive the evaluator
+    directly for incremental weight updates. *)
+
+val of_evaluator : Engine.Evaluator.t -> ctx
+(** Wraps an existing evaluator (sharing its caches and stats). *)
+
+val evaluator : ctx -> Engine.Evaluator.t
+(** The underlying shared evaluation engine. *)
 
 val graph : ctx -> Netgraph.Digraph.t
 

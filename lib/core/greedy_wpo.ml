@@ -35,21 +35,29 @@ let order_indices order demands =
     done);
   indices
 
-let optimize_multi ?(order = Desc) ~rounds g weights demands =
+(* The greedy never changes weights, so the engine's DAG and unit-flow
+   caches persist for the whole run; only the load vector is private
+   (the search trials waypoint insertions by patching it in place). *)
+let apply loads sign (s : Engine.Evaluator.sparse) scale =
+  for i = 0 to Array.length s.Engine.Evaluator.edges - 1 do
+    let e = s.Engine.Evaluator.edges.(i) in
+    loads.(e) <- loads.(e) +. (sign *. scale *. s.Engine.Evaluator.flows.(i))
+  done
+
+let optimize_multi ?stats ?(order = Desc) ~rounds g weights demands =
   if rounds < 1 then invalid_arg "Greedy_wpo.optimize_multi: rounds >= 1";
   let n = Digraph.node_count g and m = Digraph.edge_count g in
-  let ctx = Ecmp.make g weights in
-  let loads = Ecmp.loads ctx demands in
+  let ev = Engine.Evaluator.create ?stats g weights in
+  Engine.Evaluator.set_commodities ev (Network.to_commodities demands);
+  let unit_load src dst = Engine.Evaluator.unit_load ev ~src ~dst in
+  let loads =
+    try Array.copy (Engine.Evaluator.loads ev)
+    with Engine.Evaluator.Unroutable (s, t) -> raise (Ecmp.Unroutable (s, t))
+  in
   let setting = Array.make (Array.length demands) [] in
   let indices = order_indices order demands in
-  let u_min = ref (Ecmp.mlu g loads) in
+  let u_min = ref (Engine.Evaluator.mlu_of_loads g loads) in
   let round_mlu = ref [] in
-  let apply sign (s : Ecmp.sparse) scale =
-    for i = 0 to Array.length s.Ecmp.edges - 1 do
-      let e = s.Ecmp.edges.(i) in
-      loads.(e) <- loads.(e) +. (sign *. scale *. s.Ecmp.flows.(i))
-    done
-  in
   for _round = 1 to rounds do
     Array.iter
       (fun i ->
@@ -61,19 +69,16 @@ let optimize_multi ?(order = Desc) ~rounds g weights demands =
           match List.rev setting.(i) with w :: _ -> w | [] -> d.Network.src
         in
         if anchor <> d.Network.dst then begin
-          let last_seg = Ecmp.unit_load ctx ~src:anchor ~dst:d.Network.dst in
-          apply (-1.) last_seg size;
+          let last_seg = unit_load anchor d.Network.dst in
+          apply loads (-1.) last_seg size;
           let best_w = ref None and best_u = ref !u_min in
           for w = 0 to n - 1 do
             if w <> anchor && w <> d.Network.dst then begin
-              match
-                ( Ecmp.unit_load ctx ~src:anchor ~dst:w,
-                  Ecmp.unit_load ctx ~src:w ~dst:d.Network.dst )
-              with
-              | exception Ecmp.Unroutable _ -> ()
+              match (unit_load anchor w, unit_load w d.Network.dst) with
+              | exception Engine.Evaluator.Unroutable _ -> ()
               | seg1, seg2 ->
-                apply 1. seg1 size;
-                apply 1. seg2 size;
+                apply loads 1. seg1 size;
+                apply loads 1. seg2 size;
                 let u = ref 0. in
                 for e = 0 to m - 1 do
                   let r = loads.(e) /. Digraph.cap g e in
@@ -83,46 +88,44 @@ let optimize_multi ?(order = Desc) ~rounds g weights demands =
                   best_u := !u;
                   best_w := Some w
                 end;
-                apply (-1.) seg1 size;
-                apply (-1.) seg2 size
+                apply loads (-1.) seg1 size;
+                apply loads (-1.) seg2 size
             end
           done;
           match !best_w with
           | Some w ->
             setting.(i) <- setting.(i) @ [ w ];
             u_min := !best_u;
-            apply 1. (Ecmp.unit_load ctx ~src:anchor ~dst:w) size;
-            apply 1. (Ecmp.unit_load ctx ~src:w ~dst:d.Network.dst) size
-          | None -> apply 1. last_seg size
+            apply loads 1. (unit_load anchor w) size;
+            apply loads 1. (unit_load w d.Network.dst) size
+          | None -> apply loads 1. last_seg size
         end)
       indices;
-    round_mlu := Ecmp.mlu g loads :: !round_mlu
+    round_mlu := Engine.Evaluator.mlu_of_loads g loads :: !round_mlu
   done;
-  { setting; mlu = Ecmp.mlu g loads; round_mlu = List.rev !round_mlu }
+  { setting; mlu = Engine.Evaluator.mlu_of_loads g loads;
+    round_mlu = List.rev !round_mlu }
 
-let optimize ?(order = Desc) ?(passes = 1) g weights demands =
+let optimize ?stats ?(order = Desc) ?(passes = 1) g weights demands =
   if passes < 1 then invalid_arg "Greedy_wpo.optimize: passes >= 1";
   let n = Digraph.node_count g and m = Digraph.edge_count g in
-  let ctx = Ecmp.make g weights in
-  let loads = Ecmp.loads ctx demands in
-  let initial_mlu = Ecmp.mlu g loads in
+  let ev = Engine.Evaluator.create ?stats g weights in
+  Engine.Evaluator.set_commodities ev (Network.to_commodities demands);
+  let unit_load src dst = Engine.Evaluator.unit_load ev ~src ~dst in
+  let loads =
+    try Array.copy (Engine.Evaluator.loads ev)
+    with Engine.Evaluator.Unroutable (s, t) -> raise (Ecmp.Unroutable (s, t))
+  in
+  let initial_mlu = Engine.Evaluator.mlu_of_loads g loads in
   let waypoints = Array.make (Array.length demands) None in
   let indices = order_indices order demands in
   let u_min = ref initial_mlu in
-  let apply sign (s : Ecmp.sparse) scale =
-    for i = 0 to Array.length s.Ecmp.edges - 1 do
-      let e = s.Ecmp.edges.(i) in
-      loads.(e) <- loads.(e) +. (sign *. scale *. s.Ecmp.flows.(i))
-    done
-  in
   (* The segments a demand currently loads onto the network. *)
   let segments_of i =
     let d = demands.(i) in
     match waypoints.(i) with
-    | None -> [ Ecmp.unit_load ctx ~src:d.Network.src ~dst:d.Network.dst ]
-    | Some w ->
-      [ Ecmp.unit_load ctx ~src:d.Network.src ~dst:w;
-        Ecmp.unit_load ctx ~src:w ~dst:d.Network.dst ]
+    | None -> [ unit_load d.Network.src d.Network.dst ]
+    | Some w -> [ unit_load d.Network.src w; unit_load w d.Network.dst ]
   in
   (* Pass 1 is Algorithm 3 verbatim; later passes revisit each demand,
      allowing reassignment or removal of its waypoint (the sequential
@@ -134,7 +137,7 @@ let optimize ?(order = Desc) ?(passes = 1) g weights demands =
         let d = demands.(i) in
         let size = d.Network.size in
         let current = segments_of i in
-        List.iter (fun s -> apply (-1.) s size) current;
+        List.iter (fun s -> apply loads (-1.) s size) current;
         let scan () =
           let u = ref 0. in
           for e = 0 to m - 1 do
@@ -146,44 +149,42 @@ let optimize ?(order = Desc) ?(passes = 1) g weights demands =
         let best_w = ref waypoints.(i) and best_u = ref !u_min in
         (* On improvement passes, also consider dropping the waypoint. *)
         if pass > 1 && waypoints.(i) <> None then begin
-          let direct = Ecmp.unit_load ctx ~src:d.Network.src ~dst:d.Network.dst in
-          apply 1. direct size;
+          let direct = unit_load d.Network.src d.Network.dst in
+          apply loads 1. direct size;
           let u = scan () in
           if u < !best_u -. 1e-12 then begin
             best_u := u;
             best_w := None
           end;
-          apply (-1.) direct size
+          apply loads (-1.) direct size
         end;
         for w = 0 to n - 1 do
           if w <> d.Network.src && w <> d.Network.dst && Some w <> waypoints.(i)
           then begin
-            match
-              ( Ecmp.unit_load ctx ~src:d.Network.src ~dst:w,
-                Ecmp.unit_load ctx ~src:w ~dst:d.Network.dst )
-            with
-            | exception Ecmp.Unroutable _ -> ()
+            match (unit_load d.Network.src w, unit_load w d.Network.dst) with
+            | exception Engine.Evaluator.Unroutable _ -> ()
             | seg1, seg2 ->
-              apply 1. seg1 size;
-              apply 1. seg2 size;
+              apply loads 1. seg1 size;
+              apply loads 1. seg2 size;
               let u = scan () in
               if u < !best_u -. 1e-12 then begin
                 best_u := u;
                 best_w := Some w
               end;
-              apply (-1.) seg1 size;
-              apply (-1.) seg2 size
+              apply loads (-1.) seg1 size;
+              apply loads (-1.) seg2 size
           end
         done;
         if !best_w <> waypoints.(i) then begin
           waypoints.(i) <- !best_w;
           u_min := !best_u
         end;
-        List.iter (fun s -> apply 1. s size) (segments_of i);
+        List.iter (fun s -> apply loads 1. s size) (segments_of i);
         (* Keep u_min honest when nothing changed (restoring the demand
            restores the previous MLU). *)
-        if !best_w = waypoints.(i) then u_min := Ecmp.mlu g loads)
+        if !best_w = waypoints.(i) then
+          u_min := Engine.Evaluator.mlu_of_loads g loads)
       indices
   done;
-  let final_mlu = Ecmp.mlu g loads in
+  let final_mlu = Engine.Evaluator.mlu_of_loads g loads in
   { waypoints; mlu = final_mlu; initial_mlu }

@@ -15,6 +15,7 @@ type result = {
 }
 
 val optimize :
+  ?stats:Engine.Stats.t ->
   ?order:order ->
   ?passes:int ->
   Netgraph.Digraph.t ->
@@ -23,7 +24,9 @@ val optimize :
   result
 (** [passes = 1] (default) is Algorithm 3 verbatim; additional passes
     revisit every demand and may reassign or drop its waypoint, which
-    repairs most of the sequential greedy's order-dependence.
+    repairs most of the sequential greedy's order-dependence.  All unit
+    flows come from one shared {!Engine.Evaluator}, whose cache counters
+    land in [stats].
     @raise Ecmp.Unroutable if a demand itself is unroutable (candidate
     waypoints that would make a segment unroutable are skipped). *)
 
@@ -34,6 +37,7 @@ type multi_result = {
 }
 
 val optimize_multi :
+  ?stats:Engine.Stats.t ->
   ?order:order ->
   rounds:int ->
   Netgraph.Digraph.t ->

@@ -6,7 +6,14 @@ type result = {
   stage_mlu : (string * float) list;
 }
 
-let optimize_iterated ?(ls_params = Local_search.default_params)
+(* MLU of (weights, waypoints) on the original demands, evaluated
+   through the shared engine (each waypointed demand contributes one
+   commodity per segment). *)
+let setting_mlu ?stats g w demands setting =
+  Engine.Evaluator.mlu_of ?stats g w
+    (Network.to_commodities (Segments.expand demands setting))
+
+let optimize_iterated ?stats ?(ls_params = Local_search.default_params)
     ?(iterations = 3) ?(waypoint_rounds = 1) g demands =
   if iterations < 1 then invalid_arg "Joint.optimize_iterated: iterations >= 1";
   let best = ref None in
@@ -24,20 +31,20 @@ let optimize_iterated ?(ls_params = Local_search.default_params)
        waypoints, warm-starting from the previous weights. *)
     let split = Segments.expand demands !setting in
     let ls =
-      Local_search.optimize
+      Local_search.optimize ?stats
         ~params:{ ls_params with Local_search.seed = ls_params.Local_search.seed + it }
         ?init:!int_w g split
     in
     int_w := Some ls.Local_search.weights;
     let w = Weights.of_ints ls.Local_search.weights in
-    let mlu_w = Ecmp.mlu_of ~waypoints:!setting g w demands in
+    let mlu_w = setting_mlu ?stats g w demands !setting in
     stages :=
       consider
         (Printf.sprintf "weights#%d" it)
         ls.Local_search.weights !setting mlu_w !stages;
     (* Waypoint step: re-pick waypoints from scratch under the new
        weights (the greedy is cheap; re-picking avoids lock-in). *)
-    let wpo = Greedy_wpo.optimize_multi ~rounds:waypoint_rounds g w demands in
+    let wpo = Greedy_wpo.optimize_multi ?stats ~rounds:waypoint_rounds g w demands in
     setting := wpo.Greedy_wpo.setting;
     stages :=
       consider
@@ -49,13 +56,13 @@ let optimize_iterated ?(ls_params = Local_search.default_params)
     { weights; int_weights; waypoints; mlu; stage_mlu = List.rev !stages }
   | None -> assert false (* iterations >= 1 always records a candidate *)
 
-let optimize ?(ls_params = Local_search.default_params) ?(full_pipeline = false)
-    g demands =
+let optimize ?stats ?(ls_params = Local_search.default_params)
+    ?(full_pipeline = false) g demands =
   (* Step 1: link-weight optimization. *)
-  let ls = Local_search.optimize ~params:ls_params g demands in
+  let ls = Local_search.optimize ?stats ~params:ls_params g demands in
   let w1 = Weights.of_ints ls.Local_search.weights in
   (* Step 2: greedy waypoints under those weights. *)
-  let wpo = Greedy_wpo.optimize g w1 demands in
+  let wpo = Greedy_wpo.optimize ?stats g w1 demands in
   let setting = Segments.of_single wpo.Greedy_wpo.waypoints in
   let stage2 = wpo.Greedy_wpo.mlu in
   let stages =
@@ -69,13 +76,13 @@ let optimize ?(ls_params = Local_search.default_params) ?(full_pipeline = false)
        weights for the split list. *)
     let split = Segments.expand demands setting in
     let ls2 =
-      Local_search.optimize ~params:ls_params ~init:ls.Local_search.weights g
-        split
+      Local_search.optimize ?stats ~params:ls_params ~init:ls.Local_search.weights
+        g split
     in
     let w2 = Weights.of_ints ls2.Local_search.weights in
     (* Evaluate the original demands + waypoints under the new weights:
        re-running the greedy under w2 also re-validates the waypoints. *)
-    let mlu2 = Ecmp.mlu_of ~waypoints:setting g w2 demands in
+    let mlu2 = setting_mlu ?stats g w2 demands setting in
     let stages = stages @ [ ("HeurOSPF2", mlu2) ] in
     if mlu2 < stage2 -. 1e-12 then
       { weights = w2; int_weights = ls2.Local_search.weights;

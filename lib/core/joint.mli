@@ -18,15 +18,19 @@ type result = {
 }
 
 val optimize :
+  ?stats:Engine.Stats.t ->
   ?ls_params:Local_search.params ->
   ?full_pipeline:bool ->
   Netgraph.Digraph.t ->
   Network.demand array ->
   result
 (** [full_pipeline] (default [false], as plotted in the paper) enables
-    steps 3–4. *)
+    steps 3–4.  [stats] is threaded through every stage (weight search,
+    greedy waypoints, cross-stage evaluations), so one instance accounts
+    for the whole pipeline. *)
 
 val optimize_iterated :
+  ?stats:Engine.Stats.t ->
   ?ls_params:Local_search.params ->
   ?iterations:int ->
   ?waypoint_rounds:int ->

@@ -13,43 +13,16 @@ let default_params =
 
 type result = { weights : int array; mlu : float; phi : float; evals : int }
 
-(* Fortz–Thorup piecewise-linear congestion cost.  phi_hat is the
-   integral of the slope function 1/3/10/70/500/5000 over utilization. *)
-let breakpoints = [| 0.; 1. /. 3.; 2. /. 3.; 0.9; 1.; 1.1 |]
-
-let slopes = [| 1.; 3.; 10.; 70.; 500.; 5000. |]
-
-let phi_hat u =
-  let acc = ref 0. in
-  let i = ref 0 in
-  let continue = ref true in
-  while !continue && !i < 6 do
-    let lo = breakpoints.(!i) in
-    let hi = if !i = 5 then infinity else breakpoints.(!i + 1) in
-    if u > hi then acc := !acc +. (slopes.(!i) *. (hi -. lo))
-    else begin
-      acc := !acc +. (slopes.(!i) *. (u -. lo));
-      continue := false
-    end;
-    incr i
-  done;
-  !acc
-
-let phi_cost g loads =
-  let total = ref 0. in
-  for e = 0 to Digraph.edge_count g - 1 do
-    let c = Digraph.cap g e in
-    total := !total +. (c *. phi_hat (loads.(e) /. c))
-  done;
-  !total
+(* The Fortz–Thorup piecewise-linear congestion cost is owned by the
+   evaluation engine; this re-export keeps the historical API. *)
+let phi_cost = Engine.Evaluator.phi_cost
 
 let evaluate g demands int_weights =
-  let w = Weights.of_ints int_weights in
-  let ctx = Ecmp.make g w in
-  let loads = Ecmp.loads ctx demands in
-  (Ecmp.mlu g loads, phi_cost g loads)
+  let ev = Engine.Evaluator.create g (Weights.of_ints int_weights) in
+  Engine.Evaluator.set_commodities ev (Network.to_commodities demands);
+  Engine.Evaluator.evaluate ev
 
-let optimize ?(params = default_params) ?init g demands =
+let optimize ?stats ?(params = default_params) ?init g demands =
   if params.wmax < 2 then invalid_arg "Local_search.optimize: wmax < 2";
   let m = Digraph.edge_count g in
   let demands = Network.aggregate demands in
@@ -62,29 +35,47 @@ let optimize ?(params = default_params) ?init g demands =
       Array.copy w
     | None -> Weights.round_to_range ~wmax:params.wmax (Weights.inverse_capacity g)
   in
+  (* One evaluator serves the whole search; candidate moves are probed
+     as incremental single-weight updates and rolled back via the undo
+     trail rather than rebuilding the ECMP state per candidate. *)
+  let ev = Engine.Evaluator.create ?stats g (Weights.of_ints init) in
+  Engine.Evaluator.set_commodities ev (Network.to_commodities demands);
   let evals = ref 0 in
   (* Fortz–Thorup keep a hash table of already-evaluated settings; memo
      hits do not consume the evaluation budget. *)
   let memo : (int array, float * float * float array) Hashtbl.t =
     Hashtbl.create 1024
   in
-  let eval w =
-    match Hashtbl.find_opt memo w with
+  let memoize w r =
+    if Hashtbl.length memo < 200_000 then Hashtbl.replace memo (Array.copy w) r
+  in
+  (* Evaluates the engine's current weight vector, which the caller has
+     already synced to [w] (the memo key). *)
+  let eval_engine w =
+    incr evals;
+    let mlu, phi = Engine.Evaluator.evaluate ev in
+    let loads = Array.copy (Engine.Evaluator.loads ev) in
+    let r = (mlu, phi, loads) in
+    memoize w r;
+    r
+  in
+  (* Probe one single-edge candidate: push the move, evaluate, undo. *)
+  let probe current e wv =
+    match Hashtbl.find_opt memo current with
     | Some r -> r
     | None ->
-      incr evals;
-      let wts = Weights.of_ints w in
-      let ctx = Ecmp.make g wts in
-      let loads = Ecmp.loads ctx demands in
-      let mlu = Ecmp.mlu g loads in
-      let phi = phi_cost g loads in
-      let r = (mlu, phi, loads) in
-      if Hashtbl.length memo < 200_000 then Hashtbl.replace memo (Array.copy w) r;
+      Engine.Evaluator.set_weight ev ~edge:e (float_of_int wv);
+      let r = eval_engine current in
+      Engine.Evaluator.undo ev;
       r
   in
   let objective (mlu, phi) = if params.use_phi then phi else mlu in
   let current = init in
-  let cur_mlu, cur_phi, cur_loads = eval current in
+  let cur_mlu, cur_phi, cur_loads =
+    match Hashtbl.find_opt memo current with
+    | Some r -> r
+    | None -> eval_engine current
+  in
   let cur_obj = ref (objective (cur_mlu, cur_phi)) in
   let cur_loads = ref cur_loads in
   let best_w = ref (Array.copy current) in
@@ -141,7 +132,7 @@ let optimize ?(params = default_params) ?init g demands =
       (fun wv ->
         if !evals < params.max_evals then begin
           current.(e) <- wv;
-          let mlu, phi, loads = eval current in
+          let mlu, phi, loads = probe current e wv in
           let obj = objective (mlu, phi) in
           if mlu < !best_mlu -. 1e-12 then begin
             best_mlu := mlu;
@@ -154,18 +145,21 @@ let optimize ?(params = default_params) ?init g demands =
         end)
       (candidates old);
     current.(e) <- old;
+    let accept wv obj loads =
+      current.(e) <- wv;
+      Engine.Evaluator.set_weight ev ~edge:e (float_of_int wv);
+      Engine.Evaluator.commit ev;
+      cur_obj := obj;
+      cur_loads := loads
+    in
     (match !best_cand with
     | Some (obj, wv, _mlu, loads) when obj < !cur_obj -. 1e-12 ->
-      current.(e) <- wv;
-      cur_obj := obj;
-      cur_loads := loads;
+      accept wv obj loads;
       stall := 0
     | Some (obj, wv, _mlu, loads)
       when obj <= !cur_obj +. 1e-12 && Random.State.float st 1. < 0.3 ->
       (* Sideways move to escape plateaus. *)
-      current.(e) <- wv;
-      cur_obj := obj;
-      cur_loads := loads
+      accept wv obj loads
     | _ -> incr stall);
     if !stall >= params.stall_limit && !evals < params.max_evals then begin
       (* Perturbation: restart the walk from the best solution with a
@@ -175,7 +169,13 @@ let optimize ?(params = default_params) ?init g demands =
       for _ = 1 to kicks do
         current.(Random.State.int st m) <- 1 + Random.State.int st params.wmax
       done;
-      let mlu, phi, loads = eval current in
+      Engine.Evaluator.set_weights ev (Weights.of_ints current);
+      Engine.Evaluator.commit ev;
+      let mlu, phi, loads =
+        match Hashtbl.find_opt memo current with
+        | Some r -> r
+        | None -> eval_engine current
+      in
       if mlu < !best_mlu -. 1e-12 then begin
         best_mlu := mlu;
         best_phi := phi;

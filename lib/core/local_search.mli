@@ -28,17 +28,23 @@ type result = {
 val phi_cost : Netgraph.Digraph.t -> float array -> float
 (** The Fortz–Thorup cost: [sum_e c_e * phi_hat(load_e / c_e)] with
     slopes 1, 3, 10, 70, 500, 5000 at breakpoints 1/3, 2/3, 9/10, 1,
-    11/10. *)
+    11/10 (re-export of {!Engine.Evaluator.phi_cost}, the single shared
+    definition). *)
 
 val evaluate :
   Netgraph.Digraph.t -> Network.demand array -> int array -> float * float
 (** [(mlu, phi)] of a weight vector. *)
 
 val optimize :
+  ?stats:Engine.Stats.t ->
   ?params:params ->
   ?init:int array ->
   Netgraph.Digraph.t ->
   Network.demand array ->
   result
 (** [init] defaults to the inverse-capacity setting rounded onto the
-    weight grid. *)
+    weight grid.  The search evaluates candidates through one shared
+    {!Engine.Evaluator}: each single-weight move is probed as an
+    incremental update and undone (or committed) through the engine's
+    move protocol.  [stats] collects the engine's evaluation and
+    SPF-rebuild counters for the whole run. *)

@@ -43,6 +43,9 @@ let sources_for t target =
   |> List.filter_map (fun d -> if d.dst = target then Some d.src else None)
   |> List.sort_uniq compare
 
+let to_commodities demands =
+  Array.map (fun d -> (d.src, d.dst, d.size)) demands
+
 let split_demands ~parts demands =
   if parts < 1 then invalid_arg "Network.split_demands: parts < 1";
   Array.concat

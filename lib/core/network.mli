@@ -32,6 +32,11 @@ val targets : t -> int list
 val sources_for : t -> int -> int list
 (** Distinct sources of demands towards the given target. *)
 
+val to_commodities : demand array -> (int * int * float) array
+(** The [(src, dst, size)] triples the evaluation engine consumes
+    ({!Engine.Evaluator.set_commodities}).  Waypointed demands should be
+    expanded with {!Segments.expand} first. *)
+
 val split_demands : parts:int -> demand array -> demand array
 (** Splits every demand into [parts] equal sub-demands (the paper's
     MCF-synthetic generation splits per-pair demands into |E|/4 flows). *)

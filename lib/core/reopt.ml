@@ -24,8 +24,8 @@ type result = {
   churn : churn;
 }
 
-let reoptimize ?(ls_params = Local_search.default_params) ?max_weight_changes
-    ~deployed_weights ~deployed_waypoints g demands =
+let reoptimize ?stats ?(ls_params = Local_search.default_params)
+    ?max_weight_changes ~deployed_weights ~deployed_waypoints g demands =
   let m = Digraph.edge_count g in
   if Array.length deployed_weights <> m then
     invalid_arg "Reopt.reoptimize: deployed weight length mismatch";
@@ -34,11 +34,15 @@ let reoptimize ?(ls_params = Local_search.default_params) ?max_weight_changes
   in
   let st = Random.State.make [| ls_params.Local_search.seed; 0x4e09 |] in
   let wmax = ls_params.Local_search.wmax in
-  let eval w =
-    Ecmp.mlu_of ~waypoints:deployed_waypoints g (Weights.of_ints w) demands
-  in
+  (* One evaluator carries the whole budgeted search: the deployed
+     waypoints are fixed, so the commodity list (one per segment) never
+     changes, and every candidate weight is probed as an incremental
+     single-weight move against it. *)
+  let ev = Engine.Evaluator.create ?stats g (Weights.of_ints deployed_weights) in
+  Engine.Evaluator.set_commodities ev
+    (Network.to_commodities (Segments.expand demands deployed_waypoints));
   let current = Array.copy deployed_weights in
-  let cur_mlu = ref (eval current) in
+  let cur_mlu = ref (fst (Engine.Evaluator.evaluate ev)) in
   let deployed_mlu = !cur_mlu in
   let changed = Hashtbl.create 8 in
   let changes () = Hashtbl.length changed in
@@ -49,9 +53,9 @@ let reoptimize ?(ls_params = Local_search.default_params) ?max_weight_changes
   while !evals < ls_params.Local_search.max_evals do
     let e =
       if Random.State.float st 1. < 0.6 then begin
-        (* Most utilized edge under the current weights. *)
-        let ctx = Ecmp.make g (Weights.of_ints current) in
-        let loads = Ecmp.loads ~waypoints:deployed_waypoints ctx demands in
+        (* Most utilized edge under the current weights — the engine's
+           load vector is already up to date for them. *)
+        let loads = Engine.Evaluator.loads ev in
         let arg = ref 0 and best = ref neg_infinity in
         for e = 0 to m - 1 do
           let u = loads.(e) /. Digraph.cap g e in
@@ -79,17 +83,19 @@ let reoptimize ?(ls_params = Local_search.default_params) ?max_weight_changes
         (fun wv ->
           if !evals < ls_params.Local_search.max_evals then begin
             incr evals;
-            current.(e) <- wv;
-            let mlu = eval current in
+            Engine.Evaluator.set_weight ev ~edge:e (float_of_int wv);
+            let mlu = fst (Engine.Evaluator.evaluate ev) in
+            Engine.Evaluator.undo ev;
             match !best_cand with
             | Some (bm, _) when bm <= mlu -> ()
             | _ -> best_cand := Some (mlu, wv)
           end)
         candidates;
-      current.(e) <- old;
       match !best_cand with
       | Some (mlu, wv) when mlu < !cur_mlu -. 1e-12 ->
         current.(e) <- wv;
+        Engine.Evaluator.set_weight ev ~edge:e (float_of_int wv);
+        Engine.Evaluator.commit ev;
         cur_mlu := mlu;
         if wv = deployed_weights.(e) then Hashtbl.remove changed e
         else Hashtbl.replace changed e ();
@@ -103,7 +109,7 @@ let reoptimize ?(ls_params = Local_search.default_params) ?max_weight_changes
   done;
   (* Waypoint step: re-pick greedily under the new weights (not
      budgeted; segment-stack changes are local to ingresses). *)
-  let wpo = Greedy_wpo.optimize g (Weights.of_ints !best_w) demands in
+  let wpo = Greedy_wpo.optimize ?stats g (Weights.of_ints !best_w) demands in
   let greedy_setting = Segments.of_single wpo.Greedy_wpo.waypoints in
   (* Candidates, cheapest-churn first so ties keep the network stable. *)
   let candidates =

@@ -33,6 +33,7 @@ type result = {
 }
 
 val reoptimize :
+  ?stats:Engine.Stats.t ->
   ?ls_params:Local_search.params ->
   ?max_weight_changes:int ->
   deployed_weights:int array ->

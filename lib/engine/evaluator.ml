@@ -1,0 +1,476 @@
+open Netgraph
+
+exception Unroutable of int * int
+
+type sparse = { edges : int array; flows : float array }
+
+type dag = {
+  dist : float array;
+  out_sp : int array array;
+  order : int array;
+}
+
+(* Pre-change state of one destination, captured when a weight update
+   dirties it.  Undoing restores these pointers verbatim, so a probe
+   (set_weight / evaluate / undo) repairs forward exactly once and
+   never pays a repair on the way back. *)
+type snapshot = {
+  s_dest : int;
+  s_dag : dag option;
+  s_units : sparse option array;
+  s_dest_load : float array option;
+}
+
+type trail_entry = {
+  e_edge : int;
+  e_old_w : float;
+  e_saved : snapshot list;  (* dirty destinations, pre-change state *)
+  e_unknown : int list;  (* destinations with no DAG at change time *)
+  e_snap_valid : bool;  (* false: undo must fall back to a flush *)
+}
+
+type t = {
+  graph : Digraph.t;
+  weights : float array;
+  stats : Stats.t;
+  dags : dag option array; (* per destination *)
+  units : sparse option array array; (* [dst].[src] *)
+  (* commodity bookkeeping *)
+  mutable by_dest : (int * float) array array; (* dest -> (src, size) *)
+  mutable active_dests : int array; (* dests with traffic, ascending *)
+  dest_loads : float array option array; (* cached per-dest contribution *)
+  loads_buf : float array;
+  mutable loads_valid : bool;
+  (* undo trail: uncommitted weight changes, newest first *)
+  mutable trail : trail_entry list;
+  (* scratch buffers for unit-flow propagation *)
+  node_flow : float array;
+  edge_flow : float array;
+  touched : int array;
+}
+
+let rel_eps = 1e-9
+
+(* Dirtiness is decided with a slightly wider tolerance than DAG
+   membership: a false positive only costs one unnecessary repair. *)
+let dirty_eps = 1e-8
+
+let check_weights g w =
+  if Array.length w <> Digraph.edge_count g then
+    invalid_arg "Evaluator: weight vector length mismatch";
+  Array.iter
+    (fun x -> if not (x > 0.) then invalid_arg "Evaluator: weights must be positive")
+    w
+
+let create ?(stats = Stats.create ()) graph weights =
+  check_weights graph weights;
+  let n = Digraph.node_count graph and m = Digraph.edge_count graph in
+  {
+    graph;
+    weights = Array.copy weights;
+    stats;
+    dags = Array.make n None;
+    units = Array.make_matrix n n None;
+    by_dest = Array.make n [||];
+    active_dests = [||];
+    dest_loads = Array.make n None;
+    loads_buf = Array.make m 0.;
+    loads_valid = false;
+    trail = [];
+    node_flow = Array.make n 0.;
+    edge_flow = Array.make m 0.;
+    touched = Array.make m 0;
+  }
+
+let graph t = t.graph
+
+let weights t = t.weights
+
+let stats t = t.stats
+
+let trail_length t = List.length t.trail
+
+(* ------------------------------------------------------------------ *)
+(* Shortest-path DAGs                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* out_sp and order are pure functions of the distance array; shared by
+   the from-scratch build and the incremental repair. *)
+let dag_of_dist g w dist =
+  let n = Digraph.node_count g in
+  let out_sp =
+    Array.init n (fun v ->
+        if dist.(v) = infinity then [||]
+        else begin
+          let es = Digraph.out_edges g v in
+          let keep = ref [] in
+          for i = Array.length es - 1 downto 0 do
+            let e = es.(i) in
+            let u = Digraph.dst g e in
+            if
+              dist.(u) < infinity
+              && abs_float ((w.(e) +. dist.(u)) -. dist.(v))
+                 <= rel_eps *. (1. +. abs_float dist.(v))
+            then keep := e :: !keep
+          done;
+          Array.of_list !keep
+        end)
+  in
+  let finite = ref [] in
+  for v = n - 1 downto 0 do
+    if dist.(v) < infinity then finite := v :: !finite
+  done;
+  let order = Array.of_list !finite in
+  (* Decreasing distance; ties broken by node id for determinism. *)
+  Array.sort
+    (fun a b ->
+      let c = compare dist.(b) dist.(a) in
+      if c <> 0 then c else compare a b)
+    order;
+  { dist; out_sp; order }
+
+let dag t ~target =
+  match t.dags.(target) with
+  | Some d ->
+    t.stats.Stats.dag_hits <- t.stats.Stats.dag_hits + 1;
+    d
+  | None ->
+    t.stats.Stats.dag_misses <- t.stats.Stats.dag_misses + 1;
+    t.stats.Stats.full_spf <- t.stats.Stats.full_spf + 1;
+    let d =
+      Stats.time t.stats "spf_full" (fun () ->
+          let dist = Paths.dijkstra_to t.graph ~weights:t.weights ~target in
+          dag_of_dist t.graph t.weights dist)
+    in
+    t.dags.(target) <- Some d;
+    d
+
+(* ------------------------------------------------------------------ *)
+(* Unit flows                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let compute_unit t src dst =
+  if src = dst then { edges = [||]; flows = [||] }
+  else begin
+    let d = dag t ~target:dst in
+    if d.dist.(src) = infinity then raise (Unroutable (src, dst));
+    let nf = t.node_flow and ef = t.edge_flow in
+    let ntouched = ref 0 in
+    nf.(src) <- 1.;
+    (* Propagate in decreasing-distance order; a node's whole inflow is
+       known before it is processed because SP-DAG edges strictly
+       decrease the distance to the target. *)
+    Array.iter
+      (fun v ->
+        let f = nf.(v) in
+        if f > 0. && v <> dst then begin
+          nf.(v) <- 0.;
+          let es = d.out_sp.(v) in
+          let share = f /. float_of_int (Array.length es) in
+          Array.iter
+            (fun e ->
+              if ef.(e) = 0. then begin
+                t.touched.(!ntouched) <- e;
+                incr ntouched
+              end;
+              ef.(e) <- ef.(e) +. share;
+              nf.(Digraph.dst t.graph e) <- nf.(Digraph.dst t.graph e) +. share)
+            es
+        end
+        else if v = dst then nf.(v) <- 0.)
+      d.order;
+    let k = !ntouched in
+    let ids = Array.sub t.touched 0 k in
+    Array.sort compare ids;
+    let flows = Array.map (fun e -> ef.(e)) ids in
+    Array.iter (fun e -> ef.(e) <- 0.) ids;
+    { edges = ids; flows }
+  end
+
+let unit_load t ~src ~dst =
+  match t.units.(dst).(src) with
+  | Some s ->
+    t.stats.Stats.unit_hits <- t.stats.Stats.unit_hits + 1;
+    s
+  | None ->
+    t.stats.Stats.unit_misses <- t.stats.Stats.unit_misses + 1;
+    let s = Stats.time t.stats "units" (fun () -> compute_unit t src dst) in
+    t.units.(dst).(src) <- Some s;
+    s
+
+let add_sparse acc s ~scale =
+  for i = 0 to Array.length s.edges - 1 do
+    acc.(s.edges.(i)) <- acc.(s.edges.(i)) +. (scale *. s.flows.(i))
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Commodities and loads                                               *)
+(* ------------------------------------------------------------------ *)
+
+let set_commodities t commodities =
+  let n = Digraph.node_count t.graph in
+  let buckets = Array.make n [] in
+  Array.iter
+    (fun (src, dst, size) ->
+      if src < 0 || src >= n || dst < 0 || dst >= n then
+        invalid_arg "Evaluator.set_commodities: endpoint outside the graph";
+      if src <> dst then buckets.(dst) <- (src, size) :: buckets.(dst))
+    commodities;
+  let active = ref [] in
+  for dst = n - 1 downto 0 do
+    t.by_dest.(dst) <- Array.of_list (List.rev buckets.(dst));
+    t.dest_loads.(dst) <- None;
+    if buckets.(dst) <> [] then active := dst :: !active
+  done;
+  t.active_dests <- Array.of_list !active;
+  (* Undo snapshots captured per-destination load contributions for the
+     previous commodity set; they no longer apply. *)
+  t.trail <- List.map (fun en -> { en with e_snap_valid = false }) t.trail;
+  t.loads_valid <- false
+
+let dest_contribution t dest =
+  match t.dest_loads.(dest) with
+  | Some v -> v
+  | None ->
+    let v = Array.make (Digraph.edge_count t.graph) 0. in
+    Array.iter
+      (fun (src, size) -> add_sparse v (unit_load t ~src ~dst:dest) ~scale:size)
+      t.by_dest.(dest);
+    t.dest_loads.(dest) <- Some v;
+    v
+
+let loads t =
+  if not t.loads_valid then begin
+    Stats.time t.stats "loads" (fun () ->
+        (* Re-summing cached per-destination vectors in a fixed order
+           keeps the aggregate deterministic and drift-free across long
+           update/undo sequences. *)
+        let m = Digraph.edge_count t.graph in
+        Array.fill t.loads_buf 0 m 0.;
+        Array.iter
+          (fun dest ->
+            let v = dest_contribution t dest in
+            for e = 0 to m - 1 do
+              t.loads_buf.(e) <- t.loads_buf.(e) +. v.(e)
+            done)
+          t.active_dests);
+    t.loads_valid <- true
+  end;
+  t.loads_buf
+
+let mlu_of_loads g loads =
+  let best = ref 0. in
+  for e = 0 to Digraph.edge_count g - 1 do
+    let u = loads.(e) /. Digraph.cap g e in
+    if u > !best then best := u
+  done;
+  !best
+
+(* Fortz–Thorup piecewise-linear congestion cost.  phi_hat is the
+   integral of the slope function 1/3/10/70/500/5000 over utilization. *)
+let breakpoints = [| 0.; 1. /. 3.; 2. /. 3.; 0.9; 1.; 1.1 |]
+
+let slopes = [| 1.; 3.; 10.; 70.; 500.; 5000. |]
+
+let phi_hat u =
+  let acc = ref 0. in
+  let i = ref 0 in
+  let continue = ref true in
+  while !continue && !i < 6 do
+    let lo = breakpoints.(!i) in
+    let hi = if !i = 5 then infinity else breakpoints.(!i + 1) in
+    if u > hi then acc := !acc +. (slopes.(!i) *. (hi -. lo))
+    else begin
+      acc := !acc +. (slopes.(!i) *. (u -. lo));
+      continue := false
+    end;
+    incr i
+  done;
+  !acc
+
+let phi_cost g loads =
+  let total = ref 0. in
+  for e = 0 to Digraph.edge_count g - 1 do
+    let c = Digraph.cap g e in
+    total := !total +. (c *. phi_hat (loads.(e) /. c))
+  done;
+  !total
+
+let mlu t = mlu_of_loads t.graph (loads t)
+
+let phi t = phi_cost t.graph (loads t)
+
+let evaluate t =
+  t.stats.Stats.evaluations <- t.stats.Stats.evaluations + 1;
+  let l = loads t in
+  (mlu_of_loads t.graph l, phi_cost t.graph l)
+
+(* ------------------------------------------------------------------ *)
+(* Weight updates                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* The invalidation rule.  With dist = distance-to-dest under the OLD
+   weights, changing edge (u, v) from [old_w] to [new_w] can alter the
+   DAG towards dest only if the edge was on it (old weight tight) or
+   lands on it (new weight tight or shorter).  If either endpoint
+   cannot reach dest the edge is on no path to it, under any weights. *)
+let dest_dirty d u v ~old_w ~new_w =
+  let du = d.dist.(u) and dv = d.dist.(v) in
+  du < infinity && dv < infinity
+  && (let tol = dirty_eps *. (1. +. abs_float du) in
+      old_w +. dv <= du +. tol || new_w +. dv <= du +. tol)
+
+(* Applies a single weight change, repairing the dirty destinations
+   into FRESH arrays so the captured pre-change state stays intact, and
+   returns the trail entry that would revert it. *)
+let apply_weight t edge new_w =
+  let old_w = t.weights.(edge) in
+  t.stats.Stats.weight_updates <- t.stats.Stats.weight_updates + 1;
+  let u = Digraph.src t.graph edge and v = Digraph.dst t.graph edge in
+  let n = Digraph.node_count t.graph in
+  let dirty = ref [] and unknown = ref [] in
+  for dest = n - 1 downto 0 do
+    match t.dags.(dest) with
+    | None -> unknown := dest :: !unknown
+    | Some d ->
+      if dest_dirty d u v ~old_w ~new_w then dirty := dest :: !dirty
+      else t.stats.Stats.clean_dests <- t.stats.Stats.clean_dests + 1
+  done;
+  t.weights.(edge) <- new_w;
+  let saved =
+    List.map
+      (fun dest ->
+        t.stats.Stats.dirty_dests <- t.stats.Stats.dirty_dests + 1;
+        t.stats.Stats.incr_spf <- t.stats.Stats.incr_spf + 1;
+        let d = Option.get t.dags.(dest) in
+        let snap =
+          { s_dest = dest; s_dag = t.dags.(dest); s_units = t.units.(dest);
+            s_dest_load = t.dest_loads.(dest) }
+        in
+        let repaired =
+          Stats.time t.stats "spf_incr" (fun () ->
+              let dist = Array.copy d.dist in
+              let touched =
+                Paths.dijkstra_update_to t.graph ~weights:t.weights
+                  ~target:dest ~dist ~edge ~old_weight:old_w
+              in
+              t.stats.Stats.spf_nodes_touched <-
+                t.stats.Stats.spf_nodes_touched + touched;
+              dag_of_dist t.graph t.weights dist)
+        in
+        t.dags.(dest) <- Some repaired;
+        t.units.(dest) <- Array.make n None;
+        if Array.length t.by_dest.(dest) > 0 then begin
+          t.dest_loads.(dest) <- None;
+          t.loads_valid <- false
+        end;
+        snap)
+      !dirty
+  in
+  { e_edge = edge; e_old_w = old_w; e_saved = saved; e_unknown = !unknown;
+    e_snap_valid = true }
+
+let set_weight t ~edge new_w =
+  if not (new_w > 0.) then invalid_arg "Evaluator.set_weight: weight must be positive";
+  if t.weights.(edge) <> new_w then
+    t.trail <- apply_weight t edge new_w :: t.trail
+
+(* Past this many changed entries a bulk update flushes the caches: the
+   per-edge repairs would collectively touch most destinations anyway. *)
+let bulk_threshold = 4
+
+let flush t =
+  let n = Digraph.node_count t.graph in
+  for dest = 0 to n - 1 do
+    if t.dags.(dest) <> None then begin
+      t.dags.(dest) <- None;
+      for s = 0 to n - 1 do
+        t.units.(dest).(s) <- None
+      done
+    end;
+    t.dest_loads.(dest) <- None
+  done;
+  t.loads_valid <- false
+
+let set_weights t w =
+  check_weights t.graph w;
+  let m = Digraph.edge_count t.graph in
+  let diffs = ref [] and ndiff = ref 0 in
+  for e = m - 1 downto 0 do
+    if t.weights.(e) <> w.(e) then begin
+      diffs := e :: !diffs;
+      incr ndiff
+    end
+  done;
+  if !ndiff <= bulk_threshold then
+    List.iter (fun e -> set_weight t ~edge:e w.(e)) !diffs
+  else begin
+    List.iter
+      (fun e ->
+        t.trail <-
+          { e_edge = e; e_old_w = t.weights.(e); e_saved = []; e_unknown = [];
+            e_snap_valid = false }
+          :: t.trail;
+        t.weights.(e) <- w.(e))
+      !diffs;
+    t.stats.Stats.weight_updates <- t.stats.Stats.weight_updates + !ndiff;
+    flush t
+  end
+
+let commit t =
+  if t.trail <> [] then begin
+    t.stats.Stats.commits <- t.stats.Stats.commits + 1;
+    t.trail <- []
+  end
+
+let undo t =
+  if t.trail <> [] then begin
+    t.stats.Stats.undos <- t.stats.Stats.undos + 1;
+    let entries = t.trail in
+    t.trail <- [];
+    (* Newest first: restoring in reverse application order recovers the
+       exact original state even when one edge changed twice. *)
+    if List.for_all (fun en -> en.e_snap_valid) entries then
+      List.iter
+        (fun en ->
+          t.weights.(en.e_edge) <- en.e_old_w;
+          List.iter
+            (fun s ->
+              t.dags.(s.s_dest) <- s.s_dag;
+              t.units.(s.s_dest) <- s.s_units;
+              t.dest_loads.(s.s_dest) <- s.s_dest_load;
+              if Array.length t.by_dest.(s.s_dest) > 0 then
+                t.loads_valid <- false)
+            en.e_saved;
+          (* Destinations first materialized after the change were built
+             under the now-reverted weights: drop them. *)
+          List.iter
+            (fun dest ->
+              if t.dags.(dest) <> None then begin
+                t.dags.(dest) <- None;
+                t.units.(dest) <- Array.make (Digraph.node_count t.graph) None;
+                t.dest_loads.(dest) <- None;
+                if Array.length t.by_dest.(dest) > 0 then
+                  t.loads_valid <- false
+              end)
+            en.e_unknown)
+        entries
+    else begin
+      (* Some entry lost its snapshot (bulk update or a commodity swap
+         mid-trail): revert the weights and rebuild lazily. *)
+      List.iter (fun en -> t.weights.(en.e_edge) <- en.e_old_w) entries;
+      t.stats.Stats.weight_updates <-
+        t.stats.Stats.weight_updates + List.length entries;
+      flush t
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* One-shot helpers                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let mlu_of ?stats g w commodities =
+  let t = create ?stats g w in
+  set_commodities t commodities;
+  t.stats.Stats.evaluations <- t.stats.Stats.evaluations + 1;
+  mlu t

@@ -1,0 +1,125 @@
+(** Shared incremental TE evaluation engine.
+
+    An evaluator owns the ECMP shortest-path state of one
+    [(graph, weights)] pair: per-destination shortest-path DAGs, the
+    memoized sparse unit-load vectors derived from them, and — once a
+    commodity list is attached — the per-destination and aggregate link
+    loads.  All optimizers evaluate candidate weight settings through
+    this one service instead of rebuilding the state from scratch.
+
+    The point of the engine is the {e incremental} path: after
+    {!set_weight} only the destinations whose distance-to-target arrays
+    can actually change (decided from the changed edge's endpoint
+    distances) are repaired, through the restricted Dijkstra of
+    {!Netgraph.Paths.dijkstra_update_to}; every other destination keeps
+    its DAG, its memoized unit flows and its cached load contribution.
+    A trail of uncommitted weight changes supports the local-search move
+    protocol: probe with [set_weight], read {!evaluate}, then either
+    {!commit} the move or {!undo} it (which repairs the state back the
+    same incremental way).
+
+    Every cache decision is counted in the evaluator's {!Stats.t}. *)
+
+exception Unroutable of int * int
+(** Raised when a commodity's destination is unreachable from its
+    source (reachability does not depend on weights). *)
+
+type sparse = {
+  edges : int array;  (** touched edge ids, ascending *)
+  flows : float array;  (** load per touched edge for one flow unit *)
+}
+
+type dag = {
+  dist : float array;  (** distance of every node to the target *)
+  out_sp : int array array;  (** per node: outgoing shortest-path edges *)
+  order : int array;  (** finite-distance nodes, decreasing distance *)
+}
+
+type t
+
+val create : ?stats:Stats.t -> Netgraph.Digraph.t -> float array -> t
+(** Caches are lazy: nothing is computed until first use.  The weight
+    vector is copied.  @raise Invalid_argument on a length mismatch or
+    a non-positive weight. *)
+
+val graph : t -> Netgraph.Digraph.t
+
+val weights : t -> float array
+(** The live weight vector.  Do not mutate; change weights through
+    {!set_weight} / {!set_weights}. *)
+
+val stats : t -> Stats.t
+
+(** {1 Shortest-path state} *)
+
+val dag : t -> target:int -> dag
+(** The shortest-path DAG towards [target] under the current weights
+    (built on first use, then cached until invalidated). *)
+
+val unit_load : t -> src:int -> dst:int -> sparse
+(** Per-edge load of one unit of ECMP flow from [src] to [dst]
+    ([src = dst] yields the empty vector).
+    @raise Unroutable if [dst] is unreachable from [src]. *)
+
+(** {1 Commodities and evaluation} *)
+
+val set_commodities : t -> (int * int * float) array -> unit
+(** Attaches the [(src, dst, size)] flows whose aggregate link loads
+    {!loads} / {!mlu} / {!phi} report.  Waypointed demands are expressed
+    by listing each segment as its own commodity.  Resets the load
+    caches but keeps all shortest-path state. *)
+
+val loads : t -> float array
+(** Aggregate per-edge load of the attached commodities under the
+    current weights.  The returned array is the evaluator's internal
+    buffer — copy it before mutating.
+    @raise Unroutable if some commodity is unroutable. *)
+
+val mlu : t -> float
+(** Max over links of load / capacity. *)
+
+val phi : t -> float
+(** The Fortz–Thorup piecewise-linear congestion cost of the current
+    loads (slopes 1, 3, 10, 70, 500, 5000 at breakpoints 1/3, 2/3,
+    9/10, 1, 11/10). *)
+
+val evaluate : t -> float * float
+(** [(mlu, phi)] of the current weights; counts one evaluation in the
+    stats (the granularity the local searches budget by). *)
+
+(** {1 Weight updates} *)
+
+val set_weight : t -> edge:int -> float -> unit
+(** Changes one weight and incrementally repairs the affected
+    destination state.  The previous value is pushed on the undo trail.
+    @raise Invalid_argument on a non-positive weight. *)
+
+val set_weights : t -> float array -> unit
+(** Bulk update.  Few changed entries are applied as incremental
+    single-weight updates; a large diff flushes the caches instead.
+    All changed entries land on the undo trail.
+    @raise Invalid_argument on length mismatch or non-positive entry. *)
+
+val commit : t -> unit
+(** Accepts every weight change since the last commit/undo: clears the
+    undo trail. *)
+
+val undo : t -> unit
+(** Reverts every weight change since the last commit, repairing the
+    evaluator state through the same incremental machinery. *)
+
+val trail_length : t -> int
+(** Number of uncommitted weight changes. *)
+
+(** {1 Static helpers} *)
+
+val phi_cost : Netgraph.Digraph.t -> float array -> float
+(** Fortz–Thorup cost [sum_e cap_e * phi_hat (load_e / cap_e)] of an
+    arbitrary load vector; the single definition the optimizers share. *)
+
+val mlu_of_loads : Netgraph.Digraph.t -> float array -> float
+
+val mlu_of :
+  ?stats:Stats.t -> Netgraph.Digraph.t -> float array ->
+  (int * int * float) array -> float
+(** One-shot: fresh evaluator, attach commodities, read the MLU. *)

@@ -1,0 +1,126 @@
+type t = {
+  mutable evaluations : int;
+  mutable full_spf : int;
+  mutable incr_spf : int;
+  mutable spf_nodes_touched : int;
+  mutable dag_hits : int;
+  mutable dag_misses : int;
+  mutable unit_hits : int;
+  mutable unit_misses : int;
+  mutable weight_updates : int;
+  mutable dirty_dests : int;
+  mutable clean_dests : int;
+  mutable commits : int;
+  mutable undos : int;
+  timer_tbl : (string, float) Hashtbl.t;
+}
+
+let create () =
+  {
+    evaluations = 0;
+    full_spf = 0;
+    incr_spf = 0;
+    spf_nodes_touched = 0;
+    dag_hits = 0;
+    dag_misses = 0;
+    unit_hits = 0;
+    unit_misses = 0;
+    weight_updates = 0;
+    dirty_dests = 0;
+    clean_dests = 0;
+    commits = 0;
+    undos = 0;
+    timer_tbl = Hashtbl.create 8;
+  }
+
+let reset s =
+  s.evaluations <- 0;
+  s.full_spf <- 0;
+  s.incr_spf <- 0;
+  s.spf_nodes_touched <- 0;
+  s.dag_hits <- 0;
+  s.dag_misses <- 0;
+  s.unit_hits <- 0;
+  s.unit_misses <- 0;
+  s.weight_updates <- 0;
+  s.dirty_dests <- 0;
+  s.clean_dests <- 0;
+  s.commits <- 0;
+  s.undos <- 0;
+  Hashtbl.reset s.timer_tbl
+
+let add_time s phase dt =
+  let prev = try Hashtbl.find s.timer_tbl phase with Not_found -> 0. in
+  Hashtbl.replace s.timer_tbl phase (prev +. dt)
+
+let merge ~into s =
+  into.evaluations <- into.evaluations + s.evaluations;
+  into.full_spf <- into.full_spf + s.full_spf;
+  into.incr_spf <- into.incr_spf + s.incr_spf;
+  into.spf_nodes_touched <- into.spf_nodes_touched + s.spf_nodes_touched;
+  into.dag_hits <- into.dag_hits + s.dag_hits;
+  into.dag_misses <- into.dag_misses + s.dag_misses;
+  into.unit_hits <- into.unit_hits + s.unit_hits;
+  into.unit_misses <- into.unit_misses + s.unit_misses;
+  into.weight_updates <- into.weight_updates + s.weight_updates;
+  into.dirty_dests <- into.dirty_dests + s.dirty_dests;
+  into.clean_dests <- into.clean_dests + s.clean_dests;
+  into.commits <- into.commits + s.commits;
+  into.undos <- into.undos + s.undos;
+  Hashtbl.iter (fun phase dt -> add_time into phase dt) s.timer_tbl
+
+let time s phase f =
+  let t0 = Unix.gettimeofday () in
+  let finally () = add_time s phase (Unix.gettimeofday () -. t0) in
+  match f () with
+  | v ->
+    finally ();
+    v
+  | exception e ->
+    finally ();
+    raise e
+
+let timers s =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) s.timer_tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let full_rebuild_fraction s =
+  let total = s.full_spf + s.incr_spf in
+  if total = 0 then nan else float_of_int s.full_spf /. float_of_int total
+
+let counters s =
+  [ ("evaluations", s.evaluations); ("full_spf", s.full_spf);
+    ("incr_spf", s.incr_spf); ("spf_nodes_touched", s.spf_nodes_touched);
+    ("dag_hits", s.dag_hits); ("dag_misses", s.dag_misses);
+    ("unit_hits", s.unit_hits); ("unit_misses", s.unit_misses);
+    ("weight_updates", s.weight_updates); ("dirty_dests", s.dirty_dests);
+    ("clean_dests", s.clean_dests); ("commits", s.commits);
+    ("undos", s.undos) ]
+
+let pp ppf s =
+  Format.fprintf ppf "@[<v>engine stats:@,";
+  List.iter
+    (fun (k, v) -> Format.fprintf ppf "  %-18s %d@," k v)
+    (counters s);
+  List.iter
+    (fun (phase, dt) -> Format.fprintf ppf "  %-18s %.6f s@," ("t:" ^ phase) dt)
+    (timers s);
+  Format.fprintf ppf "@]"
+
+let to_json s =
+  let b = Buffer.create 256 in
+  Buffer.add_char b '{';
+  let first = ref true in
+  let sep () = if !first then first := false else Buffer.add_string b ", " in
+  List.iter
+    (fun (k, v) ->
+      sep ();
+      Buffer.add_string b (Printf.sprintf "%S: %d" k v))
+    (counters s);
+  List.iter
+    (fun (phase, dt) ->
+      sep ();
+      Buffer.add_string b (Printf.sprintf "%S: %.6f" ("seconds_" ^ phase) dt))
+    (timers s);
+  Buffer.add_char b '}';
+  Buffer.contents b

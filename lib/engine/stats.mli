@@ -1,0 +1,57 @@
+(** Instrumentation for the shared evaluation engine.
+
+    A [Stats.t] is a passive bag of counters and wall-clock timers that
+    an {!Evaluator} (and the heuristics driving it) increments as it
+    works.  One instance can be threaded through a whole optimization
+    run to account for every shortest-path rebuild and cache hit it
+    performed; [merge] folds per-stage instances into a run total. *)
+
+type t = {
+  mutable evaluations : int;
+      (** candidate weight settings evaluated (mlu/phi queries) *)
+  mutable full_spf : int;
+      (** single-destination shortest-path DAGs built from scratch *)
+  mutable incr_spf : int;
+      (** DAGs repaired through the restricted Dijkstra *)
+  mutable spf_nodes_touched : int;
+      (** nodes re-settled by incremental repairs *)
+  mutable dag_hits : int;  (** destination DAG served from cache *)
+  mutable dag_misses : int;  (** destination DAG had to be (re)built *)
+  mutable unit_hits : int;  (** memoized unit-flow vector reused *)
+  mutable unit_misses : int;  (** unit-flow vector recomputed *)
+  mutable weight_updates : int;  (** single-weight [set_weight] calls *)
+  mutable dirty_dests : int;
+      (** destinations invalidated by weight updates *)
+  mutable clean_dests : int;
+      (** built destinations proven untouched by a weight update *)
+  mutable commits : int;
+  mutable undos : int;
+  timer_tbl : (string, float) Hashtbl.t;
+      (** accumulated wall-clock seconds per phase; use {!time} /
+          {!add_time} / {!timers} rather than touching this directly *)
+}
+
+val create : unit -> t
+
+val reset : t -> unit
+
+val merge : into:t -> t -> unit
+(** Adds every counter and timer of the second argument into [into]. *)
+
+val time : t -> string -> (unit -> 'a) -> 'a
+(** [time s phase f] runs [f] and adds its wall-clock duration to the
+    accumulator named [phase]. *)
+
+val add_time : t -> string -> float -> unit
+
+val timers : t -> (string * float) list
+(** Accumulated seconds per phase, sorted by phase name. *)
+
+val full_rebuild_fraction : t -> float
+(** [full_spf / (full_spf + incr_spf)]; [nan] before any SPF work. *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_json : t -> string
+(** One-line JSON object with every counter and timer (no trailing
+    newline); used by the bench harness's machine-readable output. *)

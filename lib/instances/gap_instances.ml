@@ -78,8 +78,8 @@ let instance1_invcap ~m =
     Array.init (m - 2) (fun i ->
         Digraph.Builder.add_named_node b (Printf.sprintf "v%d" (i + 3)))
   in
-  Digraph.Builder.add_biedge b s t ~cap:1.;
-  Array.iter (fun vi -> Digraph.Builder.add_biedge b vi t ~cap:1.) v;
+  ignore (Digraph.Builder.add_biedge b s t ~cap:1.);
+  Array.iter (fun vi -> ignore (Digraph.Builder.add_biedge b vi t ~cap:1.)) v;
   for i = 0 to m - 4 do
     ignore (Digraph.Builder.add_edge b ~src:v.(i) ~dst:v.(i + 1) ~cap:fm)
   done;

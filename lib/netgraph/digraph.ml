@@ -51,8 +51,9 @@ module Builder = struct
     id
 
   let add_biedge b u v ~cap =
-    ignore (add_edge b ~src:u ~dst:v ~cap);
-    ignore (add_edge b ~src:v ~dst:u ~cap)
+    let fwd = add_edge b ~src:u ~dst:v ~cap in
+    let rev = add_edge b ~src:v ~dst:u ~cap in
+    (fwd, rev)
 
   let node_count b = b.nodes
 

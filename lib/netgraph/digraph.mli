@@ -29,9 +29,9 @@ module Builder : sig
       @raise Invalid_argument if [cap <= 0], on a self-loop, or on an
       unknown endpoint. *)
 
-  val add_biedge : t -> int -> int -> cap:float -> unit
+  val add_biedge : t -> int -> int -> cap:float -> int * int
   (** Adds the two directed edges [(u,v)] and [(v,u)], each of
-      capacity [cap]. *)
+      capacity [cap], and returns their ids [(forward, reverse)]. *)
 
   val node_count : t -> int
 

@@ -94,6 +94,128 @@ let dijkstra g ~weights ~source = dijkstra_generic true g weights source
 
 let dijkstra_to g ~weights ~target = dijkstra_generic false g weights target
 
+(* Incremental single-edge repair of a distance-to-target array.
+
+   [dist] is assumed correct for the weight vector that equals [weights]
+   everywhere except on [edge], whose previous value was [old_weight].
+   Distances propagate towards the target, so all work happens on the
+   reversed graph, exactly as in [dijkstra_to].
+
+   Tolerance: callers detect ties with a relative epsilon; tightness
+   tests here use a slightly generous one.  Over-approximating the
+   affected set only costs work, never correctness, because every node
+   in it gets its distance recomputed from scratch. *)
+let tight_eps = 1e-9
+
+let is_tight w du dv =
+  du < infinity && dv < infinity
+  && abs_float ((w +. dv) -. du) <= tight_eps *. (1. +. abs_float du)
+
+let update_decrease g weights dist edge =
+  let u = Digraph.src g edge and v = Digraph.dst g edge in
+  let nd = weights.(edge) +. dist.(v) in
+  if dist.(v) = infinity || nd >= dist.(u) then 0
+  else begin
+    let heap = Heap.create 16 in
+    dist.(u) <- nd;
+    Heap.push heap nd u;
+    let changed = ref 1 in
+    while not (Heap.is_empty heap) do
+      let d, x = Heap.pop heap in
+      if d <= dist.(x) then
+        Array.iter
+          (fun e ->
+            let p = Digraph.src g e in
+            let cand = d +. weights.(e) in
+            if cand < dist.(p) then begin
+              incr changed;
+              dist.(p) <- cand;
+              Heap.push heap cand p
+            end)
+          (Digraph.in_edges g x)
+    done;
+    !changed
+  end
+
+let update_increase g weights dist edge ~old_weight =
+  let u = Digraph.src g edge and v = Digraph.dst g edge in
+  if not (is_tight old_weight dist.(u) dist.(v)) then 0
+  else begin
+    let n = Digraph.node_count g in
+    (* Affected over-approximation: nodes with a tight path (under the
+       old weight) through [edge]. *)
+    let affected = Array.make n false in
+    affected.(u) <- true;
+    let stack = ref [ u ] in
+    while !stack <> [] do
+      match !stack with
+      | [] -> ()
+      | x :: rest ->
+        stack := rest;
+        Array.iter
+          (fun e ->
+            let p = Digraph.src g e in
+            if (not affected.(p)) && e <> edge
+               && is_tight weights.(e) dist.(p) dist.(x)
+            then begin
+              affected.(p) <- true;
+              stack := p :: !stack
+            end)
+          (Digraph.in_edges g x)
+    done;
+    (* Re-seed every affected node from its unaffected out-neighbours
+       (current weights, including the new value on [edge]). *)
+    let heap = Heap.create 16 in
+    let count = ref 0 in
+    for x = 0 to n - 1 do
+      if affected.(x) then begin
+        incr count;
+        let best = ref infinity in
+        Array.iter
+          (fun e ->
+            let y = Digraph.dst g e in
+            if not affected.(y) then begin
+              let cand = weights.(e) +. dist.(y) in
+              if cand < !best then best := cand
+            end)
+          (Digraph.out_edges g x);
+        dist.(x) <- !best;
+        if !best < infinity then Heap.push heap !best x
+      end
+    done;
+    (* Dijkstra restricted to the affected region. *)
+    while not (Heap.is_empty heap) do
+      let d, x = Heap.pop heap in
+      if d <= dist.(x) then
+        Array.iter
+          (fun e ->
+            let p = Digraph.src g e in
+            if affected.(p) then begin
+              let cand = d +. weights.(e) in
+              if cand < dist.(p) then begin
+                dist.(p) <- cand;
+                Heap.push heap cand p
+              end
+            end)
+          (Digraph.in_edges g x)
+    done;
+    !count
+  end
+
+let dijkstra_update_to g ~weights ~target:_ ~dist ~edge ~old_weight =
+  (* Hot path: called once per dirty destination per weight change, so
+     only the changed entry is validated (a full [check_weights] scan
+     here measurably slows incremental evaluation on small graphs). *)
+  if Array.length weights <> Digraph.edge_count g then
+    invalid_arg "Paths: weight vector length mismatch";
+  if Array.length dist <> Digraph.node_count g then
+    invalid_arg "Paths.dijkstra_update_to: dist length mismatch";
+  let w = weights.(edge) in
+  if not (w > 0.) then invalid_arg "Paths: weights must be positive";
+  if w = old_weight then 0
+  else if w < old_weight then update_decrease g weights dist edge
+  else update_increase g weights dist edge ~old_weight
+
 let dijkstra_with_parents ?stop_at g ~weights ~source =
   check_weights g weights;
   let n = Digraph.node_count g in

@@ -8,6 +8,19 @@ val dijkstra : Digraph.t -> weights:float array -> source:int -> float array
 val dijkstra_to : Digraph.t -> weights:float array -> target:int -> float array
 (** Distance from every node {e to} [target] (runs on the reversed graph). *)
 
+val dijkstra_update_to :
+  Digraph.t -> weights:float array -> target:int -> dist:float array ->
+  edge:int -> old_weight:float -> int
+(** Restricted (partial) Dijkstra: repairs [dist] in place after the
+    weight of [edge] changed from [old_weight] to [weights.(edge)],
+    assuming [dist] was a correct distance-to-[target] array under the
+    old value.  Only the region whose distance can change is visited: a
+    weight decrease relaxes outward from the edge's source; a weight
+    increase recomputes the (over-approximated) set of nodes whose
+    shortest paths ran through the edge.  Returns the number of nodes
+    whose stored distance was recomputed — [0] means the update provably
+    left every distance unchanged. *)
+
 val dijkstra_with_parents :
   ?stop_at:int ->
   Digraph.t -> weights:float array -> source:int -> float array * int array

@@ -30,7 +30,7 @@ let synthetic ?seed ~name ~nodes ~links () =
     let key = (min u v, max u v) in
     if u <> v && not (Hashtbl.mem present key) then begin
       Hashtbl.replace present key ();
-      Digraph.Builder.add_biedge b node.(u) node.(v) ~cap:(pick_capacity st);
+      ignore (Digraph.Builder.add_biedge b node.(u) node.(v) ~cap:(pick_capacity st));
       true
     end
     else false

@@ -79,7 +79,7 @@ let of_string src =
       | Some s, Some t -> (
         match (Hashtbl.find_opt by_id s, Hashtbl.find_opt by_id t) with
         | Some sn, Some tn when sn <> tn ->
-          Digraph.Builder.add_biedge b sn tn ~cap:(capacity e)
+          ignore (Digraph.Builder.add_biedge b sn tn ~cap:(capacity e))
         | _ -> () (* dangling endpoints or self loops are dropped *))
       | _ -> failwith "Graphml: edge without endpoints")
     (Xmlparse.find_all graph "edge");

@@ -64,7 +64,7 @@ let of_xml src =
         in
         let s = Digraph.Builder.add_named_node b (text_of "source") in
         let t = Digraph.Builder.add_named_node b (text_of "target") in
-        Digraph.Builder.add_biedge b s t ~cap:(link_capacity_xml l))
+        ignore (Digraph.Builder.add_biedge b s t ~cap:(link_capacity_xml l)))
       (Xmlparse.find_all links "link"));
   let demands =
     match Xmlparse.find_first root "demands" with
@@ -216,7 +216,7 @@ let of_native src =
             | [] -> default_capacity
             | caps -> List.fold_left max 0. caps
         in
-        Digraph.Builder.add_biedge b s t ~cap;
+        ignore (Digraph.Builder.add_biedge b s t ~cap);
         let rest = match tail with L _ :: r -> r | r -> r in
         go rest
       | _ :: rest -> go rest

@@ -1,0 +1,262 @@
+(* Tests for lib/engine: the incremental evaluator must be observably
+   equivalent to from-scratch evaluation under arbitrary single-weight
+   perturbation sequences, the undo/commit protocol must restore exact
+   state, and the instrumentation must prove that local search does
+   strictly fewer full SPF rebuilds than candidate evaluations. *)
+
+open Netgraph
+open Te
+
+let checkf = Alcotest.(check (float 1e-9))
+
+(* Deterministic random instances: a strongly connected synthetic
+   topology, integer weights (so distances are exact floats and the
+   incremental and from-scratch DAGs must agree bit for bit), and a few
+   integer-size demands. *)
+let instance seed =
+  let nodes = 8 + ((seed mod 5) * 3) in
+  let links = nodes + 4 + (seed mod 7) in
+  let g =
+    Topology.Gen.synthetic ~seed ~name:(Printf.sprintf "prop%d" seed) ~nodes
+      ~links ()
+  in
+  let st = Random.State.make [| 0xe46; seed |] in
+  let m = Digraph.edge_count g in
+  let w = Array.init m (fun _ -> float_of_int (1 + Random.State.int st 10)) in
+  let ndem = 4 + Random.State.int st 6 in
+  let demands =
+    Array.init ndem (fun _ ->
+        let s = Random.State.int st nodes in
+        let t = (s + 1 + Random.State.int st (nodes - 1)) mod nodes in
+        (s, t, float_of_int (1 + Random.State.int st 5)))
+  in
+  (g, w, demands, st)
+
+let fresh_loads g w demands =
+  let ev = Engine.Evaluator.create g w in
+  Engine.Evaluator.set_commodities ev demands;
+  Array.copy (Engine.Evaluator.loads ev)
+
+let check_matches_scratch ~msg g ev expected_w demands =
+  Alcotest.(check bool)
+    (msg ^ ": weights in sync") true
+    (Engine.Evaluator.weights ev = expected_w);
+  let incr = Engine.Evaluator.loads ev in
+  let scratch = fresh_loads g expected_w demands in
+  Array.iteri
+    (fun e x -> checkf (Printf.sprintf "%s: load edge %d" msg e) x incr.(e))
+    scratch;
+  checkf (msg ^ ": mlu")
+    (Engine.Evaluator.mlu_of_loads g scratch)
+    (fst (Engine.Evaluator.evaluate ev))
+
+(* The tentpole property: after any sequence of committed updates,
+   probed-and-undone updates and bulk rewrites, the evaluator reports
+   the same loads and MLU as a from-scratch Ecmp build (within 1e-9). *)
+let test_equivalence_under_perturbations () =
+  for seed = 1 to 6 do
+    let g, w0, demands, st = instance seed in
+    let m = Digraph.edge_count g in
+    let ev = Engine.Evaluator.create g w0 in
+    Engine.Evaluator.set_commodities ev demands;
+    let current = Array.copy w0 in
+    for step = 1 to 25 do
+      let msg = Printf.sprintf "seed %d step %d" seed step in
+      (match Random.State.int st 4 with
+      | 0 ->
+        (* accepted single-weight move *)
+        let e = Random.State.int st m in
+        let wv = float_of_int (1 + Random.State.int st 12) in
+        Engine.Evaluator.set_weight ev ~edge:e wv;
+        Engine.Evaluator.commit ev;
+        current.(e) <- wv
+      | 1 ->
+        (* probed and rejected single-weight move *)
+        let e = Random.State.int st m in
+        let wv = float_of_int (1 + Random.State.int st 12) in
+        Engine.Evaluator.set_weight ev ~edge:e wv;
+        ignore (Engine.Evaluator.evaluate ev);
+        Engine.Evaluator.undo ev
+      | 2 ->
+        (* small bulk diff, kept *)
+        let w = Array.copy current in
+        for _ = 1 to 1 + Random.State.int st 3 do
+          w.(Random.State.int st m) <-
+            float_of_int (1 + Random.State.int st 12)
+        done;
+        Engine.Evaluator.set_weights ev w;
+        Engine.Evaluator.commit ev;
+        Array.blit w 0 current 0 m
+      | _ ->
+        (* large bulk rewrite (cache flush), rejected *)
+        let w =
+          Array.init m (fun _ -> float_of_int (1 + Random.State.int st 12))
+        in
+        Engine.Evaluator.set_weights ev w;
+        ignore (Engine.Evaluator.evaluate ev);
+        Engine.Evaluator.undo ev);
+      if step mod 5 = 0 then check_matches_scratch ~msg g ev current demands
+    done;
+    check_matches_scratch
+      ~msg:(Printf.sprintf "seed %d final" seed)
+      g ev current demands
+  done
+
+(* Undo must restore the previous state exactly (bit-equal loads), also
+   when one edge changes twice on the same trail and when the very
+   first update precedes any evaluation (no DAGs built yet). *)
+let test_undo_restores_exact_state () =
+  let g, w0, demands, _ = instance 3 in
+  let ev = Engine.Evaluator.create g w0 in
+  Engine.Evaluator.set_commodities ev demands;
+  let before = Array.copy (Engine.Evaluator.loads ev) in
+  Engine.Evaluator.set_weight ev ~edge:0 97.;
+  Engine.Evaluator.set_weight ev ~edge:0 3.;
+  Engine.Evaluator.set_weight ev ~edge:5 11.;
+  ignore (Engine.Evaluator.evaluate ev);
+  Alcotest.(check int) "trail length" 3 (Engine.Evaluator.trail_length ev);
+  Engine.Evaluator.undo ev;
+  Alcotest.(check int) "trail cleared" 0 (Engine.Evaluator.trail_length ev);
+  Alcotest.(check bool) "weights restored" true
+    (Engine.Evaluator.weights ev = w0);
+  Alcotest.(check bool) "loads bit-equal" true
+    (Engine.Evaluator.loads ev = before);
+  (* update before any evaluation: every destination is unknown *)
+  let ev2 = Engine.Evaluator.create g w0 in
+  Engine.Evaluator.set_commodities ev2 demands;
+  Engine.Evaluator.set_weight ev2 ~edge:2 42.;
+  ignore (Engine.Evaluator.evaluate ev2);
+  Engine.Evaluator.undo ev2;
+  Alcotest.(check bool) "unknown dests rebuilt" true
+    (Engine.Evaluator.loads ev2 = before)
+
+(* Swapping the commodity set mid-trail invalidates load snapshots; the
+   undo must still land on the right state (via the flush fallback). *)
+let test_undo_after_commodity_swap () =
+  let g, w0, demands, _ = instance 4 in
+  let half = Array.sub demands 0 (max 1 (Array.length demands / 2)) in
+  let ev = Engine.Evaluator.create g w0 in
+  Engine.Evaluator.set_commodities ev demands;
+  ignore (Engine.Evaluator.evaluate ev);
+  Engine.Evaluator.set_weight ev ~edge:1 55.;
+  Engine.Evaluator.set_commodities ev half;
+  Engine.Evaluator.undo ev;
+  let scratch = fresh_loads g w0 half in
+  Array.iteri (fun e x -> checkf "post-swap load" x (Engine.Evaluator.loads ev).(e)) scratch
+
+(* The restricted Dijkstra repair must agree exactly with a fresh
+   reversed Dijkstra after both weight increases and decreases. *)
+let test_dijkstra_update_to () =
+  for seed = 1 to 5 do
+    let g, w, _, st = instance seed in
+    let n = Digraph.node_count g and m = Digraph.edge_count g in
+    let target = Random.State.int st n in
+    let dist = Paths.dijkstra_to g ~weights:w ~target in
+    for _ = 1 to 30 do
+      let e = Random.State.int st m in
+      let old_weight = w.(e) in
+      w.(e) <- float_of_int (1 + Random.State.int st 14);
+      ignore (Paths.dijkstra_update_to g ~weights:w ~target ~dist ~edge:e ~old_weight);
+      let fresh = Paths.dijkstra_to g ~weights:w ~target in
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d repaired dist exact" seed)
+        true (dist = fresh)
+    done
+  done
+
+(* Fixed seed in, identical result out: the engine rewiring must not
+   have introduced any iteration-order or caching nondeterminism. *)
+let test_local_search_deterministic () =
+  let g, _, _, _ = instance 2 in
+  let demands =
+    Array.map (fun (s, t, v) -> Network.demand s t v)
+      [| (0, 5, 3.); (3, 1, 2.); (6, 2, 4.); (4, 7, 1.) |]
+  in
+  let params = { Local_search.default_params with max_evals = 300; seed = 11 } in
+  let r1 = Local_search.optimize ~params g demands in
+  let r2 = Local_search.optimize ~params g demands in
+  Alcotest.(check bool) "same weights" true
+    (r1.Local_search.weights = r2.Local_search.weights);
+  Alcotest.(check (float 0.)) "same mlu" r1.Local_search.mlu r2.Local_search.mlu;
+  Alcotest.(check int) "same evals" r1.Local_search.evals r2.Local_search.evals
+
+(* Acceptance criterion: over a full HeurOSPF run the engine performs
+   strictly fewer full SPF rebuilds than candidate evaluations — the
+   incremental path is actually doing the work. *)
+let test_local_search_incremental_stats () =
+  let g = Topology.Datasets.abilene () in
+  let demands =
+    Demand_gen.mcf_synthetic ~epsilon:0.1 ~seed:1 ~flows_per_pair:2 g
+  in
+  let stats = Engine.Stats.create () in
+  let params = { Local_search.default_params with max_evals = 500; seed = 7 } in
+  let r = Local_search.optimize ~stats ~params g demands in
+  Alcotest.(check bool) "some evaluations" true
+    (stats.Engine.Stats.evaluations > 0);
+  Alcotest.(check bool) "full SPF < evaluations" true
+    (stats.Engine.Stats.full_spf < stats.Engine.Stats.evaluations);
+  Alcotest.(check bool) "incremental SPF used" true
+    (stats.Engine.Stats.incr_spf > 0);
+  Alcotest.(check bool) "search improved" true (r.Local_search.mlu < 2.);
+  let frac = Engine.Stats.full_rebuild_fraction stats in
+  Alcotest.(check bool) "full-rebuild fraction < 1/2" true (frac < 0.5)
+
+(* The Ecmp shim must keep its documented surface: same loads as the
+   engine and the translated Unroutable exception. *)
+let test_ecmp_shim () =
+  let g = Digraph.of_edges ~n:4 [ (0, 1, 10.); (1, 3, 10.); (0, 2, 10.); (2, 3, 10.) ] in
+  let w = Weights.unit g in
+  let demands = [| Network.demand 0 3 2. |] in
+  let ctx = Ecmp.make g w in
+  let loads = Ecmp.loads ctx demands in
+  checkf "even split" 1. loads.(0);
+  let ev = Ecmp.evaluator ctx in
+  let el = Engine.Evaluator.unit_load ev ~src:0 ~dst:3 in
+  checkf "engine agrees" 0.5 el.Engine.Evaluator.flows.(0);
+  let g2 = Digraph.of_edges ~n:3 [ (0, 1, 1.) ] in
+  Alcotest.check_raises "unroutable translated" (Ecmp.Unroutable (0, 2))
+    (fun () -> ignore (Ecmp.mlu_of g2 (Weights.unit g2) [| Network.demand 0 2 1. |]))
+
+let test_stats_merge_and_json () =
+  let a = Engine.Stats.create () and b = Engine.Stats.create () in
+  a.Engine.Stats.full_spf <- 2;
+  b.Engine.Stats.full_spf <- 3;
+  b.Engine.Stats.incr_spf <- 7;
+  Engine.Stats.add_time b "spf_incr" 0.5;
+  Engine.Stats.merge ~into:a b;
+  Alcotest.(check int) "merged full" 5 a.Engine.Stats.full_spf;
+  Alcotest.(check int) "merged incr" 7 a.Engine.Stats.incr_spf;
+  checkf "merged timer" 0.5 (List.assoc "spf_incr" (Engine.Stats.timers a));
+  let j = Engine.Stats.to_json a in
+  Alcotest.(check bool) "json has counters" true
+    (String.length j > 0 && j.[0] = '{');
+  checkf "fraction" (5. /. 12.) (Engine.Stats.full_rebuild_fraction a)
+
+let () =
+  Alcotest.run "engine"
+    [
+      ( "evaluator",
+        [
+          Alcotest.test_case "equivalence under perturbations" `Quick
+            test_equivalence_under_perturbations;
+          Alcotest.test_case "undo restores exact state" `Quick
+            test_undo_restores_exact_state;
+          Alcotest.test_case "undo after commodity swap" `Quick
+            test_undo_after_commodity_swap;
+          Alcotest.test_case "ecmp shim" `Quick test_ecmp_shim;
+        ] );
+      ( "incremental spf",
+        [
+          Alcotest.test_case "dijkstra_update_to exact" `Quick
+            test_dijkstra_update_to;
+        ] );
+      ( "search",
+        [
+          Alcotest.test_case "local search deterministic" `Quick
+            test_local_search_deterministic;
+          Alcotest.test_case "fewer full rebuilds than evals" `Quick
+            test_local_search_incremental_stats;
+        ] );
+      ( "stats",
+        [ Alcotest.test_case "merge and json" `Quick test_stats_merge_and_json ] );
+    ]

@@ -55,6 +55,23 @@ let test_bad_edges () =
     (Invalid_argument "Digraph.Builder.add_edge: capacity must be positive")
     (fun () -> ignore (Digraph.Builder.add_edge b ~src:u ~dst:v ~cap:0.))
 
+let test_add_biedge_ids () =
+  let b = Digraph.Builder.create () in
+  let u = Digraph.Builder.add_node b () in
+  let v = Digraph.Builder.add_node b () in
+  let x = Digraph.Builder.add_node b () in
+  let fwd, rev = Digraph.Builder.add_biedge b u v ~cap:5. in
+  let fwd2, rev2 = Digraph.Builder.add_biedge b v x ~cap:7. in
+  Alcotest.(check (list int)) "sequential ids" [ 0; 1; 2; 3 ]
+    [ fwd; rev; fwd2; rev2 ];
+  let g = Digraph.Builder.build b in
+  Alcotest.(check int) "fwd src" u (Digraph.src g fwd);
+  Alcotest.(check int) "fwd dst" v (Digraph.dst g fwd);
+  Alcotest.(check int) "rev src" v (Digraph.src g rev);
+  Alcotest.(check int) "rev dst" u (Digraph.dst g rev);
+  check_float "fwd cap" 5. (Digraph.cap g fwd);
+  check_float "rev2 cap" 7. (Digraph.cap g rev2)
+
 let test_reverse () =
   let g = diamond () in
   let r = Digraph.reverse g in
@@ -403,6 +420,7 @@ let () =
           Alcotest.test_case "find_edge" `Quick test_find_edge;
           Alcotest.test_case "named nodes" `Quick test_names;
           Alcotest.test_case "bad edges rejected" `Quick test_bad_edges;
+          Alcotest.test_case "add_biedge ids" `Quick test_add_biedge_ids;
           Alcotest.test_case "reverse" `Quick test_reverse;
           Alcotest.test_case "with_capacities" `Quick test_with_capacities;
           Alcotest.test_case "connectivity" `Quick test_connectivity;
