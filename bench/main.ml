@@ -13,6 +13,11 @@ open Te
 
 let full = ref false
 
+(* Worker domains for the sharded sweeps (--jobs N).  The pool is
+   created once in the driver; every experiment prints the same output
+   for every pool size. *)
+let the_pool = ref Par.Pool.sequential
+
 let section title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
 
@@ -260,20 +265,35 @@ let run_ladder_table ~title ~names ~gen_demands ~seeds ~evals =
   row "%-14s" "topology";
   List.iter (fun a -> row " %15s" a) alg_names;
   row "\n";
+  (* One shard per (topology, demand matrix); the shards are mutually
+     independent, so they fan out over the pool.  Each shard loads its
+     own graph and generates its own demands, so no mutable state is
+     shared between domains.  Aggregation walks the results in shard
+     index order, which keeps the printed table identical for every
+     --jobs. *)
+  let shards =
+    List.concat_map (fun name -> List.init seeds (fun s -> (name, s + 1))) names
+    |> Array.of_list
+  in
+  let results =
+    Par.Pool.map !the_pool ~tasks:(Array.length shards) (fun ~worker:_ i ->
+        let name, seed = shards.(i) in
+        let g = Topology.Datasets.load name in
+        let demands = gen_demands g seed in
+        ladder g demands ~seed ~evals)
+  in
   let sums = Hashtbl.create 8 in
   List.iter (fun a -> Hashtbl.replace sums a []) alg_names;
-  List.iter
-    (fun name ->
-      let g = Topology.Datasets.load name in
+  List.iteri
+    (fun ni name ->
       let per_alg = Hashtbl.create 8 in
       List.iter (fun a -> Hashtbl.replace per_alg a []) alg_names;
-      for seed = 1 to seeds do
-        let demands = gen_demands g seed in
+      for s = 0 to seeds - 1 do
         List.iter
           (fun (a, v) ->
             Hashtbl.replace per_alg a (v :: Hashtbl.find per_alg a);
             Hashtbl.replace sums a (v :: Hashtbl.find sums a))
-          (ladder g demands ~seed ~evals)
+          results.((ni * seeds) + s)
       done;
       row "%-14s" name;
       List.iter
@@ -418,7 +438,7 @@ let exp_milp () =
         Wpo_milp.solve g (Weights.unit g) net.Network.demands
       in
       let jm = Uspr_milp.joint ~max_combos:300 g net.Network.demands in
-      let _, _, brute = Exact.joint ~weight_domain:[ 1; 3 ] g net.Network.demands in
+      let (_, _, brute), _ = Exact.joint ~weight_domain:[ 1; 3 ] g net.Network.demands in
       let lemma =
         Ecmp.mlu_of ~waypoints:inst.Instances.Gap_instances.joint_waypoints g
           inst.Instances.Gap_instances.joint_weights net.Network.demands
@@ -587,7 +607,7 @@ let exp_engine () =
       (* Baseline: full rebuild per candidate. *)
       let w = Array.copy base in
       let sink = ref 0. in
-      let t0 = Unix.gettimeofday () in
+      let t0 = Engine.Mono.now () in
       Array.iter
         (fun (e, wv) ->
           let old = w.(e) in
@@ -595,7 +615,7 @@ let exp_engine () =
           sink := !sink +. Engine.Evaluator.mlu_of g w comms;
           w.(e) <- old)
         seq;
-      let t_scratch = Unix.gettimeofday () -. t0 in
+      let t_scratch = Engine.Mono.now () -. t0 in
       (* Engine: persistent evaluator, probe / evaluate / undo. *)
       let stats = Engine.Stats.create () in
       let ev = Engine.Evaluator.create ~stats g base in
@@ -604,14 +624,14 @@ let exp_engine () =
       (* warm start = the state any search holds between moves *)
       Engine.Stats.reset stats;
       let sink2 = ref 0. in
-      let t0 = Unix.gettimeofday () in
+      let t0 = Engine.Mono.now () in
       Array.iter
         (fun (e, wv) ->
           Engine.Evaluator.set_weight ev ~edge:e wv;
           sink2 := !sink2 +. fst (Engine.Evaluator.evaluate ev);
           Engine.Evaluator.undo ev)
         seq;
-      let t_engine = Unix.gettimeofday () -. t0 in
+      let t_engine = Engine.Mono.now () -. t0 in
       if abs_float (!sink -. !sink2) > 1e-6 *. abs_float !sink then
         row "  WARNING: scratch/engine MLU sums differ (%.9g vs %.9g)\n"
           !sink !sink2;
@@ -644,11 +664,11 @@ let exp_engine () =
   in
   let evals = if !full then 3000 else 600 in
   let stats = Engine.Stats.create () in
-  let t0 = Unix.gettimeofday () in
+  let t0 = Engine.Mono.now () in
   let ls =
     Local_search.optimize ~stats ~params:(ls_params ~seed:5 ~evals) g demands
   in
-  let wall = Unix.gettimeofday () -. t0 in
+  let wall = Engine.Mono.now () -. t0 in
   row "  MLU %.3f  %s\n" ls.Local_search.mlu
     (Format.asprintf "%a" Engine.Stats.pp stats);
   emit
@@ -670,6 +690,138 @@ let exp_engine () =
   output_string oc "\n]\n";
   close_out oc;
   row "\nwrote BENCH_engine.json (%d records)\n" (List.length !records)
+
+(* ------------------------------------------------------------------ *)
+(* Parallel search runtime                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Scaling of lib/par: the GreedyWPO candidate scan and the HeurOSPF
+   probe fan-out, both running on per-worker Evaluator.copy clones, at
+   pool sizes 1/2/4/8.  Every run is checked bit-identical against the
+   jobs = 1 reference before its timing is reported — a speedup that
+   changes the answer would be a bug, not a result.  Results land in
+   BENCH_parallel.json together with the host's recommended domain
+   count, so numbers from a single-core container are recognizable as
+   such. *)
+let exp_parallel () =
+  section "Parallel search runtime: speedup vs worker domains (lib/par)";
+  let cores = Domain.recommended_domain_count () in
+  row "host: Domain.recommended_domain_count () = %d\n" cores;
+  let records = ref [] in
+  let emit r = records := r :: !records in
+  let jobs_list = [ 1; 2; 4; 8 ] in
+  let topos = [ "Abilene"; "Germany50" ] in
+  List.iter
+    (fun name ->
+      let g = Topology.Datasets.load name in
+      let m = Digraph.edge_count g in
+      let demands =
+        Demand_gen.mcf_synthetic ~epsilon:0.15 ~seed:1
+          ~flows_per_pair:(max 2 (m / 16)) g
+      in
+      let inv_w = Weights.inverse_capacity g in
+      let evals = if !full then 2000 else 400 in
+      let run_wpo pool =
+        let stats = Engine.Stats.create () in
+        let t0 = Engine.Mono.now () in
+        let r = Greedy_wpo.optimize ~stats ~pool g inv_w demands in
+        (r, stats, Engine.Mono.now () -. t0)
+      in
+      let run_ls pool =
+        let stats = Engine.Stats.create () in
+        let t0 = Engine.Mono.now () in
+        let r =
+          Local_search.optimize ~stats ~pool
+            ~params:(ls_params ~seed:3 ~evals)
+            g demands
+        in
+        (r, stats, Engine.Mono.now () -. t0)
+      in
+      let ref_wpo = ref None and ref_ls = ref None in
+      List.iter
+        (fun jobs ->
+          let (wpo, wpo_stats, wpo_wall), (ls, ls_stats, ls_wall) =
+            if jobs = 1 then (run_wpo Par.Pool.sequential, run_ls Par.Pool.sequential)
+            else
+              Par.Pool.with_pool ~jobs (fun pool ->
+                  (run_wpo pool, run_ls pool))
+          in
+          (match !ref_wpo with
+          | None -> ref_wpo := Some wpo
+          | Some r ->
+            if wpo.Greedy_wpo.waypoints <> r.Greedy_wpo.waypoints
+               || wpo.Greedy_wpo.mlu <> r.Greedy_wpo.mlu then
+              failwith
+                (Printf.sprintf
+                   "GreedyWPO result at --jobs %d differs from jobs=1 on %s"
+                   jobs name));
+          (match !ref_ls with
+          | None -> ref_ls := Some ls
+          | Some r ->
+            if ls.Local_search.weights <> r.Local_search.weights
+               || ls.Local_search.mlu <> r.Local_search.mlu
+               || ls.Local_search.evals <> r.Local_search.evals then
+              failwith
+                (Printf.sprintf
+                   "HeurOSPF result at --jobs %d differs from jobs=1 on %s"
+                   jobs name));
+          let scan_evals =
+            Array.fold_left ( + ) 0 wpo_stats.Engine.Stats.worker_evals
+          in
+          emit
+            ( (name, jobs),
+              (scan_evals, wpo_wall, ls_stats.Engine.Stats.evaluations, ls_wall)
+            ))
+        jobs_list)
+    topos;
+  (* Render and serialize: walk the records per topology so each row's
+     speedup is measured against its own jobs = 1 wall time. *)
+  let records = List.rev !records in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "[\n";
+  let first = ref true in
+  List.iter
+    (fun name ->
+      let base_wpo, base_ls =
+        match List.assoc (name, 1) records with
+        | _, w1, _, l1 -> (w1, l1)
+      in
+      row "\n%-12s %6s %12s %9s %8s %12s %9s %8s\n" name "jobs" "scan ev/s"
+        "wall" "speedup" "probe ev/s" "wall" "speedup";
+      List.iter
+        (fun jobs ->
+          match List.assoc_opt (name, jobs) records with
+          | None -> ()
+          | Some (scan_evals, wpo_wall, ls_evals, ls_wall) ->
+            row "%-12s %6d %12.0f %8.3fs %7.2fx %12.0f %8.3fs %7.2fx\n" name
+              jobs
+              (float_of_int scan_evals /. wpo_wall)
+              wpo_wall (base_wpo /. wpo_wall)
+              (float_of_int ls_evals /. ls_wall)
+              ls_wall (base_ls /. ls_wall);
+            if not !first then Buffer.add_string buf ",\n";
+            first := false;
+            Buffer.add_string buf
+              (Printf.sprintf
+                 "{\"topology\": %S, \"jobs\": %d, \
+                  \"recommended_domains\": %d, \"identical_to_jobs1\": true, \
+                  \"scan_candidates\": %d, \"scan_wall_seconds\": %.6f, \
+                  \"scan_evals_per_sec\": %.1f, \"scan_speedup\": %.3f, \
+                  \"probe_evaluations\": %d, \"probe_wall_seconds\": %.6f, \
+                  \"probe_evals_per_sec\": %.1f, \"probe_speedup\": %.3f}"
+                 name jobs cores scan_evals wpo_wall
+                 (float_of_int scan_evals /. wpo_wall)
+                 (base_wpo /. wpo_wall) ls_evals ls_wall
+                 (float_of_int ls_evals /. ls_wall)
+                 (base_ls /. ls_wall)))
+        jobs_list)
+    topos;
+  Buffer.add_string buf "\n]\n";
+  let oc = open_out "BENCH_parallel.json" in
+  Buffer.output_buffer oc buf;
+  close_out oc;
+  row "\nall runs bit-identical to jobs=1; wrote BENCH_parallel.json (%d records)\n"
+    (List.length records)
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
@@ -734,24 +886,32 @@ let experiments =
   [ ("table1", exp_table1); ("fig1", exp_fig1); ("fig2", exp_fig2);
     ("fig3", exp_fig3); ("fig4", exp_fig4); ("fig5", exp_fig5);
     ("fig6", exp_fig6); ("fig7", exp_fig7); ("milp", exp_milp);
-    ("ablation", exp_ablation); ("engine", exp_engine); ("perf", exp_perf) ]
+    ("ablation", exp_ablation); ("engine", exp_engine);
+    ("parallel", exp_parallel); ("perf", exp_perf) ]
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
-  let args =
-    List.filter
-      (fun a ->
-        if a = "--full" then begin
-          full := true;
-          false
-        end
-        else true)
-      args
+  let jobs = ref 1 in
+  let rec parse acc = function
+    | [] -> List.rev acc
+    | "--full" :: rest ->
+      full := true;
+      parse acc rest
+    | "--jobs" :: n :: rest ->
+      jobs := int_of_string n;
+      parse acc rest
+    | a :: rest when String.length a > 7 && String.sub a 0 7 = "--jobs=" ->
+      jobs := int_of_string (String.sub a 7 (String.length a - 7));
+      parse acc rest
+    | a :: rest -> parse (a :: acc) rest
   in
+  let args = parse [] args in
+  if !jobs > 1 then the_pool := Par.Pool.create ~jobs:!jobs;
   let selected = if args = [] then List.map fst experiments else args in
   Printf.printf
-    "Joint link-weight and segment optimization - reproduction harness%s\n"
-    (if !full then " (FULL scale)" else " (quick scale; use --full for paper scale)");
+    "Joint link-weight and segment optimization - reproduction harness%s%s\n"
+    (if !full then " (FULL scale)" else " (quick scale; use --full for paper scale)")
+    (if !jobs > 1 then Printf.sprintf " [%d worker domains]" !jobs else "");
   List.iter
     (fun name ->
       match List.assoc_opt name experiments with
@@ -759,4 +919,5 @@ let () =
       | None ->
         Printf.printf "unknown experiment %S; available: %s\n" name
           (String.concat ", " (List.map fst experiments)))
-    selected
+    selected;
+  if !jobs > 1 then Par.Pool.shutdown !the_pool

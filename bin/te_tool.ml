@@ -98,7 +98,28 @@ let stats_arg =
   Arg.(value & flag & info [ "stats" ]
          ~doc:"Print the evaluation engine's counters and timers \
                (evaluations, full vs. incremental SPF rebuilds, cache \
-               hits) after the run.")
+               hits, parallel efficiency) after the run.")
+
+let jobs_arg =
+  Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N"
+         ~doc:"Worker domains for the candidate scans and probe fan-out. \
+               The result is bit-identical for every N; only the wall \
+               time changes.")
+
+let restarts_arg =
+  Arg.(value & opt int 1 & info [ "restarts" ] ~docv:"N"
+         ~doc:"Independent reseeded local-search walks run in parallel; \
+               the best-MLU walk wins.  1 reproduces the historical \
+               single walk.")
+
+(* Runs [f] inside a pool of [jobs] worker domains.  jobs = 1 uses the
+   shared sequential pool, so no domain is ever spawned. *)
+let with_pool jobs f =
+  if jobs < 1 then begin
+    Printf.eprintf "--jobs must be >= 1\n";
+    exit 2
+  end;
+  if jobs = 1 then f Par.Pool.sequential else Par.Pool.with_pool ~jobs f
 
 (* When --stats is given, hand a Stats.t to the optimizer and print it
    once the run is over. *)
@@ -161,13 +182,16 @@ let mlu_cmd =
 
 (* lwo *)
 let lwo_cmd =
-  let run topo file seed kind flows evals stats =
+  let run topo file seed kind flows evals jobs restarts stats =
     let g, file_demands = load_topology topo file in
     let demands = make_demands ~file_demands g ~seed ~kind ~flows in
     let params = { Local_search.default_params with max_evals = evals; seed } in
     let init_mlu = Ecmp.mlu_of g (Weights.inverse_capacity g) demands in
     with_stats stats (fun stats ->
-        let r = Local_search.optimize ?stats ~params g demands in
+        let r =
+          with_pool jobs (fun pool ->
+              Local_search.optimize ?stats ~pool ~restarts ~params g demands)
+        in
         Printf.printf "HeurOSPF: MLU %.4f -> %.4f (%d evaluations)\n" init_mlu
           r.Local_search.mlu r.Local_search.evals;
         Printf.printf "weights:";
@@ -180,16 +204,19 @@ let lwo_cmd =
   in
   Cmd.v (Cmd.info "lwo" ~doc:"Link-weight optimization (HeurOSPF local search)")
     Term.(const run $ topo_arg $ file_arg $ seed_arg $ demands_arg $ flows_arg
-          $ evals_arg $ stats_arg)
+          $ evals_arg $ jobs_arg $ restarts_arg $ stats_arg)
 
 (* wpo *)
 let wpo_cmd =
-  let run topo file seed kind flows wsetting stats =
+  let run topo file seed kind flows wsetting jobs stats =
     let g, file_demands = load_topology topo file in
     let demands = make_demands ~file_demands g ~seed ~kind ~flows in
     let w = weights_of g wsetting in
     with_stats stats (fun stats ->
-        let r = Greedy_wpo.optimize ?stats g w demands in
+        let r =
+          with_pool jobs (fun pool ->
+              Greedy_wpo.optimize ?stats ~pool g w demands)
+        in
         let used =
           Array.fold_left (fun acc o -> if o = None then acc else acc + 1) 0
             r.Greedy_wpo.waypoints
@@ -201,16 +228,20 @@ let wpo_cmd =
   in
   Cmd.v (Cmd.info "wpo" ~doc:"Waypoint optimization (Algorithm 3, GreedyWPO)")
     Term.(const run $ topo_arg $ file_arg $ seed_arg $ demands_arg $ flows_arg
-          $ weights_arg $ stats_arg)
+          $ weights_arg $ jobs_arg $ stats_arg)
 
 (* joint *)
 let joint_cmd =
-  let run topo file seed kind flows evals full_pipeline stats =
+  let run topo file seed kind flows evals jobs restarts full_pipeline stats =
     let g, file_demands = load_topology topo file in
     let demands = make_demands ~file_demands g ~seed ~kind ~flows in
     let ls_params = { Local_search.default_params with max_evals = evals; seed } in
     with_stats stats (fun stats ->
-        let r = Joint.optimize ?stats ~ls_params ~full_pipeline g demands in
+        let r =
+          with_pool jobs (fun pool ->
+              Joint.optimize ?stats ~pool ~restarts ~ls_params ~full_pipeline g
+                demands)
+        in
         List.iter
           (fun (stage, mlu) -> Printf.printf "%-12s MLU %.4f\n" stage mlu)
           r.Joint.stage_mlu;
@@ -223,7 +254,7 @@ let joint_cmd =
   in
   Cmd.v (Cmd.info "joint" ~doc:"Joint optimization (Algorithm 2, JOINT-Heur)")
     Term.(const run $ topo_arg $ file_arg $ seed_arg $ demands_arg $ flows_arg
-          $ evals_arg $ full_arg $ stats_arg)
+          $ evals_arg $ jobs_arg $ restarts_arg $ full_arg $ stats_arg)
 
 (* gap *)
 let gap_cmd =

@@ -18,10 +18,10 @@ type dag = {
    the historical API (and exception) for the many one-shot callers. *)
 type ctx = { ev : Engine.Evaluator.t }
 
-let make graph weights =
+let make ?stats graph weights =
   if Array.length weights <> Digraph.edge_count graph then
     invalid_arg "Ecmp.make: weight vector length mismatch";
-  { ev = Engine.Evaluator.create graph weights }
+  { ev = Engine.Evaluator.create ?stats graph weights }
 
 let of_evaluator ev = { ev }
 

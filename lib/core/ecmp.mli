@@ -2,9 +2,16 @@
 
     Given a weight setting, traffic from [s] to [t] follows the
     shortest-path DAG towards [t] and splits evenly at every node over
-    all outgoing DAG links.  A {!ctx} caches, per weight setting, the
-    per-target DAGs and the sparse unit-load vectors of every (src, dst)
-    pair, which makes the heuristics' inner loops cheap. *)
+    all outgoing DAG links.
+
+    Since the lib/engine refactor this module is a thin shim over
+    {!Engine.Evaluator}: a {!ctx} wraps one evaluator, which owns all
+    caching (per-target DAGs and sparse unit-load vectors, computed
+    lazily and invalidated on weight changes).  The shim keeps the
+    historical one-shot API and exception; the optimizers drive the
+    evaluator directly through its incremental move protocol.  Every
+    delegated call is counted in the evaluator's {!Engine.Stats.t}
+    exactly as if made on the evaluator itself. *)
 
 exception Unroutable of int * int
 (** Raised when a demand's destination is unreachable from its source. *)
@@ -23,11 +30,12 @@ type dag = {
 
 type ctx
 
-val make : Netgraph.Digraph.t -> Weights.t -> ctx
-(** Caches are lazy: nothing is computed until first use.  Since the
-    engine refactor a [ctx] is a shim over {!Engine.Evaluator}; one-shot
-    callers keep this API, while the optimizers drive the evaluator
-    directly for incremental weight updates. *)
+val make : ?stats:Engine.Stats.t -> Netgraph.Digraph.t -> Weights.t -> ctx
+(** Builds a fresh underlying {!Engine.Evaluator} for the weight
+    setting; nothing is computed until first use.  [stats] is handed to
+    the evaluator (default: a private instance), so SPF rebuilds and
+    unit-load computations triggered through this shim are attributed
+    to the caller's counters. *)
 
 val of_evaluator : Engine.Evaluator.t -> ctx
 (** Wraps an existing evaluator (sharing its caches and stats). *)

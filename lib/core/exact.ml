@@ -2,10 +2,19 @@ open Netgraph
 
 exception Too_large of string
 
-let iter_weight_settings ~domain ~m ~cap f =
+type enum_meta = { space : float; visited : int; truncated : bool }
+
+(* The settings count k^m is computed in floating point on purpose: for
+   the instance sizes where enumeration is hopeless anyway, an int power
+   would silently wrap (e.g. 3^41 > 2^63) and could slip past the cap.
+   A float comparison degrades to [infinity > cap] instead, which is
+   always caught. *)
+let iter_weight_settings ?(allow_truncate = false) ~domain ~m ~cap f =
   let k = List.length domain in
+  if k = 0 then invalid_arg "Exact: weight domain is empty";
+  if cap < 1 then invalid_arg "Exact: max_settings must be >= 1";
   let space = float_of_int k ** float_of_int m in
-  if space > float_of_int cap then
+  if space > float_of_int cap && not allow_truncate then
     raise
       (Too_large
          (Printf.sprintf "Exact: %d^%d weight settings exceeds cap %d" k m cap));
@@ -25,24 +34,31 @@ let iter_weight_settings ~domain ~m ~cap f =
       next (pos + 1)
     end
   in
+  let visited = ref 0 in
   let continue = ref true in
   while !continue do
     f w;
-    continue := next 0
-  done
+    incr visited;
+    continue := !visited < cap && next 0
+  done;
+  { space; visited = !visited; truncated = float_of_int !visited < space }
 
-let lwo ?(weight_domain = [ 1; 2; 3 ]) ?(max_settings = 2_000_000) g demands =
+let lwo ?(weight_domain = [ 1; 2; 3 ]) ?(max_settings = 2_000_000)
+    ?allow_truncate g demands =
   let m = Digraph.edge_count g in
   let demands = Network.aggregate demands in
   let best_w = ref None and best = ref infinity in
-  iter_weight_settings ~domain:weight_domain ~m ~cap:max_settings (fun w ->
-      let mlu = Ecmp.mlu_of g (Weights.of_ints w) demands in
-      if mlu < !best -. 1e-12 then begin
-        best := mlu;
-        best_w := Some (Array.copy w)
-      end);
+  let meta =
+    iter_weight_settings ?allow_truncate ~domain:weight_domain ~m
+      ~cap:max_settings (fun w ->
+        let mlu = Ecmp.mlu_of g (Weights.of_ints w) demands in
+        if mlu < !best -. 1e-12 then begin
+          best := mlu;
+          best_w := Some (Array.copy w)
+        end)
+  in
   match !best_w with
-  | Some w -> (w, !best)
+  | Some w -> ((w, !best), meta)
   | None -> assert false
 
 (* Branch and bound over per-demand waypoint choices.  [ub] prunes
@@ -107,19 +123,23 @@ let wpo g weights demands =
   | Some (a, v) -> (a, v)
   | None -> assert false (* ub = infinity always yields an assignment *)
 
-let joint ?(weight_domain = [ 1; 2; 3 ]) ?(max_settings = 2_000_000) g demands =
+let joint ?(weight_domain = [ 1; 2; 3 ]) ?(max_settings = 2_000_000)
+    ?allow_truncate g demands =
   let m = Digraph.edge_count g in
   let best = ref infinity in
   let best_w = ref None and best_a = ref None in
-  iter_weight_settings ~domain:weight_domain ~m ~cap:max_settings (fun w ->
-      match wpo_bb g (Weights.of_ints w) demands ~ub:!best with
-      | None -> ()
-      | Some (a, v) ->
-        best := v;
-        best_w := Some (Array.copy w);
-        best_a := Some a);
+  let meta =
+    iter_weight_settings ?allow_truncate ~domain:weight_domain ~m
+      ~cap:max_settings (fun w ->
+        match wpo_bb g (Weights.of_ints w) demands ~ub:!best with
+        | None -> ()
+        | Some (a, v) ->
+          best := v;
+          best_w := Some (Array.copy w);
+          best_a := Some a)
+  in
   match (!best_w, !best_a) with
-  | Some w, Some a -> (w, a, !best)
+  | Some w, Some a -> ((w, a, !best), meta)
   | _ ->
     (* No weight setting beat infinity: impossible for routable demands. *)
     failwith "Exact.joint: no feasible assignment (unroutable demands?)"

@@ -37,16 +37,120 @@ let order_indices order demands =
 
 (* The greedy never changes weights, so the engine's DAG and unit-flow
    caches persist for the whole run; only the load vector is private
-   (the search trials waypoint insertions by patching it in place). *)
+   (the search trials waypoint insertions by patching a copy). *)
 let apply loads sign (s : Engine.Evaluator.sparse) scale =
   for i = 0 to Array.length s.Engine.Evaluator.edges - 1 do
     let e = s.Engine.Evaluator.edges.(i) in
     loads.(e) <- loads.(e) +. (sign *. scale *. s.Engine.Evaluator.flows.(i))
   done
 
-let optimize_multi ?stats ?(order = Desc) ~rounds g weights demands =
+(* ------------------------------------------------------------------ *)
+(* Parallel candidate scan                                             *)
+(* ------------------------------------------------------------------ *)
+
+type candidate = Drop | Way of int
+
+(* Candidates are scanned in fixed-size chunks so the work decomposition
+   (and any float accumulation inside a task) is independent of the
+   worker count — one leg of the [--jobs N] ≡ [--jobs 1] bit-identity
+   guarantee.  The other leg: every candidate is scored on a pristine
+   copy of the round's base loads, so its utilization depends only on
+   the candidate itself, never on which candidates were tried before it
+   on the same buffer. *)
+let scan_chunk = 4
+
+type scan_ctx = {
+  g : Digraph.t;
+  m : int;
+  pool : Par.Pool.t;
+  evs : Engine.Evaluator.t array; (* slot 0 is the main evaluator *)
+  bufs : float array array; (* per-worker private load buffer *)
+  main_stats : Engine.Stats.t;
+}
+
+(* Clones are made eagerly, on the calling domain, after the caches are
+   warm — [Evaluator.copy] must never race with another domain using the
+   source evaluator. *)
+let make_ctx pool ev =
+  let g = Engine.Evaluator.graph ev in
+  let m = Digraph.edge_count g in
+  let par = Par.Pool.parallelism pool in
+  let evs = Array.make par ev in
+  for w = 1 to par - 1 do
+    evs.(w) <- Engine.Evaluator.copy ev
+  done;
+  { g; m; pool; evs; bufs = Array.init par (fun _ -> Array.make m 0.);
+    main_stats = Engine.Evaluator.stats ev }
+
+let merge_clone_stats ctx =
+  for w = 1 to Array.length ctx.evs - 1 do
+    Engine.Stats.merge ~into:ctx.main_stats
+      (Engine.Evaluator.stats ctx.evs.(w))
+  done
+
+(* Returns the strict (utilization, candidate index) argmin — the first
+   candidate among those of minimal utilization — or [None] if no
+   candidate is routable.  [segs_of] maps a candidate to the segment
+   loads it would place, evaluated on the worker's own evaluator;
+   candidates raising [Unroutable] are skipped. *)
+let scan_candidates ctx ~loads ~size ~segs_of cands =
+  let ncand = Array.length cands in
+  if ncand = 0 then None
+  else begin
+    let ch = Par.Pool.chunks ~chunk:scan_chunk ncand in
+    let wall0 = Engine.Mono.now () in
+    let per_chunk =
+      Par.Pool.map ctx.pool ~tasks:(Array.length ch) (fun ~worker ci ->
+          let t0 = Engine.Mono.now () in
+          let start, len = ch.(ci) in
+          let ev = ctx.evs.(worker) and buf = ctx.bufs.(worker) in
+          let best = ref None and nev = ref 0 in
+          for j = start to start + len - 1 do
+            match segs_of ev cands.(j) with
+            | exception Engine.Evaluator.Unroutable _ -> ()
+            | segs ->
+              Array.blit loads 0 buf 0 ctx.m;
+              List.iter (fun s -> apply buf 1. s size) segs;
+              incr nev;
+              let u = ref 0. in
+              for e = 0 to ctx.m - 1 do
+                let r = buf.(e) /. Digraph.cap ctx.g e in
+                if r > !u then u := r
+              done;
+              (match !best with
+              | Some (bu, _) when bu <= !u -> ()
+              | _ -> best := Some (!u, j))
+          done;
+          (!best, !nev, worker, Engine.Mono.now () -. t0))
+    in
+    let wall = Engine.Mono.now () -. wall0 in
+    let busy = ref 0. and best = ref None in
+    (* Chunks reduce in index order and ties keep the earlier chunk, so
+       the winner is the global first-of-the-minima regardless of which
+       worker scored which chunk. *)
+    Array.iter
+      (fun (b, nev, worker, dt) ->
+        busy := !busy +. dt;
+        if nev > 0 then
+          Engine.Stats.record_worker_evals ctx.main_stats ~worker nev;
+        match (b, !best) with
+        | None, _ -> ()
+        | Some _, None -> best := b
+        | Some (u, _), Some (bu, _) -> if u < bu then best := b)
+      per_chunk;
+    Engine.Stats.record_parallel ctx.main_stats ~jobs:(Array.length ctx.evs)
+      ~tasks:(Array.length ch) ~wall ~busy:!busy;
+    !best
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Multi-round greedy (one more waypoint per round)                    *)
+(* ------------------------------------------------------------------ *)
+
+let optimize_multi ?stats ?(pool = Par.Pool.sequential) ?(order = Desc) ~rounds
+    g weights demands =
   if rounds < 1 then invalid_arg "Greedy_wpo.optimize_multi: rounds >= 1";
-  let n = Digraph.node_count g and m = Digraph.edge_count g in
+  let n = Digraph.node_count g in
   let ev = Engine.Evaluator.create ?stats g weights in
   Engine.Evaluator.set_commodities ev (Network.to_commodities demands);
   let unit_load src dst = Engine.Evaluator.unit_load ev ~src ~dst in
@@ -54,6 +158,7 @@ let optimize_multi ?stats ?(order = Desc) ~rounds g weights demands =
     try Array.copy (Engine.Evaluator.loads ev)
     with Engine.Evaluator.Unroutable (s, t) -> raise (Ecmp.Unroutable (s, t))
   in
+  let ctx = make_ctx pool ev in
   let setting = Array.make (Array.length demands) [] in
   let indices = order_indices order demands in
   let u_min = ref (Engine.Evaluator.mlu_of_loads g loads) in
@@ -71,44 +176,43 @@ let optimize_multi ?stats ?(order = Desc) ~rounds g weights demands =
         if anchor <> d.Network.dst then begin
           let last_seg = unit_load anchor d.Network.dst in
           apply loads (-1.) last_seg size;
-          let best_w = ref None and best_u = ref !u_min in
-          for w = 0 to n - 1 do
-            if w <> anchor && w <> d.Network.dst then begin
-              match (unit_load anchor w, unit_load w d.Network.dst) with
-              | exception Engine.Evaluator.Unroutable _ -> ()
-              | seg1, seg2 ->
-                apply loads 1. seg1 size;
-                apply loads 1. seg2 size;
-                let u = ref 0. in
-                for e = 0 to m - 1 do
-                  let r = loads.(e) /. Digraph.cap g e in
-                  if r > !u then u := r
-                done;
-                if !u < !best_u -. 1e-12 then begin
-                  best_u := !u;
-                  best_w := Some w
-                end;
-                apply loads (-1.) seg1 size;
-                apply loads (-1.) seg2 size
-            end
-          done;
-          match !best_w with
-          | Some w ->
+          let cands =
+            let ways = ref [] in
+            for w = n - 1 downto 0 do
+              if w <> anchor && w <> d.Network.dst then ways := Way w :: !ways
+            done;
+            Array.of_list !ways
+          in
+          let segs_of ev = function
+            | Way w ->
+              [ Engine.Evaluator.unit_load ev ~src:anchor ~dst:w;
+                Engine.Evaluator.unit_load ev ~src:w ~dst:d.Network.dst ]
+            | Drop -> assert false
+          in
+          match scan_candidates ctx ~loads ~size ~segs_of cands with
+          | Some (u, j) when u < !u_min -. 1e-12 ->
+            let w = match cands.(j) with Way w -> w | Drop -> assert false in
             setting.(i) <- setting.(i) @ [ w ];
-            u_min := !best_u;
+            u_min := u;
             apply loads 1. (unit_load anchor w) size;
             apply loads 1. (unit_load w d.Network.dst) size
-          | None -> apply loads 1. last_seg size
+          | _ -> apply loads 1. last_seg size
         end)
       indices;
     round_mlu := Engine.Evaluator.mlu_of_loads g loads :: !round_mlu
   done;
+  merge_clone_stats ctx;
   { setting; mlu = Engine.Evaluator.mlu_of_loads g loads;
     round_mlu = List.rev !round_mlu }
 
-let optimize ?stats ?(order = Desc) ?(passes = 1) g weights demands =
+(* ------------------------------------------------------------------ *)
+(* Single-waypoint greedy (Algorithm 3 + improvement passes)           *)
+(* ------------------------------------------------------------------ *)
+
+let optimize ?stats ?(pool = Par.Pool.sequential) ?(order = Desc) ?(passes = 1)
+    g weights demands =
   if passes < 1 then invalid_arg "Greedy_wpo.optimize: passes >= 1";
-  let n = Digraph.node_count g and m = Digraph.edge_count g in
+  let n = Digraph.node_count g in
   let ev = Engine.Evaluator.create ?stats g weights in
   Engine.Evaluator.set_commodities ev (Network.to_commodities demands);
   let unit_load src dst = Engine.Evaluator.unit_load ev ~src ~dst in
@@ -116,6 +220,7 @@ let optimize ?stats ?(order = Desc) ?(passes = 1) g weights demands =
     try Array.copy (Engine.Evaluator.loads ev)
     with Engine.Evaluator.Unroutable (s, t) -> raise (Ecmp.Unroutable (s, t))
   in
+  let ctx = make_ctx pool ev in
   let initial_mlu = Engine.Evaluator.mlu_of_loads g loads in
   let waypoints = Array.make (Array.length demands) None in
   let indices = order_indices order demands in
@@ -129,62 +234,40 @@ let optimize ?stats ?(order = Desc) ?(passes = 1) g weights demands =
   in
   (* Pass 1 is Algorithm 3 verbatim; later passes revisit each demand,
      allowing reassignment or removal of its waypoint (the sequential
-    greedy is order-fragile and an improvement pass recovers most of
-    the loss). *)
+     greedy is order-fragile and an improvement pass recovers most of
+     the loss). *)
   for pass = 1 to passes do
     Array.iter
       (fun i ->
         let d = demands.(i) in
         let size = d.Network.size in
-        let current = segments_of i in
-        List.iter (fun s -> apply loads (-1.) s size) current;
-        let scan () =
-          let u = ref 0. in
-          for e = 0 to m - 1 do
-            let r = loads.(e) /. Digraph.cap g e in
-            if r > !u then u := r
+        List.iter (fun s -> apply loads (-1.) s size) (segments_of i);
+        let cands =
+          let ways = ref [] in
+          for w = n - 1 downto 0 do
+            if w <> d.Network.src && w <> d.Network.dst && Some w <> waypoints.(i)
+            then ways := Way w :: !ways
           done;
-          !u
+          (* On improvement passes, also consider dropping the waypoint. *)
+          if pass > 1 && waypoints.(i) <> None then Array.of_list (Drop :: !ways)
+          else Array.of_list !ways
         in
-        let best_w = ref waypoints.(i) and best_u = ref !u_min in
-        (* On improvement passes, also consider dropping the waypoint. *)
-        if pass > 1 && waypoints.(i) <> None then begin
-          let direct = unit_load d.Network.src d.Network.dst in
-          apply loads 1. direct size;
-          let u = scan () in
-          if u < !best_u -. 1e-12 then begin
-            best_u := u;
-            best_w := None
-          end;
-          apply loads (-1.) direct size
-        end;
-        for w = 0 to n - 1 do
-          if w <> d.Network.src && w <> d.Network.dst && Some w <> waypoints.(i)
-          then begin
-            match (unit_load d.Network.src w, unit_load w d.Network.dst) with
-            | exception Engine.Evaluator.Unroutable _ -> ()
-            | seg1, seg2 ->
-              apply loads 1. seg1 size;
-              apply loads 1. seg2 size;
-              let u = scan () in
-              if u < !best_u -. 1e-12 then begin
-                best_u := u;
-                best_w := Some w
-              end;
-              apply loads (-1.) seg1 size;
-              apply loads (-1.) seg2 size
-          end
-        done;
-        if !best_w <> waypoints.(i) then begin
-          waypoints.(i) <- !best_w;
-          u_min := !best_u
-        end;
+        let segs_of ev = function
+          | Drop ->
+            [ Engine.Evaluator.unit_load ev ~src:d.Network.src ~dst:d.Network.dst ]
+          | Way w ->
+            [ Engine.Evaluator.unit_load ev ~src:d.Network.src ~dst:w;
+              Engine.Evaluator.unit_load ev ~src:w ~dst:d.Network.dst ]
+        in
+        (match scan_candidates ctx ~loads ~size ~segs_of cands with
+        | Some (u, j) when u < !u_min -. 1e-12 ->
+          waypoints.(i) <-
+            (match cands.(j) with Drop -> None | Way w -> Some w)
+        | _ -> ());
         List.iter (fun s -> apply loads 1. s size) (segments_of i);
-        (* Keep u_min honest when nothing changed (restoring the demand
-           restores the previous MLU). *)
-        if !best_w = waypoints.(i) then
-          u_min := Engine.Evaluator.mlu_of_loads g loads)
+        u_min := Engine.Evaluator.mlu_of_loads g loads)
       indices
   done;
+  merge_clone_stats ctx;
   let final_mlu = Engine.Evaluator.mlu_of_loads g loads in
   { waypoints; mlu = final_mlu; initial_mlu }

@@ -16,6 +16,7 @@ type result = {
 
 val optimize :
   ?stats:Engine.Stats.t ->
+  ?pool:Par.Pool.t ->
   ?order:order ->
   ?passes:int ->
   Netgraph.Digraph.t ->
@@ -27,6 +28,12 @@ val optimize :
     repairs most of the sequential greedy's order-dependence.  All unit
     flows come from one shared {!Engine.Evaluator}, whose cache counters
     land in [stats].
+
+    [pool] parallelizes the per-demand candidate scan: the waypoint grid
+    is partitioned into fixed-size chunks, each worker scores its chunk
+    on a private {!Engine.Evaluator.copy} clone and load buffer, and the
+    per-chunk argmins reduce in chunk-index order — the result is
+    bit-identical for every pool size (asserted by the test suite).
     @raise Ecmp.Unroutable if a demand itself is unroutable (candidate
     waypoints that would make a segment unroutable are skipped). *)
 
@@ -38,6 +45,7 @@ type multi_result = {
 
 val optimize_multi :
   ?stats:Engine.Stats.t ->
+  ?pool:Par.Pool.t ->
   ?order:order ->
   rounds:int ->
   Netgraph.Digraph.t ->
@@ -47,4 +55,5 @@ val optimize_multi :
 (** The paper's open question "how many waypoints suffice?" (§8): runs
     the greedy [rounds] times; round [k] may append one more waypoint to
     each demand's list (so W <= rounds), greedily re-splitting the last
-    segment.  [rounds = 1] coincides with {!optimize}. *)
+    segment.  [rounds = 1] coincides with {!optimize}.  [pool] behaves
+    as in {!optimize}. *)

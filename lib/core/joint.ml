@@ -13,8 +13,9 @@ let setting_mlu ?stats g w demands setting =
   Engine.Evaluator.mlu_of ?stats g w
     (Network.to_commodities (Segments.expand demands setting))
 
-let optimize_iterated ?stats ?(ls_params = Local_search.default_params)
-    ?(iterations = 3) ?(waypoint_rounds = 1) g demands =
+let optimize_iterated ?stats ?pool ?restarts
+    ?(ls_params = Local_search.default_params) ?(iterations = 3)
+    ?(waypoint_rounds = 1) g demands =
   if iterations < 1 then invalid_arg "Joint.optimize_iterated: iterations >= 1";
   let best = ref None in
   let consider stage int_w setting mlu stages =
@@ -31,7 +32,7 @@ let optimize_iterated ?stats ?(ls_params = Local_search.default_params)
        waypoints, warm-starting from the previous weights. *)
     let split = Segments.expand demands !setting in
     let ls =
-      Local_search.optimize ?stats
+      Local_search.optimize ?stats ?pool ?restarts
         ~params:{ ls_params with Local_search.seed = ls_params.Local_search.seed + it }
         ?init:!int_w g split
     in
@@ -44,7 +45,9 @@ let optimize_iterated ?stats ?(ls_params = Local_search.default_params)
         ls.Local_search.weights !setting mlu_w !stages;
     (* Waypoint step: re-pick waypoints from scratch under the new
        weights (the greedy is cheap; re-picking avoids lock-in). *)
-    let wpo = Greedy_wpo.optimize_multi ?stats ~rounds:waypoint_rounds g w demands in
+    let wpo =
+      Greedy_wpo.optimize_multi ?stats ?pool ~rounds:waypoint_rounds g w demands
+    in
     setting := wpo.Greedy_wpo.setting;
     stages :=
       consider
@@ -56,13 +59,13 @@ let optimize_iterated ?stats ?(ls_params = Local_search.default_params)
     { weights; int_weights; waypoints; mlu; stage_mlu = List.rev !stages }
   | None -> assert false (* iterations >= 1 always records a candidate *)
 
-let optimize ?stats ?(ls_params = Local_search.default_params)
+let optimize ?stats ?pool ?restarts ?(ls_params = Local_search.default_params)
     ?(full_pipeline = false) g demands =
   (* Step 1: link-weight optimization. *)
-  let ls = Local_search.optimize ?stats ~params:ls_params g demands in
+  let ls = Local_search.optimize ?stats ?pool ?restarts ~params:ls_params g demands in
   let w1 = Weights.of_ints ls.Local_search.weights in
   (* Step 2: greedy waypoints under those weights. *)
-  let wpo = Greedy_wpo.optimize ?stats g w1 demands in
+  let wpo = Greedy_wpo.optimize ?stats ?pool g w1 demands in
   let setting = Segments.of_single wpo.Greedy_wpo.waypoints in
   let stage2 = wpo.Greedy_wpo.mlu in
   let stages =
@@ -76,8 +79,8 @@ let optimize ?stats ?(ls_params = Local_search.default_params)
        weights for the split list. *)
     let split = Segments.expand demands setting in
     let ls2 =
-      Local_search.optimize ?stats ~params:ls_params ~init:ls.Local_search.weights
-        g split
+      Local_search.optimize ?stats ?pool ?restarts ~params:ls_params
+        ~init:ls.Local_search.weights g split
     in
     let w2 = Weights.of_ints ls2.Local_search.weights in
     (* Evaluate the original demands + waypoints under the new weights:

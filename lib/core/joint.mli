@@ -19,6 +19,8 @@ type result = {
 
 val optimize :
   ?stats:Engine.Stats.t ->
+  ?pool:Par.Pool.t ->
+  ?restarts:int ->
   ?ls_params:Local_search.params ->
   ?full_pipeline:bool ->
   Netgraph.Digraph.t ->
@@ -27,10 +29,15 @@ val optimize :
 (** [full_pipeline] (default [false], as plotted in the paper) enables
     steps 3–4.  [stats] is threaded through every stage (weight search,
     greedy waypoints, cross-stage evaluations), so one instance accounts
-    for the whole pipeline. *)
+    for the whole pipeline.  [pool] and [restarts] are forwarded to the
+    stages ({!Local_search.optimize} probe fan-out and multi-restart,
+    {!Greedy_wpo.optimize} candidate scan); results stay bit-identical
+    across pool sizes. *)
 
 val optimize_iterated :
   ?stats:Engine.Stats.t ->
+  ?pool:Par.Pool.t ->
+  ?restarts:int ->
   ?ls_params:Local_search.params ->
   ?iterations:int ->
   ?waypoint_rounds:int ->

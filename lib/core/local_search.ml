@@ -22,10 +22,21 @@ let evaluate g demands int_weights =
   Engine.Evaluator.set_commodities ev (Network.to_commodities demands);
   Engine.Evaluator.evaluate ev
 
-let optimize ?stats ?(params = default_params) ?init g demands =
+(* One seeded walk.  [demands] is already aggregated.
+
+   The neighborhood probes fan out over [pool]: candidate weight values
+   for the picked edge are gated by the budget/memo rules sequentially
+   (consuming no randomness), the cache misses are then scored
+   concurrently — each worker on its own {!Engine.Evaluator.copy} clone
+   — and the tracker updates replay in candidate order.  Because every
+   clone holds bitwise the same committed state as the main evaluator
+   (every accepted move and perturbation is mirrored to them), a probe
+   returns the same floats no matter which worker runs it, so the walk
+   is bit-identical for every pool size, including the inline
+   [parallelism = 1] case. *)
+let run_single ?stats ~params ?init ~pool g demands =
   if params.wmax < 2 then invalid_arg "Local_search.optimize: wmax < 2";
   let m = Digraph.edge_count g in
-  let demands = Network.aggregate demands in
   let st = Random.State.make [| params.seed; 0x05f |] in
   let init =
     match init with
@@ -35,7 +46,7 @@ let optimize ?stats ?(params = default_params) ?init g demands =
       Array.copy w
     | None -> Weights.round_to_range ~wmax:params.wmax (Weights.inverse_capacity g)
   in
-  (* One evaluator serves the whole search; candidate moves are probed
+  (* One evaluator serves the whole walk; candidate moves are probed
      as incremental single-weight updates and rolled back via the undo
      trail rather than rebuilding the ECMP state per candidate. *)
   let ev = Engine.Evaluator.create ?stats g (Weights.of_ints init) in
@@ -59,22 +70,35 @@ let optimize ?stats ?(params = default_params) ?init g demands =
     memoize w r;
     r
   in
-  (* Probe one single-edge candidate: push the move, evaluate, undo. *)
-  let probe current e wv =
-    match Hashtbl.find_opt memo current with
-    | Some r -> r
-    | None ->
-      Engine.Evaluator.set_weight ev ~edge:e (float_of_int wv);
-      let r = eval_engine current in
-      Engine.Evaluator.undo ev;
-      r
-  in
   let objective (mlu, phi) = if params.use_phi then phi else mlu in
   let current = init in
   let cur_mlu, cur_phi, cur_loads =
     match Hashtbl.find_opt memo current with
     | Some r -> r
     | None -> eval_engine current
+  in
+  (* Worker clones, made eagerly on this domain once the caches are
+     warm.  [parallelism] is 1 when the walk itself runs inside a pool
+     task (multi-restart): the probe map then nests inline on worker 0
+     (the main evaluator) and no clones exist at all. *)
+  let par = Par.Pool.parallelism pool in
+  let clones = Array.make par ev in
+  for w = 1 to par - 1 do
+    clones.(w) <- Engine.Evaluator.copy ev
+  done;
+  (* Keep every clone's committed state bitwise equal to the main
+     evaluator's: mirror each accepted move and perturbation. *)
+  let mirror_set_weight e wf =
+    for w = 1 to par - 1 do
+      Engine.Evaluator.set_weight clones.(w) ~edge:e wf;
+      Engine.Evaluator.commit clones.(w)
+    done
+  in
+  let mirror_set_weights wf =
+    for w = 1 to par - 1 do
+      Engine.Evaluator.set_weights clones.(w) wf;
+      Engine.Evaluator.commit clones.(w)
+    done
   in
   let cur_obj = ref (objective (cur_mlu, cur_phi)) in
   let cur_loads = ref cur_loads in
@@ -127,28 +151,90 @@ let optimize ?stats ?(params = default_params) ?init g demands =
     incr iterations;
     let e = pick_edge () in
     let old = current.(e) in
+    (* Phase A: replay the sequential budget/memo gating.  A candidate
+       is admitted while simulated evals remain; memo hits are free,
+       misses consume one budget unit and join the probe list. *)
+    let sim = ref !evals in
+    let plan =
+      List.filter_map
+        (fun wv ->
+          if !sim >= params.max_evals then None
+          else begin
+            current.(e) <- wv;
+            match Hashtbl.find_opt memo current with
+            | Some r -> Some (wv, `Memo r)
+            | None ->
+              incr sim;
+              Some (wv, `Probe (Array.copy current))
+          end)
+        (candidates old)
+    in
+    current.(e) <- old;
+    (* Phase B: score the cache misses, one pool task each, every
+       worker probing on its own clone through the engine's
+       set / evaluate / undo move protocol. *)
+    let probes =
+      Array.of_list
+        (List.filter_map
+           (function wv, `Probe _ -> Some wv | _, `Memo _ -> None)
+           plan)
+    in
+    let wall0 = Engine.Mono.now () in
+    let probe_results =
+      Par.Pool.map pool ~tasks:(Array.length probes) (fun ~worker i ->
+          let t0 = Engine.Mono.now () in
+          let evw = clones.(worker) in
+          Engine.Evaluator.set_weight evw ~edge:e (float_of_int probes.(i));
+          let mlu, phi = Engine.Evaluator.evaluate evw in
+          let loads = Array.copy (Engine.Evaluator.loads evw) in
+          Engine.Evaluator.undo evw;
+          ((mlu, phi, loads), worker, Engine.Mono.now () -. t0))
+    in
+    if Array.length probes > 0 then begin
+      let busy = ref 0. in
+      Array.iter
+        (fun (_, worker, dt) ->
+          busy := !busy +. dt;
+          Engine.Stats.record_worker_evals (Engine.Evaluator.stats ev) ~worker 1)
+        probe_results;
+      Engine.Stats.record_parallel (Engine.Evaluator.stats ev) ~jobs:par
+        ~tasks:(Array.length probes) ~wall:(Engine.Mono.now () -. wall0)
+        ~busy:!busy
+    end;
+    evals := !sim;
+    (* Phase C: replay the tracker updates in candidate order, exactly
+       as the sequential loop would have. *)
     let best_cand = ref None in
+    let next_probe = ref 0 in
     List.iter
-      (fun wv ->
-        if !evals < params.max_evals then begin
-          current.(e) <- wv;
-          let mlu, phi, loads = probe current e wv in
-          let obj = objective (mlu, phi) in
-          if mlu < !best_mlu -. 1e-12 then begin
-            best_mlu := mlu;
-            best_phi := phi;
-            best_w := Array.copy current
-          end;
-          (match !best_cand with
-          | Some (o, _, _, _) when o <= obj -> ()
-          | _ -> best_cand := Some (obj, wv, mlu, loads))
-        end)
-      (candidates old);
+      (fun (wv, src) ->
+        let ((mlu, phi, loads) as r) =
+          match src with
+          | `Memo r -> r
+          | `Probe key ->
+            let r, _, _ = probe_results.(!next_probe) in
+            incr next_probe;
+            if Hashtbl.length memo < 200_000 then Hashtbl.replace memo key r;
+            r
+        in
+        ignore (r : float * float * float array);
+        current.(e) <- wv;
+        let obj = objective (mlu, phi) in
+        if mlu < !best_mlu -. 1e-12 then begin
+          best_mlu := mlu;
+          best_phi := phi;
+          best_w := Array.copy current
+        end;
+        match !best_cand with
+        | Some (o, _, _, _) when o <= obj -> ()
+        | _ -> best_cand := Some (obj, wv, mlu, loads))
+      plan;
     current.(e) <- old;
     let accept wv obj loads =
       current.(e) <- wv;
       Engine.Evaluator.set_weight ev ~edge:e (float_of_int wv);
       Engine.Evaluator.commit ev;
+      mirror_set_weight e (float_of_int wv);
       cur_obj := obj;
       cur_loads := loads
     in
@@ -169,8 +255,10 @@ let optimize ?stats ?(params = default_params) ?init g demands =
       for _ = 1 to kicks do
         current.(Random.State.int st m) <- 1 + Random.State.int st params.wmax
       done;
-      Engine.Evaluator.set_weights ev (Weights.of_ints current);
+      let wf = Weights.of_ints current in
+      Engine.Evaluator.set_weights ev wf;
       Engine.Evaluator.commit ev;
+      mirror_set_weights wf;
       let mlu, phi, loads =
         match Hashtbl.find_opt memo current with
         | Some r -> r
@@ -186,4 +274,52 @@ let optimize ?stats ?(params = default_params) ?init g demands =
       stall := 0
     end
   done;
+  (* Fold the clones' cache/SPF counters into the walk's stats (fixed
+     worker order, so the totals are reproducible too). *)
+  for w = 1 to par - 1 do
+    Engine.Stats.merge ~into:(Engine.Evaluator.stats ev)
+      (Engine.Evaluator.stats clones.(w))
+  done;
   { weights = !best_w; mlu = !best_mlu; phi = !best_phi; evals = !evals }
+
+(* Restart [r] perturbs the seed by a fixed prime stride, so restart 0
+   reproduces the single-walk result exactly. *)
+let restart_seed params r = { params with seed = params.seed + (7919 * r) }
+
+let optimize ?stats ?(pool = Par.Pool.sequential) ?(restarts = 1)
+    ?(params = default_params) ?init g demands =
+  if restarts < 1 then invalid_arg "Local_search.optimize: restarts >= 1";
+  let demands = Network.aggregate demands in
+  if restarts = 1 then run_single ?stats ~params ?init ~pool g demands
+  else begin
+    let wall0 = Engine.Mono.now () in
+    let jobs = Par.Pool.parallelism pool in
+    (* Each restart gets a private Stats.t (a shared one would race
+       across domains); they merge into [stats] in restart order. *)
+    let runs =
+      Par.Pool.map pool ~tasks:restarts (fun ~worker:_ r ->
+          let t0 = Engine.Mono.now () in
+          let stats_r = Engine.Stats.create () in
+          let res =
+            run_single ~stats:stats_r ~params:(restart_seed params r) ?init
+              ~pool g demands
+          in
+          (res, stats_r, Engine.Mono.now () -. t0))
+    in
+    let wall = Engine.Mono.now () -. wall0 in
+    let busy = Array.fold_left (fun acc (_, _, dt) -> acc +. dt) 0. runs in
+    (match stats with
+    | Some s ->
+      Array.iter (fun (_, sr, _) -> Engine.Stats.merge ~into:s sr) runs;
+      Engine.Stats.record_parallel s ~jobs ~tasks:restarts ~wall ~busy
+    | None -> ());
+    (* Best MLU wins; ties keep the lowest restart index. *)
+    let best = ref None in
+    Array.iter
+      (fun (res, _, _) ->
+        match !best with
+        | Some b when b.mlu <= res.mlu -> ()
+        | _ -> best := Some res)
+      runs;
+    match !best with Some r -> r | None -> assert false (* restarts >= 1 *)
+  end

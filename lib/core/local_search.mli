@@ -37,6 +37,8 @@ val evaluate :
 
 val optimize :
   ?stats:Engine.Stats.t ->
+  ?pool:Par.Pool.t ->
+  ?restarts:int ->
   ?params:params ->
   ?init:int array ->
   Netgraph.Digraph.t ->
@@ -47,4 +49,13 @@ val optimize :
     {!Engine.Evaluator}: each single-weight move is probed as an
     incremental update and undone (or committed) through the engine's
     move protocol.  [stats] collects the engine's evaluation and
-    SPF-rebuild counters for the whole run. *)
+    SPF-rebuild counters for the whole run.
+
+    [pool] parallelizes the work on two levels, both deterministically
+    (the result is bit-identical for every pool size): the
+    neighborhood probes of one walk run concurrently on per-worker
+    {!Engine.Evaluator.copy} clones, and with [restarts > 1] whole
+    independent walks (restart [r] reseeded to [seed + 7919 r], so
+    [restarts = 1] is the historical single walk) run as pool tasks,
+    probing inline.  The returned result is the best-MLU restart (ties:
+    lowest restart index), with its own walk's [evals] count. *)

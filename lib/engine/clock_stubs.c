@@ -1,0 +1,15 @@
+/* Monotonic wall-clock for the engine's phase timers.  CLOCK_MONOTONIC
+   is immune to NTP step adjustments, so accumulated phase durations can
+   never go backwards (Unix.gettimeofday, the previous source, can). */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <time.h>
+
+CAMLprim value te_monotonic_seconds(value unit)
+{
+  struct timespec ts;
+  (void) unit;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return caml_copy_double((double) ts.tv_sec + (double) ts.tv_nsec * 1e-9);
+}

@@ -82,6 +82,33 @@ let create ?(stats = Stats.create ()) graph weights =
     touched = Array.make m 0;
   }
 
+(* Deep clone for parallel search: the clone owns every array the
+   evaluator mutates in place ([weights], the cache index arrays, the
+   [units] rows and the scratch buffers), while the cached values they
+   point at — dag records, sparse unit-flow vectors, per-destination
+   load vectors — are immutable after construction and safely shared
+   across domains.  The clone starts with an empty trail: whatever
+   uncommitted weight changes the source held are captured as the
+   clone's committed state. *)
+let copy ?stats t =
+  let n = Digraph.node_count t.graph and m = Digraph.edge_count t.graph in
+  {
+    graph = t.graph;
+    weights = Array.copy t.weights;
+    stats = (match stats with Some s -> s | None -> Stats.create ());
+    dags = Array.copy t.dags;
+    units = Array.map Array.copy t.units;
+    by_dest = Array.copy t.by_dest;
+    active_dests = Array.copy t.active_dests;
+    dest_loads = Array.copy t.dest_loads;
+    loads_buf = Array.copy t.loads_buf;
+    loads_valid = t.loads_valid;
+    trail = [];
+    node_flow = Array.make n 0.;
+    edge_flow = Array.make m 0.;
+    touched = Array.make m 0;
+  }
+
 let graph t = t.graph
 
 let weights t = t.weights

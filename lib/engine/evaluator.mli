@@ -42,6 +42,18 @@ val create : ?stats:Stats.t -> Netgraph.Digraph.t -> float array -> t
     vector is copied.  @raise Invalid_argument on a length mismatch or
     a non-positive weight. *)
 
+val copy : ?stats:Stats.t -> t -> t
+(** Deep clone for parallel search: the clone captures the source's
+    current weights (uncommitted changes included, as committed state —
+    its undo trail starts empty) and inherits its warm caches, after
+    which the two evaluate and mutate fully independently.  Cached
+    immutable values (DAGs, unit-flow vectors, per-destination loads)
+    are structurally shared, so a copy is cheap and clones may run on
+    separate domains.  [stats] defaults to a {e fresh} [Stats.t]: a
+    clone never shares its source's counters (merge them back with
+    {!Stats.merge} if desired).  Do not call [copy] while another
+    domain is concurrently using [t]. *)
+
 val graph : t -> Netgraph.Digraph.t
 
 val weights : t -> float array

@@ -1,0 +1,1 @@
+external now : unit -> float = "te_monotonic_seconds"

@@ -1,0 +1,6 @@
+(** Monotonic time source for the engine's instrumentation. *)
+
+val now : unit -> float
+(** Seconds since an arbitrary fixed origin, from [CLOCK_MONOTONIC]:
+    strictly unaffected by wall-clock (NTP) adjustments.  Only
+    differences are meaningful. *)

@@ -12,6 +12,12 @@ type t = {
   mutable clean_dests : int;
   mutable commits : int;
   mutable undos : int;
+  mutable par_regions : int;
+  mutable par_tasks : int;
+  mutable par_jobs : int;
+  mutable par_wall : float;
+  mutable par_busy : float;
+  mutable worker_evals : int array;
   timer_tbl : (string, float) Hashtbl.t;
 }
 
@@ -30,6 +36,12 @@ let create () =
     clean_dests = 0;
     commits = 0;
     undos = 0;
+    par_regions = 0;
+    par_tasks = 0;
+    par_jobs = 0;
+    par_wall = 0.;
+    par_busy = 0.;
+    worker_evals = [||];
     timer_tbl = Hashtbl.create 8;
   }
 
@@ -47,11 +59,37 @@ let reset s =
   s.clean_dests <- 0;
   s.commits <- 0;
   s.undos <- 0;
+  s.par_regions <- 0;
+  s.par_tasks <- 0;
+  s.par_jobs <- 0;
+  s.par_wall <- 0.;
+  s.par_busy <- 0.;
+  s.worker_evals <- [||];
   Hashtbl.reset s.timer_tbl
 
 let add_time s phase dt =
   let prev = try Hashtbl.find s.timer_tbl phase with Not_found -> 0. in
   Hashtbl.replace s.timer_tbl phase (prev +. dt)
+
+let record_parallel s ~jobs ~tasks ~wall ~busy =
+  s.par_regions <- s.par_regions + 1;
+  s.par_tasks <- s.par_tasks + tasks;
+  if jobs > s.par_jobs then s.par_jobs <- jobs;
+  s.par_wall <- s.par_wall +. wall;
+  s.par_busy <- s.par_busy +. busy
+
+let record_worker_evals s ~worker n =
+  if worker < 0 then invalid_arg "Stats.record_worker_evals: negative worker";
+  if worker >= Array.length s.worker_evals then begin
+    let grown = Array.make (worker + 1) 0 in
+    Array.blit s.worker_evals 0 grown 0 (Array.length s.worker_evals);
+    s.worker_evals <- grown
+  end;
+  s.worker_evals.(worker) <- s.worker_evals.(worker) + n
+
+let parallel_efficiency s =
+  if s.par_regions = 0 || s.par_jobs = 0 || s.par_wall <= 0. then nan
+  else s.par_busy /. (s.par_wall *. float_of_int s.par_jobs)
 
 let merge ~into s =
   into.evaluations <- into.evaluations + s.evaluations;
@@ -67,11 +105,18 @@ let merge ~into s =
   into.clean_dests <- into.clean_dests + s.clean_dests;
   into.commits <- into.commits + s.commits;
   into.undos <- into.undos + s.undos;
+  into.par_regions <- into.par_regions + s.par_regions;
+  into.par_tasks <- into.par_tasks + s.par_tasks;
+  if s.par_jobs > into.par_jobs then into.par_jobs <- s.par_jobs;
+  into.par_wall <- into.par_wall +. s.par_wall;
+  into.par_busy <- into.par_busy +. s.par_busy;
+  Array.iteri (fun w n -> if n <> 0 then record_worker_evals into ~worker:w n)
+    s.worker_evals;
   Hashtbl.iter (fun phase dt -> add_time into phase dt) s.timer_tbl
 
 let time s phase f =
-  let t0 = Unix.gettimeofday () in
-  let finally () = add_time s phase (Unix.gettimeofday () -. t0) in
+  let t0 = Mono.now () in
+  let finally () = add_time s phase (Mono.now () -. t0) in
   match f () with
   | v ->
     finally ();
@@ -95,13 +140,22 @@ let counters s =
     ("unit_hits", s.unit_hits); ("unit_misses", s.unit_misses);
     ("weight_updates", s.weight_updates); ("dirty_dests", s.dirty_dests);
     ("clean_dests", s.clean_dests); ("commits", s.commits);
-    ("undos", s.undos) ]
+    ("undos", s.undos); ("par_regions", s.par_regions);
+    ("par_tasks", s.par_tasks); ("par_jobs", s.par_jobs) ]
 
 let pp ppf s =
   Format.fprintf ppf "@[<v>engine stats:@,";
   List.iter
     (fun (k, v) -> Format.fprintf ppf "  %-18s %d@," k v)
     (counters s);
+  if s.par_regions > 0 then begin
+    Format.fprintf ppf "  %-18s %.6f s@," "par_wall" s.par_wall;
+    Format.fprintf ppf "  %-18s %.6f s@," "par_busy" s.par_busy;
+    Format.fprintf ppf "  %-18s %.3f@," "par_efficiency" (parallel_efficiency s);
+    Array.iteri
+      (fun w n -> Format.fprintf ppf "  evals[worker %2d]   %d@," w n)
+      s.worker_evals
+  end;
   List.iter
     (fun (phase, dt) -> Format.fprintf ppf "  %-18s %.6f s@," ("t:" ^ phase) dt)
     (timers s);
@@ -117,6 +171,23 @@ let to_json s =
       sep ();
       Buffer.add_string b (Printf.sprintf "%S: %d" k v))
     (counters s);
+  if s.par_regions > 0 then begin
+    sep ();
+    Buffer.add_string b (Printf.sprintf "\"par_wall\": %.6f" s.par_wall);
+    sep ();
+    Buffer.add_string b (Printf.sprintf "\"par_busy\": %.6f" s.par_busy);
+    sep ();
+    Buffer.add_string b
+      (Printf.sprintf "\"par_efficiency\": %.4f" (parallel_efficiency s));
+    sep ();
+    Buffer.add_string b "\"worker_evals\": [";
+    Array.iteri
+      (fun w n ->
+        if w > 0 then Buffer.add_string b ", ";
+        Buffer.add_string b (string_of_int n))
+      s.worker_evals;
+    Buffer.add_char b ']'
+  end;
   List.iter
     (fun (phase, dt) ->
       sep ();

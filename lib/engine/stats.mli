@@ -26,8 +26,20 @@ type t = {
       (** built destinations proven untouched by a weight update *)
   mutable commits : int;
   mutable undos : int;
+  mutable par_regions : int;
+      (** parallel fan-outs (one per {!record_parallel} call) *)
+  mutable par_tasks : int;  (** tasks dispatched across all fan-outs *)
+  mutable par_jobs : int;  (** largest worker count used by any fan-out *)
+  mutable par_wall : float;
+      (** wall-clock seconds spent inside parallel fan-outs *)
+  mutable par_busy : float;
+      (** per-worker busy seconds summed over all fan-outs *)
+  mutable worker_evals : int array;
+      (** candidate evaluations per worker slot; grown on demand by
+          {!record_worker_evals} (scheduling-dependent attribution —
+          instrumentation only, never part of a deterministic result) *)
   timer_tbl : (string, float) Hashtbl.t;
-      (** accumulated wall-clock seconds per phase; use {!time} /
+      (** accumulated monotonic-clock seconds per phase; use {!time} /
           {!add_time} / {!timers} rather than touching this directly *)
 }
 
@@ -39,8 +51,24 @@ val merge : into:t -> t -> unit
 (** Adds every counter and timer of the second argument into [into]. *)
 
 val time : t -> string -> (unit -> 'a) -> 'a
-(** [time s phase f] runs [f] and adds its wall-clock duration to the
-    accumulator named [phase]. *)
+(** [time s phase f] runs [f] and adds its duration to the accumulator
+    named [phase].  Durations come from {!Mono.now}, so they cannot go
+    negative under NTP wall-clock adjustments. *)
+
+(** {1 Parallel search instrumentation} *)
+
+val record_parallel : t -> jobs:int -> tasks:int -> wall:float -> busy:float -> unit
+(** Accounts one parallel fan-out: [jobs] workers processed [tasks]
+    tasks, the caller waited [wall] seconds, and the workers' summed
+    task time was [busy] seconds. *)
+
+val record_worker_evals : t -> worker:int -> int -> unit
+(** Adds candidate evaluations to worker slot [worker]'s counter. *)
+
+val parallel_efficiency : t -> float
+(** [par_busy / (par_wall * par_jobs)]: 1.0 means every worker was busy
+    for the whole wall-clock of every fan-out; [nan] before any
+    {!record_parallel}. *)
 
 val add_time : t -> string -> float -> unit
 

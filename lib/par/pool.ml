@@ -1,0 +1,149 @@
+(* A region is one fan-out: a fixed task count and a run function that
+   never raises (exceptions are captured into the caller's result
+   arrays).  Workers claim indices from r_next under the pool mutex and
+   execute with the mutex released. *)
+type region = {
+  r_total : int;
+  r_run : int -> int -> unit; (* worker -> task index *)
+  mutable r_next : int;
+  mutable r_done : int;
+}
+
+type t = {
+  n_jobs : int;
+  mutex : Mutex.t;
+  work : Condition.t; (* signalled when a new region (or shutdown) is posted *)
+  finished : Condition.t; (* signalled when a region's last task completes *)
+  mutable region : region option;
+  mutable gen : int; (* bumped per region; workers track the last seen *)
+  mutable stopping : bool;
+  mutable busy : bool; (* a region is in flight: nested maps run inline *)
+  mutable domains : unit Domain.t list;
+}
+
+(* Claim-and-run loop shared by workers and the posting caller.  Called
+   and returns with the mutex held. *)
+let drain t r worker =
+  while r.r_next < r.r_total do
+    let i = r.r_next in
+    r.r_next <- i + 1;
+    Mutex.unlock t.mutex;
+    r.r_run worker i;
+    Mutex.lock t.mutex;
+    r.r_done <- r.r_done + 1;
+    if r.r_done = r.r_total then Condition.broadcast t.finished
+  done
+
+let worker_loop t worker =
+  let seen = ref 0 in
+  Mutex.lock t.mutex;
+  while not t.stopping do
+    if t.gen <> !seen then begin
+      seen := t.gen;
+      match t.region with Some r -> drain t r worker | None -> ()
+    end
+    else Condition.wait t.work t.mutex
+  done;
+  Mutex.unlock t.mutex
+
+let create ~jobs =
+  if jobs < 1 then invalid_arg "Par.Pool.create: jobs must be >= 1";
+  let t =
+    { n_jobs = jobs; mutex = Mutex.create (); work = Condition.create ();
+      finished = Condition.create (); region = None; gen = 0; stopping = false;
+      busy = false; domains = [] }
+  in
+  if jobs > 1 then
+    t.domains <-
+      List.init (jobs - 1) (fun i -> Domain.spawn (fun () -> worker_loop t (i + 1)));
+  t
+
+let jobs t = t.n_jobs
+
+let shutdown t =
+  if t.n_jobs > 1 then begin
+    Mutex.lock t.mutex;
+    let ds = t.domains in
+    t.domains <- [];
+    if not t.stopping then begin
+      t.stopping <- true;
+      Condition.broadcast t.work
+    end;
+    Mutex.unlock t.mutex;
+    List.iter Domain.join ds
+  end
+
+let with_pool ~jobs f =
+  let t = create ~jobs in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+let sequential = create ~jobs:1
+
+let parallelism t =
+  if t.n_jobs = 1 then 1
+  else begin
+    Mutex.lock t.mutex;
+    let p = if t.busy || t.stopping then 1 else t.n_jobs in
+    Mutex.unlock t.mutex;
+    p
+  end
+
+(* Runs [tasks] invocations of [run] (which must not raise), either
+   inline or fanned out over the pool. *)
+let run_tasks t ~tasks run =
+  if tasks > 0 then
+    if t.n_jobs = 1 then
+      (* Lock-free: the shared [sequential] pool may be used from
+         several domains at once. *)
+      for i = 0 to tasks - 1 do
+        run 0 i
+      done
+    else begin
+      Mutex.lock t.mutex;
+      if t.busy || t.stopping then begin
+        (* Nested (or post-shutdown) map: run inline on this worker,
+           presenting worker slot 0 of the nested call site. *)
+        Mutex.unlock t.mutex;
+        for i = 0 to tasks - 1 do
+          run 0 i
+        done
+      end
+      else begin
+        t.busy <- true;
+        let r = { r_total = tasks; r_run = run; r_next = 0; r_done = 0 } in
+        t.region <- Some r;
+        t.gen <- t.gen + 1;
+        Condition.broadcast t.work;
+        drain t r 0;
+        while r.r_done < r.r_total do
+          Condition.wait t.finished t.mutex
+        done;
+        t.region <- None;
+        t.busy <- false;
+        Mutex.unlock t.mutex
+      end
+    end
+
+let map t ~tasks f =
+  if tasks < 0 then invalid_arg "Par.Pool.map: negative task count";
+  let results = Array.make tasks None in
+  let errors = Array.make tasks None in
+  let run worker i =
+    match f ~worker i with
+    | v -> results.(i) <- Some v
+    | exception e -> errors.(i) <- Some e
+  in
+  run_tasks t ~tasks run;
+  Array.iter (function Some e -> raise e | None -> ()) errors;
+  Array.map (function Some v -> v | None -> assert false) results
+
+let map_reduce t ~tasks ~map:f ~init ~reduce =
+  Array.fold_left reduce init (map t ~tasks f)
+
+let chunks ~chunk n =
+  if chunk < 1 then invalid_arg "Par.Pool.chunks: chunk must be >= 1";
+  if n < 0 then invalid_arg "Par.Pool.chunks: negative item count";
+  let k = (n + chunk - 1) / chunk in
+  Array.init k (fun i ->
+      let start = i * chunk in
+      (start, min chunk (n - start)))

@@ -1,0 +1,76 @@
+(** A small fixed-size domain pool for deterministic search fan-out.
+
+    The pool owns [jobs - 1] worker domains (stdlib {!Domain}; the
+    caller of {!map} participates as worker 0, so [jobs = 1] spawns
+    nothing and runs everything inline).  It exists to parallelize the
+    heuristics' candidate scans: the caller fans a fixed task list out,
+    workers claim task indices from a shared counter, and results come
+    back keyed by task index so reductions happen in a fixed order —
+    the foundation of the [--jobs N] ≡ [--jobs 1] bit-identity the
+    search code guarantees.
+
+    Memory model: tasks must not share mutable state across worker
+    indices.  The intended pattern is one cloned evaluator (and scratch
+    buffer) per worker slot, immutable shared inputs, and results
+    published only through the returned array (the pool's internal
+    mutex establishes the happens-before edge between a worker's last
+    write and the caller reading the results).
+
+    Nesting: a [map] issued from inside a running task executes inline
+    on the calling worker and presents worker index 0 to its tasks.
+    Worker-indexed scratch must therefore be local to each [map] call
+    site, never global. *)
+
+type t
+
+val create : jobs:int -> t
+(** [create ~jobs] spawns [jobs - 1] worker domains.  [jobs = 1] is a
+    valid degenerate pool that runs every task inline and touches no
+    synchronization on {!map}.
+    @raise Invalid_argument if [jobs < 1]. *)
+
+val jobs : t -> int
+(** The size the pool was created with (including the caller). *)
+
+val parallelism : t -> int
+(** How many workers a {!map} issued right now would actually use: the
+    pool size, or 1 when the pool is busy (the call would nest and run
+    inline) or shut down.  Lets callers skip building per-worker clones
+    that could never be used. *)
+
+val shutdown : t -> unit
+(** Terminates and joins the worker domains.  Idempotent.  Subsequent
+    {!map} calls run inline. *)
+
+val with_pool : jobs:int -> (t -> 'a) -> 'a
+(** [with_pool ~jobs f] runs [f] on a fresh pool and shuts it down
+    afterwards, also on exception. *)
+
+val sequential : t
+(** A shared [jobs = 1] pool for callers that were given none.  Safe to
+    use concurrently from any domain (it has no shared mutable state on
+    the {!map} path). *)
+
+val map : t -> tasks:int -> (worker:int -> int -> 'a) -> 'a array
+(** [map t ~tasks f] computes [[| f ~worker:_ 0; ...; f ~worker:_ (tasks-1) |]].
+    Task indices are claimed dynamically, so which worker runs which
+    task is scheduling-dependent — [f] must make its {e result} depend
+    only on the task index, and use [worker] only to pick scratch
+    resources.  If any task raises, every task still runs to completion
+    and the exception of the lowest-index failing task is re-raised in
+    the caller. *)
+
+val map_reduce :
+  t -> tasks:int -> map:(worker:int -> int -> 'a) ->
+  init:'b -> reduce:('b -> 'a -> 'b) -> 'b
+(** [map] followed by an in-order (task index 0, 1, ...) left fold on
+    the caller.  The fixed fold order makes the reduction deterministic
+    even for non-commutative [reduce]. *)
+
+val chunks : chunk:int -> int -> (int * int) array
+(** [chunks ~chunk n] splits [0 .. n-1] into [(start, len)] blocks of
+    [chunk] items (the last one possibly shorter).  The decomposition
+    depends only on [chunk] and [n] — never on the pool size — so
+    per-chunk work (and any float accumulation inside a chunk) is
+    identical for every [--jobs] value.
+    @raise Invalid_argument if [chunk < 1] or [n < 0]. *)

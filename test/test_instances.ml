@@ -44,7 +44,7 @@ let test_instance1_lwo () =
 let test_instance1_lwo_optimal () =
   let inst = Gap_instances.instance1 ~m:3 in
   let net = inst.Gap_instances.network in
-  let _, best =
+  let (_, best), _ =
     Exact.lwo ~weight_domain:[ 1; 2; 3 ] net.Network.graph net.Network.demands
   in
   checkf6 "brute-force LWO = 1.5" 1.5 best
@@ -87,7 +87,7 @@ let test_theorem_3_4 () =
   let net = inst.Gap_instances.network in
   let g = net.Network.graph in
   let joint = joint_mlu inst in
-  let _, lwo = Exact.lwo ~weight_domain:[ 1; 2; 3 ] g net.Network.demands in
+  let (_, lwo), _ = Exact.lwo ~weight_domain:[ 1; 2; 3 ] g net.Network.demands in
   let _, wpo = Exact.wpo g (Weights.unit g) net.Network.demands in
   let r_lwo = lwo /. joint and r_wpo = wpo /. joint in
   Alcotest.(check bool)

@@ -1,0 +1,343 @@
+(* Tests for lib/par and the domain-parallel search runtime.  The
+   contract under test is that scheduling never leaks into results:
+   every pool operation and every pool-driven heuristic must return a
+   bit-identical answer for every --jobs value, and evaluator clones
+   must be perfectly isolated from their original. *)
+
+open Netgraph
+open Te
+
+let jobs_grid = [ 1; 2; 3; 8 ]
+
+(* ------------------------------------------------------------------ *)
+(* Pool primitives                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_map_order () =
+  let expected = Array.init 23 (fun i -> i * i) in
+  List.iter
+    (fun jobs ->
+      let got =
+        Par.Pool.with_pool ~jobs (fun pool ->
+            Par.Pool.map pool ~tasks:23 (fun ~worker:_ i -> i * i))
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "map order at jobs=%d" jobs)
+        true (got = expected);
+      let empty =
+        Par.Pool.with_pool ~jobs (fun pool ->
+            Par.Pool.map pool ~tasks:0 (fun ~worker:_ i -> i))
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "empty map at jobs=%d" jobs)
+        0 (Array.length empty))
+    jobs_grid
+
+(* The reduction is deliberately non-commutative and non-associative
+   (base-100 digit append): any deviation from a strict left fold in
+   task index order changes the value. *)
+let test_map_reduce_order () =
+  let expected = Array.fold_left (fun b a -> (b * 100) + a) 7 (Array.init 9 Fun.id) in
+  List.iter
+    (fun jobs ->
+      let got =
+        Par.Pool.with_pool ~jobs (fun pool ->
+            Par.Pool.map_reduce pool ~tasks:9
+              ~map:(fun ~worker:_ i -> i)
+              ~init:7
+              ~reduce:(fun b a -> (b * 100) + a))
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "map_reduce order at jobs=%d" jobs)
+        expected got)
+    jobs_grid
+
+(* Every task runs even when some raise, and the exception surfaced to
+   the caller is the lowest-index one — independent of scheduling. *)
+let test_exception_propagation () =
+  List.iter
+    (fun jobs ->
+      let ran = Atomic.make 0 in
+      let result =
+        Par.Pool.with_pool ~jobs (fun pool ->
+            match
+              Par.Pool.map pool ~tasks:17 (fun ~worker:_ i ->
+                  Atomic.incr ran;
+                  if i mod 5 = 2 then failwith (string_of_int i);
+                  i)
+            with
+            | _ -> None
+            | exception Failure msg -> Some msg)
+      in
+      Alcotest.(check (option string))
+        (Printf.sprintf "lowest-index exception at jobs=%d" jobs)
+        (Some "2") result;
+      Alcotest.(check int)
+        (Printf.sprintf "all tasks ran at jobs=%d" jobs)
+        17 (Atomic.get ran))
+    jobs_grid
+
+(* A map issued from inside a running task executes inline on the
+   issuing domain (worker 0 view), so pool-using code can call
+   pool-using code without deadlock — and [parallelism] reports 1 so
+   callers skip building clones for it. *)
+let test_nested_map_inline () =
+  Par.Pool.with_pool ~jobs:3 (fun pool ->
+      Alcotest.(check int) "parallelism when idle" 3 (Par.Pool.parallelism pool);
+      let outer =
+        Par.Pool.map pool ~tasks:4 (fun ~worker:_ i ->
+            let inner_par =
+              (Par.Pool.map pool ~tasks:1 (fun ~worker:_ _ ->
+                   Par.Pool.parallelism pool)).(0)
+            in
+            let inner =
+              Par.Pool.map pool ~tasks:5 (fun ~worker:w j ->
+                  Alcotest.(check int) "nested tasks present worker 0" 0 w;
+                  (i * 10) + j)
+            in
+            (inner_par, Array.fold_left ( + ) 0 inner))
+      in
+      Array.iteri
+        (fun i (inner_par, sum) ->
+          Alcotest.(check int) "nested parallelism is 1" 1 inner_par;
+          Alcotest.(check int) "nested sum" ((i * 50) + 10) sum)
+        outer)
+
+let test_chunks () =
+  Alcotest.(check bool)
+    "10 by 4" true
+    (Par.Pool.chunks ~chunk:4 10 = [| (0, 4); (4, 4); (8, 2) |]);
+  Alcotest.(check bool) "empty" true (Par.Pool.chunks ~chunk:4 0 = [||]);
+  List.iter
+    (fun n ->
+      let cs = Par.Pool.chunks ~chunk:3 n in
+      let covered = Array.fold_left (fun acc (_, len) -> acc + len) 0 cs in
+      Alcotest.(check int) (Printf.sprintf "coverage n=%d" n) n covered;
+      Array.iteri
+        (fun i (start, len) ->
+          Alcotest.(check int) "contiguous" (i * 3) start;
+          Alcotest.(check bool) "len bounds" true (len >= 1 && len <= 3))
+        cs)
+    [ 1; 2; 3; 7; 12 ]
+
+(* ------------------------------------------------------------------ *)
+(* Evaluator clones                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let instance seed =
+  let nodes = 10 + ((seed mod 3) * 4) in
+  let links = nodes + 6 in
+  let g =
+    Topology.Gen.synthetic ~seed ~name:(Printf.sprintf "par%d" seed) ~nodes
+      ~links ()
+  in
+  let st = Random.State.make [| 0x9a7; seed |] in
+  let m = Digraph.edge_count g in
+  let w = Array.init m (fun _ -> float_of_int (1 + Random.State.int st 10)) in
+  let demands =
+    Array.init 8 (fun _ ->
+        let s = Random.State.int st nodes in
+        let t = (s + 1 + Random.State.int st (nodes - 1)) mod nodes in
+        (s, t, float_of_int (1 + Random.State.int st 5)))
+  in
+  (g, w, demands, st)
+
+(* Drives [ev] through a deterministic committed/probed move sequence;
+   the observable (mlu, phi) after every move is returned so two
+   evaluators can be compared bit for bit. *)
+let drive ev st m steps =
+  let trace = ref [] in
+  for _ = 1 to steps do
+    let e = Random.State.int st m in
+    let wv = float_of_int (1 + Random.State.int st 14) in
+    Engine.Evaluator.set_weight ev ~edge:e wv;
+    let r = Engine.Evaluator.evaluate ev in
+    trace := r :: !trace;
+    if Random.State.bool st then Engine.Evaluator.undo ev
+    else Engine.Evaluator.commit ev
+  done;
+  !trace
+
+let test_copy_isolation () =
+  for seed = 1 to 4 do
+    let g, w, demands, _ = instance seed in
+    let m = Digraph.edge_count g in
+    (* Two identical evaluators: [ev] will be cloned mid-search, the
+       control never is. *)
+    let make () =
+      let e = Engine.Evaluator.create g w in
+      Engine.Evaluator.set_commodities e demands;
+      ignore (Engine.Evaluator.evaluate e);
+      e
+    in
+    let ev = make () and control = make () in
+    (* Warm both with the same prefix. *)
+    let st_a = Random.State.make [| 0x11; seed |] in
+    let st_b = Random.State.copy st_a in
+    ignore (drive ev st_a m 15);
+    ignore (drive control st_b m 15);
+    (* Clone mid-search — with an uncommitted probe pending, which the
+       clone must capture as committed state. *)
+    Engine.Evaluator.set_weight ev ~edge:0 13.;
+    let clone = Engine.Evaluator.copy ev in
+    Alcotest.(check bool)
+      "clone sees the probed weight" true
+      ((Engine.Evaluator.weights clone).(0) = 13.);
+    Engine.Evaluator.undo ev;
+    (* Perturb the clone heavily; the original must not notice. *)
+    let st_c = Random.State.make [| 0x22; seed |] in
+    ignore (drive clone st_c m 40);
+    (* ... and the original must stay in lockstep with the never-cloned
+       control for the rest of the walk, bit for bit. *)
+    let ta = drive ev st_a m 20 and tb = drive control st_b m 20 in
+    Alcotest.(check bool)
+      (Printf.sprintf "original unaffected by clone (seed %d)" seed)
+      true (ta = tb);
+    Alcotest.(check bool)
+      "final weights identical" true
+      (Engine.Evaluator.weights ev = Engine.Evaluator.weights control)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Heuristic bit-identity across pool sizes                            *)
+(* ------------------------------------------------------------------ *)
+
+let te_instance () =
+  let g =
+    Topology.Gen.synthetic ~seed:5 ~name:"par-te" ~nodes:14 ~links:24 ()
+  in
+  let st = Random.State.make [| 0x3c1 |] in
+  let n = Digraph.node_count g in
+  let demands =
+    Array.init 10 (fun _ ->
+        let s = Random.State.int st n in
+        let t = (s + 1 + Random.State.int st (n - 1)) mod n in
+        Network.demand s t (float_of_int (1 + Random.State.int st 5)))
+  in
+  (g, demands)
+
+let at_jobs f =
+  List.map
+    (fun jobs -> Par.Pool.with_pool ~jobs (fun pool -> f pool))
+    [ 1; 2; 4; 8 ]
+
+let check_all_equal msg = function
+  | [] -> ()
+  | ref :: rest ->
+    List.iteri
+      (fun i r ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%s (run %d = jobs 1)" msg (i + 1))
+          true (r = ref))
+      rest
+
+let test_lwo_bit_identical () =
+  let g, demands = te_instance () in
+  let params = { Local_search.default_params with max_evals = 250; seed = 9 } in
+  check_all_equal "HeurOSPF"
+    (at_jobs (fun pool ->
+         let r = Local_search.optimize ~pool ~params g demands in
+         (r.Local_search.weights, r.Local_search.mlu, r.Local_search.phi,
+          r.Local_search.evals)));
+  check_all_equal "HeurOSPF restarts=3"
+    (at_jobs (fun pool ->
+         let r = Local_search.optimize ~pool ~restarts:3 ~params g demands in
+         (r.Local_search.weights, r.Local_search.mlu, r.Local_search.evals)))
+
+let test_wpo_bit_identical () =
+  let g, demands = te_instance () in
+  let w = Weights.inverse_capacity g in
+  check_all_equal "GreedyWPO"
+    (at_jobs (fun pool ->
+         let r = Greedy_wpo.optimize ~pool g w demands in
+         (r.Greedy_wpo.waypoints, r.Greedy_wpo.mlu)));
+  check_all_equal "GreedyWPO multi"
+    (at_jobs (fun pool ->
+         let r = Greedy_wpo.optimize_multi ~pool ~rounds:2 g w demands in
+         (r.Greedy_wpo.setting, r.Greedy_wpo.mlu)))
+
+let test_joint_bit_identical () =
+  let g, demands = te_instance () in
+  let ls_params = { Local_search.default_params with max_evals = 150; seed = 2 } in
+  check_all_equal "JOINT-Heur"
+    (at_jobs (fun pool ->
+         let r = Joint.optimize ~pool ~restarts:2 ~ls_params g demands in
+         (r.Joint.int_weights, r.Joint.waypoints, r.Joint.mlu,
+          r.Joint.stage_mlu)))
+
+(* Multi-restart must also beat-or-match the single walk (it keeps the
+   best of a superset of walks containing the historical one). *)
+let test_restarts_no_worse () =
+  let g, demands = te_instance () in
+  let params = { Local_search.default_params with max_evals = 200; seed = 4 } in
+  let one = Local_search.optimize ~params g demands in
+  let three = Local_search.optimize ~restarts:3 ~params g demands in
+  Alcotest.(check bool)
+    "restarts=3 <= restarts=1" true
+    (three.Local_search.mlu <= one.Local_search.mlu)
+
+(* ------------------------------------------------------------------ *)
+(* Exact enumeration metadata                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_exact_truncation_meta () =
+  let inst = Instances.Gap_instances.instance1 ~m:3 in
+  let net = inst.Instances.Gap_instances.network in
+  let g = net.Network.graph in
+  (* Full enumeration: 2^8 = 256 settings. *)
+  let (_, full_best), meta =
+    Exact.lwo ~weight_domain:[ 1; 3 ] g net.Network.demands
+  in
+  Alcotest.(check bool) "space 256" true (meta.Exact.space = 256.);
+  Alcotest.(check int) "visited 256" 256 meta.Exact.visited;
+  Alcotest.(check bool) "not truncated" false meta.Exact.truncated;
+  (* Capped enumeration: a prefix only, flagged as such. *)
+  let (_, trunc_best), meta' =
+    Exact.lwo ~weight_domain:[ 1; 3 ] ~max_settings:10 ~allow_truncate:true g
+      net.Network.demands
+  in
+  Alcotest.(check int) "visited = cap" 10 meta'.Exact.visited;
+  Alcotest.(check bool) "truncated" true meta'.Exact.truncated;
+  Alcotest.(check bool)
+    "truncated optimum is only an upper bound" true
+    (trunc_best >= full_best -. 1e-12);
+  (* Without the opt-in the cap still raises, as it always did. *)
+  (match
+     Exact.lwo ~weight_domain:[ 1; 3 ] ~max_settings:10 g net.Network.demands
+   with
+  | exception Exact.Too_large _ -> ()
+  | _ -> Alcotest.fail "expected Too_large")
+
+let () =
+  Alcotest.run "par"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "map preserves task order" `Quick test_map_order;
+          Alcotest.test_case "map_reduce folds in order" `Quick
+            test_map_reduce_order;
+          Alcotest.test_case "lowest-index exception wins" `Quick
+            test_exception_propagation;
+          Alcotest.test_case "nested maps run inline" `Quick
+            test_nested_map_inline;
+          Alcotest.test_case "chunks cover the range" `Quick test_chunks;
+        ] );
+      ( "evaluator clones",
+        [ Alcotest.test_case "copy isolation" `Quick test_copy_isolation ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "lwo bit-identical across jobs" `Quick
+            test_lwo_bit_identical;
+          Alcotest.test_case "wpo bit-identical across jobs" `Quick
+            test_wpo_bit_identical;
+          Alcotest.test_case "joint bit-identical across jobs" `Quick
+            test_joint_bit_identical;
+          Alcotest.test_case "restarts never worse" `Quick
+            test_restarts_no_worse;
+        ] );
+      ( "exact",
+        [
+          Alcotest.test_case "truncation metadata" `Quick
+            test_exact_truncation_meta;
+        ] );
+    ]

@@ -419,8 +419,8 @@ let test_exact_ordering () =
   let net = inst.Instances.Gap_instances.network in
   let g = net.Network.graph in
   let domain = [ 1; 3 ] in
-  let _, lwo = Exact.lwo ~weight_domain:domain g net.Network.demands in
-  let _, _, joint = Exact.joint ~weight_domain:domain g net.Network.demands in
+  let (_, lwo), _ = Exact.lwo ~weight_domain:domain g net.Network.demands in
+  let (_, _, joint), _ = Exact.joint ~weight_domain:domain g net.Network.demands in
   let _, wpo_unit = Exact.wpo g (Weights.unit g) net.Network.demands in
   Alcotest.(check bool) "joint <= lwo" true (joint <= lwo +. 1e-9);
   Alcotest.(check bool) "joint <= wpo(unit)" true (joint <= wpo_unit +. 1e-9)
@@ -430,7 +430,7 @@ let test_exact_joint_achieves_opt () =
      representable, so exact Joint must reach MLU 1. *)
   let inst = tiny_instance () in
   let net = inst.Instances.Gap_instances.network in
-  let _, _, joint = Exact.joint ~weight_domain:[ 1; 3 ] net.Network.graph net.Network.demands in
+  let (_, _, joint), _ = Exact.joint ~weight_domain:[ 1; 3 ] net.Network.graph net.Network.demands in
   checkf6 "joint = 1" 1. joint
 
 let test_exact_too_large () =
