@@ -25,6 +25,66 @@ let row fmt = Printf.printf fmt
 
 let mean xs = List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
 
+(* ------------------------------------------------------------------ *)
+(* Shared BENCH_*.json writer                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* The current git revision, read straight from .git (no subprocess):
+   HEAD is either a hash or "ref: <path>", and the ref lives in its own
+   file or in packed-refs. *)
+let git_rev () =
+  let read_line path =
+    try
+      let ic = open_in path in
+      let l = try input_line ic with End_of_file -> "" in
+      close_in ic;
+      Some (String.trim l)
+    with Sys_error _ -> None
+  in
+  let packed_ref name =
+    try
+      let ic = open_in (Filename.concat ".git" "packed-refs") in
+      let found = ref None in
+      (try
+         while !found = None do
+           let l = input_line ic in
+           match String.index_opt l ' ' with
+           | Some i when String.sub l (i + 1) (String.length l - i - 1) = name ->
+             found := Some (String.sub l 0 i)
+           | _ -> ()
+         done
+       with End_of_file -> ());
+      close_in ic;
+      !found
+    with Sys_error _ -> None
+  in
+  match read_line (Filename.concat ".git" "HEAD") with
+  | None -> "unknown"
+  | Some head ->
+    if String.length head > 5 && String.sub head 0 5 = "ref: " then begin
+      let name = String.trim (String.sub head 5 (String.length head - 5)) in
+      match read_line (Filename.concat ".git" name) with
+      | Some sha when sha <> "" -> sha
+      | _ -> ( match packed_ref name with Some sha -> sha | None -> "unknown")
+    end
+    else if head <> "" then head
+    else "unknown"
+
+(* Every benchmark JSON goes through here, so each file carries the
+   same provenance stamp: schema version, host core count and git
+   revision.  [records] are pre-rendered JSON objects. *)
+let write_bench ~file ~bench records =
+  let oc = open_out file in
+  Printf.fprintf oc
+    "{\"schema\": \"bench/%s/1\", \"host_cores\": %d, \"git_rev\": %S, \
+     \"records\": [\n%s\n]}\n"
+    bench
+    (Domain.recommended_domain_count ())
+    (git_rev ())
+    (String.concat ",\n" records);
+  close_out oc;
+  row "\nwrote %s (%d records)\n" file (List.length records)
+
 let fmin xs = List.fold_left min infinity xs
 
 let fmax xs = List.fold_left max neg_infinity xs
@@ -684,12 +744,7 @@ let exp_engine () =
        (float_of_int stats.Engine.Stats.incr_spf
        /. float_of_int (max 1 stats.Engine.Stats.full_spf))
        stats.Engine.Stats.dirty_dests stats.Engine.Stats.clean_dests);
-  let oc = open_out "BENCH_engine.json" in
-  output_string oc "[\n";
-  output_string oc (String.concat ",\n" (List.rev !records));
-  output_string oc "\n]\n";
-  close_out oc;
-  row "\nwrote BENCH_engine.json (%d records)\n" (List.length !records)
+  write_bench ~file:"BENCH_engine.json" ~bench:"engine" (List.rev !records)
 
 (* ------------------------------------------------------------------ *)
 (* Parallel search runtime                                             *)
@@ -777,9 +832,7 @@ let exp_parallel () =
   (* Render and serialize: walk the records per topology so each row's
      speedup is measured against its own jobs = 1 wall time. *)
   let records = List.rev !records in
-  let buf = Buffer.create 1024 in
-  Buffer.add_string buf "[\n";
-  let first = ref true in
+  let json = ref [] in
   List.iter
     (fun name ->
       let base_wpo, base_ls =
@@ -799,29 +852,135 @@ let exp_parallel () =
               wpo_wall (base_wpo /. wpo_wall)
               (float_of_int ls_evals /. ls_wall)
               ls_wall (base_ls /. ls_wall);
-            if not !first then Buffer.add_string buf ",\n";
-            first := false;
-            Buffer.add_string buf
-              (Printf.sprintf
-                 "{\"topology\": %S, \"jobs\": %d, \
-                  \"recommended_domains\": %d, \"identical_to_jobs1\": true, \
-                  \"scan_candidates\": %d, \"scan_wall_seconds\": %.6f, \
-                  \"scan_evals_per_sec\": %.1f, \"scan_speedup\": %.3f, \
-                  \"probe_evaluations\": %d, \"probe_wall_seconds\": %.6f, \
-                  \"probe_evals_per_sec\": %.1f, \"probe_speedup\": %.3f}"
-                 name jobs cores scan_evals wpo_wall
-                 (float_of_int scan_evals /. wpo_wall)
-                 (base_wpo /. wpo_wall) ls_evals ls_wall
-                 (float_of_int ls_evals /. ls_wall)
-                 (base_ls /. ls_wall)))
+            json :=
+              Printf.sprintf
+                "{\"topology\": %S, \"jobs\": %d, \
+                 \"identical_to_jobs1\": true, \
+                 \"scan_candidates\": %d, \"scan_wall_seconds\": %.6f, \
+                 \"scan_evals_per_sec\": %.1f, \"scan_speedup\": %.3f, \
+                 \"probe_evaluations\": %d, \"probe_wall_seconds\": %.6f, \
+                 \"probe_evals_per_sec\": %.1f, \"probe_speedup\": %.3f}"
+                name jobs scan_evals wpo_wall
+                (float_of_int scan_evals /. wpo_wall)
+                (base_wpo /. wpo_wall) ls_evals ls_wall
+                (float_of_int ls_evals /. ls_wall)
+                (base_ls /. ls_wall)
+              :: !json)
         jobs_list)
     topos;
-  Buffer.add_string buf "\n]\n";
-  let oc = open_out "BENCH_parallel.json" in
-  Buffer.output_buffer oc buf;
-  close_out oc;
-  row "\nall runs bit-identical to jobs=1; wrote BENCH_parallel.json (%d records)\n"
-    (List.length records)
+  row "\nall runs bit-identical to jobs=1\n";
+  write_bench ~file:"BENCH_parallel.json" ~bench:"parallel" (List.rev !json)
+
+(* ------------------------------------------------------------------ *)
+(* Robustness sweep throughput                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* lib/scenario streaming throughput: the engine path (persistent
+   per-worker evaluators, disable_edge probes, dirty-destination
+   repair) against the rebuild oracle (fresh subgraph + ECMP state per
+   scenario), then scenarios/sec at several pool sizes.  Every engine
+   run is checked against the oracle and against the jobs = 1 reference
+   before its timing is reported.  Results land in
+   BENCH_robustness.json. *)
+let exp_robust () =
+  section "Robustness sweep: engine path vs rebuild oracle (lib/scenario)";
+  let records = ref [] in
+  let emit r = records := r :: !records in
+  let topos = if !full then [ "Abilene"; "Germany50" ] else [ "Abilene" ] in
+  let jobs_list = if !full then [ 1; 2; 4; 8 ] else [ 1; 2; 4 ] in
+  row "%-12s %9s %6s %14s %9s %13s\n" "topology" "scenarios" "jobs"
+    "scenarios/s" "speedup" "vs rebuild";
+  List.iter
+    (fun name ->
+      let g = Topology.Datasets.load name in
+      let m = Digraph.edge_count g in
+      let demands =
+        Demand_gen.mcf_synthetic ~epsilon:0.15 ~seed:1
+          ~flows_per_pair:(max 2 (m / 16)) g
+      in
+      let evals = if !full then 2000 else 300 in
+      let joint = Joint.optimize ~ls_params:(ls_params ~seed:1 ~evals) g demands in
+      let deployed =
+        {
+          Scenario.weights = joint.Joint.int_weights;
+          Scenario.waypoints = joint.Joint.waypoints;
+        }
+      in
+      let cfg =
+        {
+          Scenario.default_config with
+          Scenario.seed = 1;
+          Scenario.dual_failures = (if !full then 40 else 10);
+          Scenario.scales = [ 0.8; 1.2 ];
+          Scenario.jitters = 4;
+          Scenario.hotspots = 2;
+          Scenario.diurnal = 4;
+        }
+      in
+      let specs = Scenario.generate cfg g in
+      let n = Array.length specs in
+      (* The historical path: rebuild the subgraph per scenario. *)
+      let t0 = Engine.Mono.now () in
+      let oracle = Scenario.static_sweep_rebuild ~deployed g demands specs in
+      let t_rebuild = Engine.Mono.now () -. t0 in
+      let run pool =
+        let t0 = Engine.Mono.now () in
+        let out = Scenario.sweep ~pool ~deployed g demands specs in
+        (out, Engine.Mono.now () -. t0)
+      in
+      let reference = ref None in
+      List.iter
+        (fun jobs ->
+          let out, wall =
+            if jobs = 1 then run Par.Pool.sequential
+            else Par.Pool.with_pool ~jobs run
+          in
+          (match !reference with
+          | None ->
+            (* jobs = 1: validate the engine path against the oracle. *)
+            Array.iteri
+              (fun i (om, od) ->
+                let o = out.(i) in
+                let close a b =
+                  (Float.is_nan a && Float.is_nan b)
+                  || abs_float (a -. b) <= 1e-9 *. (1. +. abs_float b)
+                in
+                if o.Scenario.static_disconnected <> od
+                   || not (close o.Scenario.static_mlu om)
+                then
+                  failwith
+                    (Printf.sprintf
+                       "engine/oracle mismatch on %s scenario %d" name i))
+              oracle;
+            reference := Some (out, wall)
+          | Some (ref_out, _) ->
+            (* compare treats nan = nan, unlike (=). *)
+            if compare out ref_out <> 0 then
+              failwith
+                (Printf.sprintf
+                   "sweep at --jobs %d differs from jobs=1 on %s" jobs name));
+          let base_wall = match !reference with Some (_, w) -> w | None -> wall in
+          let fn = float_of_int n in
+          row "%-12s %9d %6d %14.0f %8.2fx %12.1fx\n" name n jobs (fn /. wall)
+            (base_wall /. wall)
+            (t_rebuild /. wall);
+          emit
+            (Printf.sprintf
+               "{\"topology\": %S, \"scenarios\": %d, \"jobs\": %d, \
+                \"identical_to_jobs1\": true, \"wall_seconds\": %.6f, \
+                \"scenarios_per_sec\": %.1f, \"speedup_vs_jobs1\": %.3f, \
+                \"rebuild_wall_seconds\": %.6f, \
+                \"rebuild_scenarios_per_sec\": %.1f, \
+                \"engine_vs_rebuild_speedup\": %.3f, \
+                \"engine_at_least_rebuild\": %b}"
+               name n jobs wall (fn /. wall) (base_wall /. wall) t_rebuild
+               (fn /. t_rebuild)
+               (t_rebuild /. wall)
+               (fn /. wall >= fn /. t_rebuild)))
+        jobs_list)
+    topos;
+  write_bench ~file:"BENCH_robustness.json" ~bench:"robustness"
+    (List.rev !records)
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
@@ -887,7 +1046,7 @@ let experiments =
     ("fig3", exp_fig3); ("fig4", exp_fig4); ("fig5", exp_fig5);
     ("fig6", exp_fig6); ("fig7", exp_fig7); ("milp", exp_milp);
     ("ablation", exp_ablation); ("engine", exp_engine);
-    ("parallel", exp_parallel); ("perf", exp_perf) ]
+    ("parallel", exp_parallel); ("robust", exp_robust); ("perf", exp_perf) ]
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in

@@ -9,6 +9,7 @@
      te-tool gap -i 1 -m 16              gap summary of a paper instance
      te-tool lwo-apx -i 3 -m 6           Algorithm 1 on a paper instance
      te-tool nanonet                     the Figure 7 experiment
+     te-tool robust -t Abilene           robustness sweep (failures x shifts x policies)
 
    Topologies may also be read from SNDLib (XML or native) or GraphML
    files with --file. *)
@@ -359,6 +360,141 @@ let failures_cmd =
     Term.(const run $ topo_arg $ file_arg $ seed_arg $ demands_arg $ flows_arg
           $ evals_arg)
 
+(* robust *)
+let robust_cmd =
+  let run topo file seed kind flows evals jobs stats policies_s dual scales_s
+      jitter hotspots diurnal cross chunk reopt_evals out =
+    let g, file_demands = load_topology topo file in
+    let demands = make_demands ~file_demands g ~seed ~kind ~flows in
+    let policies =
+      try Scenario.policies_of_string policies_s
+      with Invalid_argument m ->
+        Printf.eprintf "%s\n" m;
+        exit 2
+    in
+    let scales =
+      if scales_s = "" then []
+      else
+        List.map
+          (fun s ->
+            match float_of_string_opt (String.trim s) with
+            | Some f -> f
+            | None ->
+              Printf.eprintf "bad scale factor %S\n" s;
+              exit 2)
+          (String.split_on_char ',' scales_s)
+    in
+    (* Deploy a JOINT-Heur setting, then stress it. *)
+    let ls_params = { Local_search.default_params with max_evals = evals; seed } in
+    let joint = Joint.optimize ~ls_params g demands in
+    let deployed =
+      {
+        Scenario.weights = joint.Joint.int_weights;
+        Scenario.waypoints = joint.Joint.waypoints;
+      }
+    in
+    let nominal_mlu =
+      Ecmp.mlu_of ~waypoints:deployed.Scenario.waypoints g
+        (Weights.of_ints deployed.Scenario.weights)
+        demands
+    in
+    let cfg =
+      {
+        Scenario.default_config with
+        Scenario.seed;
+        Scenario.dual_failures = dual;
+        Scenario.scales = scales;
+        Scenario.jitters = jitter;
+        Scenario.hotspots = hotspots;
+        Scenario.diurnal = diurnal;
+        Scenario.cross = cross;
+      }
+    in
+    let specs = Scenario.generate cfg g in
+    with_stats stats (fun stats ->
+        let outcomes =
+          with_pool jobs (fun pool ->
+              Scenario.sweep ?stats ~pool ~chunk ~policies ~reopt_evals
+                ~deployed g demands specs)
+        in
+        let report = Scenario.summarize ~topology:topo ~nominal_mlu outcomes in
+        let json = Scenario.report_to_json g report in
+        match out with
+        | Some path ->
+          let oc = open_out path in
+          output_string oc json;
+          output_char oc '\n';
+          close_out oc;
+          Printf.printf "deployed MLU %.4f; %d scenarios\n" nominal_mlu
+            (Array.length specs);
+          List.iter
+            (fun s ->
+              Printf.printf
+                "%-12s worst %7.4f  mean %7.4f  p95 %7.4f  disconnected %d/%d\n"
+                (Scenario.policy_name s.Scenario.policy)
+                s.Scenario.worst_mlu s.Scenario.mean_mlu s.Scenario.p95
+                s.Scenario.disconnected_scenarios s.Scenario.scenarios)
+            report.Scenario.summaries;
+          Printf.printf "wrote %s\n" path
+        | None -> print_endline json)
+  in
+  let policies_arg =
+    Arg.(value & opt string "static" & info [ "policies" ] ~docv:"LIST"
+           ~doc:"Comma-separated reaction policies: static, repair \
+                 (re-run GreedyWPO on the surviving topology), and/or \
+                 reweight:K (re-optimize at most K link weights).")
+  in
+  let dual_arg =
+    Arg.(value & opt int 0 & info [ "dual" ] ~docv:"N"
+           ~doc:"Sample N distinct dual-failure scenarios (pairs of \
+                 single-failure cases).")
+  in
+  let scales_arg =
+    Arg.(value & opt string "" & info [ "scales" ] ~docv:"F,F,..."
+           ~doc:"Uniform demand scale factors to sweep, e.g. 0.8,1.2,1.5.")
+  in
+  let jitter_arg =
+    Arg.(value & opt int 0 & info [ "jitter" ] ~docv:"N"
+           ~doc:"Lognormal per-demand jitter scenarios.")
+  in
+  let hotspots_arg =
+    Arg.(value & opt int 0 & info [ "hotspots" ] ~docv:"N"
+           ~doc:"Hot-spot burst scenarios (3 demands x3 each).")
+  in
+  let diurnal_arg =
+    Arg.(value & opt int 0 & info [ "diurnal" ] ~docv:"N"
+           ~doc:"Diurnal time-of-day scenarios, evenly spaced over the day.")
+  in
+  let cross_arg =
+    Arg.(value & flag & info [ "cross" ]
+           ~doc:"Take the full failure x demand-shift product instead of \
+                 varying one axis at a time.")
+  in
+  let chunk_arg =
+    Arg.(value & opt int 4 & info [ "chunk" ] ~docv:"N"
+           ~doc:"Scenarios per streaming block; results are bit-identical \
+                 for every value, only locality changes.")
+  in
+  let reopt_evals_arg =
+    Arg.(value & opt int 400 & info [ "reopt-evals" ]
+           ~doc:"Per-scenario search budget of the reweight policy.")
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"PATH"
+           ~doc:"Write the JSON report to a file (and print a summary \
+                 table) instead of dumping JSON to stdout.")
+  in
+  Cmd.v
+    (Cmd.info "robust"
+       ~doc:"Robustness sweep of an optimized setting: link failures x \
+             demand shifts x reaction policies, streamed through the \
+             incremental engine.  The report is bit-identical for every \
+             --jobs value.")
+    Term.(const run $ topo_arg $ file_arg $ seed_arg $ demands_arg $ flows_arg
+          $ evals_arg $ jobs_arg $ stats_arg $ policies_arg $ dual_arg
+          $ scales_arg $ jitter_arg $ hotspots_arg $ diurnal_arg $ cross_arg
+          $ chunk_arg $ reopt_evals_arg $ out_arg)
+
 (* export *)
 let export_cmd =
   let run topo file fmt out =
@@ -395,4 +531,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ topos_cmd; mlu_cmd; lwo_cmd; wpo_cmd; joint_cmd; gap_cmd;
-            lwo_apx_cmd; nanonet_cmd; failures_cmd; export_cmd ]))
+            lwo_apx_cmd; nanonet_cmd; failures_cmd; robust_cmd; export_cmd ]))

@@ -31,6 +31,33 @@ let twin g e =
     (Digraph.out_edges g v);
   !found
 
+(* One sweep case per link (per unordered twin pair with [fail_pairs]),
+   keyed by the lowest member edge id.  Shared by both evaluation paths
+   so they enumerate identical scenarios in identical order. *)
+let failure_groups ?(fail_pairs = true) g =
+  let m = Digraph.edge_count g in
+  let seen = Array.make m false in
+  let out = ref [] in
+  for e = 0 to m - 1 do
+    if not seen.(e) then begin
+      seen.(e) <- true;
+      let removed =
+        if fail_pairs then
+          match twin g e with
+          | Some e' when not seen.(e') ->
+            seen.(e') <- true;
+            [ e; e' ]
+          | _ -> [ e ]
+        else [ e ]
+      in
+      out := (e, removed) :: !out
+    end
+  done;
+  List.rev !out
+
+(* The historical graph-rebuild path, kept as the test oracle for the
+   engine path below: build the surviving subgraph, re-derive the full
+   ECMP state from scratch, route every demand's segments. *)
 let evaluate_failure g weights demands waypoints removed edge_id =
   let g', mapping = without_edges g removed in
   let w' = Array.map (fun old -> weights.(old)) mapping in
@@ -51,34 +78,78 @@ let evaluate_failure g weights demands waypoints removed edge_id =
   let mlu = if !disconnected > 0 then nan else Ecmp.mlu g' loads in
   { edge = edge_id; mlu; disconnected = !disconnected }
 
-let single_failures ?(fail_pairs = true) ?waypoints g weights demands =
-  let m = Digraph.edge_count g in
-  let seen = Array.make m false in
-  let out = ref [] in
-  for e = 0 to m - 1 do
-    if not seen.(e) then begin
-      seen.(e) <- true;
-      let removed =
-        if fail_pairs then
-          match twin g e with
-          | Some e' when not seen.(e') ->
-            seen.(e') <- true;
-            [ e; e' ]
-          | _ -> [ e ]
-        else [ e ]
-      in
-      out := evaluate_failure g weights demands waypoints removed e :: !out
-    end
-  done;
-  List.rev !out
+let rebuild_outcome ?waypoints g weights demands ~removed =
+  let o = evaluate_failure g weights demands waypoints removed (-1) in
+  (o.mlu, o.disconnected)
 
-let worse a b =
-  (* Disconnections dominate; then larger MLU. *)
-  match (a.disconnected > 0, b.disconnected > 0) with
-  | true, false -> a
-  | false, true -> b
-  | true, true -> if a.disconnected >= b.disconnected then a else b
-  | false, false -> if a.mlu >= b.mlu then a else b
+let single_failures_rebuild ?fail_pairs ?waypoints g weights demands =
+  List.map
+    (fun (e, removed) -> evaluate_failure g weights demands waypoints removed e)
+    (failure_groups ?fail_pairs g)
+
+(* Engine path: ONE evaluator carries the whole sweep.  A failed link is
+   a [disable_edge] (infinite weight) probed against the persistent
+   state — only the destinations whose DAGs the failed link touched are
+   repaired, every other destination keeps its DAG, unit flows and
+   cached load contribution — and [undo] restores the link for the next
+   case.  Disconnection is detected through [reachable] before any load
+   is computed, so the MLU query never raises. *)
+let sweep_with ?stats ?waypoints g weights demands groups =
+  let ev = Engine.Evaluator.create ?stats g weights in
+  let segs =
+    Array.mapi
+      (fun i (d : Network.demand) ->
+        let wps = match waypoints with Some s -> s.(i) | None -> [] in
+        Segments.segment_endpoints d wps)
+      demands
+  in
+  Engine.Evaluator.set_commodities ev
+    (Array.of_list
+       (List.concat
+          (Array.to_list
+             (Array.map2
+                (fun (d : Network.demand) ss ->
+                  List.map (fun (a, b) -> (a, b, d.Network.size)) ss)
+                demands segs))));
+  List.map
+    (fun (edge_id, removed) ->
+      Engine.Stats.record_scenario (Engine.Evaluator.stats ev);
+      List.iter (fun e -> Engine.Evaluator.disable_edge ev ~edge:e) removed;
+      let disconnected = ref 0 in
+      Array.iter
+        (fun ss ->
+          if
+            not
+              (List.for_all
+                 (fun (a, b) -> Engine.Evaluator.reachable ev ~src:a ~dst:b)
+                 ss)
+          then incr disconnected)
+        segs;
+      let mlu =
+        if !disconnected > 0 then nan else fst (Engine.Evaluator.evaluate ev)
+      in
+      Engine.Evaluator.undo ev;
+      { edge = edge_id; mlu; disconnected = !disconnected })
+    groups
+
+let single_failures ?stats ?fail_pairs ?waypoints g weights demands =
+  sweep_with ?stats ?waypoints g weights demands (failure_groups ?fail_pairs g)
+
+(* Total severity order on outcomes: any disconnection is worse than any
+   MLU, more disconnected demands are worse, and among connected
+   outcomes a [nan] MLU (defensively) sorts above every number.  Total
+   by construction — never a raw [Float] compare against [nan]. *)
+let mlu_key o = if Float.is_nan o.mlu then infinity else o.mlu
+
+let compare_severity a b =
+  let sev o = if o.disconnected > 0 then 1 else 0 in
+  match compare (sev a) (sev b) with
+  | 0 ->
+    if a.disconnected > 0 then compare a.disconnected b.disconnected
+    else compare (mlu_key a) (mlu_key b)
+  | c -> c
+
+let worse a b = if compare_severity b a > 0 then b else a
 
 let worst_case ?fail_pairs ?waypoints g weights demands =
   match single_failures ?fail_pairs ?waypoints g weights demands with

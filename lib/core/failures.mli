@@ -8,7 +8,15 @@
     A failed link is modelled by removal (both the link and, with
     [fail_pairs], its reverse twin, matching fiber cuts on bidirected
     ISP links).  Demands whose (segment) paths become disconnected are
-    reported separately rather than folded into the MLU. *)
+    reported separately rather than folded into the MLU.
+
+    Two evaluation paths exist.  The default sweep drives one persistent
+    {!Engine.Evaluator} and models each failure as
+    {!Engine.Evaluator.disable_edge} (infinite weight) probed and undone
+    through the engine's move protocol, so only the destinations the
+    failed link actually touched are repaired per case.
+    {!single_failures_rebuild} keeps the historical
+    rebuild-the-subgraph path as a cross-checking oracle. *)
 
 type outcome = {
   edge : int;  (** the failed edge id (in the original graph) *)
@@ -23,7 +31,14 @@ val without_edges : Netgraph.Digraph.t -> int list -> Netgraph.Digraph.t * int a
 val twin : Netgraph.Digraph.t -> int -> int option
 (** The reverse edge of equal capacity, if one exists. *)
 
+val failure_groups :
+  ?fail_pairs:bool -> Netgraph.Digraph.t -> (int * int list) list
+(** The sweep cases, in deterministic edge-id order: [(label, removed)]
+    with [label] the lowest removed edge id.  With [fail_pairs] (default
+    true) a link and its reverse twin form one case. *)
+
 val single_failures :
+  ?stats:Engine.Stats.t ->
   ?fail_pairs:bool ->
   ?waypoints:Segments.setting ->
   Netgraph.Digraph.t ->
@@ -32,7 +47,44 @@ val single_failures :
   outcome list
 (** One outcome per link (per unordered link pair with [fail_pairs],
     default true).  Weights and waypoints are kept fixed — this is the
-    "static setting under failure" regime. *)
+    "static setting under failure" regime.  Evaluates through one
+    persistent engine evaluator (edge-removal invalidation, no graph
+    rebuilds); [stats] collects its counters, including one
+    {!Engine.Stats.record_scenario} tick per case. *)
+
+val rebuild_outcome :
+  ?waypoints:Segments.setting ->
+  Netgraph.Digraph.t ->
+  Weights.t ->
+  Network.demand array ->
+  removed:int list ->
+  float * int
+(** [(mlu, disconnected)] of the static setting on the graph minus the
+    [removed] edges, computed on a freshly rebuilt subgraph with fresh
+    ECMP state.  The per-arbitrary-failure-set oracle the scenario
+    sweep's engine path is validated (and benchmarked) against. *)
+
+val single_failures_rebuild :
+  ?fail_pairs:bool ->
+  ?waypoints:Segments.setting ->
+  Netgraph.Digraph.t ->
+  Weights.t ->
+  Network.demand array ->
+  outcome list
+(** The historical per-case graph-rebuild evaluation (build the
+    surviving subgraph, fresh ECMP state).  Same cases, same order, same
+    outcomes as {!single_failures} — kept as its test oracle and as the
+    baseline the robustness bench measures the engine path against. *)
+
+val compare_severity : outcome -> outcome -> int
+(** Total "how bad" order: any disconnection outranks any MLU, more
+    disconnected demands outrank fewer, and between connected outcomes
+    MLUs compare numerically with [nan] (defensively) above every
+    number.  Never relies on a raw float compare against [nan]. *)
+
+val worse : outcome -> outcome -> outcome
+(** The more severe of the two under {!compare_severity}; ties keep the
+    first argument. *)
 
 val worst_case :
   ?fail_pairs:bool ->
@@ -41,5 +93,6 @@ val worst_case :
   Weights.t ->
   Network.demand array ->
   outcome
-(** The failure with the largest post-failure MLU (disconnections count
-    as worse than any MLU). *)
+(** The most severe single-failure outcome under {!compare_severity}
+    (disconnections count as worse than any MLU; ties keep the earliest
+    case). *)

@@ -25,10 +25,18 @@ type result = {
 }
 
 let reoptimize ?stats ?(ls_params = Local_search.default_params)
-    ?max_weight_changes ~deployed_weights ~deployed_waypoints g demands =
+    ?max_weight_changes ?(frozen_edges = []) ~deployed_weights
+    ~deployed_waypoints g demands =
   let m = Digraph.edge_count g in
   if Array.length deployed_weights <> m then
     invalid_arg "Reopt.reoptimize: deployed weight length mismatch";
+  let frozen = Hashtbl.create 4 in
+  List.iter
+    (fun e ->
+      if e < 0 || e >= m then
+        invalid_arg "Reopt.reoptimize: frozen edge outside the graph";
+      Hashtbl.replace frozen e ())
+    frozen_edges;
   let budget =
     match max_weight_changes with Some b -> b | None -> max 1 (m / 10)
   in
@@ -39,6 +47,10 @@ let reoptimize ?stats ?(ls_params = Local_search.default_params)
      changes, and every candidate weight is probed as an incremental
      single-weight move against it. *)
   let ev = Engine.Evaluator.create ?stats g (Weights.of_ints deployed_weights) in
+  (* Failed links are frozen at infinite weight: absent from every DAG,
+     never a move candidate, committed so no undo restores them. *)
+  Hashtbl.iter (fun e () -> Engine.Evaluator.disable_edge ev ~edge:e) frozen;
+  Engine.Evaluator.commit ev;
   Engine.Evaluator.set_commodities ev
     (Network.to_commodities (Segments.expand demands deployed_waypoints));
   let current = Array.copy deployed_weights in
@@ -59,7 +71,7 @@ let reoptimize ?stats ?(ls_params = Local_search.default_params)
         let arg = ref 0 and best = ref neg_infinity in
         for e = 0 to m - 1 do
           let u = loads.(e) /. Digraph.cap g e in
-          if u > !best then begin
+          if u > !best && not (Hashtbl.mem frozen e) then begin
             best := u;
             arg := e
           end
@@ -68,7 +80,10 @@ let reoptimize ?stats ?(ls_params = Local_search.default_params)
       end
       else Random.State.int st m
     in
-    let admissible = Hashtbl.mem changed e || changes () < budget in
+    let admissible =
+      (not (Hashtbl.mem frozen e))
+      && (Hashtbl.mem changed e || changes () < budget)
+    in
     if admissible then begin
       let old = current.(e) in
       let candidates =
@@ -109,7 +124,9 @@ let reoptimize ?stats ?(ls_params = Local_search.default_params)
   done;
   (* Waypoint step: re-pick greedily under the new weights (not
      budgeted; segment-stack changes are local to ingresses). *)
-  let wpo = Greedy_wpo.optimize ?stats g (Weights.of_ints !best_w) demands in
+  let best_w_float = Weights.of_ints !best_w in
+  Hashtbl.iter (fun e () -> best_w_float.(e) <- infinity) frozen;
+  let wpo = Greedy_wpo.optimize ?stats g best_w_float demands in
   let greedy_setting = Segments.of_single wpo.Greedy_wpo.waypoints in
   (* Candidates, cheapest-churn first so ties keep the network stable. *)
   let candidates =

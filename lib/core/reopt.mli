@@ -36,6 +36,7 @@ val reoptimize :
   ?stats:Engine.Stats.t ->
   ?ls_params:Local_search.params ->
   ?max_weight_changes:int ->
+  ?frozen_edges:int list ->
   deployed_weights:int array ->
   deployed_waypoints:Segments.setting ->
   Netgraph.Digraph.t ->
@@ -44,4 +45,15 @@ val reoptimize :
 (** Re-optimize for (shifted) [demands] starting from the deployed
     setting.  [max_weight_changes] defaults to [max 1 (|E| / 10)].
     The result's MLU is never worse than keeping the deployed setting
-    as-is. *)
+    as-is.
+
+    [frozen_edges] (default none) marks failed links: they are pinned at
+    infinite weight for every evaluation — equivalent to removal, see
+    {!Engine.Evaluator.disable_edge} — and are never move candidates, so
+    the search re-optimizes the surviving topology.  The returned weight
+    vector keeps the deployed values on frozen edges (a failed link's
+    weight is unobservable), so they never count as churn.  Every demand
+    (segment) must remain routable without the frozen edges; otherwise
+    {!Engine.Evaluator.Unroutable} is raised — callers sweeping failure
+    scenarios should test reachability first (the scenario layer skips
+    re-optimization for disconnecting failures). *)

@@ -402,6 +402,19 @@ let set_weight t ~edge new_w =
   if t.weights.(edge) <> new_w then
     t.trail <- apply_weight t edge new_w :: t.trail
 
+(* An infinite weight is exactly edge removal for shortest-path state:
+   Dijkstra never relaxes through it, so no DAG contains the edge and a
+   node whose every route used it ends up at distance infinity.  The
+   change rides the ordinary trail, so [undo] restores the link. *)
+let disable_edge t ~edge =
+  t.stats.Stats.edges_disabled <- t.stats.Stats.edges_disabled + 1;
+  set_weight t ~edge infinity
+
+let edge_disabled t ~edge = t.weights.(edge) = infinity
+
+let reachable t ~src ~dst =
+  src = dst || (dag t ~target:dst).dist.(src) < infinity
+
 (* Past this many changed entries a bulk update flushes the caches: the
    per-edge repairs would collectively touch most destinations anyway. *)
 let bulk_threshold = 4

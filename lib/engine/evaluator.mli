@@ -106,6 +106,23 @@ val set_weight : t -> edge:int -> float -> unit
     destination state.  The previous value is pushed on the undo trail.
     @raise Invalid_argument on a non-positive weight. *)
 
+val disable_edge : t -> edge:int -> unit
+(** Models a link failure by setting the edge's weight to [infinity]:
+    Dijkstra never relaxes through an infinite weight, so the edge
+    vanishes from every shortest-path DAG and nodes whose only routes
+    used it become unreachable (infinite distance) — exactly the
+    removed-edge semantics, but paid for with the same dirty-destination
+    invalidation as any weight change instead of a graph rebuild.  The
+    change lands on the undo trail; {!undo} restores the link. *)
+
+val edge_disabled : t -> edge:int -> bool
+
+val reachable : t -> src:int -> dst:int -> bool
+(** Is [dst] reachable from [src] under the current weights (disabled
+    edges excluded)?  Served from the cached destination DAG; unlike
+    {!unit_load} this never raises, so failure sweeps can count
+    disconnected demands instead of aborting. *)
+
 val set_weights : t -> float array -> unit
 (** Bulk update.  Few changed entries are applied as incremental
     single-weight updates; a large diff flushes the caches instead.

@@ -12,6 +12,8 @@ type t = {
   mutable clean_dests : int;
   mutable commits : int;
   mutable undos : int;
+  mutable scenarios : int;
+  mutable edges_disabled : int;
   mutable par_regions : int;
   mutable par_tasks : int;
   mutable par_jobs : int;
@@ -36,6 +38,8 @@ let create () =
     clean_dests = 0;
     commits = 0;
     undos = 0;
+    scenarios = 0;
+    edges_disabled = 0;
     par_regions = 0;
     par_tasks = 0;
     par_jobs = 0;
@@ -59,6 +63,8 @@ let reset s =
   s.clean_dests <- 0;
   s.commits <- 0;
   s.undos <- 0;
+  s.scenarios <- 0;
+  s.edges_disabled <- 0;
   s.par_regions <- 0;
   s.par_tasks <- 0;
   s.par_jobs <- 0;
@@ -77,6 +83,8 @@ let record_parallel s ~jobs ~tasks ~wall ~busy =
   if jobs > s.par_jobs then s.par_jobs <- jobs;
   s.par_wall <- s.par_wall +. wall;
   s.par_busy <- s.par_busy +. busy
+
+let record_scenario s = s.scenarios <- s.scenarios + 1
 
 let record_worker_evals s ~worker n =
   if worker < 0 then invalid_arg "Stats.record_worker_evals: negative worker";
@@ -105,6 +113,8 @@ let merge ~into s =
   into.clean_dests <- into.clean_dests + s.clean_dests;
   into.commits <- into.commits + s.commits;
   into.undos <- into.undos + s.undos;
+  into.scenarios <- into.scenarios + s.scenarios;
+  into.edges_disabled <- into.edges_disabled + s.edges_disabled;
   into.par_regions <- into.par_regions + s.par_regions;
   into.par_tasks <- into.par_tasks + s.par_tasks;
   if s.par_jobs > into.par_jobs then into.par_jobs <- s.par_jobs;
@@ -140,7 +150,8 @@ let counters s =
     ("unit_hits", s.unit_hits); ("unit_misses", s.unit_misses);
     ("weight_updates", s.weight_updates); ("dirty_dests", s.dirty_dests);
     ("clean_dests", s.clean_dests); ("commits", s.commits);
-    ("undos", s.undos); ("par_regions", s.par_regions);
+    ("undos", s.undos); ("scenarios", s.scenarios);
+    ("edges_disabled", s.edges_disabled); ("par_regions", s.par_regions);
     ("par_tasks", s.par_tasks); ("par_jobs", s.par_jobs) ]
 
 let pp ppf s =

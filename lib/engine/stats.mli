@@ -26,6 +26,10 @@ type t = {
       (** built destinations proven untouched by a weight update *)
   mutable commits : int;
   mutable undos : int;
+  mutable scenarios : int;
+      (** robustness scenarios evaluated ({!record_scenario}) *)
+  mutable edges_disabled : int;
+      (** links failed through {!Evaluator.disable_edge} *)
   mutable par_regions : int;
       (** parallel fan-outs (one per {!record_parallel} call) *)
   mutable par_tasks : int;  (** tasks dispatched across all fan-outs *)
@@ -64,6 +68,10 @@ val record_parallel : t -> jobs:int -> tasks:int -> wall:float -> busy:float -> 
 
 val record_worker_evals : t -> worker:int -> int -> unit
 (** Adds candidate evaluations to worker slot [worker]'s counter. *)
+
+val record_scenario : t -> unit
+(** Counts one robustness scenario evaluated (the granularity
+    [lib/scenario] sweeps budget by). *)
 
 val parallel_efficiency : t -> float
 (** [par_busy / (par_wall * par_jobs)]: 1.0 means every worker was busy

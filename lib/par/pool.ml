@@ -147,3 +147,18 @@ let chunks ~chunk n =
   Array.init k (fun i ->
       let start = i * chunk in
       (start, min chunk (n - start)))
+
+let map_chunked t ~chunk ~tasks f =
+  let ch = chunks ~chunk tasks in
+  let per_chunk =
+    map t ~tasks:(Array.length ch) (fun ~worker ci ->
+        let start, len = ch.(ci) in
+        Array.init len (fun j -> f ~worker (start + j)))
+  in
+  let out = Array.make tasks None in
+  Array.iteri
+    (fun ci block ->
+      let start, _ = ch.(ci) in
+      Array.iteri (fun j v -> out.(start + j) <- Some v) block)
+    per_chunk;
+  Array.map (function Some v -> v | None -> assert false) out

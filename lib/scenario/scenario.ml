@@ -1,0 +1,639 @@
+open Netgraph
+open Te
+
+(* ------------------------------------------------------------------ *)
+(* Scenario grammar                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type shift =
+  | No_shift
+  | Uniform of float
+  | Jitter of { seed : int; sigma : float }
+  | Hotspot of { seed : int; pairs : int; factor : float }
+  | Diurnal of { level : float }
+
+type spec = { id : int; failed : int list; shift : shift }
+
+type config = {
+  seed : int;
+  fail_pairs : bool;
+  include_baseline : bool;
+  single_failures : bool;
+  dual_failures : int;
+  srlgs : int list list;
+  scales : float list;
+  jitters : int;
+  jitter_sigma : float;
+  hotspots : int;
+  hotspot_pairs : int;
+  hotspot_factor : float;
+  diurnal : int;
+  cross : bool;
+}
+
+let default_config =
+  {
+    seed = 1;
+    fail_pairs = true;
+    include_baseline = true;
+    single_failures = true;
+    dual_failures = 0;
+    srlgs = [];
+    scales = [];
+    jitters = 0;
+    jitter_sigma = 0.25;
+    hotspots = 0;
+    hotspot_pairs = 3;
+    hotspot_factor = 3.;
+    diurnal = 0;
+    cross = false;
+  }
+
+let validate cfg =
+  List.iter
+    (fun s ->
+      if not (s > 0.) then invalid_arg "Scenario.generate: scale must be > 0")
+    cfg.scales;
+  if cfg.jitter_sigma < 0. then
+    invalid_arg "Scenario.generate: negative jitter sigma";
+  if not (cfg.hotspot_factor > 0.) then
+    invalid_arg "Scenario.generate: hotspot factor must be > 0";
+  if cfg.hotspots > 0 && cfg.hotspot_pairs < 1 then
+    invalid_arg "Scenario.generate: hotspot_pairs must be >= 1";
+  if cfg.dual_failures < 0 || cfg.jitters < 0 || cfg.hotspots < 0
+     || cfg.diurnal < 0
+  then invalid_arg "Scenario.generate: negative scenario count"
+
+(* Sampled unordered pairs of single-failure cases.  The RNG derives
+   from the config seed only, so the sample is one fixed set no matter
+   where generation runs. *)
+let sample_duals cfg singles =
+  if cfg.dual_failures = 0 then []
+  else begin
+    let arr = Array.of_list singles in
+    let n = Array.length arr in
+    let total = n * (n - 1) / 2 in
+    if total = 0 then []
+    else if cfg.dual_failures >= total then begin
+      let out = ref [] in
+      for i = n - 1 downto 0 do
+        for j = n - 1 downto i + 1 do
+          out := (arr.(i) @ arr.(j)) :: !out
+        done
+      done;
+      !out
+    end
+    else begin
+      let st = Random.State.make [| 0x2fa1; cfg.seed |] in
+      let seen = Hashtbl.create cfg.dual_failures in
+      let out = ref [] in
+      while Hashtbl.length seen < cfg.dual_failures do
+        let i = Random.State.int st n and j = Random.State.int st n in
+        if i <> j then begin
+          let key = (min i j, max i j) in
+          if not (Hashtbl.mem seen key) then begin
+            Hashtbl.replace seen key ();
+            out := (arr.(fst key) @ arr.(snd key)) :: !out
+          end
+        end
+      done;
+      List.rev !out
+    end
+  end
+
+let generate cfg g =
+  validate cfg;
+  let m = Digraph.edge_count g in
+  List.iter
+    (List.iter (fun e ->
+         if e < 0 || e >= m then
+           invalid_arg "Scenario.generate: SRLG edge outside the graph"))
+    cfg.srlgs;
+  let singles =
+    if cfg.single_failures then
+      List.map snd (Failures.failure_groups ~fail_pairs:cfg.fail_pairs g)
+    else []
+  in
+  let fail_cases = singles @ cfg.srlgs @ sample_duals cfg singles in
+  let shifts =
+    List.map (fun f -> Uniform f) cfg.scales
+    @ List.init cfg.jitters (fun j ->
+          Jitter { seed = (cfg.seed * 8191) + j; sigma = cfg.jitter_sigma })
+    @ List.init cfg.hotspots (fun j ->
+          Hotspot
+            {
+              seed = (cfg.seed * 524287) + j;
+              pairs = cfg.hotspot_pairs;
+              factor = cfg.hotspot_factor;
+            })
+    @ List.init cfg.diurnal (fun j ->
+          Diurnal { level = float_of_int j /. float_of_int cfg.diurnal })
+  in
+  let cases =
+    if cfg.cross then
+      List.concat_map
+        (fun f -> List.map (fun s -> (f, s)) (No_shift :: shifts))
+        ([] :: fail_cases)
+      |> List.filter (fun (f, s) ->
+             cfg.include_baseline || f <> [] || s <> No_shift)
+    else
+      (if cfg.include_baseline then [ ([], No_shift) ] else [])
+      @ List.map (fun f -> (f, No_shift)) fail_cases
+      @ List.map (fun s -> ([], s)) shifts
+  in
+  Array.of_list (List.mapi (fun id (failed, shift) -> { id; failed; shift }) cases)
+
+(* ------------------------------------------------------------------ *)
+(* Demand shifts                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let gaussian st =
+  let u1 = 1. -. Random.State.float st 1. in
+  let u2 = Random.State.float st 1. in
+  sqrt (-2. *. log u1) *. cos (2. *. Float.pi *. u2)
+
+let apply_shift shift demands =
+  match shift with
+  | No_shift -> demands
+  | Uniform f ->
+    Array.map
+      (fun (d : Network.demand) -> { d with Network.size = d.Network.size *. f })
+      demands
+  | Jitter { seed; sigma } ->
+    let st = Random.State.make [| 0x71e2; seed |] in
+    Array.map
+      (fun (d : Network.demand) ->
+        { d with Network.size = d.Network.size *. exp (sigma *. gaussian st) })
+      demands
+  | Hotspot { seed; pairs; factor } ->
+    let st = Random.State.make [| 0x4075; seed |] in
+    let n = Array.length demands in
+    let idx = Array.init n (fun i -> i) in
+    let k = min pairs n in
+    for i = 0 to k - 1 do
+      let j = i + Random.State.int st (n - i) in
+      let t = idx.(i) in
+      idx.(i) <- idx.(j);
+      idx.(j) <- t
+    done;
+    let hot = Hashtbl.create (max 1 k) in
+    for i = 0 to k - 1 do
+      Hashtbl.replace hot idx.(i) ()
+    done;
+    Array.mapi
+      (fun i (d : Network.demand) ->
+        if Hashtbl.mem hot i then
+          { d with Network.size = d.Network.size *. factor }
+        else d)
+      demands
+  | Diurnal { level } ->
+    (* Each source city peaks at its own hour; the factor stays within
+       [0.4, 1.2] so sizes remain positive. *)
+    Array.map
+      (fun (d : Network.demand) ->
+        let phase = float_of_int (((23 * d.Network.src) + 7) mod 24) /. 24. in
+        let x = 0.5 +. (0.5 *. sin (2. *. Float.pi *. (level +. phase))) in
+        { d with Network.size = d.Network.size *. (0.4 +. (0.8 *. x)) })
+      demands
+
+let shift_label = function
+  | No_shift -> "nominal"
+  | Uniform f -> Printf.sprintf "scale=%.2f" f
+  | Jitter { seed; sigma } -> Printf.sprintf "jitter#%d s=%.2f" seed sigma
+  | Hotspot { seed; pairs; factor } ->
+    Printf.sprintf "hotspot#%d %dx%.1f" seed pairs factor
+  | Diurnal { level } -> Printf.sprintf "diurnal t=%.2f" level
+
+let spec_label g s =
+  let fail =
+    match s.failed with
+    | [] -> "ok"
+    | es ->
+      "fail:"
+      ^ String.concat "+"
+          (List.map
+             (fun e ->
+               Printf.sprintf "%s>%s"
+                 (Digraph.node_name g (Digraph.src g e))
+                 (Digraph.node_name g (Digraph.dst g e)))
+             es)
+  in
+  fail ^ " " ^ shift_label s.shift
+
+(* ------------------------------------------------------------------ *)
+(* Policies                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type policy = Static | Repair | Reweight of int
+
+let policy_name = function
+  | Static -> "static"
+  | Repair -> "repair"
+  | Reweight k -> Printf.sprintf "reweight:%d" k
+
+let policy_of_string s =
+  let s = String.lowercase_ascii (String.trim s) in
+  match s with
+  | "static" -> Static
+  | "repair" -> Repair
+  | _ when String.length s > 9 && String.sub s 0 9 = "reweight:" -> (
+    match int_of_string_opt (String.sub s 9 (String.length s - 9)) with
+    | Some k when k >= 0 -> Reweight k
+    | _ ->
+      invalid_arg ("Scenario.policies_of_string: bad reweight budget in " ^ s))
+  | _ -> invalid_arg ("Scenario.policies_of_string: unknown policy " ^ s)
+
+let policies_of_string s =
+  String.split_on_char ',' s
+  |> List.filter (fun x -> String.trim x <> "")
+  |> List.map policy_of_string
+
+type deployed = { weights : int array; waypoints : Segments.setting }
+
+(* ------------------------------------------------------------------ *)
+(* Sweep                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type policy_outcome = {
+  policy : policy;
+  disconnected : int;
+  mlu : float;
+  weight_changes : int;
+  waypoint_changes : int;
+}
+
+type outcome = {
+  spec : spec;
+  static_disconnected : int;
+  topo_disconnected : int;
+  static_mlu : float;
+  policies : policy_outcome list;
+}
+
+let commodities_for demands segs =
+  let out = ref [] in
+  Array.iteri
+    (fun i (d : Network.demand) ->
+      List.iter (fun (a, b) -> out := (a, b, d.Network.size) :: !out) segs.(i))
+    demands;
+  Array.of_list (List.rev !out)
+
+(* One policy reaction to one scenario.  Runs on fresh evaluators (the
+   optimizers build their own), so the outcome is a pure function of the
+   spec — independent of which worker runs it and of anything cached in
+   the sweep evaluators. *)
+let run_policy ~stats ~g ~deployed ~reopt_evals ~spec ~demands'
+    ~static_disconnected ~topo_disconnected ~static_mlu = function
+  | Static ->
+    {
+      policy = Static;
+      disconnected = static_disconnected;
+      mlu = static_mlu;
+      weight_changes = 0;
+      waypoint_changes = 0;
+    }
+  | Repair ->
+    if topo_disconnected > 0 then
+      {
+        policy = Repair;
+        disconnected = topo_disconnected;
+        mlu = nan;
+        weight_changes = 0;
+        waypoint_changes = 0;
+      }
+    else begin
+      let wrep = Weights.of_ints deployed.weights in
+      List.iter (fun e -> wrep.(e) <- infinity) spec.failed;
+      let r = Greedy_wpo.optimize ~stats g wrep demands' in
+      if static_disconnected = 0 && static_mlu <= r.Greedy_wpo.mlu +. 1e-12 then
+        (* The deployed waypoints still route everything and are at
+           least as good: keep them, zero churn. *)
+        {
+          policy = Repair;
+          disconnected = 0;
+          mlu = static_mlu;
+          weight_changes = 0;
+          waypoint_changes = 0;
+        }
+      else begin
+        let setting = Segments.of_single r.Greedy_wpo.waypoints in
+        let changes = ref 0 in
+        Array.iteri
+          (fun i wps -> if wps <> deployed.waypoints.(i) then incr changes)
+          setting;
+        {
+          policy = Repair;
+          disconnected = 0;
+          mlu = r.Greedy_wpo.mlu;
+          weight_changes = 0;
+          waypoint_changes = !changes;
+        }
+      end
+    end
+  | Reweight k ->
+    if static_disconnected > 0 then
+      {
+        policy = Reweight k;
+        disconnected = static_disconnected;
+        mlu = nan;
+        weight_changes = 0;
+        waypoint_changes = 0;
+      }
+    else begin
+      let r =
+        Reopt.reoptimize ~stats
+          ~ls_params:
+            {
+              Local_search.default_params with
+              Local_search.max_evals = reopt_evals;
+              Local_search.seed = 0x5eed + spec.id;
+            }
+          ~max_weight_changes:k ~frozen_edges:spec.failed
+          ~deployed_weights:deployed.weights
+          ~deployed_waypoints:deployed.waypoints g demands'
+      in
+      {
+        policy = Reweight k;
+        disconnected = 0;
+        mlu = r.Reopt.mlu;
+        weight_changes = r.Reopt.churn.Reopt.weight_changes;
+        waypoint_changes = r.Reopt.churn.Reopt.waypoint_changes;
+      }
+    end
+
+let sweep ?stats ?(pool = Par.Pool.sequential) ?(chunk = 4)
+    ?(policies = [ Static ]) ?(reopt_evals = 400) ~deployed g demands specs =
+  if Array.length deployed.weights <> Digraph.edge_count g then
+    invalid_arg "Scenario.sweep: deployed weight length mismatch";
+  if Array.length deployed.waypoints <> Array.length demands then
+    invalid_arg "Scenario.sweep: deployed waypoint length mismatch";
+  let segs =
+    Array.mapi
+      (fun i d -> Segments.segment_endpoints d deployed.waypoints.(i))
+      demands
+  in
+  let master = Engine.Evaluator.create ?stats g (Weights.of_ints deployed.weights) in
+  Engine.Evaluator.set_commodities master (commodities_for demands segs);
+  (* Clones are built eagerly on the caller's domain; each worker then
+     owns evaluator [worker] exclusively for the whole map. *)
+  let par = max 1 (Par.Pool.parallelism pool) in
+  let evs =
+    Array.init par (fun w -> if w = 0 then master else Engine.Evaluator.copy master)
+  in
+  let cur_shift = Array.make par No_shift in
+  let cur_demands = Array.make par demands in
+  let eval_spec ~worker i =
+    let spec = specs.(i) in
+    let ev = evs.(worker) in
+    (* Attach this scenario's demand matrix — skipped when the worker's
+       commodities already encode it (the whole point of chunked
+       streaming: consecutive same-shift scenarios share every load
+       cache).  Must happen while the undo trail is empty. *)
+    if cur_shift.(worker) <> spec.shift then begin
+      let demands' = apply_shift spec.shift demands in
+      Engine.Evaluator.set_commodities ev (commodities_for demands' segs);
+      cur_shift.(worker) <- spec.shift;
+      cur_demands.(worker) <- demands'
+    end;
+    let demands' = cur_demands.(worker) in
+    let wstats = Engine.Evaluator.stats ev in
+    Engine.Stats.record_scenario wstats;
+    List.iter (fun e -> Engine.Evaluator.disable_edge ev ~edge:e) spec.failed;
+    let static_disconnected = ref 0 and topo_disconnected = ref 0 in
+    Array.iteri
+      (fun di (d : Network.demand) ->
+        if
+          not
+            (List.for_all
+               (fun (a, b) -> Engine.Evaluator.reachable ev ~src:a ~dst:b)
+               segs.(di))
+        then incr static_disconnected;
+        if
+          not
+            (Engine.Evaluator.reachable ev ~src:d.Network.src
+               ~dst:d.Network.dst)
+        then incr topo_disconnected)
+      demands;
+    let static_mlu =
+      if !static_disconnected > 0 then nan
+      else fst (Engine.Evaluator.evaluate ev)
+    in
+    Engine.Evaluator.undo ev;
+    let pol =
+      List.map
+        (run_policy ~stats:wstats ~g ~deployed ~reopt_evals ~spec ~demands'
+           ~static_disconnected:!static_disconnected
+           ~topo_disconnected:!topo_disconnected ~static_mlu)
+        policies
+    in
+    {
+      spec;
+      static_disconnected = !static_disconnected;
+      topo_disconnected = !topo_disconnected;
+      static_mlu;
+      policies = pol;
+    }
+  in
+  let out = Par.Pool.map_chunked pool ~chunk ~tasks:(Array.length specs) eval_spec in
+  (match stats with
+  | Some s ->
+    for w = 1 to par - 1 do
+      Engine.Stats.merge ~into:s (Engine.Evaluator.stats evs.(w))
+    done
+  | None -> ());
+  out
+
+let static_sweep_rebuild ~deployed g demands specs =
+  let wf = Weights.of_ints deployed.weights in
+  Array.map
+    (fun s ->
+      let demands' = apply_shift s.shift demands in
+      Failures.rebuild_outcome ~waypoints:deployed.waypoints g wf demands'
+        ~removed:s.failed)
+    specs
+
+(* ------------------------------------------------------------------ *)
+(* Report                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type summary = {
+  policy : policy;
+  scenarios : int;
+  disconnected_scenarios : int;
+  worst_mlu : float;
+  worst_id : int;
+  mean_mlu : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+  cvar95 : float;
+  mean_weight_changes : float;
+  mean_waypoint_changes : float;
+  delta_worst : float;
+  delta_mean : float;
+}
+
+type report = {
+  topology : string;
+  nominal_mlu : float;
+  scenario_count : int;
+  summaries : summary list;
+  worst_cases : (spec * float * int) list;
+}
+
+(* Severity key: any disconnection outranks any MLU, more disconnected
+   demands outrank fewer; nan never reaches a raw float compare. *)
+let sev_key d m = ((if d > 0 then 1 else 0), d, if Float.is_nan m then 0. else m)
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then nan
+  else sorted.(max 0 (min (n - 1) (int_of_float (ceil (p *. float_of_int n)) - 1)))
+
+(* Aggregate one policy's per-scenario (disconnected, mlu, w-churn,
+   wp-churn) rows, [delta] fields relative to [vs] (the static summary)
+   when given. *)
+let summary_of ?vs policy rows =
+  let n = Array.length rows in
+  let disc_scens = ref 0 and sum_w = ref 0 and sum_wp = ref 0 in
+  let finite = ref [] in
+  let worst = ref None in
+  Array.iteri
+    (fun i (d, m, wc, wpc) ->
+      if d > 0 then incr disc_scens;
+      sum_w := !sum_w + wc;
+      sum_wp := !sum_wp + wpc;
+      if (not (Float.is_nan m)) && d = 0 then finite := m :: !finite;
+      let key = sev_key d m in
+      match !worst with
+      | Some (bk, _) when compare key bk <= 0 -> ()
+      | _ -> worst := Some (key, i))
+    rows;
+  let sorted = Array.of_list (List.rev !finite) in
+  Array.sort compare sorted;
+  let fn = Array.length sorted in
+  let mean a =
+    if Array.length a = 0 then nan
+    else Array.fold_left ( +. ) 0. a /. float_of_int (Array.length a)
+  in
+  let cvar95 =
+    if fn = 0 then nan
+    else begin
+      let k = max 1 (int_of_float (ceil (0.05 *. float_of_int fn))) in
+      mean (Array.sub sorted (fn - k) k)
+    end
+  in
+  let worst_mlu = if fn = 0 then nan else sorted.(fn - 1) in
+  let mean_mlu = mean sorted in
+  let fdiv a = float_of_int a /. float_of_int (max 1 n) in
+  let delta_worst, delta_mean =
+    match vs with
+    | None -> (0., 0.)
+    | Some s -> (worst_mlu -. s.worst_mlu, mean_mlu -. s.mean_mlu)
+  in
+  {
+    policy;
+    scenarios = n;
+    disconnected_scenarios = !disc_scens;
+    worst_mlu;
+    worst_id = (match !worst with Some (_, i) -> i | None -> -1);
+    mean_mlu;
+    p50 = percentile sorted 0.50;
+    p95 = percentile sorted 0.95;
+    p99 = percentile sorted 0.99;
+    cvar95;
+    mean_weight_changes = fdiv !sum_w;
+    mean_waypoint_changes = fdiv !sum_wp;
+    delta_worst;
+    delta_mean;
+  }
+
+let summarize ~topology ~nominal_mlu outcomes =
+  let static_rows =
+    Array.map (fun o -> (o.static_disconnected, o.static_mlu, 0, 0)) outcomes
+  in
+  let static = summary_of Static static_rows in
+  (* worst_id above indexes the rows array; map back to spec ids. *)
+  let fix_id s =
+    { s with worst_id = (if s.worst_id < 0 then -1 else outcomes.(s.worst_id).spec.id) }
+  in
+  let static = fix_id static in
+  let requested =
+    match Array.length outcomes with
+    | 0 -> []
+    | _ -> List.map (fun (po : policy_outcome) -> po.policy) outcomes.(0).policies
+  in
+  let others =
+    List.mapi
+      (fun pos p ->
+        match p with
+        | Static -> None
+        | _ ->
+          let rows =
+            Array.map
+              (fun o ->
+                let po = List.nth o.policies pos in
+                (po.disconnected, po.mlu, po.weight_changes, po.waypoint_changes))
+              outcomes
+          in
+          Some (fix_id (summary_of ~vs:static p rows)))
+      requested
+    |> List.filter_map Fun.id
+  in
+  let worst_cases =
+    Array.to_list outcomes
+    |> List.map (fun o -> (o.spec, o.static_mlu, o.static_disconnected))
+    |> List.stable_sort (fun (_, m1, d1) (_, m2, d2) ->
+           compare (sev_key d2 m2) (sev_key d1 m1))
+    |> List.filteri (fun i _ -> i < 5)
+  in
+  {
+    topology;
+    nominal_mlu;
+    scenario_count = Array.length outcomes;
+    summaries = static :: others;
+    worst_cases;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* JSON                                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* 17 significant digits round-trip any float, so equal reports always
+   serialize to equal bytes (the bit-identity contract of the sweep). *)
+let jfloat f = if Float.is_finite f then Printf.sprintf "%.17g" f else "null"
+
+let report_to_json g r =
+  let b = Buffer.create 2048 in
+  Buffer.add_string b "{\"schema\": \"robustness-report/1\"";
+  Buffer.add_string b (Printf.sprintf ", \"topology\": %S" r.topology);
+  Buffer.add_string b (Printf.sprintf ", \"nominal_mlu\": %s" (jfloat r.nominal_mlu));
+  Buffer.add_string b (Printf.sprintf ", \"scenarios\": %d" r.scenario_count);
+  Buffer.add_string b ", \"policies\": [";
+  List.iteri
+    (fun i s ->
+      if i > 0 then Buffer.add_string b ", ";
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"policy\": %S, \"scenarios\": %d, \"disconnected_scenarios\": \
+            %d, \"worst_mlu\": %s, \"worst_scenario\": %d, \"mean_mlu\": %s, \
+            \"p50\": %s, \"p95\": %s, \"p99\": %s, \"cvar95\": %s, \
+            \"mean_weight_changes\": %s, \"mean_waypoint_changes\": %s, \
+            \"delta_worst_vs_static\": %s, \"delta_mean_vs_static\": %s}"
+           (policy_name s.policy) s.scenarios s.disconnected_scenarios
+           (jfloat s.worst_mlu) s.worst_id (jfloat s.mean_mlu) (jfloat s.p50)
+           (jfloat s.p95) (jfloat s.p99) (jfloat s.cvar95)
+           (jfloat s.mean_weight_changes) (jfloat s.mean_waypoint_changes)
+           (jfloat s.delta_worst) (jfloat s.delta_mean)))
+    r.summaries;
+  Buffer.add_string b "], \"worst_cases\": [";
+  List.iteri
+    (fun i (sp, mlu, disc) ->
+      if i > 0 then Buffer.add_string b ", ";
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"id\": %d, \"label\": %S, \"mlu\": %s, \"disconnected\": %d}"
+           sp.id (spec_label g sp) (jfloat mlu) disc))
+    r.worst_cases;
+  Buffer.add_string b "]}";
+  Buffer.contents b

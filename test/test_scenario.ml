@@ -1,0 +1,338 @@
+(* Tests for lib/scenario: the generator grammar is deterministic and
+   validated, demand shifts are pure, and — the load-bearing contract —
+   sweep results are bit-identical for every pool size and chunking and
+   agree with the rebuild oracle on every static outcome. *)
+
+open Netgraph
+open Te
+
+(* A deployed JOINT setting on Abilene, shared across tests. *)
+let fixture =
+  lazy
+    (let g = Topology.Datasets.abilene () in
+     let demands =
+       Demand_gen.mcf_synthetic ~epsilon:0.15 ~seed:3 ~flows_per_pair:2 g
+     in
+     let ls_params =
+       { Local_search.default_params with max_evals = 200; seed = 5 }
+     in
+     let joint = Joint.optimize ~ls_params g demands in
+     let deployed =
+       {
+         Scenario.weights = joint.Joint.int_weights;
+         Scenario.waypoints = joint.Joint.waypoints;
+       }
+     in
+     (g, demands, deployed))
+
+let rich_config g =
+  {
+    Scenario.default_config with
+    Scenario.seed = 9;
+    Scenario.dual_failures = 6;
+    Scenario.srlgs = [ [ 0; 2 ] ];
+    Scenario.scales = [ 0.7; 1.3 ];
+    Scenario.jitters = 3;
+    Scenario.hotspots = 2;
+    Scenario.diurnal = 3;
+    Scenario.cross = Digraph.edge_count g < 0 (* false; silences unused g *);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Generator                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_generate_deterministic () =
+  let g, _, _ = Lazy.force fixture in
+  let cfg = rich_config g in
+  let a = Scenario.generate cfg g and b = Scenario.generate cfg g in
+  Alcotest.(check bool) "same specs on regeneration" true (a = b);
+  Array.iteri
+    (fun i s -> Alcotest.(check int) "ids are positional" i s.Scenario.id)
+    a;
+  (* Baseline first, then the failure cases in edge-id order. *)
+  Alcotest.(check bool) "baseline first" true
+    (a.(0).Scenario.failed = [] && a.(0).Scenario.shift = Scenario.No_shift);
+  let singles = Failures.failure_groups g in
+  List.iteri
+    (fun i (_, removed) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "single failure case %d" i)
+        true
+        (a.(i + 1).Scenario.failed = removed))
+    singles
+
+let test_generate_counts () =
+  let g, _, _ = Lazy.force fixture in
+  let singles = List.length (Failures.failure_groups g) in
+  let cfg = rich_config g in
+  let n = Array.length (Scenario.generate cfg g) in
+  (* baseline + singles + 1 SRLG + 6 duals + 2 scales + 3 jitters
+     + 2 hotspots + 3 diurnal *)
+  Alcotest.(check int) "axis-sweep count" (1 + singles + 1 + 6 + 2 + 3 + 2 + 3) n;
+  let cross = { cfg with Scenario.cross = true } in
+  let nc = Array.length (Scenario.generate cross g) in
+  (* (1 + failure cases) x (1 + shifts), all combinations kept. *)
+  Alcotest.(check int) "cross-product count"
+    ((1 + singles + 1 + 6) * (1 + 2 + 3 + 2 + 3))
+    nc
+
+let test_generate_validation () =
+  let g, _, _ = Lazy.force fixture in
+  let check_invalid name cfg =
+    Alcotest.(check bool) name true
+      (try
+         ignore (Scenario.generate cfg g);
+         false
+       with Invalid_argument _ -> true)
+  in
+  check_invalid "negative scale"
+    { Scenario.default_config with Scenario.scales = [ -1. ] };
+  check_invalid "zero hotspot factor"
+    { Scenario.default_config with Scenario.hotspots = 1;
+      Scenario.hotspot_factor = 0. };
+  check_invalid "negative count"
+    { Scenario.default_config with Scenario.jitters = -1 };
+  check_invalid "srlg out of range"
+    { Scenario.default_config with
+      Scenario.srlgs = [ [ Digraph.edge_count g ] ] }
+
+(* ------------------------------------------------------------------ *)
+(* Demand shifts                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_apply_shift () =
+  let _, demands, _ = Lazy.force fixture in
+  Alcotest.(check bool) "No_shift is physically the input" true
+    (Scenario.apply_shift Scenario.No_shift demands == demands);
+  let shifts =
+    [
+      Scenario.Uniform 1.3;
+      Scenario.Jitter { seed = 4; sigma = 0.25 };
+      Scenario.Hotspot { seed = 4; pairs = 3; factor = 3. };
+      Scenario.Diurnal { level = 0.3 };
+    ]
+  in
+  List.iter
+    (fun sh ->
+      let a = Scenario.apply_shift sh demands in
+      let b = Scenario.apply_shift sh demands in
+      Alcotest.(check bool) "pure (same shift, same result)" true (a = b);
+      Alcotest.(check bool) "input untouched" true
+        (Array.for_all2
+           (fun (d : Network.demand) (d' : Network.demand) ->
+             d.Network.src = d'.Network.src && d.Network.dst = d'.Network.dst)
+           demands a);
+      Array.iter
+        (fun (d : Network.demand) ->
+          Alcotest.(check bool) "sizes stay positive" true (d.Network.size > 0.))
+        a)
+    shifts;
+  let scaled = Scenario.apply_shift (Scenario.Uniform 2.) demands in
+  Array.iteri
+    (fun i (d : Network.demand) ->
+      Alcotest.(check (float 1e-12)) "uniform doubles sizes"
+        (2. *. demands.(i).Network.size)
+        d.Network.size)
+    scaled
+
+let test_policies_of_string () =
+  Alcotest.(check bool) "parses the acceptance list" true
+    (Scenario.policies_of_string "static,repair,reweight:3"
+    = [ Scenario.Static; Scenario.Repair; Scenario.Reweight 3 ]);
+  Alcotest.(check string) "round-trips names" "reweight:3"
+    (Scenario.policy_name (Scenario.Reweight 3));
+  let invalid s =
+    try
+      ignore (Scenario.policies_of_string s);
+      false
+    with Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "rejects unknown" true (invalid "static,wat");
+  Alcotest.(check bool) "rejects bad budget" true (invalid "reweight:x")
+
+(* ------------------------------------------------------------------ *)
+(* Sweep: oracle agreement and scheduling independence                 *)
+(* ------------------------------------------------------------------ *)
+
+let small_specs g =
+  Scenario.generate
+    {
+      Scenario.default_config with
+      Scenario.seed = 9;
+      Scenario.dual_failures = 4;
+      Scenario.scales = [ 0.8; 1.2 ];
+      Scenario.jitters = 2;
+      Scenario.hotspots = 1;
+      Scenario.diurnal = 2;
+    }
+    g
+
+let test_sweep_matches_rebuild_oracle () =
+  let g, demands, deployed = Lazy.force fixture in
+  let specs = small_specs g in
+  let out = Scenario.sweep ~deployed g demands specs in
+  let oracle = Scenario.static_sweep_rebuild ~deployed g demands specs in
+  Array.iteri
+    (fun i (mlu, disc) ->
+      let o = out.(i) in
+      Alcotest.(check int)
+        (Printf.sprintf "scenario %d disconnected" i)
+        disc o.Scenario.static_disconnected;
+      if Float.is_nan mlu then
+        Alcotest.(check bool)
+          (Printf.sprintf "scenario %d nan mlu" i)
+          true
+          (Float.is_nan o.Scenario.static_mlu)
+      else
+        Alcotest.(check (float 1e-9))
+          (Printf.sprintf "scenario %d mlu" i)
+          mlu o.Scenario.static_mlu)
+    oracle
+
+let test_sweep_scheduling_independent () =
+  let g, demands, deployed = Lazy.force fixture in
+  let specs = small_specs g in
+  let policies = [ Scenario.Static; Scenario.Repair; Scenario.Reweight 3 ] in
+  let run ~chunk pool =
+    Scenario.sweep ~pool ~chunk ~policies ~reopt_evals:60 ~deployed g demands
+      specs
+  in
+  let reference = run ~chunk:4 Par.Pool.sequential in
+  (* compare (not (=)) so nan = nan: outcomes carry nan MLUs. *)
+  List.iter
+    (fun jobs ->
+      let out = Par.Pool.with_pool ~jobs (run ~chunk:4) in
+      Alcotest.(check bool)
+        (Printf.sprintf "bit-identical at jobs=%d" jobs)
+        true
+        (compare out reference = 0))
+    [ 2; 4 ];
+  List.iter
+    (fun chunk ->
+      let out = run ~chunk Par.Pool.sequential in
+      Alcotest.(check bool)
+        (Printf.sprintf "bit-identical at chunk=%d" chunk)
+        true
+        (compare out reference = 0))
+    [ 1; 3; 17 ];
+  (* And so is the serialized report — the artifact the CLI emits. *)
+  let json out =
+    Scenario.report_to_json g
+      (Scenario.summarize ~topology:"Abilene" ~nominal_mlu:1. out)
+  in
+  let j4 = Par.Pool.with_pool ~jobs:4 (fun p -> json (run ~chunk:4 p)) in
+  Alcotest.(check string) "report bytes identical across jobs" (json reference)
+    j4
+
+let test_sweep_policies () =
+  let g, demands, deployed = Lazy.force fixture in
+  let specs = small_specs g in
+  let out =
+    Scenario.sweep
+      ~policies:[ Scenario.Static; Scenario.Repair; Scenario.Reweight 2 ]
+      ~reopt_evals:60 ~deployed g demands specs
+  in
+  Array.iter
+    (fun (o : Scenario.outcome) ->
+      Alcotest.(check int) "one outcome per policy" 3
+        (List.length o.Scenario.policies);
+      Alcotest.(check bool) "topo_disconnected <= static_disconnected" true
+        (o.Scenario.topo_disconnected <= o.Scenario.static_disconnected);
+      List.iter
+        (fun (po : Scenario.policy_outcome) ->
+          Alcotest.(check bool) "nan iff disconnected" true
+            (Float.is_nan po.Scenario.mlu = (po.Scenario.disconnected > 0));
+          match po.Scenario.policy with
+          | Scenario.Static ->
+            Alcotest.(check int) "static reports deployed disconnections"
+              o.Scenario.static_disconnected po.Scenario.disconnected;
+            Alcotest.(check int) "static never changes weights" 0
+              po.Scenario.weight_changes
+          | Scenario.Repair ->
+            Alcotest.(check int) "repair routes all the topology allows"
+              o.Scenario.topo_disconnected po.Scenario.disconnected;
+            Alcotest.(check int) "repair never changes weights" 0
+              po.Scenario.weight_changes;
+            if o.Scenario.static_disconnected = 0 then
+              Alcotest.(check bool) "repair never worse than static" true
+                (po.Scenario.mlu <= o.Scenario.static_mlu +. 1e-9)
+          | Scenario.Reweight k ->
+            Alcotest.(check bool) "reweight respects the budget" true
+              (po.Scenario.weight_changes <= k);
+            if po.Scenario.disconnected = 0
+               && o.Scenario.static_disconnected = 0
+            then
+              Alcotest.(check bool) "reweight never worse than static" true
+                (po.Scenario.mlu <= o.Scenario.static_mlu +. 1e-9))
+        o.Scenario.policies)
+    out
+
+(* ------------------------------------------------------------------ *)
+(* Report                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_summarize () =
+  let g, demands, deployed = Lazy.force fixture in
+  let specs = small_specs g in
+  let out =
+    Scenario.sweep ~policies:[ Scenario.Static; Scenario.Repair ] ~deployed g
+      demands specs
+  in
+  let r = Scenario.summarize ~topology:"Abilene" ~nominal_mlu:1.0 out in
+  Alcotest.(check int) "scenario count" (Array.length specs)
+    r.Scenario.scenario_count;
+  Alcotest.(check int) "static + requested non-static summaries" 2
+    (List.length r.Scenario.summaries);
+  let s = List.hd r.Scenario.summaries in
+  Alcotest.(check bool) "static summary first" true
+    (s.Scenario.policy = Scenario.Static);
+  Alcotest.(check bool) "percentiles ordered" true
+    (s.Scenario.p50 <= s.Scenario.p95 && s.Scenario.p95 <= s.Scenario.p99);
+  Alcotest.(check bool) "p99 <= worst" true
+    (s.Scenario.p99 <= s.Scenario.worst_mlu);
+  Alcotest.(check bool) "cvar95 >= p95" true
+    (s.Scenario.cvar95 >= s.Scenario.p95 -. 1e-12);
+  Alcotest.(check bool) "worst_id is a spec id" true
+    (Array.exists (fun o -> o.Scenario.spec.Scenario.id = s.Scenario.worst_id) out);
+  (* worst_cases lead with the most severe static outcome. *)
+  (match r.Scenario.worst_cases with
+  | (sp, mlu, disc) :: _ ->
+    Alcotest.(check int) "headline worst case id" s.Scenario.worst_id
+      sp.Scenario.id;
+    if disc = 0 then
+      Alcotest.(check (float 1e-12)) "headline worst mlu" s.Scenario.worst_mlu
+        mlu
+  | [] -> Alcotest.fail "no worst cases");
+  Alcotest.(check bool) "at most five worst cases" true
+    (List.length r.Scenario.worst_cases <= 5);
+  let json = Scenario.report_to_json g r in
+  Alcotest.(check bool) "json carries the schema" true
+    (String.length json > 0
+    && String.sub json 0 33 = "{\"schema\": \"robustness-report/1\"," )
+
+let () =
+  Alcotest.run "scenario"
+    [
+      ( "generator",
+        [
+          Alcotest.test_case "deterministic" `Quick test_generate_deterministic;
+          Alcotest.test_case "counts" `Quick test_generate_counts;
+          Alcotest.test_case "validation" `Quick test_generate_validation;
+        ] );
+      ( "shifts",
+        [
+          Alcotest.test_case "apply_shift" `Quick test_apply_shift;
+          Alcotest.test_case "policies_of_string" `Quick test_policies_of_string;
+        ] );
+      ( "sweep",
+        [
+          Alcotest.test_case "matches rebuild oracle" `Quick
+            test_sweep_matches_rebuild_oracle;
+          Alcotest.test_case "scheduling independent" `Quick
+            test_sweep_scheduling_independent;
+          Alcotest.test_case "policy semantics" `Quick test_sweep_policies;
+        ] );
+      ( "report",
+        [ Alcotest.test_case "summarize + json" `Quick test_summarize ] );
+    ]

@@ -547,6 +547,57 @@ let test_failures_with_waypoints () =
     (fun o -> Alcotest.(check int) "routable" 0 o.Failures.disconnected)
     outs
 
+let test_single_failures_matches_rebuild () =
+  (* The engine sweep (persistent evaluator, disable_edge + undo) must
+     reproduce the historical rebuild-the-subgraph path case by case —
+     same edges, same disconnection counts, same MLUs — on a real
+     topology, with and without waypoints. *)
+  let g = Topology.Datasets.abilene () in
+  let demands =
+    Demand_gen.mcf_synthetic ~epsilon:0.15 ~seed:7 ~flows_per_pair:2 g
+  in
+  let w = Weights.random ~seed:11 ~wmax:8 g in
+  let wpo = Greedy_wpo.optimize g w demands in
+  List.iter
+    (fun waypoints ->
+      let engine = Failures.single_failures ?waypoints g w demands in
+      let rebuild = Failures.single_failures_rebuild ?waypoints g w demands in
+      Alcotest.(check int) "same case count" (List.length rebuild)
+        (List.length engine);
+      List.iter2
+        (fun (a : Failures.outcome) (b : Failures.outcome) ->
+          Alcotest.(check int) "same edge" b.Failures.edge a.Failures.edge;
+          Alcotest.(check int) "same disconnected" b.Failures.disconnected
+            a.Failures.disconnected;
+          if Float.is_nan b.Failures.mlu then
+            Alcotest.(check bool) "nan mlu" true (Float.is_nan a.Failures.mlu)
+          else
+            Alcotest.(check (float 1e-9)) "same mlu" b.Failures.mlu
+              a.Failures.mlu)
+        engine rebuild)
+    [ None; Some (Segments.of_single wpo.Greedy_wpo.waypoints) ]
+
+let test_severity_total_order () =
+  (* compare_severity must be a total order even on nan MLUs: any
+     disconnection beats any MLU, and a (defensive) nan MLU on a
+     connected outcome sorts above every number. *)
+  let o ~edge ~mlu ~disconnected = { Failures.edge; mlu; disconnected } in
+  let disc = o ~edge:0 ~mlu:nan ~disconnected:2 in
+  let high = o ~edge:1 ~mlu:1e9 ~disconnected:0 in
+  let low = o ~edge:2 ~mlu:0.5 ~disconnected:0 in
+  let nan_conn = o ~edge:3 ~mlu:nan ~disconnected:0 in
+  Alcotest.(check bool) "disconnection beats any mlu" true
+    (Failures.compare_severity disc high > 0);
+  Alcotest.(check bool) "nan above every number" true
+    (Failures.compare_severity nan_conn high > 0);
+  Alcotest.(check bool) "plain mlu order" true
+    (Failures.compare_severity high low > 0);
+  Alcotest.(check int) "reflexive" 0 (Failures.compare_severity disc disc);
+  Alcotest.(check bool) "worse picks severe" true
+    (Failures.worse low disc == disc);
+  Alcotest.(check bool) "worse keeps first on tie" true
+    (Failures.worse low low == low)
+
 (* ------------------------------------------------------------------ *)
 (* Reoptimization                                                      *)
 (* ------------------------------------------------------------------ *)
@@ -578,6 +629,15 @@ let test_reopt_never_worse () =
   Alcotest.(check bool) "never worse" true (r.Reopt.mlu <= deployed_mlu +. 1e-9);
   Alcotest.(check bool) "respects weight budget" true
     (r.Reopt.churn.Reopt.weight_changes <= 3);
+  (* The budget is on the returned vector itself, not just the reported
+     churn: count the links that actually differ from the deployment. *)
+  let differing = ref 0 in
+  Array.iteri
+    (fun e w -> if w <> deployed.(e) then incr differing)
+    r.Reopt.weights;
+  Alcotest.(check bool) "at most budget links differ" true (!differing <= 3);
+  Alcotest.(check int) "reported churn counts the differing links" !differing
+    r.Reopt.churn.Reopt.weight_changes;
   (* The reported MLU must re-evaluate. *)
   checkf6 "consistent"
     (Ecmp.mlu_of ~waypoints:r.Reopt.waypoints g (Weights.of_ints r.Reopt.weights)
@@ -596,6 +656,42 @@ let test_reopt_zero_budget_keeps_weights () =
   in
   Alcotest.(check int) "no weight changes" 0 r.Reopt.churn.Reopt.weight_changes;
   Alcotest.(check bool) "weights untouched" true (r.Reopt.weights = deployed)
+
+let test_reopt_frozen_edges () =
+  (* Frozen (failed) links: never re-weighted, absent from the routing,
+     and the reported MLU matches a from-scratch evaluation on the
+     surviving subgraph. *)
+  let g = square () in
+  let demands = [| Network.demand 0 3 8. |] in
+  let deployed = [| 1; 1; 1; 1; 1; 1; 1; 1 |] in
+  let frozen = [ 0; 1 ] in
+  let r =
+    Reopt.reoptimize
+      ~ls_params:{ Local_search.default_params with max_evals = 120; seed = 2 }
+      ~max_weight_changes:2 ~frozen_edges:frozen ~deployed_weights:deployed
+      ~deployed_waypoints:(Segments.none demands) g demands
+  in
+  List.iter
+    (fun e ->
+      Alcotest.(check int) "frozen edge keeps deployed weight" deployed.(e)
+        r.Reopt.weights.(e))
+    frozen;
+  Alcotest.(check bool) "respects weight budget" true
+    (r.Reopt.churn.Reopt.weight_changes <= 2);
+  let oracle_mlu, disc =
+    Failures.rebuild_outcome ~waypoints:r.Reopt.waypoints g
+      (Weights.of_ints r.Reopt.weights) demands ~removed:frozen
+  in
+  Alcotest.(check int) "still routable" 0 disc;
+  Alcotest.(check (float 1e-9)) "mlu matches surviving subgraph" oracle_mlu
+    r.Reopt.mlu;
+  (* And never worse than the deployed setting on that subgraph. *)
+  let deployed_mlu, _ =
+    Failures.rebuild_outcome ~waypoints:(Segments.none demands) g
+      (Weights.of_ints deployed) demands ~removed:frozen
+  in
+  Alcotest.(check bool) "never worse than deployed" true
+    (r.Reopt.mlu <= deployed_mlu +. 1e-9)
 
 (* ------------------------------------------------------------------ *)
 (* Demand generation                                                   *)
@@ -982,12 +1078,17 @@ let () =
           Alcotest.test_case "disconnection" `Quick test_failure_disconnects;
           Alcotest.test_case "worst case" `Quick test_worst_case_failure;
           Alcotest.test_case "with waypoints" `Quick test_failures_with_waypoints;
+          Alcotest.test_case "engine = rebuild oracle" `Quick
+            test_single_failures_matches_rebuild;
+          Alcotest.test_case "severity total order" `Quick
+            test_severity_total_order;
         ] );
       ( "reopt",
         [
           Alcotest.test_case "churn" `Quick test_churn;
           Alcotest.test_case "never worse" `Quick test_reopt_never_worse;
           Alcotest.test_case "zero budget" `Quick test_reopt_zero_budget_keeps_weights;
+          Alcotest.test_case "frozen edges" `Quick test_reopt_frozen_edges;
         ] );
       ( "uspr-milp",
         [
