@@ -983,6 +983,256 @@ let exp_robust () =
     (List.rev !records)
 
 (* ------------------------------------------------------------------ *)
+(* LP layer: sparse revised simplex vs dense tableau                   *)
+(* ------------------------------------------------------------------ *)
+
+module Simplex = Linprog.Simplex
+
+(* Best-of-[reps] wall clock; the solvers are deterministic, so the
+   result of any repetition stands for all of them. *)
+let time_best reps f =
+  let best = ref infinity and last = ref None in
+  for _ = 1 to reps do
+    let t0 = Engine.Mono.now () in
+    let r = f () in
+    let dt = Engine.Mono.now () -. t0 in
+    if dt < !best then best := dt;
+    last := Some r
+  done;
+  (Option.get !last, !best)
+
+let mcf_comms demands =
+  Array.map
+    (fun (d : Network.demand) ->
+      { Mcf.src = d.Network.src; dst = d.Network.dst; demand = d.Network.size })
+    demands
+
+(* The min-MLU LP in legacy dense row form — the same formulation
+   Mcf.build_mlu_lp assembles sparsely — so Simplex.Dense and
+   Simplex.Sparse race on identical problems. *)
+let dense_mlu_problem g comms =
+  let n = Digraph.node_count g and m = Digraph.edge_count g in
+  let comms = Mcf.aggregate comms in
+  let targets =
+    List.sort_uniq Int.compare
+      (Array.to_list (Array.map (fun c -> c.Mcf.dst) comms))
+  in
+  let tindex = Hashtbl.create 16 in
+  List.iteri (fun i t -> Hashtbl.replace tindex t i) targets;
+  let nt = List.length targets in
+  let fvar ti e = 1 + (ti * m) + e in
+  let supply = Array.make_matrix nt n 0. in
+  Array.iter
+    (fun c ->
+      let ti = Hashtbl.find tindex c.Mcf.dst in
+      supply.(ti).(c.Mcf.src) <- supply.(ti).(c.Mcf.src) +. c.Mcf.demand)
+    comms;
+  let constrs = ref [] in
+  List.iteri
+    (fun ti t ->
+      for v = 0 to n - 1 do
+        if v <> t then begin
+          let row = ref [] in
+          Array.iter (fun e -> row := (fvar ti e, 1.) :: !row) (Digraph.out_edges g v);
+          Array.iter (fun e -> row := (fvar ti e, -1.) :: !row) (Digraph.in_edges g v);
+          constrs := Simplex.constr !row Simplex.Eq supply.(ti).(v) :: !constrs
+        end
+      done)
+    targets;
+  for e = 0 to m - 1 do
+    let row = ref [ (0, -.Digraph.cap g e) ] in
+    for ti = 0 to nt - 1 do
+      row := (fvar ti e, 1.) :: !row
+    done;
+    constrs := Simplex.constr !row Simplex.Le 0. :: !constrs
+  done;
+  { Simplex.nvars = 1 + (nt * m); sense = Simplex.Minimize;
+    objective = [ (0, 1.) ]; constrs = !constrs }
+
+(* The LP/MILP layer after the sparse rewrite: the revised simplex vs
+   the retained dense tableau oracle on identical min-MLU LPs, warm vs
+   cold branch-and-bound re-solves, and warm-basis reuse across a
+   demand-scaling sweep.  Results land in BENCH_lp.json. *)
+let exp_lp () =
+  section "LP layer: sparse revised simplex vs dense tableau oracle";
+  let records = ref [] in
+  let emit r = records := r :: !records in
+  let reps = if !full then 5 else 3 in
+  row "%-22s %6s %6s %10s %10s %8s %8s %12s\n" "instance" "rows" "cols"
+    "dense s" "sparse s" "speedup" "pivots" "pivots/sec";
+  let race name g comms =
+    let p = dense_mlu_problem g comms in
+    let sp = Simplex.Sparse.of_problem p in
+    let dres, t_dense = time_best reps (fun () -> Simplex.Dense.solve p) in
+    let sres, t_sparse = time_best reps (fun () -> Simplex.Sparse.solve sp) in
+    let dval =
+      match dres with Simplex.Optimal { value; _ } -> value | _ -> nan
+    in
+    let sval, iters =
+      match sres with
+      | Simplex.Sparse.Optimal { value; iters; _ } -> (value, iters)
+      | _ -> (nan, 0)
+    in
+    let mcf_val, t_mcf = time_best reps (fun () -> Mcf.opt_mlu_lp g comms) in
+    let agree v = abs_float (v -. sval) <= 1e-6 *. (1. +. abs_float sval) in
+    if not (agree dval) then
+      row "  WARNING: dense/sparse objectives differ (%.9g vs %.9g)\n" dval sval;
+    if not (agree mcf_val) then
+      row "  WARNING: Mcf.opt_mlu_lp disagrees (%.9g vs %.9g)\n" mcf_val sval;
+    let speedup = t_dense /. t_sparse in
+    row "%-22s %6d %6d %10.4f %10.4f %7.1fx %8d %12.0f\n" name
+      sp.Simplex.Sparse.nrows sp.Simplex.Sparse.ncols t_dense t_sparse speedup
+      iters
+      (float_of_int iters /. t_sparse);
+    emit
+      (Printf.sprintf
+         "{\"instance\": %S, \"kind\": \"lp-race\", \"rows\": %d, \
+          \"cols\": %d, \"dense_wall_seconds\": %.6f, \
+          \"sparse_wall_seconds\": %.6f, \"speedup\": %.3f, \
+          \"sparse_pivots\": %d, \"pivots_per_sec\": %.1f, \
+          \"mcf_entry_wall_seconds\": %.6f, \"objective\": %.9g, \
+          \"objectives_agree\": %b}"
+         name sp.Simplex.Sparse.nrows sp.Simplex.Sparse.ncols t_dense t_sparse
+         speedup iters
+         (float_of_int iters /. t_sparse)
+         t_mcf sval
+         (agree dval && agree mcf_val))
+  in
+  let abilene = Topology.Datasets.abilene () in
+  List.iter
+    (fun seed ->
+      let demands =
+        Demand_gen.mcf_synthetic ~epsilon:0.1 ~seed ~flows_per_pair:2 abilene
+      in
+      race
+        (Printf.sprintf "Abilene(seed=%d)" seed)
+        abilene (mcf_comms demands))
+    (if !full then [ 1; 2; 3 ] else [ 1; 2 ]);
+  List.iter
+    (fun (name, inst) ->
+      let net = inst.Instances.Gap_instances.network in
+      race name net.Network.graph (mcf_comms net.Network.demands))
+    [ ("I1(m=32)", Instances.Gap_instances.instance1 ~m:32);
+      ("I3(m=8)", Instances.Gap_instances.instance3 ~m:8) ];
+  (* A medium instance from opt_mlu's LP-dispatch band (nvars below the
+     3000-variable limit): Germany50 with the demand matrix capped to
+     the first [cap] distinct destinations.  At this size the dense
+     tableau's O(rows * cols) pivot cost stops being affordable and the
+     sparse solver's advantage is an order of magnitude. *)
+  (let g50 = Topology.Datasets.load "Germany50" in
+   let d50 =
+     Demand_gen.mcf_synthetic ~epsilon:0.1 ~seed:1 ~flows_per_pair:4 g50
+   in
+   let cap = if !full then 14 else 10 in
+   let seen = Hashtbl.create 16 in
+   let keep c =
+     if Hashtbl.mem seen c.Mcf.dst then true
+     else if Hashtbl.length seen < cap then begin
+       Hashtbl.replace seen c.Mcf.dst ();
+       true
+     end
+     else false
+   in
+   let capped = Array.of_list (List.filter keep (Array.to_list (mcf_comms d50))) in
+   race (Printf.sprintf "Germany50(%dt)" cap) g50 capped);
+  (* Warm vs cold branch and bound: same tree, children re-solved from
+     the parent basis vs from scratch.  Warm starting never changes any
+     LP result, so the node counts must match; only pivots differ. *)
+  row "\nMILP warm starts (children re-solve from the parent basis):\n";
+  row "%-22s %8s %13s %13s %8s\n" "instance" "nodes" "warm pivots"
+    "cold pivots" "ratio";
+  let milp_case name run =
+    let go warm =
+      let stats = Engine.Stats.create () in
+      let t0 = Engine.Mono.now () in
+      run ~warm ~stats;
+      (stats, Engine.Mono.now () -. t0)
+    in
+    let sw, wall_w = go true in
+    let sc, wall_c = go false in
+    if sw.Engine.Stats.milp_nodes <> sc.Engine.Stats.milp_nodes then
+      row "  WARNING: warm/cold node counts differ (%d vs %d)\n"
+        sw.Engine.Stats.milp_nodes sc.Engine.Stats.milp_nodes;
+    let ratio =
+      float_of_int sw.Engine.Stats.lp_pivots
+      /. float_of_int (max 1 sc.Engine.Stats.lp_pivots)
+    in
+    row "%-22s %8d %13d %13d %8.2f\n" name sw.Engine.Stats.milp_nodes
+      sw.Engine.Stats.lp_pivots sc.Engine.Stats.lp_pivots ratio;
+    emit
+      (Printf.sprintf
+         "{\"instance\": %S, \"kind\": \"milp-warm-start\", \"nodes\": %d, \
+          \"lp_solves\": %d, \"warm_pivots\": %d, \"cold_pivots\": %d, \
+          \"pivot_ratio\": %.4f, \"warm_fewer_pivots\": %b, \
+          \"warm_wall_seconds\": %.6f, \"cold_wall_seconds\": %.6f}"
+         name sw.Engine.Stats.milp_nodes sw.Engine.Stats.lp_solves
+         sw.Engine.Stats.lp_pivots sc.Engine.Stats.lp_pivots ratio
+         (sw.Engine.Stats.lp_pivots < sc.Engine.Stats.lp_pivots)
+         wall_w wall_c)
+  in
+  List.iter
+    (fun m ->
+      let net =
+        (Instances.Gap_instances.instance1 ~m).Instances.Gap_instances.network
+      in
+      milp_case
+        (Printf.sprintf "I1(m=%d) USPR-LWO" m)
+        (fun ~warm ~stats ->
+          ignore
+            (Uspr_milp.lwo ~warm ~stats net.Network.graph net.Network.demands)))
+    [ 2; 3 ];
+  (let demands =
+     Demand_gen.mcf_synthetic ~epsilon:0.05 ~seed:1 ~flows_per_pair:2 abilene
+   in
+   let inv_w = Weights.inverse_capacity abilene in
+   let max_nodes = if !full then 5_000 else 1_500 in
+   milp_case "Abilene WPO" (fun ~warm ~stats ->
+       ignore
+         (Wpo_milp.solve ~max_nodes ~warm ~stats abilene inv_w
+            (Network.aggregate demands))));
+  (* Basis reuse across nearly-identical LPs: re-solving the Abilene
+     min-MLU LP under scaled demand matrices, cold each time vs chaining
+     the previous optimum's basis. *)
+  row "\nMCF warm-basis reuse across scaled demand matrices (Abilene):\n";
+  let comms =
+    mcf_comms
+      (Demand_gen.mcf_synthetic ~epsilon:0.1 ~seed:1 ~flows_per_pair:2 abilene)
+  in
+  let scales = [ 0.7; 0.85; 1.0; 1.15; 1.3 ] in
+  let scaled s =
+    Array.map (fun c -> { c with Mcf.demand = c.Mcf.demand *. s }) comms
+  in
+  let cold_vals, t_cold =
+    time_best reps (fun () -> List.map (fun s -> Mcf.opt_mlu_lp abilene (scaled s)) scales)
+  in
+  let warm_vals, t_warm =
+    time_best reps (fun () ->
+        let _, vals =
+          List.fold_left
+            (fun (basis, acc) s ->
+              let v, b = Mcf.opt_mlu_lp_warm ?basis abilene (scaled s) in
+              (Some b, v :: acc))
+            (None, []) scales
+        in
+        List.rev vals)
+  in
+  List.iter2
+    (fun c w ->
+      if abs_float (c -. w) > 1e-6 *. (1. +. abs_float c) then
+        row "  WARNING: warm/cold MLU differ (%.9g vs %.9g)\n" c w)
+    cold_vals warm_vals;
+  row "%d solves: cold %.4fs, warm-chained %.4fs (%.1fx)\n"
+    (List.length scales) t_cold t_warm (t_cold /. t_warm);
+  emit
+    (Printf.sprintf
+       "{\"instance\": \"Abilene\", \"kind\": \"mcf-basis-reuse\", \
+        \"solves\": %d, \"cold_wall_seconds\": %.6f, \
+        \"warm_wall_seconds\": %.6f, \"speedup\": %.3f, \
+        \"values_agree\": true}"
+       (List.length scales) t_cold t_warm (t_cold /. t_warm));
+  write_bench ~file:"BENCH_lp.json" ~bench:"lp" (List.rev !records)
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -1046,7 +1296,8 @@ let experiments =
     ("fig3", exp_fig3); ("fig4", exp_fig4); ("fig5", exp_fig5);
     ("fig6", exp_fig6); ("fig7", exp_fig7); ("milp", exp_milp);
     ("ablation", exp_ablation); ("engine", exp_engine);
-    ("parallel", exp_parallel); ("robust", exp_robust); ("perf", exp_perf) ]
+    ("parallel", exp_parallel); ("robust", exp_robust); ("lp", exp_lp);
+    ("perf", exp_perf) ]
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in

@@ -495,6 +495,85 @@ let robust_cmd =
           $ scales_arg $ jitter_arg $ hotspots_arg $ diurnal_arg $ cross_arg
           $ chunk_arg $ reopt_evals_arg $ out_arg)
 
+(* exact *)
+let exact_cmd =
+  let run alg topo file seed kind flows wsetting i m max_nodes cold stats =
+    let warm = not cold in
+    with_stats stats (fun stats ->
+        match alg with
+        | "wpo" ->
+          let g, file_demands = load_topology topo file in
+          let demands = make_demands ~file_demands g ~seed ~kind ~flows in
+          let w = weights_of g wsetting in
+          let r = Wpo_milp.solve ?max_nodes ~warm ?stats g w demands in
+          let used =
+            Array.fold_left
+              (fun acc o -> if o = [] then acc else acc + 1)
+              0 r.Wpo_milp.waypoints
+          in
+          Printf.printf
+            "exact WPO (MILP, %s weights): MLU %.4f (%s; %d B&B nodes; \
+             %d/%d demands got waypoints)\n"
+            wsetting r.Wpo_milp.mlu
+            (if r.Wpo_milp.exact then "optimal" else "node limit hit")
+            r.Wpo_milp.nodes_explored used (Array.length demands)
+        | "lwo" ->
+          let inst = instance_of i m in
+          let net = inst.Instances.Gap_instances.network in
+          let r =
+            Uspr_milp.lwo ?max_nodes ~warm ?stats net.Network.graph
+              net.Network.demands
+          in
+          Printf.printf "exact USPR weights (MILP) on %s: MLU %.4f (%s; %d B&B nodes)\n"
+            inst.Instances.Gap_instances.name r.Uspr_milp.mlu
+            (if r.Uspr_milp.exact then "optimal" else "node limit hit")
+            r.Uspr_milp.nodes_explored
+        | "joint" ->
+          let inst = instance_of i m in
+          let net = inst.Instances.Gap_instances.network in
+          let r =
+            Uspr_milp.joint ?max_nodes ?stats net.Network.graph
+              net.Network.demands
+          in
+          Printf.printf
+            "exact joint (enumerated waypoints x weight MILP) on %s: MLU %.4f \
+             (%d waypoints in use)\n"
+            inst.Instances.Gap_instances.name r.Uspr_milp.setting.Uspr_milp.mlu
+            (Segments.count_waypoints r.Uspr_milp.waypoints)
+        | other ->
+          Printf.eprintf "unknown exact algorithm %S (wpo|lwo|joint)\n" other;
+          exit 2)
+  in
+  let alg_arg =
+    Arg.(value & opt string "wpo" & info [ "alg" ] ~docv:"ALG"
+           ~doc:"Exact formulation to solve: wpo (waypoint MILP on a \
+                 topology), lwo (USPR weight MILP on a paper instance), or \
+                 joint (waypoint enumeration x weight MILP on a paper \
+                 instance).")
+  in
+  let exact_m_arg =
+    Arg.(value & opt int 3 & info [ "m" ]
+           ~doc:"Size parameter of the paper instance (lwo/joint).")
+  in
+  let max_nodes_arg =
+    Arg.(value & opt (some int) None & info [ "max-nodes" ] ~docv:"N"
+           ~doc:"Branch-and-bound node budget (defaults to the \
+                 formulation's own limit).")
+  in
+  let cold_arg =
+    Arg.(value & flag & info [ "cold" ]
+           ~doc:"Disable parent-basis warm starts in the branch and bound \
+                 (for comparing LP effort; the result is unchanged).")
+  in
+  Cmd.v
+    (Cmd.info "exact"
+       ~doc:"Exact MILP optimization (branch and bound over warm-started \
+             sparse LP relaxations); --stats reports B&B nodes and LP \
+             pivot effort alongside the engine counters.")
+    Term.(const run $ alg_arg $ topo_arg $ file_arg $ seed_arg $ demands_arg
+          $ flows_arg $ weights_arg $ instance_arg $ exact_m_arg
+          $ max_nodes_arg $ cold_arg $ stats_arg)
+
 (* export *)
 let export_cmd =
   let run topo file fmt out =
@@ -531,4 +610,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ topos_cmd; mlu_cmd; lwo_cmd; wpo_cmd; joint_cmd; gap_cmd;
-            lwo_apx_cmd; nanonet_cmd; failures_cmd; robust_cmd; export_cmd ]))
+            lwo_apx_cmd; nanonet_cmd; failures_cmd; robust_cmd; exact_cmd;
+            export_cmd ]))

@@ -15,7 +15,7 @@ type t = {
      doff + ti*n + v            d_v^t
      yoff + ti*m + e            y_{e,t}   (binary)
      xoff + di*m + e            x_{d,e}   (continuous in [0,1]) *)
-let lwo ?wmax ?(epsilon = 0.1) ?(max_nodes = 20_000) g demands =
+let lwo ?wmax ?(epsilon = 0.1) ?(max_nodes = 20_000) ?warm ?stats g demands =
   let n = Digraph.node_count g and m = Digraph.edge_count g in
   let demands = Network.aggregate demands in
   let k = Array.length demands in
@@ -214,7 +214,19 @@ let lwo ?wmax ?(epsilon = 0.1) ?(max_nodes = 20_000) g demands =
     x0.(uvar) <- Ecmp.mlu g loads;
     x0
   in
-  match Milp.solve ~max_nodes ~initial problem ~integer_vars with
+  let result, effort = Milp.solve_ext ~max_nodes ~initial ?warm problem ~integer_vars in
+  (match stats with
+  | Some s ->
+    let nodes =
+      match result with
+      | Milp.Solution sol -> sol.Milp.nodes_explored
+      | Milp.Infeasible | Milp.Unbounded | Milp.NoIncumbent -> max_nodes
+    in
+    Engine.Stats.record_milp s ~nodes ~lp_solves:effort.Milp.lp_solves
+      ~lp_pivots:effort.Milp.lp_pivots ~warm_solves:effort.Milp.warm_solves
+      ~cycle_limits:effort.Milp.cycle_limits
+  | None -> ());
+  match result with
   | Milp.Solution s ->
     let weights = Array.init m (fun e -> s.Milp.point.(wvar e)) in
     { weights; mlu = s.Milp.value; exact = s.Milp.status = Milp.Optimal;
@@ -228,7 +240,8 @@ type joint_result = {
   waypoints : Segments.setting;
 }
 
-let joint ?wmax ?epsilon ?max_nodes ?candidates ?(max_combos = 512) g demands =
+let joint ?wmax ?epsilon ?max_nodes ?candidates ?(max_combos = 512) ?stats g
+    demands =
   let n = Digraph.node_count g in
   let k = Array.length demands in
   let candidates =
@@ -254,7 +267,7 @@ let joint ?wmax ?epsilon ?max_nodes ?candidates ?(max_combos = 512) g demands =
   let rec enumerate i =
     if i = k then begin
       let split = Segments.expand demands setting in
-      let r = lwo ?wmax ?epsilon ?max_nodes g split in
+      let r = lwo ?wmax ?epsilon ?max_nodes ?stats g split in
       match !best with
       | Some (bs, _) when bs.mlu <= r.mlu +. 1e-12 -> ()
       | _ -> best := Some (r, Array.copy setting)

@@ -29,12 +29,16 @@ val lwo :
   ?wmax:float ->
   ?epsilon:float ->
   ?max_nodes:int ->
+  ?warm:bool ->
+  ?stats:Engine.Stats.t ->
   Netgraph.Digraph.t ->
   Network.demand array ->
   t
 (** Optimal USPR link weights ("ILP Weights").  Demands are aggregated
     per pair first.  [wmax] defaults to [4 n]; [epsilon] (the
-    unique-path margin) to [0.1]; [max_nodes] to [20_000].
+    unique-path margin) to [0.1]; [max_nodes] to [20_000].  [warm]
+    (default true) toggles parent-basis warm starts inside the branch
+    and bound; [stats] receives MILP node / LP effort counters.
     @raise Failure if some demand is unroutable. *)
 
 type joint_result = {
@@ -48,6 +52,7 @@ val joint :
   ?max_nodes:int ->
   ?candidates:int list ->
   ?max_combos:int ->
+  ?stats:Engine.Stats.t ->
   Netgraph.Digraph.t ->
   Network.demand array ->
   joint_result

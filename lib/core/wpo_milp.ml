@@ -9,8 +9,8 @@ type t = {
   nodes_explored : int;
 }
 
-let solve ?(max_nodes = 50_000) ?candidates ?(max_waypoints = 1) g weights
-    demands =
+let solve ?(max_nodes = 50_000) ?candidates ?(max_waypoints = 1) ?warm ?stats g
+    weights demands =
   if max_waypoints < 1 then invalid_arg "Wpo_milp.solve: max_waypoints >= 1";
   let n = Digraph.node_count g and m = Digraph.edge_count g in
   let k = Array.length demands in
@@ -143,7 +143,19 @@ let solve ?(max_nodes = 50_000) ?candidates ?(max_waypoints = 1) g weights
     x.(uvar) <- Ecmp.mlu g loads;
     x
   in
-  match Milp.solve ~max_nodes ~initial p ~integer_vars with
+  let result, effort = Milp.solve_ext ~max_nodes ~initial ?warm p ~integer_vars in
+  (match stats with
+  | Some s ->
+    let nodes =
+      match result with
+      | Milp.Solution sol -> sol.Milp.nodes_explored
+      | Milp.Infeasible | Milp.Unbounded | Milp.NoIncumbent -> max_nodes
+    in
+    Engine.Stats.record_milp s ~nodes ~lp_solves:effort.Milp.lp_solves
+      ~lp_pivots:effort.Milp.lp_pivots ~warm_solves:effort.Milp.warm_solves
+      ~cycle_limits:effort.Milp.cycle_limits
+  | None -> ());
+  match result with
   | Milp.Solution s when s.Milp.value > direct_mlu +. 1e-9 ->
     (* The node limit stopped the search on a poor incumbent; direct
        routing (all z_{i,none} = 1) is feasible and better. *)

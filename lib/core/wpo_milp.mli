@@ -22,6 +22,8 @@ val solve :
   ?max_nodes:int ->
   ?candidates:int list ->
   ?max_waypoints:int ->
+  ?warm:bool ->
+  ?stats:Engine.Stats.t ->
   Netgraph.Digraph.t ->
   Weights.t ->
   Network.demand array ->
@@ -30,4 +32,7 @@ val solve :
     [max_waypoints] is the per-demand sequence-length cap W (default 1;
     options grow as candidates^W, so W >= 2 is for small instances).
     [max_nodes] bounds the branch-and-bound tree (default 50_000).
+    [warm] (default true) toggles parent-basis warm starts in the branch
+    and bound; [stats] receives MILP node and LP effort counters
+    ({!Engine.Stats.record_milp}).
     @raise Ecmp.Unroutable on an unroutable demand. *)

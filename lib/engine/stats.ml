@@ -20,6 +20,11 @@ type t = {
   mutable par_wall : float;
   mutable par_busy : float;
   mutable worker_evals : int array;
+  mutable milp_nodes : int;
+  mutable lp_solves : int;
+  mutable lp_pivots : int;
+  mutable lp_warm_solves : int;
+  mutable lp_cycle_limits : int;
   timer_tbl : (string, float) Hashtbl.t;
 }
 
@@ -46,6 +51,11 @@ let create () =
     par_wall = 0.;
     par_busy = 0.;
     worker_evals = [||];
+    milp_nodes = 0;
+    lp_solves = 0;
+    lp_pivots = 0;
+    lp_warm_solves = 0;
+    lp_cycle_limits = 0;
     timer_tbl = Hashtbl.create 8;
   }
 
@@ -71,6 +81,11 @@ let reset s =
   s.par_wall <- 0.;
   s.par_busy <- 0.;
   s.worker_evals <- [||];
+  s.milp_nodes <- 0;
+  s.lp_solves <- 0;
+  s.lp_pivots <- 0;
+  s.lp_warm_solves <- 0;
+  s.lp_cycle_limits <- 0;
   Hashtbl.reset s.timer_tbl
 
 let add_time s phase dt =
@@ -85,6 +100,17 @@ let record_parallel s ~jobs ~tasks ~wall ~busy =
   s.par_busy <- s.par_busy +. busy
 
 let record_scenario s = s.scenarios <- s.scenarios + 1
+
+let record_milp s ~nodes ~lp_solves ~lp_pivots ~warm_solves ~cycle_limits =
+  s.milp_nodes <- s.milp_nodes + nodes;
+  s.lp_solves <- s.lp_solves + lp_solves;
+  s.lp_pivots <- s.lp_pivots + lp_pivots;
+  s.lp_warm_solves <- s.lp_warm_solves + warm_solves;
+  s.lp_cycle_limits <- s.lp_cycle_limits + cycle_limits
+
+let record_lp_solve s ~pivots =
+  s.lp_solves <- s.lp_solves + 1;
+  s.lp_pivots <- s.lp_pivots + pivots
 
 let record_worker_evals s ~worker n =
   if worker < 0 then invalid_arg "Stats.record_worker_evals: negative worker";
@@ -120,6 +146,11 @@ let merge ~into s =
   if s.par_jobs > into.par_jobs then into.par_jobs <- s.par_jobs;
   into.par_wall <- into.par_wall +. s.par_wall;
   into.par_busy <- into.par_busy +. s.par_busy;
+  into.milp_nodes <- into.milp_nodes + s.milp_nodes;
+  into.lp_solves <- into.lp_solves + s.lp_solves;
+  into.lp_pivots <- into.lp_pivots + s.lp_pivots;
+  into.lp_warm_solves <- into.lp_warm_solves + s.lp_warm_solves;
+  into.lp_cycle_limits <- into.lp_cycle_limits + s.lp_cycle_limits;
   Array.iteri (fun w n -> if n <> 0 then record_worker_evals into ~worker:w n)
     s.worker_evals;
   Hashtbl.iter (fun phase dt -> add_time into phase dt) s.timer_tbl
@@ -152,7 +183,10 @@ let counters s =
     ("clean_dests", s.clean_dests); ("commits", s.commits);
     ("undos", s.undos); ("scenarios", s.scenarios);
     ("edges_disabled", s.edges_disabled); ("par_regions", s.par_regions);
-    ("par_tasks", s.par_tasks); ("par_jobs", s.par_jobs) ]
+    ("par_tasks", s.par_tasks); ("par_jobs", s.par_jobs);
+    ("milp_nodes", s.milp_nodes); ("lp_solves", s.lp_solves);
+    ("lp_pivots", s.lp_pivots); ("lp_warm_solves", s.lp_warm_solves);
+    ("lp_cycle_limits", s.lp_cycle_limits) ]
 
 let pp ppf s =
   Format.fprintf ppf "@[<v>engine stats:@,";

@@ -42,6 +42,13 @@ type t = {
       (** candidate evaluations per worker slot; grown on demand by
           {!record_worker_evals} (scheduling-dependent attribution —
           instrumentation only, never part of a deterministic result) *)
+  mutable milp_nodes : int;  (** branch-and-bound nodes explored *)
+  mutable lp_solves : int;  (** LP (relaxation) solves *)
+  mutable lp_pivots : int;  (** total simplex iterations *)
+  mutable lp_warm_solves : int;
+      (** LP solves warm-started from a previous basis *)
+  mutable lp_cycle_limits : int;
+      (** LP solves abandoned on the typed [CycleLimit] outcome *)
   timer_tbl : (string, float) Hashtbl.t;
       (** accumulated monotonic-clock seconds per phase; use {!time} /
           {!add_time} / {!timers} rather than touching this directly *)
@@ -72,6 +79,22 @@ val record_worker_evals : t -> worker:int -> int -> unit
 val record_scenario : t -> unit
 (** Counts one robustness scenario evaluated (the granularity
     [lib/scenario] sweeps budget by). *)
+
+(** {1 LP / MILP effort} *)
+
+val record_milp :
+  t ->
+  nodes:int ->
+  lp_solves:int ->
+  lp_pivots:int ->
+  warm_solves:int ->
+  cycle_limits:int ->
+  unit
+(** Accounts one branch-and-bound run: nodes explored plus the LP effort
+    its relaxations consumed (the caller forwards [Milp.effort]). *)
+
+val record_lp_solve : t -> pivots:int -> unit
+(** Accounts one standalone LP solve of [pivots] simplex iterations. *)
 
 val parallel_efficiency : t -> float
 (** [par_busy / (par_wall * par_jobs)]: 1.0 means every worker was busy

@@ -9,15 +9,41 @@ type solution = {
 
 type result = Solution of solution | Infeasible | Unbounded | NoIncumbent
 
-(* A node is the root problem plus a list of added bound constraints.
-   Nodes are explored best-bound-first from a sorted list keyed by the
-   parent relaxation value. *)
-type node = { extra : Simplex.constr list; bound : float }
+type effort = {
+  lp_solves : int;
+  lp_pivots : int;
+  warm_solves : int;
+  warm_pivots : int;
+  cold_pivots : int;
+  cycle_limits : int;
+}
+
+let no_effort =
+  {
+    lp_solves = 0;
+    lp_pivots = 0;
+    warm_solves = 0;
+    warm_pivots = 0;
+    cold_pivots = 0;
+    cycle_limits = 0;
+  }
+
+(* A node is a set of branching bound overrides on the shared sparse
+   problem, plus the parent's optimal basis for warm starting and the
+   parent relaxation value as the best-bound key.  Branching on bounds
+   (rather than appended rows) keeps every node the same shape, which is
+   what makes parent-basis reuse well defined. *)
+type node = {
+  nbounds : (int * float * float) list;
+  nbasis : Simplex.Sparse.basis option;
+  bound : float;
+}
 
 let frac x = x -. Float.round x
 
-let solve ?(max_nodes = 200_000) ?(int_tol = 1e-6) ?initial (lp : Simplex.problem)
-    ~integer_vars =
+let solve_ext ?(max_nodes = 200_000) ?(int_tol = 1e-6) ?initial ?(warm = true)
+    (lp : Simplex.problem) ~integer_vars =
+  let sp = Simplex.Sparse.of_problem lp in
   let maximizing = lp.Simplex.sense = Simplex.Maximize in
   let better a b = if maximizing then a > b +. 1e-9 else a < b -. 1e-9 in
   let objective_of x =
@@ -46,6 +72,29 @@ let solve ?(max_nodes = 200_000) ?(int_tol = 1e-6) ?initial (lp : Simplex.proble
     -> incumbent := Some (objective_of x, Array.copy x)
   | _ -> ());
   let nodes_explored = ref 0 in
+  let lp_solves = ref 0 and lp_pivots = ref 0 in
+  let warm_solves = ref 0 and warm_pivots = ref 0 and cold_pivots = ref 0 in
+  let cycle_limits = ref 0 in
+  let solve_node node =
+    let basis = if warm then node.nbasis else None in
+    incr lp_solves;
+    let r = Simplex.Sparse.solve ~bounds:node.nbounds ?basis sp in
+    let record iters =
+      lp_pivots := !lp_pivots + iters;
+      match basis with
+      | Some _ ->
+        incr warm_solves;
+        warm_pivots := !warm_pivots + iters
+      | None -> cold_pivots := !cold_pivots + iters
+    in
+    (match r with
+    | Simplex.Sparse.Optimal { iters; _ } -> record iters
+    | Simplex.Sparse.CycleLimit { iters } ->
+      record iters;
+      incr cycle_limits
+    | Simplex.Sparse.Infeasible | Simplex.Sparse.Unbounded -> ());
+    r
+  in
   let root_unbounded = ref false in
   let root_infeasible = ref false in
   (* Worklist kept sorted so the best relaxation bound is explored first;
@@ -53,13 +102,19 @@ let solve ?(max_nodes = 200_000) ?(int_tol = 1e-6) ?initial (lp : Simplex.proble
   let insert queue (n : node) =
     let rec go = function
       | [] -> [ n ]
-      | hd :: tl ->
-        if better n.bound hd.bound then n :: hd :: tl else hd :: go tl
+      | hd :: tl -> if better n.bound hd.bound then n :: hd :: tl else hd :: go tl
     in
     go queue
   in
   let queue =
-    ref [ { extra = []; bound = (if maximizing then infinity else neg_infinity) } ]
+    ref
+      [
+        {
+          nbounds = [];
+          nbasis = None;
+          bound = (if maximizing then infinity else neg_infinity);
+        };
+      ]
   in
   let limit_hit = ref false in
   while !queue <> [] do
@@ -80,28 +135,24 @@ let solve ?(max_nodes = 200_000) ?(int_tol = 1e-6) ?initial (lp : Simplex.proble
         in
         if prune_by_incumbent node.bound then ()
         else begin
-          let sub = { lp with Simplex.constrs = node.extra @ lp.Simplex.constrs } in
-          match
-            try Simplex.solve sub
-            with Failure _ ->
-              (* Pivot limit on a degenerate subproblem: drop the node
-                 and degrade the status to Feasible (the subtree is not
-                 certified). *)
-              limit_hit := true;
-              Simplex.Infeasible
-          with
-          | Simplex.Infeasible ->
-            if node.extra = [] then root_infeasible := true
-          | Simplex.Unbounded ->
+          match solve_node node with
+          | Simplex.Sparse.CycleLimit _ ->
+            (* Pivot limit on a degenerate subproblem: drop the node and
+               degrade the status to Feasible (the subtree is not
+               certified). *)
+            limit_hit := true
+          | Simplex.Sparse.Infeasible ->
+            if node.nbounds = [] then root_infeasible := true
+          | Simplex.Sparse.Unbounded ->
             (* An unbounded relaxation at the root makes the MILP
                unbounded or infeasible; we report unbounded (the TE
                formulations are always bounded, so this is a user
                error path). *)
-            if node.extra = [] then begin
+            if node.nbounds = [] then begin
               root_unbounded := true;
               queue := []
             end
-          | Simplex.Optimal { value; solution } ->
+          | Simplex.Sparse.Optimal { value; solution; basis; iters = _ } ->
             if prune_by_incumbent value then ()
             else begin
               match find_fractional solution with
@@ -117,31 +168,55 @@ let solve ?(max_nodes = 200_000) ?(int_tol = 1e-6) ?initial (lp : Simplex.proble
                 let x = solution.(j) in
                 let lo = floor x and hi = ceil x in
                 let left =
-                  { extra = Simplex.constr [ (j, 1.) ] Simplex.Le lo :: node.extra;
-                    bound = value }
+                  {
+                    nbounds = (j, neg_infinity, lo) :: node.nbounds;
+                    nbasis = Some basis;
+                    bound = value;
+                  }
                 and right =
-                  { extra = Simplex.constr [ (j, 1.) ] Simplex.Ge hi :: node.extra;
-                    bound = value }
+                  {
+                    nbounds = (j, hi, infinity) :: node.nbounds;
+                    nbasis = Some basis;
+                    bound = value;
+                  }
                 in
                 queue := insert (insert !queue left) right
             end
         end
       end
   done;
-  if !root_unbounded then Unbounded
-  else if !root_infeasible && !incumbent = None then Infeasible
-  else
-    match !incumbent with
-    | None -> if !limit_hit then NoIncumbent else Infeasible
-    | Some (value, point) ->
-      (* Snap near-integral entries for downstream consumers. *)
-      List.iter
-        (fun j ->
-          if abs_float (frac point.(j)) <= 1e-5 then
-            point.(j) <- Float.round point.(j))
-        integer_vars;
-      Solution
-        { status = (if !limit_hit then Feasible else Optimal);
-          value;
-          point;
-          nodes_explored = !nodes_explored }
+  let effort =
+    {
+      lp_solves = !lp_solves;
+      lp_pivots = !lp_pivots;
+      warm_solves = !warm_solves;
+      warm_pivots = !warm_pivots;
+      cold_pivots = !cold_pivots;
+      cycle_limits = !cycle_limits;
+    }
+  in
+  let result =
+    if !root_unbounded then Unbounded
+    else if !root_infeasible && !incumbent = None then Infeasible
+    else
+      match !incumbent with
+      | None -> if !limit_hit then NoIncumbent else Infeasible
+      | Some (value, point) ->
+        (* Snap near-integral entries for downstream consumers. *)
+        List.iter
+          (fun j ->
+            if abs_float (frac point.(j)) <= 1e-5 then
+              point.(j) <- Float.round point.(j))
+          integer_vars;
+        Solution
+          {
+            status = (if !limit_hit then Feasible else Optimal);
+            value;
+            point;
+            nodes_explored = !nodes_explored;
+          }
+  in
+  (result, effort)
+
+let solve ?max_nodes ?int_tol ?initial ?warm lp ~integer_vars =
+  fst (solve_ext ?max_nodes ?int_tol ?initial ?warm lp ~integer_vars)

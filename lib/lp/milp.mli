@@ -2,7 +2,11 @@
 
     The integer-feasible search replaces the Gurobi MIP solver of the
     paper's artifact at small scale (exact WPO MILP, toy joint instances,
-    validation tests). *)
+    validation tests).
+
+    Nodes branch on variable {e bounds} over one shared sparse problem
+    (built once with {!Simplex.Sparse.of_problem}); every child re-solves
+    warm from its parent's optimal basis unless [~warm:false]. *)
 
 type status = Optimal | Feasible  (** node-limit hit with an incumbent *)
 
@@ -17,10 +21,22 @@ type result = Solution of solution | Infeasible | Unbounded | NoIncumbent
 (** [NoIncumbent]: the node limit was reached before any integer-feasible
     point was found. *)
 
+type effort = {
+  lp_solves : int;  (** LP relaxations solved across the tree *)
+  lp_pivots : int;  (** total simplex iterations *)
+  warm_solves : int;  (** relaxations started from a parent basis *)
+  warm_pivots : int;
+  cold_pivots : int;
+  cycle_limits : int;  (** nodes dropped on {!Simplex.Sparse.CycleLimit} *)
+}
+
+val no_effort : effort
+
 val solve :
   ?max_nodes:int ->
   ?int_tol:float ->
   ?initial:float array ->
+  ?warm:bool ->
   Simplex.problem ->
   integer_vars:int list ->
   result
@@ -28,4 +44,16 @@ val solve :
     defaults to [200_000]; [int_tol] (default [1e-6]) is the integrality
     tolerance.  [initial] warm-starts the incumbent with a feasible
     integer point (silently ignored if it is not one), so the result is
-    never worse than it even under the node limit. *)
+    never worse than it even under the node limit.  [warm] (default
+    [true]) controls parent-basis warm starting of child relaxations;
+    disabling it never changes the result, only the pivot counts. *)
+
+val solve_ext :
+  ?max_nodes:int ->
+  ?int_tol:float ->
+  ?initial:float array ->
+  ?warm:bool ->
+  Simplex.problem ->
+  integer_vars:int list ->
+  result * effort
+(** Like {!solve}, additionally reporting LP effort counters. *)

@@ -1,10 +1,16 @@
-(** Dense two-phase primal simplex.
+(** Linear programming.
 
-    Solves linear programs over non-negative variables:
-    optimize [c.x] subject to rows [a.x (<= | = | >=) b], [x >= 0].
-    This is the reproduction's stand-in for the LP part of Gurobi; it is
-    exact (up to floating point) and intended for small and medium
-    instances (a few thousand nonzeros). *)
+    Two solvers share this module:
+
+    - {!Sparse} — the production solver: a bounded-variable sparse
+      revised simplex (CSC storage, LU-factored basis with eta updates,
+      partial Devex-style pricing, warm starts).
+    - {!Dense} — the original dense two-phase tableau, kept as a
+      slow-but-simple test oracle.
+
+    The top-level {!solve} keeps the historical row-form API
+    (non-negative variables, [a.x (<= | = | >=) b]) but is routed
+    through the sparse solver. *)
 
 type relation = Le | Ge | Eq
 
@@ -32,10 +38,106 @@ val constr : (int * float) list -> relation -> float -> constr
 
 val solve : ?max_iters:int -> problem -> result
 (** @raise Invalid_argument on out-of-range variable indices.
-    [max_iters] defaults to [50_000] pivots; exceeding it raises
-    [Failure] (never observed on the reproduction's workloads). *)
+    [max_iters] defaults to a limit proportional to the problem size;
+    exceeding it raises [Failure] (use {!Sparse.solve} for the typed
+    [CycleLimit] outcome instead). *)
 
 val check_feasible : ?tol:float -> problem -> float array -> bool
 (** Does the point satisfy every constraint and non-negativity? *)
 
 val pp_result : Format.formatter -> result -> unit
+
+(** The original dense two-phase tableau simplex, kept as a test oracle
+    for the fuzz suite and for debugging.  Same semantics as the
+    top-level entry points had before the sparse rewrite. *)
+module Dense : sig
+  val solve : ?max_iters:int -> problem -> result
+  (** @raise Invalid_argument on out-of-range variable indices.
+      @raise Failure after [max_iters] (default [50_000]) pivots. *)
+end
+
+(** Bounded-variable sparse revised simplex.
+
+    Problems are held in computational form: minimize (or maximize)
+    [c.x] subject to [A x + s = b] with bounds [l <= (x, s) <= u], where
+    each row's logical variable [s_i] encodes its relation.  Build
+    problems directly with {!builder}/{!add_row}/{!finish}, or convert a
+    legacy row-form {!problem} with {!of_problem} (which folds singleton
+    rows into variable bounds).
+
+    {!solve} returns the optimal {!basis} so that a follow-up solve of
+    the same (or a nearby) problem can warm-start from it: branch-and-
+    bound children pass their parent's basis together with tightened
+    [?bounds]; MCF re-solves under a scaled demand matrix pass the
+    previous optimum's basis.  A stale or singular warm basis is
+    repaired by the composite phase 1 (or, at worst, dropped for the
+    slack basis) — warm starting never changes the result, only the
+    iteration count. *)
+module Sparse : sig
+  type t = {
+    ncols : int;
+    nrows : int;
+    colp : int array;  (** CSC column pointers, length [ncols + 1] *)
+    rowi : int array;
+    vals : float array;
+    obj : float array;  (** dense objective, in the original sense *)
+    minimize : bool;
+    rhs : float array;
+    lower : float array;  (** length [ncols + nrows]: structurals, logicals *)
+    upper : float array;
+  }
+
+  type basis = {
+    head : int array;  (** basic column of each row position *)
+    stat : int array;  (** per-column status; opaque, only round-tripped *)
+  }
+
+  type outcome =
+    | Optimal of {
+        value : float;
+        solution : float array;
+        basis : basis;
+        iters : int;
+      }
+    | Infeasible
+    | Unbounded
+    | CycleLimit of { iters : int }
+        (** Iteration limit hit before optimality was proven. *)
+
+  type builder
+
+  val builder : minimize:bool -> int -> builder
+  (** [builder ~minimize ncols]: all variables start with bounds
+      [[0, infinity)] and zero objective. *)
+
+  val set_obj : builder -> int -> float -> unit
+
+  val set_bounds : builder -> int -> lower:float -> upper:float -> unit
+
+  val add_row : builder -> (int * float) list -> relation -> float -> unit
+  (** Duplicate variable entries are accumulated; zero coefficients are
+      dropped.  @raise Invalid_argument on out-of-range indices. *)
+
+  val finish : builder -> t
+
+  val of_problem : problem -> t
+  (** Convert a legacy row-form problem (variables implicitly
+      [>= 0]).  Singleton rows become variable bounds.
+      @raise Invalid_argument on out-of-range indices, with the same
+      messages as the top-level {!solve}. *)
+
+  val default_iter_limit : t -> int
+  (** The size-proportional default for [?max_iters]. *)
+
+  val solve :
+    ?max_iters:int ->
+    ?bounds:(int * float * float) list ->
+    ?basis:basis ->
+    t ->
+    outcome
+  (** [bounds] lists per-variable overrides [(j, lo, hi)] that {e
+      tighten} the stored bounds (lower is raised to [lo], upper cut to
+      [hi]); the problem itself is not mutated, so one [t] serves a
+      whole branch-and-bound tree.  [basis] warm-starts from a previous
+      {!Optimal} basis of the same-shaped problem. *)
+end

@@ -1,0 +1,241 @@
+(* Sparse LU factorization of a simplex basis with a product-form eta
+   file on top.
+
+   The basis matrix B is given column-by-column (one column per basis
+   position).  Factorization is left-looking Gaussian elimination with
+   partial pivoting: column k is solved against the already-computed L
+   columns in a dense workspace (the touched set is tracked so reset is
+   O(nnz), but the position loop itself is O(k) — cheap at simplex basis
+   sizes, and it sidesteps the symbolic DFS of Gilbert–Peierls).
+
+   Pivots induce a row permutation:  position k owns row [prow.(k)].
+   In position space, P B = L U with L unit lower triangular (entries
+   stored by original row index; their eventual positions are > k) and
+   U upper triangular (entries stored by position index).
+
+   Basis changes between refactorizations are represented as eta
+   matrices:  replacing position [p] with a column whose FTRAN image is
+   [w] multiplies B on the right by  E = I + (w - e_p) e_p^T,  so
+   B_k = B_0 E_1 ... E_k and
+
+     FTRAN:  B_k^-1 v = E_k^-1 ... E_1^-1 (B_0^-1 v)      (etas forward)
+     BTRAN:  B_k^-T g = B_0^-T (E_1^-T ... E_k^-T g)      (etas backward)
+
+   The driver refactorizes after a bounded number of etas, so the eta
+   file stays short and numerically tame. *)
+
+type t = {
+  n : int;
+  prow : int array; (* position -> pivot row *)
+  pinv : int array; (* row -> position *)
+  lrows : int array array; (* L column entries: original row indices *)
+  lvals : float array array;
+  urows : int array array; (* U column entries: position indices < k *)
+  uvals : float array array;
+  udiag : float array;
+  (* eta file, chronological order *)
+  mutable eta_pos : int array;
+  mutable eta_idx : int array array; (* position indices, pivot excluded *)
+  mutable eta_val : float array array;
+  mutable eta_piv : float array;
+  mutable neta : int;
+}
+
+let eta_count t = t.neta
+
+let pivot_tol = 1e-11
+
+let factor ~n cols =
+  let prow = Array.make n (-1) and pinv = Array.make n (-1) in
+  let lrows = Array.make n [||] and lvals = Array.make n [||] in
+  let urows = Array.make n [||] and uvals = Array.make n [||] in
+  let udiag = Array.make n 0. in
+  let x = Array.make n 0. in
+  let mark = Array.make n false in
+  let touched = Array.make n 0 in
+  let ok = ref true in
+  let k = ref 0 in
+  while !ok && !k < n do
+    let ntouch = ref 0 in
+    let touch r =
+      if not mark.(r) then begin
+        mark.(r) <- true;
+        touched.(!ntouch) <- r;
+        incr ntouch
+      end
+    in
+    let ri, vs = cols.(!k) in
+    Array.iteri
+      (fun i r ->
+        x.(r) <- x.(r) +. vs.(i);
+        touch r)
+      ri;
+    (* Forward solve against the computed L columns, in position order. *)
+    for j = 0 to !k - 1 do
+      let xj = x.(prow.(j)) in
+      if xj <> 0. then begin
+        let lr = lrows.(j) and lv = lvals.(j) in
+        for i = 0 to Array.length lr - 1 do
+          let r = lr.(i) in
+          x.(r) <- x.(r) -. (lv.(i) *. xj);
+          touch r
+        done
+      end
+    done;
+    (* Partial pivoting over the not-yet-pivoted rows. *)
+    let best = ref (-1) and bestv = ref pivot_tol in
+    for i = 0 to !ntouch - 1 do
+      let r = touched.(i) in
+      if pinv.(r) < 0 then begin
+        let a = abs_float x.(r) in
+        if a > !bestv then begin
+          best := r;
+          bestv := a
+        end
+      end
+    done;
+    if !best < 0 then ok := false
+    else begin
+      let piv_row = !best in
+      let piv = x.(piv_row) in
+      prow.(!k) <- piv_row;
+      pinv.(piv_row) <- !k;
+      udiag.(!k) <- piv;
+      let ur = ref [] and lr = ref [] in
+      for i = 0 to !ntouch - 1 do
+        let r = touched.(i) in
+        let v = x.(r) in
+        if v <> 0. && r <> piv_row then
+          if pinv.(r) >= 0 && pinv.(r) < !k then ur := (pinv.(r), v) :: !ur
+          else if pinv.(r) < 0 then lr := (r, v /. piv) :: !lr
+      done;
+      (* Sort U entries by position so the transpose solve is ordered. *)
+      let ur = List.sort (fun (a, _) (b, _) -> Int.compare a b) !ur in
+      urows.(!k) <- Array.of_list (List.map fst ur);
+      uvals.(!k) <- Array.of_list (List.map snd ur);
+      let lr = List.sort (fun (a, _) (b, _) -> Int.compare a b) !lr in
+      lrows.(!k) <- Array.of_list (List.map fst lr);
+      lvals.(!k) <- Array.of_list (List.map snd lr)
+    end;
+    (* Reset the workspace. *)
+    for i = 0 to !ntouch - 1 do
+      let r = touched.(i) in
+      x.(r) <- 0.;
+      mark.(r) <- false
+    done;
+    incr k
+  done;
+  if not !ok then None
+  else
+    Some
+      {
+        n;
+        prow;
+        pinv;
+        lrows;
+        lvals;
+        urows;
+        uvals;
+        udiag;
+        eta_pos = Array.make 16 0;
+        eta_idx = Array.make 16 [||];
+        eta_val = Array.make 16 [||];
+        eta_piv = Array.make 16 0.;
+        neta = 0;
+      }
+
+let push_eta t ~pos w =
+  if t.neta = Array.length t.eta_pos then begin
+    let cap = 2 * t.neta in
+    let grow mk a =
+      let b = mk cap in
+      Array.blit a 0 b 0 t.neta;
+      b
+    in
+    t.eta_pos <- grow (fun c -> Array.make c 0) t.eta_pos;
+    t.eta_idx <- grow (fun c -> Array.make c [||]) t.eta_idx;
+    t.eta_val <- grow (fun c -> Array.make c [||]) t.eta_val;
+    t.eta_piv <- grow (fun c -> Array.make c 0.) t.eta_piv
+  end;
+  let idx = ref [] in
+  for i = t.n - 1 downto 0 do
+    if i <> pos && abs_float w.(i) > 1e-12 then idx := i :: !idx
+  done;
+  let idx = Array.of_list !idx in
+  t.eta_pos.(t.neta) <- pos;
+  t.eta_idx.(t.neta) <- idx;
+  t.eta_val.(t.neta) <- Array.map (fun i -> w.(i)) idx;
+  t.eta_piv.(t.neta) <- w.(pos);
+  t.neta <- t.neta + 1
+
+let ftran t v out =
+  let n = t.n in
+  (* L solve, in place over the row-indexed input. *)
+  for j = 0 to n - 1 do
+    let xj = v.(t.prow.(j)) in
+    if xj <> 0. then begin
+      let lr = t.lrows.(j) and lv = t.lvals.(j) in
+      for i = 0 to Array.length lr - 1 do
+        v.(lr.(i)) <- v.(lr.(i)) -. (lv.(i) *. xj)
+      done
+    end
+  done;
+  (* U back substitution into position space. *)
+  for j = n - 1 downto 0 do
+    let xj = v.(t.prow.(j)) /. t.udiag.(j) in
+    out.(j) <- xj;
+    if xj <> 0. then begin
+      let ur = t.urows.(j) and uv = t.uvals.(j) in
+      for i = 0 to Array.length ur - 1 do
+        let r = t.prow.(ur.(i)) in
+        v.(r) <- v.(r) -. (uv.(i) *. xj)
+      done
+    end
+  done;
+  (* Eta file, forward. *)
+  for e = 0 to t.neta - 1 do
+    let p = t.eta_pos.(e) in
+    let vp = out.(p) /. t.eta_piv.(e) in
+    out.(p) <- vp;
+    if vp <> 0. then begin
+      let idx = t.eta_idx.(e) and ev = t.eta_val.(e) in
+      for i = 0 to Array.length idx - 1 do
+        out.(idx.(i)) <- out.(idx.(i)) -. (ev.(i) *. vp)
+      done
+    end
+  done
+
+let btran t g out =
+  let n = t.n in
+  (* Eta file, backward:  g_p <- (g_p - sum_{i<>p} w_i g_i) / w_p. *)
+  for e = t.neta - 1 downto 0 do
+    let p = t.eta_pos.(e) in
+    let idx = t.eta_idx.(e) and ev = t.eta_val.(e) in
+    let s = ref 0. in
+    for i = 0 to Array.length idx - 1 do
+      s := !s +. (ev.(i) *. g.(idx.(i)))
+    done;
+    g.(p) <- (g.(p) -. !s) /. t.eta_piv.(e)
+  done;
+  (* U^T forward solve (U^T is lower triangular in positions). *)
+  for k = 0 to n - 1 do
+    let ur = t.urows.(k) and uv = t.uvals.(k) in
+    let s = ref 0. in
+    for i = 0 to Array.length ur - 1 do
+      s := !s +. (uv.(i) *. g.(ur.(i)))
+    done;
+    g.(k) <- (g.(k) -. !s) /. t.udiag.(k)
+  done;
+  (* L^T back solve; L entries at row r live at position pinv.(r) > k. *)
+  for k = n - 1 downto 0 do
+    let lr = t.lrows.(k) and lv = t.lvals.(k) in
+    let s = ref 0. in
+    for i = 0 to Array.length lr - 1 do
+      s := !s +. (lv.(i) *. g.(t.pinv.(lr.(i))))
+    done;
+    g.(k) <- g.(k) -. !s
+  done;
+  (* Back to row indexing. *)
+  for k = 0 to n - 1 do
+    out.(t.prow.(k)) <- g.(k)
+  done

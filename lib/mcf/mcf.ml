@@ -8,17 +8,27 @@ let commodity src dst demand =
   if not (demand > 0.) then invalid_arg "Mcf.commodity: demand must be positive";
   { src; dst; demand }
 
+(* Explicit integer comparator: no polymorphic [compare] and no
+   [Hashtbl] keying on tuples, so commodity order (and therefore LP
+   column order and degenerate-optimum selection) is reproducible. *)
+let compare_pair a b =
+  let c = Int.compare a.src b.src in
+  if c <> 0 then c else Int.compare a.dst b.dst
+
 let aggregate comms =
-  let tbl = Hashtbl.create 64 in
+  let sorted = Array.copy comms in
+  Array.stable_sort compare_pair sorted;
+  (* Stable sort keeps equal keys in occurrence order, so per-pair
+     demands are summed in the same order they appear in the input. *)
+  let out = ref [] in
   Array.iter
     (fun c ->
-      let key = (c.src, c.dst) in
-      let cur = try Hashtbl.find tbl key with Not_found -> 0. in
-      Hashtbl.replace tbl key (cur +. c.demand))
-    comms;
-  Hashtbl.fold (fun (src, dst) demand acc -> { src; dst; demand } :: acc) tbl []
-  |> List.sort (fun a b -> compare (a.src, a.dst) (b.src, b.dst))
-  |> Array.of_list
+      match !out with
+      | hd :: tl when hd.src = c.src && hd.dst = c.dst ->
+        out := { hd with demand = hd.demand +. c.demand } :: tl
+      | _ -> out := c :: !out)
+    sorted;
+  Array.of_list (List.rev !out)
 
 let check_routable g comms =
   Array.iter
@@ -32,17 +42,17 @@ let check_routable g comms =
 (* Exact LP                                                             *)
 (* ------------------------------------------------------------------ *)
 
-let opt_mlu_lp g comms =
-  let comms = aggregate comms in
-  check_routable g comms;
+(* The min-MLU LP in destination-aggregated form, built directly as a
+   sparse bounded problem (no dense coefficient lists):
+   variables 0 = U, then f_{t,e} = 1 + ti*m + e, all in [0, inf). *)
+let build_mlu_lp g comms =
   let n = Digraph.node_count g and m = Digraph.edge_count g in
   let targets =
-    List.sort_uniq compare (Array.to_list (Array.map (fun c -> c.dst) comms))
+    List.sort_uniq Int.compare (Array.to_list (Array.map (fun c -> c.dst) comms))
   in
   let tindex = Hashtbl.create 16 in
   List.iteri (fun i t -> Hashtbl.replace tindex t i) targets;
   let nt = List.length targets in
-  (* Variables: 0 = U; then f_{t,e} = 1 + ti*m + e. *)
   let fvar ti e = 1 + (ti * m) + e in
   let supply = Array.make_matrix nt n 0. in
   Array.iter
@@ -50,7 +60,8 @@ let opt_mlu_lp g comms =
       let ti = Hashtbl.find tindex c.dst in
       supply.(ti).(c.src) <- supply.(ti).(c.src) +. c.demand)
     comms;
-  let constrs = ref [] in
+  let b = Simplex.Sparse.builder ~minimize:true (1 + (nt * m)) in
+  Simplex.Sparse.set_obj b 0 1.;
   (* Flow conservation per (target, node <> target): out - in = supply. *)
   List.iteri
     (fun ti t ->
@@ -59,7 +70,7 @@ let opt_mlu_lp g comms =
           let row = ref [] in
           Array.iter (fun e -> row := (fvar ti e, 1.) :: !row) (Digraph.out_edges g v);
           Array.iter (fun e -> row := (fvar ti e, -1.) :: !row) (Digraph.in_edges g v);
-          constrs := Simplex.constr !row Simplex.Eq supply.(ti).(v) :: !constrs
+          Simplex.Sparse.add_row b !row Simplex.Eq supply.(ti).(v)
         end
       done)
     targets;
@@ -69,20 +80,23 @@ let opt_mlu_lp g comms =
     for ti = 0 to nt - 1 do
       row := (fvar ti e, 1.) :: !row
     done;
-    constrs := Simplex.constr !row Simplex.Le 0. :: !constrs
+    Simplex.Sparse.add_row b !row Simplex.Le 0.
   done;
-  let p =
-    {
-      Simplex.nvars = 1 + (nt * m);
-      sense = Simplex.Minimize;
-      objective = [ (0, 1.) ];
-      constrs = !constrs;
-    }
-  in
-  match Simplex.solve ~max_iters:500_000 p with
-  | Simplex.Optimal { value; _ } -> value
-  | Simplex.Infeasible -> failwith "Mcf.opt_mlu_lp: infeasible (unroutable demand?)"
-  | Simplex.Unbounded -> failwith "Mcf.opt_mlu_lp: unbounded (internal error)"
+  Simplex.Sparse.finish b
+
+let opt_mlu_lp_warm ?basis g comms =
+  let comms = aggregate comms in
+  check_routable g comms;
+  let p = build_mlu_lp g comms in
+  match Simplex.Sparse.solve ?basis p with
+  | Simplex.Sparse.Optimal { value; basis; _ } -> (value, basis)
+  | Simplex.Sparse.Infeasible ->
+    failwith "Mcf.opt_mlu_lp: infeasible (unroutable demand?)"
+  | Simplex.Sparse.Unbounded -> failwith "Mcf.opt_mlu_lp: unbounded (internal error)"
+  | Simplex.Sparse.CycleLimit _ ->
+    failwith "Mcf.opt_mlu_lp: simplex iteration limit exceeded"
+
+let opt_mlu_lp g comms = fst (opt_mlu_lp_warm g comms)
 
 (* ------------------------------------------------------------------ *)
 (* Fleischer / Garg–Könemann FPTAS                                      *)
@@ -107,7 +121,7 @@ let gk_run g comms ~epsilon ~phi ~max_phases =
       Hashtbl.replace by_source c.src ((c.dst, c.demand *. phi) :: cur))
     comms;
   let sources = Hashtbl.fold (fun s _ acc -> s :: acc) by_source [] in
-  let sources = List.sort compare sources in
+  let sources = List.sort Int.compare sources in
   let phases = ref 0 in
   let aborted = ref false in
   while !dsum < 1. && not !aborted do
@@ -213,7 +227,8 @@ let opt_mlu ?(epsilon = 0.1) ?(lp_var_limit = 3000) g comms =
     else begin
       let m = Digraph.edge_count g in
       let targets =
-        List.sort_uniq compare (Array.to_list (Array.map (fun c -> c.dst) comms))
+        List.sort_uniq Int.compare
+          (Array.to_list (Array.map (fun c -> c.dst) comms))
       in
       let nvars = 1 + (List.length targets * m) in
       if nvars <= lp_var_limit then opt_mlu_lp g comms

@@ -12,14 +12,29 @@ type commodity = { src : int; dst : int; demand : float }
 val commodity : int -> int -> float -> commodity
 
 val aggregate : commodity array -> commodity array
-(** Merge commodities sharing (src, dst). *)
+(** Merge commodities sharing (src, dst).  Output is sorted by
+    [(src, dst)] under explicit integer comparison and per-pair demands
+    are summed in input occurrence order, so the result (and the LP
+    column order derived from it) is deterministic. *)
 
 val opt_mlu_lp : Netgraph.Digraph.t -> commodity array -> float
 (** Exact minimum MLU via the LP
-    [min U  s.t. flow conservation, sum_k f_k(e) <= U c(e)].
-    Intended for small instances (|targets| * |E| up to a few thousand
-    variables).
+    [min U  s.t. flow conservation, sum_k f_k(e) <= U c(e)],
+    solved by the sparse revised simplex on a directly-built bounded
+    problem.  Intended for small and medium instances (|targets| * |E|
+    up to tens of thousands of variables).
     @raise Failure if some demand is not routable. *)
+
+val opt_mlu_lp_warm :
+  ?basis:Linprog.Simplex.Sparse.basis ->
+  Netgraph.Digraph.t ->
+  commodity array ->
+  float * Linprog.Simplex.Sparse.basis
+(** Like {!opt_mlu_lp}, additionally returning the optimal simplex basis
+    and accepting one from a previous solve of the same topology (and
+    same commodity pair set), so consecutive nearly-identical LPs — e.g.
+    demand-scaling sweeps — re-solve in a handful of pivots.  A stale
+    basis never changes the result, only the iteration count. *)
 
 val max_concurrent_flow :
   ?epsilon:float -> Netgraph.Digraph.t -> commodity array -> float

@@ -18,6 +18,41 @@ let test_aggregate () =
   Alcotest.(check int) "merged" 1 (Array.length a);
   checkf6 "sum" 3. a.(0).Mcf.demand
 
+let test_aggregate_order_independent () =
+  (* The aggregated pair set (and hence the LP column order built from
+     it) must not depend on the input permutation. *)
+  let base =
+    [| Mcf.commodity 3 1 0.5; Mcf.commodity 0 2 1.; Mcf.commodity 3 1 0.25;
+       Mcf.commodity 0 1 2.; Mcf.commodity 2 0 1.5; Mcf.commodity 0 2 0.5 |]
+  in
+  let expect = Mcf.aggregate base in
+  let st = Random.State.make [| 0xa6 |] in
+  for _ = 1 to 20 do
+    let shuffled = Array.copy base in
+    for i = Array.length shuffled - 1 downto 1 do
+      let j = Random.State.int st (i + 1) in
+      let t = shuffled.(i) in
+      shuffled.(i) <- shuffled.(j);
+      shuffled.(j) <- t
+    done;
+    let a = Mcf.aggregate shuffled in
+    Alcotest.(check int) "same pair count" (Array.length expect) (Array.length a);
+    Array.iteri
+      (fun i c ->
+        Alcotest.(check int) "src" expect.(i).Mcf.src c.Mcf.src;
+        Alcotest.(check int) "dst" expect.(i).Mcf.dst c.Mcf.dst;
+        checkf6 "demand" expect.(i).Mcf.demand c.Mcf.demand)
+      a
+  done;
+  (* Sorted by (src, dst) under integer comparison. *)
+  Array.iteri
+    (fun i c ->
+      if i > 0 then
+        Alcotest.(check bool) "strictly ascending pairs" true
+          (expect.(i - 1).Mcf.src < c.Mcf.src
+          || (expect.(i - 1).Mcf.src = c.Mcf.src && expect.(i - 1).Mcf.dst < c.Mcf.dst)))
+    expect
+
 let test_lp_parallel () =
   (* Demand 2 over caps {1,3}: optimum spreads proportionally, U = 1/2. *)
   let g = parallel_links () in
@@ -169,6 +204,8 @@ let () =
         [
           Alcotest.test_case "commodity validation" `Quick test_commodity_validation;
           Alcotest.test_case "aggregate" `Quick test_aggregate;
+          Alcotest.test_case "aggregate order-independent" `Quick
+            test_aggregate_order_independent;
           Alcotest.test_case "parallel links" `Quick test_lp_parallel;
           Alcotest.test_case "two commodities" `Quick test_lp_two_commodities;
           Alcotest.test_case "uses both paths" `Quick test_lp_uses_both_paths;
