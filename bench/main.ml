@@ -29,61 +29,35 @@ let mean xs = List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
 (* Shared BENCH_*.json writer                                          *)
 (* ------------------------------------------------------------------ *)
 
-(* The current git revision, read straight from .git (no subprocess):
-   HEAD is either a hash or "ref: <path>", and the ref lives in its own
-   file or in packed-refs. *)
-let git_rev () =
-  let read_line path =
-    try
-      let ic = open_in path in
-      let l = try input_line ic with End_of_file -> "" in
-      close_in ic;
-      Some (String.trim l)
-    with Sys_error _ -> None
-  in
-  let packed_ref name =
-    try
-      let ic = open_in (Filename.concat ".git" "packed-refs") in
-      let found = ref None in
-      (try
-         while !found = None do
-           let l = input_line ic in
-           match String.index_opt l ' ' with
-           | Some i when String.sub l (i + 1) (String.length l - i - 1) = name ->
-             found := Some (String.sub l 0 i)
-           | _ -> ()
-         done
-       with End_of_file -> ());
-      close_in ic;
-      !found
-    with Sys_error _ -> None
-  in
-  match read_line (Filename.concat ".git" "HEAD") with
-  | None -> "unknown"
-  | Some head ->
-    if String.length head > 5 && String.sub head 0 5 = "ref: " then begin
-      let name = String.trim (String.sub head 5 (String.length head - 5)) in
-      match read_line (Filename.concat ".git" name) with
-      | Some sha when sha <> "" -> sha
-      | _ -> ( match packed_ref name with Some sha -> sha | None -> "unknown")
-    end
-    else if head <> "" then head
-    else "unknown"
+(* Every benchmark JSON goes through {!Obs.Export.write_envelope}, so
+   each file carries the same provenance stamp as the te-tool artifacts
+   (schema version, git revision, host core count) plus a per-phase
+   wall-time breakdown of the experiment that produced it.  [records]
+   are pre-rendered JSON objects. *)
+let phases_json phases =
+  Printf.sprintf "{%s}"
+    (String.concat ", "
+       (List.map
+          (fun (name, d) ->
+            Printf.sprintf "%s: %.6f" (Obs.Export.json_str name) d)
+          phases))
 
-(* Every benchmark JSON goes through here, so each file carries the
-   same provenance stamp: schema version, host core count and git
-   revision.  [records] are pre-rendered JSON objects. *)
-let write_bench ~file ~bench records =
-  let oc = open_out file in
-  Printf.fprintf oc
-    "{\"schema\": \"bench/%s/1\", \"host_cores\": %d, \"git_rev\": %S, \
-     \"records\": [\n%s\n]}\n"
-    bench
-    (Domain.recommended_domain_count ())
-    (git_rev ())
-    (String.concat ",\n" records);
-  close_out oc;
+let write_bench ?(ctx : Obs.Ctx.t option) ~file ~bench records =
+  let fields =
+    match ctx with
+    | None -> []
+    | Some ctx ->
+      [ ("phases", phases_json (Obs.Tracer.phase_totals ctx.Obs.Ctx.tracer)) ]
+  in
+  Obs.Export.write_envelope ~path:file
+    ~schema:(Printf.sprintf "bench/%s/1" bench)
+    ~fields records;
   row "\nwrote %s (%d records)\n" file (List.length records)
+
+(* The context a BENCH-writing experiment runs under: a live tracer (for
+   the phase breakdown) over the driver's pool. *)
+let bench_ctx () =
+  Obs.Ctx.make ~tracer:(Obs.Tracer.create ()) ~pool:!the_pool ()
 
 let fmin xs = List.fold_left min infinity xs
 
@@ -641,12 +615,14 @@ let exp_ablation () =
    the changed edge can affect.  Results land in BENCH_engine.json. *)
 let exp_engine () =
   section "Engine: incremental vs from-scratch single-weight-move evaluation";
+  let bctx = bench_ctx () in
   let records = ref [] in
   let emit r = records := r :: !records in
   let topos = if !full then [ "Abilene"; "Germany50"; "Ta2" ]
               else [ "Abilene"; "Germany50" ] in
   row "%-12s %8s %14s %14s %9s %11s\n" "topology" "moves" "scratch ev/s"
     "engine ev/s" "speedup" "full/incr";
+  Obs.Ctx.phase bctx "probe-race" (fun () ->
   List.iter
     (fun name ->
       let g = Topology.Datasets.load name in
@@ -715,7 +691,7 @@ let exp_engine () =
            t_engine stats.Engine.Stats.full_spf stats.Engine.Stats.incr_spf
            (float_of_int stats.Engine.Stats.incr_spf
            /. float_of_int (max 1 stats.Engine.Stats.full_spf))))
-    topos;
+    topos);
   (* The same instrumentation through a whole HeurOSPF run. *)
   row "\nHeurOSPF through the engine (Abilene):\n";
   let g = Topology.Datasets.abilene () in
@@ -726,7 +702,9 @@ let exp_engine () =
   let stats = Engine.Stats.create () in
   let t0 = Engine.Mono.now () in
   let ls =
-    Local_search.optimize ~stats ~params:(ls_params ~seed:5 ~evals) g demands
+    Obs.Ctx.phase bctx "heurospf" (fun () ->
+        Local_search.optimize ~stats ~params:(ls_params ~seed:5 ~evals) g
+          demands)
   in
   let wall = Engine.Mono.now () -. t0 in
   row "  MLU %.3f  %s\n" ls.Local_search.mlu
@@ -744,7 +722,8 @@ let exp_engine () =
        (float_of_int stats.Engine.Stats.incr_spf
        /. float_of_int (max 1 stats.Engine.Stats.full_spf))
        stats.Engine.Stats.dirty_dests stats.Engine.Stats.clean_dests);
-  write_bench ~file:"BENCH_engine.json" ~bench:"engine" (List.rev !records)
+  write_bench ~ctx:bctx ~file:"BENCH_engine.json" ~bench:"engine"
+    (List.rev !records)
 
 (* ------------------------------------------------------------------ *)
 (* Parallel search runtime                                             *)
@@ -760,6 +739,7 @@ let exp_engine () =
    such. *)
 let exp_parallel () =
   section "Parallel search runtime: speedup vs worker domains (lib/par)";
+  let bctx = bench_ctx () in
   let cores = Domain.recommended_domain_count () in
   row "host: Domain.recommended_domain_count () = %d\n" cores;
   let records = ref [] in
@@ -768,6 +748,7 @@ let exp_parallel () =
   let topos = [ "Abilene"; "Germany50" ] in
   List.iter
     (fun name ->
+      Obs.Ctx.phase bctx name @@ fun () ->
       let g = Topology.Datasets.load name in
       let m = Digraph.edge_count g in
       let demands =
@@ -869,7 +850,8 @@ let exp_parallel () =
         jobs_list)
     topos;
   row "\nall runs bit-identical to jobs=1\n";
-  write_bench ~file:"BENCH_parallel.json" ~bench:"parallel" (List.rev !json)
+  write_bench ~ctx:bctx ~file:"BENCH_parallel.json" ~bench:"parallel"
+    (List.rev !json)
 
 (* ------------------------------------------------------------------ *)
 (* Robustness sweep throughput                                         *)
@@ -884,6 +866,7 @@ let exp_parallel () =
    BENCH_robustness.json. *)
 let exp_robust () =
   section "Robustness sweep: engine path vs rebuild oracle (lib/scenario)";
+  let bctx = bench_ctx () in
   let records = ref [] in
   let emit r = records := r :: !records in
   let topos = if !full then [ "Abilene"; "Germany50" ] else [ "Abilene" ] in
@@ -892,6 +875,7 @@ let exp_robust () =
     "scenarios/s" "speedup" "vs rebuild";
   List.iter
     (fun name ->
+      Obs.Ctx.phase bctx name @@ fun () ->
       let g = Topology.Datasets.load name in
       let m = Digraph.edge_count g in
       let demands =
@@ -979,7 +963,7 @@ let exp_robust () =
                (fn /. wall >= fn /. t_rebuild)))
         jobs_list)
     topos;
-  write_bench ~file:"BENCH_robustness.json" ~bench:"robustness"
+  write_bench ~ctx:bctx ~file:"BENCH_robustness.json" ~bench:"robustness"
     (List.rev !records)
 
 (* ------------------------------------------------------------------ *)
@@ -1055,12 +1039,14 @@ let dense_mlu_problem g comms =
    demand-scaling sweep.  Results land in BENCH_lp.json. *)
 let exp_lp () =
   section "LP layer: sparse revised simplex vs dense tableau oracle";
+  let bctx = bench_ctx () in
   let records = ref [] in
   let emit r = records := r :: !records in
   let reps = if !full then 5 else 3 in
   row "%-22s %6s %6s %10s %10s %8s %8s %12s\n" "instance" "rows" "cols"
     "dense s" "sparse s" "speedup" "pivots" "pivots/sec";
   let race name g comms =
+    Obs.Ctx.phase bctx "lp-race" @@ fun () ->
     let p = dense_mlu_problem g comms in
     let sp = Simplex.Sparse.of_problem p in
     let dres, t_dense = time_best reps (fun () -> Simplex.Dense.solve p) in
@@ -1142,6 +1128,7 @@ let exp_lp () =
   row "%-22s %8s %13s %13s %8s\n" "instance" "nodes" "warm pivots"
     "cold pivots" "ratio";
   let milp_case name run =
+    Obs.Ctx.phase bctx "milp-warm-start" @@ fun () ->
     let go warm =
       let stats = Engine.Stats.create () in
       let t0 = Engine.Mono.now () in
@@ -1202,19 +1189,24 @@ let exp_lp () =
   let scaled s =
     Array.map (fun c -> { c with Mcf.demand = c.Mcf.demand *. s }) comms
   in
-  let cold_vals, t_cold =
-    time_best reps (fun () -> List.map (fun s -> Mcf.opt_mlu_lp abilene (scaled s)) scales)
-  in
-  let warm_vals, t_warm =
-    time_best reps (fun () ->
-        let _, vals =
-          List.fold_left
-            (fun (basis, acc) s ->
-              let v, b = Mcf.opt_mlu_lp_warm ?basis abilene (scaled s) in
-              (Some b, v :: acc))
-            (None, []) scales
+  let (cold_vals, t_cold), (warm_vals, t_warm) =
+    Obs.Ctx.phase bctx "mcf-basis-reuse" (fun () ->
+        let cold =
+          time_best reps (fun () ->
+              List.map (fun s -> Mcf.opt_mlu_lp abilene (scaled s)) scales)
         in
-        List.rev vals)
+        let warm =
+          time_best reps (fun () ->
+              let _, vals =
+                List.fold_left
+                  (fun (basis, acc) s ->
+                    let v, b = Mcf.opt_mlu_lp_warm ?basis abilene (scaled s) in
+                    (Some b, v :: acc))
+                  (None, []) scales
+              in
+              List.rev vals)
+        in
+        (cold, warm))
   in
   List.iter2
     (fun c w ->
@@ -1230,7 +1222,83 @@ let exp_lp () =
         \"warm_wall_seconds\": %.6f, \"speedup\": %.3f, \
         \"values_agree\": true}"
        (List.length scales) t_cold t_warm (t_cold /. t_warm));
-  write_bench ~file:"BENCH_lp.json" ~bench:"lp" (List.rev !records)
+  write_bench ~ctx:bctx ~file:"BENCH_lp.json" ~bench:"lp" (List.rev !records)
+
+(* ------------------------------------------------------------------ *)
+(* Observability overhead                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* The zero-cost-when-disabled guard for lib/obs: the same HeurOSPF run
+   on Abilene through the legacy entry point, through a noop-tracer
+   {!Obs.Ctx.t}, and through a live tracer with evaluator-level spans
+   ([~engine_detail:true], the most expensive configuration).  All three
+   must return the identical result; the noop context must cost within
+   2% of the legacy path (best-of-[reps] wall clock).  Results land in
+   BENCH_obs.json. *)
+let exp_obs () =
+  section "Observability: run-context overhead vs legacy entry points (lib/obs)";
+  let bctx = bench_ctx () in
+  let g = Topology.Datasets.abilene () in
+  let demands =
+    Demand_gen.mcf_synthetic ~epsilon:0.05 ~seed:1 ~flows_per_pair:2 g
+  in
+  let evals = if !full then 4000 else 1000 in
+  let reps = if !full then 7 else 5 in
+  let params = ls_params ~seed:5 ~evals in
+  let legacy, t_legacy =
+    Obs.Ctx.phase bctx "legacy" (fun () ->
+        time_best reps (fun () -> Local_search.optimize ~params g demands))
+  in
+  let noop, t_noop =
+    Obs.Ctx.phase bctx "noop-ctx" (fun () ->
+        time_best reps (fun () ->
+            Local_search.optimize_ctx (Obs.Ctx.make ()) ~params g demands))
+  in
+  let last_tracer = ref Obs.Tracer.noop in
+  let traced, t_traced =
+    Obs.Ctx.phase bctx "traced" (fun () ->
+        time_best reps (fun () ->
+            let tracer = Obs.Tracer.create ~engine_detail:true () in
+            last_tracer := tracer;
+            Local_search.optimize_ctx
+              (Obs.Ctx.make ~tracer ())
+              ~params g demands))
+  in
+  let same (a : Local_search.result) (b : Local_search.result) =
+    a.Local_search.mlu = b.Local_search.mlu
+    && a.Local_search.weights = b.Local_search.weights
+    && a.Local_search.evals = b.Local_search.evals
+  in
+  let identical = same legacy noop && same legacy traced in
+  if not identical then
+    failwith "obs: legacy / noop-ctx / traced runs returned different results";
+  let disabled_overhead = (t_noop -. t_legacy) /. t_legacy in
+  let traced_overhead = (t_traced -. t_legacy) /. t_legacy in
+  let spans = Obs.Tracer.span_count !last_tracer in
+  row "HeurOSPF Abilene, %d evals, best of %d (identical results):\n" evals reps;
+  row "  %-28s %10.4fs\n" "legacy (?stats)" t_legacy;
+  row "  %-28s %10.4fs  %+6.2f%%\n" "Obs.Ctx, noop tracer" t_noop
+    (100. *. disabled_overhead);
+  row "  %-28s %10.4fs  %+6.2f%%  (%d spans)\n" "Obs.Ctx, engine_detail trace"
+    t_traced
+    (100. *. traced_overhead)
+    spans;
+  if disabled_overhead >= 0.02 then
+    row "  WARNING: disabled-tracing overhead %.2f%% exceeds the 2%% budget\n"
+      (100. *. disabled_overhead);
+  write_bench ~ctx:bctx ~file:"BENCH_obs.json" ~bench:"obs"
+    [
+      Printf.sprintf
+        "{\"topology\": \"Abilene\", \"algorithm\": \"HeurOSPF\", \
+         \"evaluations\": %d, \"reps\": %d, \"results_identical\": %b, \
+         \"legacy_wall_seconds\": %.6f, \"noop_ctx_wall_seconds\": %.6f, \
+         \"traced_wall_seconds\": %.6f, \"disabled_overhead\": %.6f, \
+         \"disabled_overhead_ok\": %b, \"traced_overhead\": %.6f, \
+         \"trace_spans\": %d}"
+        evals reps identical t_legacy t_noop t_traced disabled_overhead
+        (disabled_overhead < 0.02)
+        traced_overhead spans;
+    ]
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
@@ -1297,7 +1365,7 @@ let experiments =
     ("fig6", exp_fig6); ("fig7", exp_fig7); ("milp", exp_milp);
     ("ablation", exp_ablation); ("engine", exp_engine);
     ("parallel", exp_parallel); ("robust", exp_robust); ("lp", exp_lp);
-    ("perf", exp_perf) ]
+    ("obs", exp_obs); ("perf", exp_perf) ]
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in

@@ -122,14 +122,40 @@ let with_pool jobs f =
   end;
   if jobs = 1 then f Par.Pool.sequential else Par.Pool.with_pool ~jobs f
 
-(* When --stats is given, hand a Stats.t to the optimizer and print it
-   once the run is over. *)
-let with_stats enabled f =
-  let stats = if enabled then Some (Engine.Stats.create ()) else None in
-  f stats;
-  match stats with
-  | Some s -> Format.printf "%a@." Engine.Stats.pp s
-  | None -> ()
+let trace_arg =
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"PATH"
+         ~doc:"Write the run's span stream (schema trace/1, one JSON \
+               object per line) to $(docv).")
+
+let summary_arg =
+  Arg.(value & flag & info [ "summary" ]
+         ~doc:"Print a run-summary/1 JSON digest after the run: per-phase \
+               wall time, engine counters, solver metrics, parallel \
+               efficiency.")
+
+(* One run context per CLI invocation: the worker pool from --jobs, and
+   a live tracer exactly when --trace/--summary needs one (otherwise the
+   noop tracer, whose probes cost one load+branch).  [f] solves and
+   prints its result; engine stats, the trace file and the summary
+   follow in that order. *)
+let with_ctx ~jobs ~stats ~trace ~summary f =
+  let tracer =
+    if trace <> None || summary then Obs.Tracer.create () else Obs.Tracer.noop
+  in
+  let ctx, wall =
+    with_pool jobs (fun pool ->
+        let ctx = Obs.Ctx.make ~tracer ~pool () in
+        let t0 = Engine.Mono.now () in
+        f ctx;
+        (ctx, Engine.Mono.now () -. t0))
+  in
+  if stats then Format.printf "%a@." Engine.Stats.pp ctx.Obs.Ctx.stats;
+  (match trace with
+  | Some path ->
+    Obs.Export.write_trace ~path tracer;
+    Printf.printf "wrote %s\n" path
+  | None -> ());
+  if summary then print_string (Obs.Export.run_summary ~wall ctx)
 
 let m_arg =
   Arg.(value & opt int 8 & info [ "m" ] ~doc:"Size parameter of the paper instance.")
@@ -181,81 +207,98 @@ let mlu_cmd =
     Term.(const run $ topo_arg $ file_arg $ seed_arg $ demands_arg $ flows_arg
           $ weights_arg)
 
-(* lwo *)
-let lwo_cmd =
-  let run topo file seed kind flows evals jobs restarts stats =
-    let g, file_demands = load_topology topo file in
-    let demands = make_demands ~file_demands g ~seed ~kind ~flows in
-    let params = { Local_search.default_params with max_evals = evals; seed } in
-    let init_mlu = Ecmp.mlu_of g (Weights.inverse_capacity g) demands in
-    with_stats stats (fun stats ->
-        let r =
-          with_pool jobs (fun pool ->
-              Local_search.optimize ?stats ~pool ~restarts ~params g demands)
-        in
-        Printf.printf "HeurOSPF: MLU %.4f -> %.4f (%d evaluations)\n" init_mlu
-          r.Local_search.mlu r.Local_search.evals;
-        Printf.printf "weights:";
-        Array.iteri
-          (fun e w ->
-            if e < 20 then Printf.printf " %d" w
-            else if e = 20 then Printf.printf " ...")
-          r.Local_search.weights;
-        print_newline ())
-  in
-  Cmd.v (Cmd.info "lwo" ~doc:"Link-weight optimization (HeurOSPF local search)")
-    Term.(const run $ topo_arg $ file_arg $ seed_arg $ demands_arg $ flows_arg
-          $ evals_arg $ jobs_arg $ restarts_arg $ stats_arg)
+(* The optimizer table: each entry packs a fully configured
+   first-class Solver.S module from its own flags, plus a printer in the
+   command's historical output format.  The shared driver below loads,
+   generates demands and solves under one run context, with each phase
+   recorded for --trace/--summary. *)
 
-(* wpo *)
-let wpo_cmd =
-  let run topo file seed kind flows wsetting jobs stats =
-    let g, file_demands = load_topology topo file in
-    let demands = make_demands ~file_demands g ~seed ~kind ~flows in
-    let w = weights_of g wsetting in
-    with_stats stats (fun stats ->
-        let r =
-          with_pool jobs (fun pool ->
-              Greedy_wpo.optimize ?stats ~pool g w demands)
-        in
-        let used =
-          Array.fold_left (fun acc o -> if o = None then acc else acc + 1) 0
-            r.Greedy_wpo.waypoints
-        in
-        Printf.printf
-          "GreedyWPO under %s weights: MLU %.4f -> %.4f (%d/%d demands got a waypoint)\n"
-          wsetting r.Greedy_wpo.initial_mlu r.Greedy_wpo.mlu used
-          (Array.length demands))
-  in
-  Cmd.v (Cmd.info "wpo" ~doc:"Waypoint optimization (Algorithm 3, GreedyWPO)")
-    Term.(const run $ topo_arg $ file_arg $ seed_arg $ demands_arg $ flows_arg
-          $ weights_arg $ jobs_arg $ stats_arg)
+let print_lwo _g _demands (r : Solver.result) =
+  Printf.printf "HeurOSPF: MLU %.4f -> %.4f (%d evaluations)\n"
+    r.Solver.initial_mlu r.Solver.mlu r.Solver.evals;
+  match r.Solver.weights with
+  | Some w ->
+    Printf.printf "weights:";
+    Array.iteri
+      (fun e wv ->
+        if e < 20 then Printf.printf " %d" wv
+        else if e = 20 then Printf.printf " ...")
+      w;
+    print_newline ()
+  | None -> ()
 
-(* joint *)
-let joint_cmd =
-  let run topo file seed kind flows evals jobs restarts full_pipeline stats =
-    let g, file_demands = load_topology topo file in
-    let demands = make_demands ~file_demands g ~seed ~kind ~flows in
-    let ls_params = { Local_search.default_params with max_evals = evals; seed } in
-    with_stats stats (fun stats ->
-        let r =
-          with_pool jobs (fun pool ->
-              Joint.optimize ?stats ~pool ~restarts ~ls_params ~full_pipeline g
-                demands)
-        in
-        List.iter
-          (fun (stage, mlu) -> Printf.printf "%-12s MLU %.4f\n" stage mlu)
-          r.Joint.stage_mlu;
-        Printf.printf "final        MLU %.4f (%d waypoints in use)\n" r.Joint.mlu
-          (Segments.count_waypoints r.Joint.waypoints))
+let print_wpo wsetting _g demands (r : Solver.result) =
+  let used =
+    match r.Solver.waypoints with
+    | Some s -> Segments.count_waypoints s
+    | None -> 0
   in
-  let full_arg =
-    Arg.(value & flag & info [ "full-pipeline" ]
-           ~doc:"Run Algorithm 2 steps 3-4 (split demands, re-optimize weights).")
-  in
-  Cmd.v (Cmd.info "joint" ~doc:"Joint optimization (Algorithm 2, JOINT-Heur)")
-    Term.(const run $ topo_arg $ file_arg $ seed_arg $ demands_arg $ flows_arg
-          $ evals_arg $ jobs_arg $ restarts_arg $ full_arg $ stats_arg)
+  Printf.printf
+    "GreedyWPO under %s weights: MLU %.4f -> %.4f (%d/%d demands got a waypoint)\n"
+    wsetting r.Solver.initial_mlu r.Solver.mlu used (Array.length demands)
+
+let print_joint _g _demands (r : Solver.result) =
+  List.iter
+    (fun (stage, mlu) -> Printf.printf "%-12s MLU %.4f\n" stage mlu)
+    r.Solver.stages;
+  Printf.printf "final        MLU %.4f (%d waypoints in use)\n" r.Solver.mlu
+    (match r.Solver.waypoints with
+    | Some s -> Segments.count_waypoints s
+    | None -> 0)
+
+let run_solver (solver, print) topo file seed kind flows jobs stats trace
+    summary =
+  with_ctx ~jobs ~stats ~trace ~summary (fun ctx ->
+      let g, file_demands =
+        Obs.Ctx.phase ctx "load" (fun () -> load_topology topo file)
+      in
+      let demands =
+        Obs.Ctx.phase ctx "demands" (fun () ->
+            make_demands ~file_demands g ~seed ~kind ~flows)
+      in
+      let r =
+        Obs.Ctx.phase ctx "solve" (fun () -> Solver.solve solver ctx g demands)
+      in
+      print g demands r)
+
+let solver_cmd (name, doc, conf_term) =
+  Cmd.v (Cmd.info name ~doc)
+    Term.(const run_solver $ conf_term $ topo_arg $ file_arg $ seed_arg
+          $ demands_arg $ flows_arg $ jobs_arg $ stats_arg $ trace_arg
+          $ summary_arg)
+
+let full_pipeline_arg =
+  Arg.(value & flag & info [ "full-pipeline" ]
+         ~doc:"Run Algorithm 2 steps 3-4 (split demands, re-optimize weights).")
+
+let lwo_conf =
+  Term.(const (fun seed evals restarts ->
+            ( Solver.heur_ospf ~restarts
+                ~params:{ Local_search.default_params with max_evals = evals; seed }
+                (),
+              print_lwo ))
+        $ seed_arg $ evals_arg $ restarts_arg)
+
+let wpo_conf =
+  Term.(const (fun wsetting ->
+            ( Solver.greedy_wpo ~weights:(fun g -> weights_of g wsetting) (),
+              print_wpo wsetting ))
+        $ weights_arg)
+
+let joint_conf =
+  Term.(const (fun seed evals restarts full_pipeline ->
+            ( Solver.joint_heur ~restarts
+                ~ls_params:
+                  { Local_search.default_params with max_evals = evals; seed }
+                ~full_pipeline (),
+              print_joint ))
+        $ seed_arg $ evals_arg $ restarts_arg $ full_pipeline_arg)
+
+let solver_cmds =
+  List.map solver_cmd
+    [ ("lwo", "Link-weight optimization (HeurOSPF local search)", lwo_conf);
+      ("wpo", "Waypoint optimization (Algorithm 3, GreedyWPO)", wpo_conf);
+      ("joint", "Joint optimization (Algorithm 2, JOINT-Heur)", joint_conf) ]
 
 (* gap *)
 let gap_cmd =
@@ -362,10 +405,8 @@ let failures_cmd =
 
 (* robust *)
 let robust_cmd =
-  let run topo file seed kind flows evals jobs stats policies_s dual scales_s
-      jitter hotspots diurnal cross chunk reopt_evals out =
-    let g, file_demands = load_topology topo file in
-    let demands = make_demands ~file_demands g ~seed ~kind ~flows in
+  let run topo file seed kind flows evals jobs stats trace summary policies_s
+      dual scales_s jitter hotspots diurnal cross chunk reopt_evals out =
     let policies =
       try Scenario.policies_of_string policies_s
       with Invalid_argument m ->
@@ -384,38 +425,50 @@ let robust_cmd =
               exit 2)
           (String.split_on_char ',' scales_s)
     in
-    (* Deploy a JOINT-Heur setting, then stress it. *)
-    let ls_params = { Local_search.default_params with max_evals = evals; seed } in
-    let joint = Joint.optimize ~ls_params g demands in
-    let deployed =
-      {
-        Scenario.weights = joint.Joint.int_weights;
-        Scenario.waypoints = joint.Joint.waypoints;
-      }
-    in
-    let nominal_mlu =
-      Ecmp.mlu_of ~waypoints:deployed.Scenario.waypoints g
-        (Weights.of_ints deployed.Scenario.weights)
-        demands
-    in
-    let cfg =
-      {
-        Scenario.default_config with
-        Scenario.seed;
-        Scenario.dual_failures = dual;
-        Scenario.scales = scales;
-        Scenario.jitters = jitter;
-        Scenario.hotspots = hotspots;
-        Scenario.diurnal = diurnal;
-        Scenario.cross = cross;
-      }
-    in
-    let specs = Scenario.generate cfg g in
-    with_stats stats (fun stats ->
+    with_ctx ~jobs ~stats ~trace ~summary (fun ctx ->
+        let g, file_demands =
+          Obs.Ctx.phase ctx "load" (fun () -> load_topology topo file)
+        in
+        let demands =
+          Obs.Ctx.phase ctx "demands" (fun () ->
+              make_demands ~file_demands g ~seed ~kind ~flows)
+        in
+        (* Deploy a JOINT-Heur setting, then stress it. *)
+        let ls_params =
+          { Local_search.default_params with max_evals = evals; seed }
+        in
+        let joint =
+          Obs.Ctx.phase ctx "deploy" (fun () ->
+              Joint.optimize_ctx ctx ~ls_params g demands)
+        in
+        let deployed =
+          {
+            Scenario.weights = joint.Joint.int_weights;
+            Scenario.waypoints = joint.Joint.waypoints;
+          }
+        in
+        let nominal_mlu =
+          Ecmp.mlu_of ~waypoints:deployed.Scenario.waypoints g
+            (Weights.of_ints deployed.Scenario.weights)
+            demands
+        in
+        let cfg =
+          {
+            Scenario.default_config with
+            Scenario.seed;
+            Scenario.dual_failures = dual;
+            Scenario.scales = scales;
+            Scenario.jitters = jitter;
+            Scenario.hotspots = hotspots;
+            Scenario.diurnal = diurnal;
+            Scenario.cross = cross;
+          }
+        in
+        let specs = Scenario.generate cfg g in
         let outcomes =
-          with_pool jobs (fun pool ->
-              Scenario.sweep ?stats ~pool ~chunk ~policies ~reopt_evals
-                ~deployed g demands specs)
+          Obs.Ctx.phase ctx "sweep" (fun () ->
+              Scenario.sweep_ctx ctx ~chunk ~policies ~reopt_evals ~deployed g
+                demands specs)
         in
         let report = Scenario.summarize ~topology:topo ~nominal_mlu outcomes in
         let json = Scenario.report_to_json g report in
@@ -491,21 +544,30 @@ let robust_cmd =
              incremental engine.  The report is bit-identical for every \
              --jobs value.")
     Term.(const run $ topo_arg $ file_arg $ seed_arg $ demands_arg $ flows_arg
-          $ evals_arg $ jobs_arg $ stats_arg $ policies_arg $ dual_arg
-          $ scales_arg $ jitter_arg $ hotspots_arg $ diurnal_arg $ cross_arg
-          $ chunk_arg $ reopt_evals_arg $ out_arg)
+          $ evals_arg $ jobs_arg $ stats_arg $ trace_arg $ summary_arg
+          $ policies_arg $ dual_arg $ scales_arg $ jitter_arg $ hotspots_arg
+          $ diurnal_arg $ cross_arg $ chunk_arg $ reopt_evals_arg $ out_arg)
 
 (* exact *)
 let exact_cmd =
-  let run alg topo file seed kind flows wsetting i m max_nodes cold stats =
+  let run alg topo file seed kind flows wsetting i m max_nodes cold stats trace
+      summary =
     let warm = not cold in
-    with_stats stats (fun stats ->
+    with_ctx ~jobs:1 ~stats ~trace ~summary (fun ctx ->
         match alg with
         | "wpo" ->
-          let g, file_demands = load_topology topo file in
-          let demands = make_demands ~file_demands g ~seed ~kind ~flows in
+          let g, file_demands =
+            Obs.Ctx.phase ctx "load" (fun () -> load_topology topo file)
+          in
+          let demands =
+            Obs.Ctx.phase ctx "demands" (fun () ->
+                make_demands ~file_demands g ~seed ~kind ~flows)
+          in
           let w = weights_of g wsetting in
-          let r = Wpo_milp.solve ?max_nodes ~warm ?stats g w demands in
+          let r =
+            Obs.Ctx.phase ctx "solve" (fun () ->
+                Wpo_milp.solve_ctx ctx ?max_nodes ~warm g w demands)
+          in
           let used =
             Array.fold_left
               (fun acc o -> if o = [] then acc else acc + 1)
@@ -521,8 +583,9 @@ let exact_cmd =
           let inst = instance_of i m in
           let net = inst.Instances.Gap_instances.network in
           let r =
-            Uspr_milp.lwo ?max_nodes ~warm ?stats net.Network.graph
-              net.Network.demands
+            Obs.Ctx.phase ctx "solve" (fun () ->
+                Uspr_milp.lwo_ctx ctx ?max_nodes ~warm net.Network.graph
+                  net.Network.demands)
           in
           Printf.printf "exact USPR weights (MILP) on %s: MLU %.4f (%s; %d B&B nodes)\n"
             inst.Instances.Gap_instances.name r.Uspr_milp.mlu
@@ -532,8 +595,9 @@ let exact_cmd =
           let inst = instance_of i m in
           let net = inst.Instances.Gap_instances.network in
           let r =
-            Uspr_milp.joint ?max_nodes ?stats net.Network.graph
-              net.Network.demands
+            Obs.Ctx.phase ctx "solve" (fun () ->
+                Uspr_milp.joint_ctx ctx ?max_nodes net.Network.graph
+                  net.Network.demands)
           in
           Printf.printf
             "exact joint (enumerated waypoints x weight MILP) on %s: MLU %.4f \
@@ -572,7 +636,7 @@ let exact_cmd =
              pivot effort alongside the engine counters.")
     Term.(const run $ alg_arg $ topo_arg $ file_arg $ seed_arg $ demands_arg
           $ flows_arg $ weights_arg $ instance_arg $ exact_m_arg
-          $ max_nodes_arg $ cold_arg $ stats_arg)
+          $ max_nodes_arg $ cold_arg $ stats_arg $ trace_arg $ summary_arg)
 
 (* export *)
 let export_cmd =
@@ -609,6 +673,6 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ topos_cmd; mlu_cmd; lwo_cmd; wpo_cmd; joint_cmd; gap_cmd;
-            lwo_apx_cmd; nanonet_cmd; failures_cmd; robust_cmd; exact_cmd;
-            export_cmd ]))
+          (topos_cmd :: mlu_cmd :: solver_cmds
+          @ [ gap_cmd; lwo_apx_cmd; nanonet_cmd; failures_cmd; robust_cmd;
+              exact_cmd; export_cmd ])))

@@ -94,8 +94,11 @@ let single_failures_rebuild ?fail_pairs ?waypoints g weights demands =
    cached load contribution — and [undo] restores the link for the next
    case.  Disconnection is detected through [reachable] before any load
    is computed, so the MLU query never raises. *)
-let sweep_with ?stats ?waypoints g weights demands groups =
-  let ev = Engine.Evaluator.create ?stats g weights in
+let sweep_with (ctx : Obs.Ctx.t) ?waypoints g weights demands groups =
+  let ev =
+    Engine.Evaluator.create ~stats:ctx.Obs.Ctx.stats
+      ~probe:(Obs.Ctx.probe ctx) g weights
+  in
   let segs =
     Array.mapi
       (fun i (d : Network.demand) ->
@@ -111,29 +114,41 @@ let sweep_with ?stats ?waypoints g weights demands groups =
                 (fun (d : Network.demand) ss ->
                   List.map (fun (a, b) -> (a, b, d.Network.size)) ss)
                 demands segs))));
-  List.map
-    (fun (edge_id, removed) ->
-      Engine.Stats.record_scenario (Engine.Evaluator.stats ev);
-      List.iter (fun e -> Engine.Evaluator.disable_edge ev ~edge:e) removed;
-      let disconnected = ref 0 in
-      Array.iter
-        (fun ss ->
-          if
-            not
-              (List.for_all
-                 (fun (a, b) -> Engine.Evaluator.reachable ev ~src:a ~dst:b)
-                 ss)
-          then incr disconnected)
-        segs;
-      let mlu =
-        if !disconnected > 0 then nan else fst (Engine.Evaluator.evaluate ev)
-      in
-      Engine.Evaluator.undo ev;
-      { edge = edge_id; mlu; disconnected = !disconnected })
-    groups
+  Obs.Ctx.span ctx
+    ~attrs:[ Obs.Attr.int "cases" (List.length groups) ]
+    "fail:sweep"
+    (fun () ->
+      List.map
+        (fun (edge_id, removed) ->
+          Engine.Stats.record_scenario (Engine.Evaluator.stats ev);
+          Obs.Metrics.incr ctx.Obs.Ctx.metrics "fail.cases";
+          List.iter (fun e -> Engine.Evaluator.disable_edge ev ~edge:e) removed;
+          let disconnected = ref 0 in
+          Array.iter
+            (fun ss ->
+              if
+                not
+                  (List.for_all
+                     (fun (a, b) -> Engine.Evaluator.reachable ev ~src:a ~dst:b)
+                     ss)
+              then incr disconnected)
+            segs;
+          if !disconnected > 0 then
+            Obs.Metrics.incr ctx.Obs.Ctx.metrics "fail.disconnecting";
+          let mlu =
+            if !disconnected > 0 then nan else fst (Engine.Evaluator.evaluate ev)
+          in
+          Engine.Evaluator.undo ev;
+          { edge = edge_id; mlu; disconnected = !disconnected })
+        groups)
+
+let single_failures_ctx ctx ?fail_pairs ?waypoints g weights demands =
+  sweep_with ctx ?waypoints g weights demands (failure_groups ?fail_pairs g)
 
 let single_failures ?stats ?fail_pairs ?waypoints g weights demands =
-  sweep_with ?stats ?waypoints g weights demands (failure_groups ?fail_pairs g)
+  single_failures_ctx
+    (Obs.Ctx.make ?stats ())
+    ?fail_pairs ?waypoints g weights demands
 
 (* Total severity order on outcomes: any disconnection is worse than any
    MLU, more disconnected demands are worse, and among connected
@@ -151,7 +166,10 @@ let compare_severity a b =
 
 let worse a b = if compare_severity b a > 0 then b else a
 
-let worst_case ?fail_pairs ?waypoints g weights demands =
-  match single_failures ?fail_pairs ?waypoints g weights demands with
+let worst_case_ctx ctx ?fail_pairs ?waypoints g weights demands =
+  match single_failures_ctx ctx ?fail_pairs ?waypoints g weights demands with
   | [] -> invalid_arg "Failures.worst_case: graph has no edges"
   | first :: rest -> List.fold_left worse first rest
+
+let worst_case ?fail_pairs ?waypoints g weights demands =
+  worst_case_ctx (Obs.Ctx.make ()) ?fail_pairs ?waypoints g weights demands

@@ -37,8 +37,8 @@ val failure_groups :
     with [label] the lowest removed edge id.  With [fail_pairs] (default
     true) a link and its reverse twin form one case. *)
 
-val single_failures :
-  ?stats:Engine.Stats.t ->
+val single_failures_ctx :
+  Obs.Ctx.t ->
   ?fail_pairs:bool ->
   ?waypoints:Segments.setting ->
   Netgraph.Digraph.t ->
@@ -49,8 +49,20 @@ val single_failures :
     default true).  Weights and waypoints are kept fixed — this is the
     "static setting under failure" regime.  Evaluates through one
     persistent engine evaluator (edge-removal invalidation, no graph
-    rebuilds); [stats] collects its counters, including one
-    {!Engine.Stats.record_scenario} tick per case. *)
+    rebuilds); the context's stats collect its counters, including one
+    {!Engine.Stats.record_scenario} tick per case.  The sweep is
+    recorded as one ["fail:sweep"] span with a ["cases"] attribute, and
+    the metrics count [fail.cases] / [fail.disconnecting]. *)
+
+val single_failures :
+  ?stats:Engine.Stats.t ->
+  ?fail_pairs:bool ->
+  ?waypoints:Segments.setting ->
+  Netgraph.Digraph.t ->
+  Weights.t ->
+  Network.demand array ->
+  outcome list
+(** Deprecated optional-argument shim over {!single_failures_ctx}. *)
 
 val rebuild_outcome :
   ?waypoints:Segments.setting ->
@@ -86,7 +98,8 @@ val worse : outcome -> outcome -> outcome
 (** The more severe of the two under {!compare_severity}; ties keep the
     first argument. *)
 
-val worst_case :
+val worst_case_ctx :
+  Obs.Ctx.t ->
   ?fail_pairs:bool ->
   ?waypoints:Segments.setting ->
   Netgraph.Digraph.t ->
@@ -95,4 +108,14 @@ val worst_case :
   outcome
 (** The most severe single-failure outcome under {!compare_severity}
     (disconnections count as worse than any MLU; ties keep the earliest
-    case). *)
+    case).  Runs {!single_failures_ctx} under the hood, so the same
+    spans and metrics are recorded. *)
+
+val worst_case :
+  ?fail_pairs:bool ->
+  ?waypoints:Segments.setting ->
+  Netgraph.Digraph.t ->
+  Weights.t ->
+  Network.demand array ->
+  outcome
+(** Deprecated optional-argument shim over {!worst_case_ctx}. *)

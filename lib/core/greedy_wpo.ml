@@ -66,12 +66,13 @@ type scan_ctx = {
   evs : Engine.Evaluator.t array; (* slot 0 is the main evaluator *)
   bufs : float array array; (* per-worker private load buffer *)
   main_stats : Engine.Stats.t;
+  tracer : Obs.Tracer.t;
 }
 
 (* Clones are made eagerly, on the calling domain, after the caches are
    warm — [Evaluator.copy] must never race with another domain using the
    source evaluator. *)
-let make_ctx pool ev =
+let make_ctx ?(tracer = Obs.Tracer.noop) pool ev =
   let g = Engine.Evaluator.graph ev in
   let m = Digraph.edge_count g in
   let par = Par.Pool.parallelism pool in
@@ -80,7 +81,7 @@ let make_ctx pool ev =
     evs.(w) <- Engine.Evaluator.copy ev
   done;
   { g; m; pool; evs; bufs = Array.init par (fun _ -> Array.make m 0.);
-    main_stats = Engine.Evaluator.stats ev }
+    main_stats = Engine.Evaluator.stats ev; tracer }
 
 let merge_clone_stats ctx =
   for w = 1 to Array.length ctx.evs - 1 do
@@ -97,6 +98,10 @@ let scan_candidates ctx ~loads ~size ~segs_of cands =
   let ncand = Array.length cands in
   if ncand = 0 then None
   else begin
+    (* The scan span is recorded by the orchestrating domain (workers
+       never touch the buffer), so the trace is jobs-independent. *)
+    let scan_tok = Obs.Tracer.start ctx.tracer "wpo:scan" in
+    Obs.Tracer.attr ctx.tracer scan_tok (Obs.Attr.int "candidates" ncand);
     let ch = Par.Pool.chunks ~chunk:scan_chunk ncand in
     let wall0 = Engine.Mono.now () in
     let per_chunk =
@@ -140,6 +145,7 @@ let scan_candidates ctx ~loads ~size ~segs_of cands =
       per_chunk;
     Engine.Stats.record_parallel ctx.main_stats ~jobs:(Array.length ctx.evs)
       ~tasks:(Array.length ch) ~wall ~busy:!busy;
+    Obs.Tracer.finish ctx.tracer scan_tok;
     !best
   end
 
@@ -147,23 +153,29 @@ let scan_candidates ctx ~loads ~size ~segs_of cands =
 (* Multi-round greedy (one more waypoint per round)                    *)
 (* ------------------------------------------------------------------ *)
 
-let optimize_multi ?stats ?(pool = Par.Pool.sequential) ?(order = Desc) ~rounds
-    g weights demands =
+let optimize_multi_ctx (octx : Obs.Ctx.t) ?(order = Desc) ~rounds g weights
+    demands =
   if rounds < 1 then invalid_arg "Greedy_wpo.optimize_multi: rounds >= 1";
   let n = Digraph.node_count g in
-  let ev = Engine.Evaluator.create ?stats g weights in
+  let pool = octx.Obs.Ctx.pool and tracer = octx.Obs.Ctx.tracer in
+  let ev =
+    Engine.Evaluator.create ~stats:octx.Obs.Ctx.stats
+      ~probe:(Obs.Ctx.probe octx) g weights
+  in
   Engine.Evaluator.set_commodities ev (Network.to_commodities demands);
   let unit_load src dst = Engine.Evaluator.unit_load ev ~src ~dst in
   let loads =
     try Array.copy (Engine.Evaluator.loads ev)
     with Engine.Evaluator.Unroutable (s, t) -> raise (Ecmp.Unroutable (s, t))
   in
-  let ctx = make_ctx pool ev in
+  let ctx = make_ctx ~tracer pool ev in
   let setting = Array.make (Array.length demands) [] in
   let indices = order_indices order demands in
   let u_min = ref (Engine.Evaluator.mlu_of_loads g loads) in
   let round_mlu = ref [] in
-  for _round = 1 to rounds do
+  for round = 1 to rounds do
+    let round_tok = Obs.Tracer.start tracer "wpo:round" in
+    Obs.Tracer.attr tracer round_tok (Obs.Attr.int "round" round);
     Array.iter
       (fun i ->
         let d = demands.(i) in
@@ -199,28 +211,40 @@ let optimize_multi ?stats ?(pool = Par.Pool.sequential) ?(order = Desc) ~rounds
           | _ -> apply loads 1. last_seg size
         end)
       indices;
-    round_mlu := Engine.Evaluator.mlu_of_loads g loads :: !round_mlu
+    let u = Engine.Evaluator.mlu_of_loads g loads in
+    round_mlu := u :: !round_mlu;
+    Obs.Tracer.attr tracer round_tok (Obs.Attr.float "mlu" u);
+    Obs.Tracer.finish tracer round_tok
   done;
   merge_clone_stats ctx;
   { setting; mlu = Engine.Evaluator.mlu_of_loads g loads;
     round_mlu = List.rev !round_mlu }
 
+let optimize_multi ?stats ?(pool = Par.Pool.sequential) ?order ~rounds g
+    weights demands =
+  optimize_multi_ctx (Obs.Ctx.make ?stats ~pool ()) ?order ~rounds g weights
+    demands
+
 (* ------------------------------------------------------------------ *)
 (* Single-waypoint greedy (Algorithm 3 + improvement passes)           *)
 (* ------------------------------------------------------------------ *)
 
-let optimize ?stats ?(pool = Par.Pool.sequential) ?(order = Desc) ?(passes = 1)
-    g weights demands =
+let optimize_ctx (octx : Obs.Ctx.t) ?(order = Desc) ?(passes = 1) g weights
+    demands =
   if passes < 1 then invalid_arg "Greedy_wpo.optimize: passes >= 1";
   let n = Digraph.node_count g in
-  let ev = Engine.Evaluator.create ?stats g weights in
+  let pool = octx.Obs.Ctx.pool and tracer = octx.Obs.Ctx.tracer in
+  let ev =
+    Engine.Evaluator.create ~stats:octx.Obs.Ctx.stats
+      ~probe:(Obs.Ctx.probe octx) g weights
+  in
   Engine.Evaluator.set_commodities ev (Network.to_commodities demands);
   let unit_load src dst = Engine.Evaluator.unit_load ev ~src ~dst in
   let loads =
     try Array.copy (Engine.Evaluator.loads ev)
     with Engine.Evaluator.Unroutable (s, t) -> raise (Ecmp.Unroutable (s, t))
   in
-  let ctx = make_ctx pool ev in
+  let ctx = make_ctx ~tracer pool ev in
   let initial_mlu = Engine.Evaluator.mlu_of_loads g loads in
   let waypoints = Array.make (Array.length demands) None in
   let indices = order_indices order demands in
@@ -237,6 +261,8 @@ let optimize ?stats ?(pool = Par.Pool.sequential) ?(order = Desc) ?(passes = 1)
      greedy is order-fragile and an improvement pass recovers most of
      the loss). *)
   for pass = 1 to passes do
+    let pass_tok = Obs.Tracer.start tracer "wpo:pass" in
+    Obs.Tracer.attr tracer pass_tok (Obs.Attr.int "pass" pass);
     Array.iter
       (fun i ->
         let d = demands.(i) in
@@ -266,8 +292,14 @@ let optimize ?stats ?(pool = Par.Pool.sequential) ?(order = Desc) ?(passes = 1)
         | _ -> ());
         List.iter (fun s -> apply loads 1. s size) (segments_of i);
         u_min := Engine.Evaluator.mlu_of_loads g loads)
-      indices
+      indices;
+    Obs.Tracer.attr tracer pass_tok (Obs.Attr.float "mlu" !u_min);
+    Obs.Tracer.finish tracer pass_tok
   done;
   merge_clone_stats ctx;
   let final_mlu = Engine.Evaluator.mlu_of_loads g loads in
   { waypoints; mlu = final_mlu; initial_mlu }
+
+let optimize ?stats ?(pool = Par.Pool.sequential) ?order ?passes g weights
+    demands =
+  optimize_ctx (Obs.Ctx.make ?stats ~pool ()) ?order ?passes g weights demands

@@ -14,16 +14,19 @@ type result = {
   initial_mlu : float;  (** MLU with no waypoints, for the gap *)
 }
 
-val optimize :
-  ?stats:Engine.Stats.t ->
-  ?pool:Par.Pool.t ->
+val optimize_ctx :
+  Obs.Ctx.t ->
   ?order:order ->
   ?passes:int ->
   Netgraph.Digraph.t ->
   Weights.t ->
   Network.demand array ->
   result
-(** [passes = 1] (default) is Algorithm 3 verbatim; additional passes
+(** The context-taking entry point.  The context's tracer records one
+    ["wpo:pass"] span per pass with a ["wpo:scan"] span per candidate
+    scan nested inside (all recorded by the orchestrating domain, so
+    the trace is identical for every pool size).
+    [passes = 1] (default) is Algorithm 3 verbatim; additional passes
     revisit every demand and may reassign or drop its waypoint, which
     repairs most of the sequential greedy's order-dependence.  All unit
     flows come from one shared {!Engine.Evaluator}, whose cache counters
@@ -37,11 +40,38 @@ val optimize :
     @raise Ecmp.Unroutable if a demand itself is unroutable (candidate
     waypoints that would make a segment unroutable are skipped). *)
 
+val optimize :
+  ?stats:Engine.Stats.t ->
+  ?pool:Par.Pool.t ->
+  ?order:order ->
+  ?passes:int ->
+  Netgraph.Digraph.t ->
+  Weights.t ->
+  Network.demand array ->
+  result
+(** Deprecated optional-argument shim over {!optimize_ctx}: builds an
+    untraced context from [stats]/[pool] and forwards. *)
+
 type multi_result = {
   setting : Segments.setting;
   mlu : float;
   round_mlu : float list;  (** MLU after each greedy round *)
 }
+
+val optimize_multi_ctx :
+  Obs.Ctx.t ->
+  ?order:order ->
+  rounds:int ->
+  Netgraph.Digraph.t ->
+  Weights.t ->
+  Network.demand array ->
+  multi_result
+(** The paper's open question "how many waypoints suffice?" (§8): runs
+    the greedy [rounds] times; round [k] may append one more waypoint to
+    each demand's list (so W <= rounds), greedily re-splitting the last
+    segment.  [rounds = 1] coincides with {!optimize_ctx}.  The tracer
+    records one ["wpo:round"] span per round.  The context's pool
+    behaves as in {!optimize_ctx}. *)
 
 val optimize_multi :
   ?stats:Engine.Stats.t ->
@@ -52,8 +82,4 @@ val optimize_multi :
   Weights.t ->
   Network.demand array ->
   multi_result
-(** The paper's open question "how many waypoints suffice?" (§8): runs
-    the greedy [rounds] times; round [k] may append one more waypoint to
-    each demand's list (so W <= rounds), greedily re-splitting the last
-    segment.  [rounds = 1] coincides with {!optimize}.  [pool] behaves
-    as in {!optimize}. *)
+(** Deprecated optional-argument shim over {!optimize_multi_ctx}. *)

@@ -13,7 +13,10 @@ let setting_mlu ?stats g w demands setting =
   Engine.Evaluator.mlu_of ?stats g w
     (Network.to_commodities (Segments.expand demands setting))
 
-let optimize_iterated ?stats ?pool ?restarts
+let setting_mlu_ctx (ctx : Obs.Ctx.t) g w demands setting =
+  setting_mlu ~stats:ctx.Obs.Ctx.stats g w demands setting
+
+let optimize_iterated_ctx (ctx : Obs.Ctx.t) ?restarts
     ?(ls_params = Local_search.default_params) ?(iterations = 3)
     ?(waypoint_rounds = 1) g demands =
   if iterations < 1 then invalid_arg "Joint.optimize_iterated: iterations >= 1";
@@ -32,13 +35,19 @@ let optimize_iterated ?stats ?pool ?restarts
        waypoints, warm-starting from the previous weights. *)
     let split = Segments.expand demands !setting in
     let ls =
-      Local_search.optimize ?stats ?pool ?restarts
-        ~params:{ ls_params with Local_search.seed = ls_params.Local_search.seed + it }
-        ?init:!int_w g split
+      Obs.Ctx.span ctx
+        ~attrs:[ Obs.Attr.int "iteration" it ]
+        "joint:weights"
+        (fun () ->
+          Local_search.optimize_ctx ctx ?restarts
+            ~params:
+              { ls_params with
+                Local_search.seed = ls_params.Local_search.seed + it }
+            ?init:!int_w g split)
     in
     int_w := Some ls.Local_search.weights;
     let w = Weights.of_ints ls.Local_search.weights in
-    let mlu_w = setting_mlu ?stats g w demands !setting in
+    let mlu_w = setting_mlu_ctx ctx g w demands !setting in
     stages :=
       consider
         (Printf.sprintf "weights#%d" it)
@@ -46,7 +55,11 @@ let optimize_iterated ?stats ?pool ?restarts
     (* Waypoint step: re-pick waypoints from scratch under the new
        weights (the greedy is cheap; re-picking avoids lock-in). *)
     let wpo =
-      Greedy_wpo.optimize_multi ?stats ?pool ~rounds:waypoint_rounds g w demands
+      Obs.Ctx.span ctx
+        ~attrs:[ Obs.Attr.int "iteration" it ]
+        "joint:waypoints"
+        (fun () ->
+          Greedy_wpo.optimize_multi_ctx ctx ~rounds:waypoint_rounds g w demands)
     in
     setting := wpo.Greedy_wpo.setting;
     stages :=
@@ -59,13 +72,25 @@ let optimize_iterated ?stats ?pool ?restarts
     { weights; int_weights; waypoints; mlu; stage_mlu = List.rev !stages }
   | None -> assert false (* iterations >= 1 always records a candidate *)
 
-let optimize ?stats ?pool ?restarts ?(ls_params = Local_search.default_params)
-    ?(full_pipeline = false) g demands =
+let optimize_iterated ?stats ?(pool = Par.Pool.sequential) ?restarts ?ls_params
+    ?iterations ?waypoint_rounds g demands =
+  optimize_iterated_ctx (Obs.Ctx.make ?stats ~pool ()) ?restarts ?ls_params
+    ?iterations ?waypoint_rounds g demands
+
+let optimize_ctx (ctx : Obs.Ctx.t) ?restarts
+    ?(ls_params = Local_search.default_params) ?(full_pipeline = false) g
+    demands =
   (* Step 1: link-weight optimization. *)
-  let ls = Local_search.optimize ?stats ?pool ?restarts ~params:ls_params g demands in
+  let ls =
+    Obs.Ctx.span ctx "joint:weights" (fun () ->
+        Local_search.optimize_ctx ctx ?restarts ~params:ls_params g demands)
+  in
   let w1 = Weights.of_ints ls.Local_search.weights in
   (* Step 2: greedy waypoints under those weights. *)
-  let wpo = Greedy_wpo.optimize ?stats ?pool g w1 demands in
+  let wpo =
+    Obs.Ctx.span ctx "joint:waypoints" (fun () ->
+        Greedy_wpo.optimize_ctx ctx g w1 demands)
+  in
   let setting = Segments.of_single wpo.Greedy_wpo.waypoints in
   let stage2 = wpo.Greedy_wpo.mlu in
   let stages =
@@ -79,13 +104,14 @@ let optimize ?stats ?pool ?restarts ?(ls_params = Local_search.default_params)
        weights for the split list. *)
     let split = Segments.expand demands setting in
     let ls2 =
-      Local_search.optimize ?stats ?pool ?restarts ~params:ls_params
-        ~init:ls.Local_search.weights g split
+      Obs.Ctx.span ctx "joint:split-reopt" (fun () ->
+          Local_search.optimize_ctx ctx ?restarts ~params:ls_params
+            ~init:ls.Local_search.weights g split)
     in
     let w2 = Weights.of_ints ls2.Local_search.weights in
     (* Evaluate the original demands + waypoints under the new weights:
        re-running the greedy under w2 also re-validates the waypoints. *)
-    let mlu2 = setting_mlu ?stats g w2 demands setting in
+    let mlu2 = setting_mlu_ctx ctx g w2 demands setting in
     let stages = stages @ [ ("HeurOSPF2", mlu2) ] in
     if mlu2 < stage2 -. 1e-12 then
       { weights = w2; int_weights = ls2.Local_search.weights;
@@ -94,3 +120,8 @@ let optimize ?stats ?pool ?restarts ?(ls_params = Local_search.default_params)
       { weights = w1; int_weights = ls.Local_search.weights;
         waypoints = setting; mlu = stage2; stage_mlu = stages }
   end
+
+let optimize ?stats ?(pool = Par.Pool.sequential) ?restarts ?ls_params
+    ?full_pipeline g demands =
+  optimize_ctx (Obs.Ctx.make ?stats ~pool ()) ?restarts ?ls_params
+    ?full_pipeline g demands

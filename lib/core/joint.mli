@@ -17,6 +17,25 @@ type result = {
       (** MLU after each pipeline stage, for reporting *)
 }
 
+val optimize_ctx :
+  Obs.Ctx.t ->
+  ?restarts:int ->
+  ?ls_params:Local_search.params ->
+  ?full_pipeline:bool ->
+  Netgraph.Digraph.t ->
+  Network.demand array ->
+  result
+(** The context-taking entry point.  [full_pipeline] (default [false],
+    as plotted in the paper) enables steps 3–4.  The context is threaded
+    through every stage (weight search, greedy waypoints, cross-stage
+    evaluations), so one stats/tracer instance accounts for the whole
+    pipeline; each stage is wrapped in its own span (["joint:weights"],
+    ["joint:waypoints"], and ["joint:split-reopt"] for stages 3–4).
+    The context's pool and [restarts] are forwarded to the stages
+    ({!Local_search.optimize_ctx} probe fan-out and multi-restart,
+    {!Greedy_wpo.optimize_ctx} candidate scan); results stay
+    bit-identical across pool sizes. *)
+
 val optimize :
   ?stats:Engine.Stats.t ->
   ?pool:Par.Pool.t ->
@@ -26,17 +45,11 @@ val optimize :
   Netgraph.Digraph.t ->
   Network.demand array ->
   result
-(** [full_pipeline] (default [false], as plotted in the paper) enables
-    steps 3–4.  [stats] is threaded through every stage (weight search,
-    greedy waypoints, cross-stage evaluations), so one instance accounts
-    for the whole pipeline.  [pool] and [restarts] are forwarded to the
-    stages ({!Local_search.optimize} probe fan-out and multi-restart,
-    {!Greedy_wpo.optimize} candidate scan); results stay bit-identical
-    across pool sizes. *)
+(** Deprecated optional-argument shim over {!optimize_ctx}: builds an
+    untraced context from [stats]/[pool] and forwards. *)
 
-val optimize_iterated :
-  ?stats:Engine.Stats.t ->
-  ?pool:Par.Pool.t ->
+val optimize_iterated_ctx :
+  Obs.Ctx.t ->
   ?restarts:int ->
   ?ls_params:Local_search.params ->
   ?iterations:int ->
@@ -49,4 +62,18 @@ val optimize_iterated :
     (default 3), each weight search warm-started on the split demand
     list induced by the current waypoints, keeping the best setting
     seen.  [waypoint_rounds] (default 1) allows up to that many
-    waypoints per demand per iteration. *)
+    waypoints per demand per iteration.  Each iteration records one
+    ["joint:weights"] and one ["joint:waypoints"] span tagged with an
+    ["iteration"] attribute. *)
+
+val optimize_iterated :
+  ?stats:Engine.Stats.t ->
+  ?pool:Par.Pool.t ->
+  ?restarts:int ->
+  ?ls_params:Local_search.params ->
+  ?iterations:int ->
+  ?waypoint_rounds:int ->
+  Netgraph.Digraph.t ->
+  Network.demand array ->
+  result
+(** Deprecated optional-argument shim over {!optimize_iterated_ctx}. *)

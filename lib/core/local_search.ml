@@ -24,18 +24,20 @@ let evaluate g demands int_weights =
 
 (* One seeded walk.  [demands] is already aggregated.
 
-   The neighborhood probes fan out over [pool]: candidate weight values
-   for the picked edge are gated by the budget/memo rules sequentially
-   (consuming no randomness), the cache misses are then scored
-   concurrently — each worker on its own {!Engine.Evaluator.copy} clone
-   — and the tracker updates replay in candidate order.  Because every
-   clone holds bitwise the same committed state as the main evaluator
-   (every accepted move and perturbation is mirrored to them), a probe
-   returns the same floats no matter which worker runs it, so the walk
-   is bit-identical for every pool size, including the inline
-   [parallelism = 1] case. *)
-let run_single ?stats ~params ?init ~pool g demands =
+   The neighborhood probes fan out over the context's pool: candidate
+   weight values for the picked edge are gated by the budget/memo rules
+   sequentially (consuming no randomness), the cache misses are then
+   scored concurrently — each worker on its own
+   {!Engine.Evaluator.copy} clone — and the tracker updates replay in
+   candidate order.  Because every clone holds bitwise the same
+   committed state as the main evaluator (every accepted move and
+   perturbation is mirrored to them), a probe returns the same floats
+   no matter which worker runs it, so the walk is bit-identical for
+   every pool size, including the inline [parallelism = 1] case. *)
+let run_single (ctx : Obs.Ctx.t) ~params ?init g demands =
   if params.wmax < 2 then invalid_arg "Local_search.optimize: wmax < 2";
+  let pool = ctx.Obs.Ctx.pool in
+  let tracer = ctx.Obs.Ctx.tracer in
   let m = Digraph.edge_count g in
   let st = Random.State.make [| params.seed; 0x05f |] in
   let init =
@@ -49,7 +51,10 @@ let run_single ?stats ~params ?init ~pool g demands =
   (* One evaluator serves the whole walk; candidate moves are probed
      as incremental single-weight updates and rolled back via the undo
      trail rather than rebuilding the ECMP state per candidate. *)
-  let ev = Engine.Evaluator.create ?stats g (Weights.of_ints init) in
+  let ev =
+    Engine.Evaluator.create ~stats:ctx.Obs.Ctx.stats
+      ~probe:(Obs.Ctx.probe ctx) g (Weights.of_ints init)
+  in
   Engine.Evaluator.set_commodities ev (Network.to_commodities demands);
   let evals = ref 0 in
   (* Fortz–Thorup keep a hash table of already-evaluated settings; memo
@@ -144,10 +149,18 @@ let run_single ?stats ~params ?init ~pool g demands =
       (List.filter (fun w -> w >= 1 && w <= params.wmax && w <> cur) cs)
   in
   (* The memo means an iteration may consume no budget; the iteration
-     cap prevents spinning once a tiny search space is fully explored. *)
+     cap prevents spinning once a tiny search space is fully explored.
+     The deadline is advisory and checked only here, at round
+     granularity: runs without one stay deterministic. *)
+  let walk_tok = Obs.Tracer.start tracer "ls:walk" in
+  Obs.Tracer.attr tracer walk_tok (Obs.Attr.int "seed" params.seed);
   let iterations = ref 0 in
   let max_iterations = 20 * params.max_evals in
-  while !evals < params.max_evals && !iterations < max_iterations do
+  while
+    !evals < params.max_evals
+    && !iterations < max_iterations
+    && not (Obs.Ctx.expired ctx)
+  do
     incr iterations;
     let e = pick_edge () in
     let old = current.(e) in
@@ -179,6 +192,12 @@ let run_single ?stats ~params ?init ~pool g demands =
            (function wv, `Probe _ -> Some wv | _, `Memo _ -> None)
            plan)
     in
+    let round_tok =
+      if Array.length probes > 0 then Obs.Tracer.start tracer "ls:round"
+      else -1
+    in
+    Obs.Tracer.attr tracer round_tok
+      (Obs.Attr.int "probes" (Array.length probes));
     let wall0 = Engine.Mono.now () in
     let probe_results =
       Par.Pool.map pool ~tasks:(Array.length probes) (fun ~worker i ->
@@ -190,7 +209,9 @@ let run_single ?stats ~params ?init ~pool g demands =
           Engine.Evaluator.undo evw;
           ((mlu, phi, loads), worker, Engine.Mono.now () -. t0))
     in
+    Obs.Tracer.finish tracer round_tok;
     if Array.length probes > 0 then begin
+      Obs.Metrics.incr ctx.Obs.Ctx.metrics "ls.rounds";
       let busy = ref 0. in
       Array.iter
         (fun (_, worker, dt) ->
@@ -241,15 +262,19 @@ let run_single ?stats ~params ?init ~pool g demands =
     (match !best_cand with
     | Some (obj, wv, _mlu, loads) when obj < !cur_obj -. 1e-12 ->
       accept wv obj loads;
+      Obs.Metrics.incr ctx.Obs.Ctx.metrics "ls.accepted";
       stall := 0
     | Some (obj, wv, _mlu, loads)
       when obj <= !cur_obj +. 1e-12 && Random.State.float st 1. < 0.3 ->
       (* Sideways move to escape plateaus. *)
-      accept wv obj loads
+      accept wv obj loads;
+      Obs.Metrics.incr ctx.Obs.Ctx.metrics "ls.sideways"
     | _ -> incr stall);
     if !stall >= params.stall_limit && !evals < params.max_evals then begin
       (* Perturbation: restart the walk from the best solution with a
          random kick on ~10% of the links. *)
+      Obs.Tracer.instant tracer "ls:perturb";
+      Obs.Metrics.incr ctx.Obs.Ctx.metrics "ls.perturbations";
       Array.blit !best_w 0 current 0 m;
       let kicks = max 1 (m / 10) in
       for _ = 1 to kicks do
@@ -280,46 +305,65 @@ let run_single ?stats ~params ?init ~pool g demands =
     Engine.Stats.merge ~into:(Engine.Evaluator.stats ev)
       (Engine.Evaluator.stats clones.(w))
   done;
+  Obs.Tracer.attr tracer walk_tok (Obs.Attr.int "evals" !evals);
+  Obs.Tracer.attr tracer walk_tok (Obs.Attr.float "mlu" !best_mlu);
+  Obs.Tracer.finish tracer walk_tok;
   { weights = !best_w; mlu = !best_mlu; phi = !best_phi; evals = !evals }
 
 (* Restart [r] perturbs the seed by a fixed prime stride, so restart 0
    reproduces the single-walk result exactly. *)
 let restart_seed params r = { params with seed = params.seed + (7919 * r) }
 
-let optimize ?stats ?(pool = Par.Pool.sequential) ?(restarts = 1)
-    ?(params = default_params) ?init g demands =
+let params_of_ctx (ctx : Obs.Ctx.t) = function
+  | Some p -> p
+  | None ->
+    (* Seed 0 means "unset" in a context: keep the historical default. *)
+    if ctx.Obs.Ctx.seed <> 0 then
+      { default_params with seed = ctx.Obs.Ctx.seed }
+    else default_params
+
+let optimize_ctx (ctx : Obs.Ctx.t) ?(restarts = 1) ?params ?init g demands =
   if restarts < 1 then invalid_arg "Local_search.optimize: restarts >= 1";
+  let params = params_of_ctx ctx params in
   let demands = Network.aggregate demands in
-  if restarts = 1 then run_single ?stats ~params ?init ~pool g demands
+  if restarts = 1 then run_single ctx ~params ?init g demands
   else begin
+    let pool = ctx.Obs.Ctx.pool in
     let wall0 = Engine.Mono.now () in
     let jobs = Par.Pool.parallelism pool in
-    (* Each restart gets a private Stats.t (a shared one would race
-       across domains); they merge into [stats] in restart order. *)
+    (* Each restart gets a forked context: a private Stats.t (a shared
+       one would race across domains) and a detached span buffer; both
+       merge back in restart order, so stats totals and the exported
+       trace are schedule-independent. *)
+    let kids = Array.init restarts (fun _ -> Obs.Ctx.fork ctx) in
     let runs =
       Par.Pool.map pool ~tasks:restarts (fun ~worker:_ r ->
           let t0 = Engine.Mono.now () in
-          let stats_r = Engine.Stats.create () in
           let res =
-            run_single ~stats:stats_r ~params:(restart_seed params r) ?init
-              ~pool g demands
+            run_single kids.(r) ~params:(restart_seed params r) ?init g demands
           in
-          (res, stats_r, Engine.Mono.now () -. t0))
+          (res, Engine.Mono.now () -. t0))
     in
     let wall = Engine.Mono.now () -. wall0 in
-    let busy = Array.fold_left (fun acc (_, _, dt) -> acc +. dt) 0. runs in
-    (match stats with
-    | Some s ->
-      Array.iter (fun (_, sr, _) -> Engine.Stats.merge ~into:s sr) runs;
-      Engine.Stats.record_parallel s ~jobs ~tasks:restarts ~wall ~busy
-    | None -> ());
+    let busy = Array.fold_left (fun acc (_, dt) -> acc +. dt) 0. runs in
+    for r = 0 to restarts - 1 do
+      Obs.Ctx.join ~key:r ~into:ctx kids.(r)
+    done;
+    Engine.Stats.record_parallel ctx.Obs.Ctx.stats ~jobs ~tasks:restarts ~wall
+      ~busy;
     (* Best MLU wins; ties keep the lowest restart index. *)
     let best = ref None in
     Array.iter
-      (fun (res, _, _) ->
+      (fun (res, _) ->
         match !best with
         | Some b when b.mlu <= res.mlu -> ()
         | _ -> best := Some res)
       runs;
     match !best with Some r -> r | None -> assert false (* restarts >= 1 *)
   end
+
+(* Deprecated shim: builds a context from the optional-argument
+   spelling and forwards. *)
+let optimize ?stats ?(pool = Par.Pool.sequential) ?(restarts = 1)
+    ?(params = default_params) ?init g demands =
+  optimize_ctx (Obs.Ctx.make ?stats ~pool ()) ~restarts ~params ?init g demands

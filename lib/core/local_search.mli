@@ -35,6 +35,37 @@ val evaluate :
   Netgraph.Digraph.t -> Network.demand array -> int array -> float * float
 (** [(mlu, phi)] of a weight vector. *)
 
+val optimize_ctx :
+  Obs.Ctx.t ->
+  ?restarts:int ->
+  ?params:params ->
+  ?init:int array ->
+  Netgraph.Digraph.t ->
+  Network.demand array ->
+  result
+(** The context-taking entry point.  [init] defaults to the
+    inverse-capacity setting rounded onto the weight grid; [params]
+    defaults to {!default_params} reseeded with the context's seed
+    (when non-zero).  The search evaluates candidates through one
+    shared {!Engine.Evaluator}: each single-weight move is probed as an
+    incremental update and undone (or committed) through the engine's
+    move protocol.  The context's stats collect the engine's evaluation
+    and SPF-rebuild counters; its tracer records one ["ls:walk"] span
+    per walk with ["ls:round"] probe fan-outs and ["ls:perturb"]
+    events nested inside (restart walks graft back in restart order,
+    so traces are schedule-independent).  A context deadline is honored
+    at round granularity: the walk stops early but still returns its
+    best solution.
+
+    The context's pool parallelizes the work on two levels, both
+    deterministically (the result is bit-identical for every pool
+    size): the neighborhood probes of one walk run concurrently on
+    per-worker {!Engine.Evaluator.copy} clones, and with [restarts > 1]
+    whole independent walks (restart [r] reseeded to [seed + 7919 r],
+    so [restarts = 1] is the historical single walk) run as pool tasks,
+    probing inline.  The returned result is the best-MLU restart (ties:
+    lowest restart index), with its own walk's [evals] count. *)
+
 val optimize :
   ?stats:Engine.Stats.t ->
   ?pool:Par.Pool.t ->
@@ -44,18 +75,6 @@ val optimize :
   Netgraph.Digraph.t ->
   Network.demand array ->
   result
-(** [init] defaults to the inverse-capacity setting rounded onto the
-    weight grid.  The search evaluates candidates through one shared
-    {!Engine.Evaluator}: each single-weight move is probed as an
-    incremental update and undone (or committed) through the engine's
-    move protocol.  [stats] collects the engine's evaluation and
-    SPF-rebuild counters for the whole run.
-
-    [pool] parallelizes the work on two levels, both deterministically
-    (the result is bit-identical for every pool size): the
-    neighborhood probes of one walk run concurrently on per-worker
-    {!Engine.Evaluator.copy} clones, and with [restarts > 1] whole
-    independent walks (restart [r] reseeded to [seed + 7919 r], so
-    [restarts = 1] is the historical single walk) run as pool tasks,
-    probing inline.  The returned result is the best-MLU restart (ties:
-    lowest restart index), with its own walk's [evals] count. *)
+(** Deprecated optional-argument shim over {!optimize_ctx}: builds an
+    untraced context from [stats]/[pool] and forwards.  Equivalent by
+    construction (and by test) to calling {!optimize_ctx} directly. *)

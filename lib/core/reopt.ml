@@ -24,9 +24,10 @@ type result = {
   churn : churn;
 }
 
-let reoptimize ?stats ?(ls_params = Local_search.default_params)
+let reoptimize_ctx (ctx : Obs.Ctx.t) ?(ls_params = Local_search.default_params)
     ?max_weight_changes ?(frozen_edges = []) ~deployed_weights
     ~deployed_waypoints g demands =
+  let stats = ctx.Obs.Ctx.stats in
   let m = Digraph.edge_count g in
   if Array.length deployed_weights <> m then
     invalid_arg "Reopt.reoptimize: deployed weight length mismatch";
@@ -46,7 +47,10 @@ let reoptimize ?stats ?(ls_params = Local_search.default_params)
      waypoints are fixed, so the commodity list (one per segment) never
      changes, and every candidate weight is probed as an incremental
      single-weight move against it. *)
-  let ev = Engine.Evaluator.create ?stats g (Weights.of_ints deployed_weights) in
+  let ev =
+    Engine.Evaluator.create ~stats ~probe:(Obs.Ctx.probe ctx) g
+      (Weights.of_ints deployed_weights)
+  in
   (* Failed links are frozen at infinite weight: absent from every DAG,
      never a move candidate, committed so no undo restores them. *)
   Hashtbl.iter (fun e () -> Engine.Evaluator.disable_edge ev ~edge:e) frozen;
@@ -62,7 +66,9 @@ let reoptimize ?stats ?(ls_params = Local_search.default_params)
   let evals = ref 0 in
   (* Budgeted local search: a move on edge e is admissible if it keeps
      |{e : w_e <> deployed}| within the budget (reverting frees it). *)
-  while !evals < ls_params.Local_search.max_evals do
+  Obs.Ctx.span ctx "reopt:weights" (fun () ->
+  while !evals < ls_params.Local_search.max_evals && not (Obs.Ctx.expired ctx)
+  do
     let e =
       if Random.State.float st 1. < 0.6 then begin
         (* Most utilized edge under the current weights — the engine's
@@ -121,12 +127,15 @@ let reoptimize ?stats ?(ls_params = Local_search.default_params)
       | _ -> ()
     end
     else incr evals
-  done;
+  done);
   (* Waypoint step: re-pick greedily under the new weights (not
      budgeted; segment-stack changes are local to ingresses). *)
   let best_w_float = Weights.of_ints !best_w in
   Hashtbl.iter (fun e () -> best_w_float.(e) <- infinity) frozen;
-  let wpo = Greedy_wpo.optimize ?stats g best_w_float demands in
+  let wpo =
+    Obs.Ctx.span ctx "reopt:waypoints" (fun () ->
+        Greedy_wpo.optimize_ctx ctx g best_w_float demands)
+  in
   let greedy_setting = Segments.of_single wpo.Greedy_wpo.waypoints in
   (* Candidates, cheapest-churn first so ties keep the network stable. *)
   let candidates =
@@ -141,3 +150,8 @@ let reoptimize ?stats ?(ls_params = Local_search.default_params)
   in
   { weights; waypoints; mlu;
     churn = churn_between ~deployed_weights ~deployed_waypoints weights waypoints }
+
+let reoptimize ?stats ?ls_params ?max_weight_changes ?frozen_edges
+    ~deployed_weights ~deployed_waypoints g demands =
+  reoptimize_ctx (Obs.Ctx.make ?stats ()) ?ls_params ?max_weight_changes
+    ?frozen_edges ~deployed_weights ~deployed_waypoints g demands

@@ -32,6 +32,36 @@ type result = {
   churn : churn;
 }
 
+val reoptimize_ctx :
+  Obs.Ctx.t ->
+  ?ls_params:Local_search.params ->
+  ?max_weight_changes:int ->
+  ?frozen_edges:int list ->
+  deployed_weights:int array ->
+  deployed_waypoints:Segments.setting ->
+  Netgraph.Digraph.t ->
+  Network.demand array ->
+  result
+(** The context-taking entry point: re-optimize for (shifted) [demands]
+    starting from the deployed setting.  [max_weight_changes] defaults
+    to [max 1 (|E| / 10)].  The result's MLU is never worse than keeping
+    the deployed setting as-is.  The budgeted weight search is recorded
+    as a ["reopt:weights"] span and the greedy waypoint re-pick as
+    ["reopt:waypoints"]; a context deadline stops the weight search
+    early (the waypoint step always runs).  The context's pool
+    parallelizes the waypoint scan as in {!Greedy_wpo.optimize_ctx}.
+
+    [frozen_edges] (default none) marks failed links: they are pinned at
+    infinite weight for every evaluation — equivalent to removal, see
+    {!Engine.Evaluator.disable_edge} — and are never move candidates, so
+    the search re-optimizes the surviving topology.  The returned weight
+    vector keeps the deployed values on frozen edges (a failed link's
+    weight is unobservable), so they never count as churn.  Every demand
+    (segment) must remain routable without the frozen edges; otherwise
+    {!Engine.Evaluator.Unroutable} is raised — callers sweeping failure
+    scenarios should test reachability first (the scenario layer skips
+    re-optimization for disconnecting failures). *)
+
 val reoptimize :
   ?stats:Engine.Stats.t ->
   ?ls_params:Local_search.params ->
@@ -42,10 +72,7 @@ val reoptimize :
   Netgraph.Digraph.t ->
   Network.demand array ->
   result
-(** Re-optimize for (shifted) [demands] starting from the deployed
-    setting.  [max_weight_changes] defaults to [max 1 (|E| / 10)].
-    The result's MLU is never worse than keeping the deployed setting
-    as-is.
+(** Deprecated optional-argument shim over {!reoptimize_ctx}.
 
     [frozen_edges] (default none) marks failed links: they are pinned at
     infinite weight for every evaluation — equivalent to removal, see

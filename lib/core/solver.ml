@@ -1,0 +1,74 @@
+type result = {
+  solver : string;
+  mlu : float;
+  initial_mlu : float;
+  evals : int;
+  weights : int array option;
+  waypoints : Segments.setting option;
+  stages : (string * float) list;
+}
+
+module type S = sig
+  val name : string
+
+  val solve :
+    Obs.Ctx.t -> Netgraph.Digraph.t -> Network.demand array -> result
+end
+
+type t = (module S)
+
+let name (module M : S) = M.name
+let solve (module M : S) ctx g demands = M.solve ctx g demands
+
+let heur_ospf ?(restarts = 1) ?(params = Local_search.default_params) () : t =
+  (module struct
+    let name = "lwo"
+
+    let solve ctx g demands =
+      let initial_mlu = Ecmp.mlu_of g (Weights.inverse_capacity g) demands in
+      let r = Local_search.optimize_ctx ctx ~restarts ~params g demands in
+      {
+        solver = name;
+        mlu = r.Local_search.mlu;
+        initial_mlu;
+        evals = r.Local_search.evals;
+        weights = Some r.Local_search.weights;
+        waypoints = None;
+        stages = [ ("HeurOSPF", r.Local_search.mlu) ];
+      }
+  end)
+
+let greedy_wpo ?order ?passes ?(weights = Weights.inverse_capacity) () : t =
+  (module struct
+    let name = "wpo"
+
+    let solve ctx g demands =
+      let w = weights g in
+      let r = Greedy_wpo.optimize_ctx ctx ?order ?passes g w demands in
+      {
+        solver = name;
+        mlu = r.Greedy_wpo.mlu;
+        initial_mlu = r.Greedy_wpo.initial_mlu;
+        evals = 0;
+        weights = None;
+        waypoints = Some (Segments.of_single r.Greedy_wpo.waypoints);
+        stages = [ ("GreedyWPO", r.Greedy_wpo.mlu) ];
+      }
+  end)
+
+let joint_heur ?restarts ?ls_params ?full_pipeline () : t =
+  (module struct
+    let name = "joint"
+
+    let solve ctx g demands =
+      let r = Joint.optimize_ctx ctx ?restarts ?ls_params ?full_pipeline g demands in
+      {
+        solver = name;
+        mlu = r.Joint.mlu;
+        initial_mlu = nan;
+        evals = 0;
+        weights = Some r.Joint.int_weights;
+        waypoints = Some r.Joint.waypoints;
+        stages = r.Joint.stage_mlu;
+      }
+  end)

@@ -1,0 +1,61 @@
+(** A common face for the TE solvers, for table-driven dispatch.
+
+    Every optimizer in this library ultimately maps (graph, demands) to
+    a weight setting and/or a waypoint setting with an MLU.  [S] fixes
+    that shape behind the {!Obs.Ctx.t} run-context API so front ends
+    (te-tool, benches, sweeps) can hold solvers in one table of
+    first-class modules and drive them uniformly — one place to build
+    the context, time the phases, export the trace.
+
+    Solver-specific knobs (budgets, restarts, orders) are captured when
+    the module is packed, not at solve time: a packed solver is a fully
+    configured algorithm. *)
+
+type result = {
+  solver : string;  (** the packed solver's [name] *)
+  mlu : float;  (** MLU of the returned setting *)
+  initial_mlu : float;
+      (** MLU of the solver's starting point (inverse-capacity weights
+          for the weight searches, the direct routing for waypoint
+          optimization); [nan] when the notion does not apply *)
+  evals : int;  (** engine evaluations reported by the solver; 0 if n/a *)
+  weights : int array option;  (** integer weight setting, when produced *)
+  waypoints : Segments.setting option;  (** waypoint setting, when produced *)
+  stages : (string * float) list;
+      (** per-stage MLU trail, ending at the returned setting *)
+}
+
+module type S = sig
+  val name : string
+
+  val solve :
+    Obs.Ctx.t -> Netgraph.Digraph.t -> Network.demand array -> result
+end
+
+type t = (module S)
+
+val name : t -> string
+val solve : t -> Obs.Ctx.t -> Netgraph.Digraph.t -> Network.demand array -> result
+
+val heur_ospf : ?restarts:int -> ?params:Local_search.params -> unit -> t
+(** {!Local_search.optimize_ctx} packed as ["lwo"].  [initial_mlu] is
+    the inverse-capacity MLU (the front ends' historical baseline). *)
+
+val greedy_wpo :
+  ?order:Greedy_wpo.order ->
+  ?passes:int ->
+  ?weights:(Netgraph.Digraph.t -> Weights.t) ->
+  unit ->
+  t
+(** {!Greedy_wpo.optimize_ctx} packed as ["wpo"]; [weights] (default
+    {!Weights.inverse_capacity}) fixes the weight setting the waypoints
+    are chosen under. *)
+
+val joint_heur :
+  ?restarts:int ->
+  ?ls_params:Local_search.params ->
+  ?full_pipeline:bool ->
+  unit ->
+  t
+(** {!Joint.optimize_ctx} packed as ["joint"]; [stages] is the
+    pipeline's stage trail. *)

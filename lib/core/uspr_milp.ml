@@ -15,7 +15,9 @@ type t = {
      doff + ti*n + v            d_v^t
      yoff + ti*m + e            y_{e,t}   (binary)
      xoff + di*m + e            x_{d,e}   (continuous in [0,1]) *)
-let lwo ?wmax ?(epsilon = 0.1) ?(max_nodes = 20_000) ?warm ?stats g demands =
+let lwo_ctx (octx : Obs.Ctx.t) ?wmax ?(epsilon = 0.1) ?(max_nodes = 20_000)
+    ?warm g demands =
+  Obs.Ctx.span octx "milp:lwo" @@ fun () ->
   let n = Digraph.node_count g and m = Digraph.edge_count g in
   let demands = Network.aggregate demands in
   let k = Array.length demands in
@@ -214,18 +216,24 @@ let lwo ?wmax ?(epsilon = 0.1) ?(max_nodes = 20_000) ?warm ?stats g demands =
     x0.(uvar) <- Ecmp.mlu g loads;
     x0
   in
-  let result, effort = Milp.solve_ext ~max_nodes ~initial ?warm problem ~integer_vars in
-  (match stats with
-  | Some s ->
-    let nodes =
-      match result with
-      | Milp.Solution sol -> sol.Milp.nodes_explored
-      | Milp.Infeasible | Milp.Unbounded | Milp.NoIncumbent -> max_nodes
-    in
-    Engine.Stats.record_milp s ~nodes ~lp_solves:effort.Milp.lp_solves
-      ~lp_pivots:effort.Milp.lp_pivots ~warm_solves:effort.Milp.warm_solves
-      ~cycle_limits:effort.Milp.cycle_limits
-  | None -> ());
+  let result, effort =
+    Obs.Ctx.span octx "milp:branch-and-bound" (fun () ->
+        Milp.solve_ext ~max_nodes ~initial ?warm
+          ~probe:(Obs.Tracer.lp_probe octx.Obs.Ctx.tracer) problem
+          ~integer_vars)
+  in
+  (let nodes =
+     match result with
+     | Milp.Solution sol -> sol.Milp.nodes_explored
+     | Milp.Infeasible | Milp.Unbounded | Milp.NoIncumbent -> max_nodes
+   in
+   Engine.Stats.record_milp octx.Obs.Ctx.stats ~nodes
+     ~lp_solves:effort.Milp.lp_solves ~lp_pivots:effort.Milp.lp_pivots
+     ~warm_solves:effort.Milp.warm_solves
+     ~cycle_limits:effort.Milp.cycle_limits;
+   Obs.Metrics.incr octx.Obs.Ctx.metrics ~by:nodes "milp.nodes";
+   Obs.Metrics.incr octx.Obs.Ctx.metrics ~by:effort.Milp.lp_solves
+     "milp.lp_solves");
   match result with
   | Milp.Solution s ->
     let weights = Array.init m (fun e -> s.Milp.point.(wvar e)) in
@@ -235,13 +243,16 @@ let lwo ?wmax ?(epsilon = 0.1) ?(max_nodes = 20_000) ?warm ?stats g demands =
   | Milp.Unbounded -> failwith "Uspr_milp.lwo: unbounded (internal)"
   | Milp.NoIncumbent -> failwith "Uspr_milp.lwo: node limit with no incumbent"
 
+let lwo ?wmax ?epsilon ?max_nodes ?warm ?stats g demands =
+  lwo_ctx (Obs.Ctx.make ?stats ()) ?wmax ?epsilon ?max_nodes ?warm g demands
+
 type joint_result = {
   setting : t;
   waypoints : Segments.setting;
 }
 
-let joint ?wmax ?epsilon ?max_nodes ?candidates ?(max_combos = 512) ?stats g
-    demands =
+let joint_ctx (octx : Obs.Ctx.t) ?wmax ?epsilon ?max_nodes ?candidates
+    ?(max_combos = 512) g demands =
   let n = Digraph.node_count g in
   let k = Array.length demands in
   let candidates =
@@ -267,7 +278,8 @@ let joint ?wmax ?epsilon ?max_nodes ?candidates ?(max_combos = 512) ?stats g
   let rec enumerate i =
     if i = k then begin
       let split = Segments.expand demands setting in
-      let r = lwo ?wmax ?epsilon ?max_nodes ?stats g split in
+      let r = lwo_ctx octx ?wmax ?epsilon ?max_nodes g split in
+      Obs.Metrics.incr octx.Obs.Ctx.metrics "milp.joint_assignments";
       match !best with
       | Some (bs, _) when bs.mlu <= r.mlu +. 1e-12 -> ()
       | _ -> best := Some (r, Array.copy setting)
@@ -279,7 +291,13 @@ let joint ?wmax ?epsilon ?max_nodes ?candidates ?(max_combos = 512) ?stats g
           enumerate (i + 1))
         options.(i)
   in
-  enumerate 0;
+  Obs.Ctx.span octx
+    ~attrs:[ Obs.Attr.int "assignments" (int_of_float combos) ]
+    "milp:joint" (fun () -> enumerate 0);
   match !best with
   | Some (s, wps) -> { setting = s; waypoints = wps }
   | None -> assert false (* at least the all-direct assignment is tried *)
+
+let joint ?wmax ?epsilon ?max_nodes ?candidates ?max_combos ?stats g demands =
+  joint_ctx (Obs.Ctx.make ?stats ()) ?wmax ?epsilon ?max_nodes ?candidates
+    ?max_combos g demands

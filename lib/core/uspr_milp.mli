@@ -25,6 +25,26 @@ type t = {
   nodes_explored : int;
 }
 
+val lwo_ctx :
+  Obs.Ctx.t ->
+  ?wmax:float ->
+  ?epsilon:float ->
+  ?max_nodes:int ->
+  ?warm:bool ->
+  Netgraph.Digraph.t ->
+  Network.demand array ->
+  t
+(** Optimal USPR link weights ("ILP Weights"), context-taking entry
+    point.  Demands are aggregated per pair first.  [wmax] defaults to
+    [4 n]; [epsilon] (the unique-path margin) to [0.1]; [max_nodes] to
+    [20_000].  [warm] (default true) toggles parent-basis warm starts
+    inside the branch and bound.  The context's stats receive MILP
+    node / LP effort counters; the tracer records one ["milp:lwo"] root
+    span with ["milp:branch-and-bound"] plus the LP layer's
+    ["milp:node"]/["lp:solve"]/["lp:factor"] spans nested inside; the
+    metrics count [milp.nodes] and [milp.lp_solves].
+    @raise Failure if some demand is unroutable. *)
+
 val lwo :
   ?wmax:float ->
   ?epsilon:float ->
@@ -34,17 +54,32 @@ val lwo :
   Netgraph.Digraph.t ->
   Network.demand array ->
   t
-(** Optimal USPR link weights ("ILP Weights").  Demands are aggregated
-    per pair first.  [wmax] defaults to [4 n]; [epsilon] (the
-    unique-path margin) to [0.1]; [max_nodes] to [20_000].  [warm]
-    (default true) toggles parent-basis warm starts inside the branch
-    and bound; [stats] receives MILP node / LP effort counters.
-    @raise Failure if some demand is unroutable. *)
+(** Deprecated optional-argument shim over {!lwo_ctx}. *)
 
 type joint_result = {
   setting : t;
   waypoints : Segments.setting;
 }
+
+val joint_ctx :
+  Obs.Ctx.t ->
+  ?wmax:float ->
+  ?epsilon:float ->
+  ?max_nodes:int ->
+  ?candidates:int list ->
+  ?max_combos:int ->
+  Netgraph.Digraph.t ->
+  Network.demand array ->
+  joint_result
+(** Joint optimization with up to one waypoint per demand ("ILP Joint"),
+    context-taking entry point: enumerates waypoint assignments (at most
+    [max_combos], default 512) and solves the USPR weight MILP on each
+    induced segment list.  The enumeration is recorded as one
+    ["milp:joint"] span (with an ["assignments"] attribute) containing
+    one ["milp:lwo"] span per assignment; the metrics count
+    [milp.joint_assignments].
+    @raise Invalid_argument when the assignment space exceeds
+    [max_combos] — this is an exact reference for tiny instances only. *)
 
 val joint :
   ?wmax:float ->
@@ -56,8 +91,4 @@ val joint :
   Netgraph.Digraph.t ->
   Network.demand array ->
   joint_result
-(** Joint optimization with up to one waypoint per demand ("ILP Joint"):
-    enumerates waypoint assignments (at most [max_combos], default 512)
-    and solves the USPR weight MILP on each induced segment list.
-    @raise Invalid_argument when the assignment space exceeds
-    [max_combos] — this is an exact reference for tiny instances only. *)
+(** Deprecated optional-argument shim over {!joint_ctx}. *)

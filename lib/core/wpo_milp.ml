@@ -9,9 +9,10 @@ type t = {
   nodes_explored : int;
 }
 
-let solve ?(max_nodes = 50_000) ?candidates ?(max_waypoints = 1) ?warm ?stats g
-    weights demands =
+let solve_ctx (octx : Obs.Ctx.t) ?(max_nodes = 50_000) ?candidates
+    ?(max_waypoints = 1) ?warm g weights demands =
   if max_waypoints < 1 then invalid_arg "Wpo_milp.solve: max_waypoints >= 1";
+  Obs.Ctx.span octx "milp:wpo" @@ fun () ->
   let n = Digraph.node_count g and m = Digraph.edge_count g in
   let k = Array.length demands in
   let ctx = Ecmp.make g weights in
@@ -113,7 +114,10 @@ let solve ?(max_nodes = 50_000) ?candidates ?(max_waypoints = 1) ?warm ?stats g
      acts as an exact verifier/improver and can never return a worse
      setting even when the node limit stops it early. *)
   let initial =
-    let greedy = Greedy_wpo.optimize g weights demands in
+    let greedy =
+      Obs.Ctx.span octx "milp:warm-start" (fun () ->
+          Greedy_wpo.optimize_ctx octx g weights demands)
+    in
     let x = Array.make nvars 0. in
     let loads = Array.make m 0. in
     Array.iteri
@@ -143,18 +147,23 @@ let solve ?(max_nodes = 50_000) ?candidates ?(max_waypoints = 1) ?warm ?stats g
     x.(uvar) <- Ecmp.mlu g loads;
     x
   in
-  let result, effort = Milp.solve_ext ~max_nodes ~initial ?warm p ~integer_vars in
-  (match stats with
-  | Some s ->
-    let nodes =
-      match result with
-      | Milp.Solution sol -> sol.Milp.nodes_explored
-      | Milp.Infeasible | Milp.Unbounded | Milp.NoIncumbent -> max_nodes
-    in
-    Engine.Stats.record_milp s ~nodes ~lp_solves:effort.Milp.lp_solves
-      ~lp_pivots:effort.Milp.lp_pivots ~warm_solves:effort.Milp.warm_solves
-      ~cycle_limits:effort.Milp.cycle_limits
-  | None -> ());
+  let result, effort =
+    Obs.Ctx.span octx "milp:branch-and-bound" (fun () ->
+        Milp.solve_ext ~max_nodes ~initial ?warm
+          ~probe:(Obs.Tracer.lp_probe octx.Obs.Ctx.tracer) p ~integer_vars)
+  in
+  (let nodes =
+     match result with
+     | Milp.Solution sol -> sol.Milp.nodes_explored
+     | Milp.Infeasible | Milp.Unbounded | Milp.NoIncumbent -> max_nodes
+   in
+   Engine.Stats.record_milp octx.Obs.Ctx.stats ~nodes
+     ~lp_solves:effort.Milp.lp_solves ~lp_pivots:effort.Milp.lp_pivots
+     ~warm_solves:effort.Milp.warm_solves
+     ~cycle_limits:effort.Milp.cycle_limits;
+   Obs.Metrics.incr octx.Obs.Ctx.metrics ~by:nodes "milp.nodes";
+   Obs.Metrics.incr octx.Obs.Ctx.metrics ~by:effort.Milp.lp_solves
+     "milp.lp_solves");
   match result with
   | Milp.Solution s when s.Milp.value > direct_mlu +. 1e-9 ->
     (* The node limit stopped the search on a poor incumbent; direct
@@ -178,3 +187,8 @@ let solve ?(max_nodes = 50_000) ?candidates ?(max_waypoints = 1) ?warm ?stats g
        without incumbent can land here; fall back to it. *)
     let mlu = Ecmp.mlu g (Ecmp.loads ctx demands) in
     { waypoints = Array.make k []; mlu; exact = false; nodes_explored = max_nodes }
+
+
+let solve ?max_nodes ?candidates ?max_waypoints ?warm ?stats g weights demands =
+  solve_ctx (Obs.Ctx.make ?stats ()) ?max_nodes ?candidates ?max_waypoints
+    ?warm g weights demands

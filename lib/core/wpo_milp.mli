@@ -18,6 +18,30 @@ type t = {
   nodes_explored : int;
 }
 
+val solve_ctx :
+  Obs.Ctx.t ->
+  ?max_nodes:int ->
+  ?candidates:int list ->
+  ?max_waypoints:int ->
+  ?warm:bool ->
+  Netgraph.Digraph.t ->
+  Weights.t ->
+  Network.demand array ->
+  t
+(** The context-taking entry point.  [candidates] restricts the waypoint
+    universe (default: every node).  [max_waypoints] is the per-demand
+    sequence-length cap W (default 1; options grow as candidates^W, so
+    W >= 2 is for small instances).  [max_nodes] bounds the
+    branch-and-bound tree (default 50_000).  [warm] (default true)
+    toggles parent-basis warm starts in the branch and bound.  The
+    context's stats receive MILP node and LP effort counters
+    ({!Engine.Stats.record_milp}); the tracer records one ["milp:wpo"]
+    root span with ["milp:warm-start"] (the GreedyWPO incumbent) and
+    ["milp:branch-and-bound"] nested inside, plus per-node ["milp:node"]
+    and per-solve ["lp:solve"]/["lp:factor"] spans from the LP layer;
+    the metrics count [milp.nodes] and [milp.lp_solves].
+    @raise Ecmp.Unroutable on an unroutable demand. *)
+
 val solve :
   ?max_nodes:int ->
   ?candidates:int list ->
@@ -28,11 +52,4 @@ val solve :
   Weights.t ->
   Network.demand array ->
   t
-(** [candidates] restricts the waypoint universe (default: every node).
-    [max_waypoints] is the per-demand sequence-length cap W (default 1;
-    options grow as candidates^W, so W >= 2 is for small instances).
-    [max_nodes] bounds the branch-and-bound tree (default 50_000).
-    [warm] (default true) toggles parent-basis warm starts in the branch
-    and bound; [stats] receives MILP node and LP effort counters
-    ({!Engine.Stats.record_milp}).
-    @raise Ecmp.Unroutable on an unroutable demand. *)
+(** Deprecated optional-argument shim over {!solve_ctx}. *)

@@ -33,6 +33,7 @@ type t = {
   graph : Digraph.t;
   weights : float array;
   stats : Stats.t;
+  mutable probe : Probe.t;
   dags : dag option array; (* per destination *)
   units : sparse option array array; (* [dst].[src] *)
   (* commodity bookkeeping *)
@@ -62,13 +63,14 @@ let check_weights g w =
     (fun x -> if not (x > 0.) then invalid_arg "Evaluator: weights must be positive")
     w
 
-let create ?(stats = Stats.create ()) graph weights =
+let create ?(stats = Stats.create ()) ?(probe = Probe.null) graph weights =
   check_weights graph weights;
   let n = Digraph.node_count graph and m = Digraph.edge_count graph in
   {
     graph;
     weights = Array.copy weights;
     stats;
+    probe;
     dags = Array.make n None;
     units = Array.make_matrix n n None;
     by_dest = Array.make n [||];
@@ -96,6 +98,10 @@ let copy ?stats t =
     graph = t.graph;
     weights = Array.copy t.weights;
     stats = (match stats with Some s -> s | None -> Stats.create ());
+    (* Clones run on worker domains whose scheduling is dynamic; they
+       never inherit the tracer probe, or span streams would depend on
+       which worker claimed which task. *)
+    probe = Probe.null;
     dags = Array.copy t.dags;
     units = Array.map Array.copy t.units;
     by_dest = Array.copy t.by_dest;
@@ -114,6 +120,8 @@ let graph t = t.graph
 let weights t = t.weights
 
 let stats t = t.stats
+
+let set_probe t probe = t.probe <- probe
 
 let trail_length t = List.length t.trail
 
@@ -164,11 +172,14 @@ let dag t ~target =
   | None ->
     t.stats.Stats.dag_misses <- t.stats.Stats.dag_misses + 1;
     t.stats.Stats.full_spf <- t.stats.Stats.full_spf + 1;
+    let p = t.probe in
+    let tok = if p.Probe.enabled then p.Probe.start "ev:spf_full" else -1 in
     let d =
       Stats.time t.stats "spf_full" (fun () ->
           let dist = Paths.dijkstra_to t.graph ~weights:t.weights ~target in
           dag_of_dist t.graph t.weights dist)
     in
+    if tok >= 0 then p.Probe.finish tok;
     t.dags.(target) <- Some d;
     d
 
@@ -329,8 +340,12 @@ let phi t = phi_cost t.graph (loads t)
 
 let evaluate t =
   t.stats.Stats.evaluations <- t.stats.Stats.evaluations + 1;
+  let p = t.probe in
+  let tok = if p.Probe.enabled then p.Probe.start "ev:eval" else -1 in
   let l = loads t in
-  (mlu_of_loads t.graph l, phi_cost t.graph l)
+  let r = (mlu_of_loads t.graph l, phi_cost t.graph l) in
+  if tok >= 0 then p.Probe.finish tok;
+  r
 
 (* ------------------------------------------------------------------ *)
 (* Weight updates                                                      *)
@@ -353,6 +368,8 @@ let dest_dirty d u v ~old_w ~new_w =
 let apply_weight t edge new_w =
   let old_w = t.weights.(edge) in
   t.stats.Stats.weight_updates <- t.stats.Stats.weight_updates + 1;
+  let p = t.probe in
+  let tok = if p.Probe.enabled then p.Probe.start "ev:repair" else -1 in
   let u = Digraph.src t.graph edge and v = Digraph.dst t.graph edge in
   let n = Digraph.node_count t.graph in
   let dirty = ref [] and unknown = ref [] in
@@ -394,6 +411,7 @@ let apply_weight t edge new_w =
         snap)
       !dirty
   in
+  if tok >= 0 then p.Probe.finish tok;
   { e_edge = edge; e_old_w = old_w; e_saved = saved; e_unknown = !unknown;
     e_snap_valid = true }
 
@@ -466,6 +484,8 @@ let commit t =
 let undo t =
   if t.trail <> [] then begin
     t.stats.Stats.undos <- t.stats.Stats.undos + 1;
+    let p = t.probe in
+    let tok = if p.Probe.enabled then p.Probe.start "ev:undo" else -1 in
     let entries = t.trail in
     t.trail <- [];
     (* Newest first: restoring in reverse application order recovers the
@@ -502,7 +522,8 @@ let undo t =
       t.stats.Stats.weight_updates <-
         t.stats.Stats.weight_updates + List.length entries;
       flush t
-    end
+    end;
+    if tok >= 0 then p.Probe.finish tok
   end
 
 (* ------------------------------------------------------------------ *)

@@ -37,10 +37,15 @@ type dag = {
 
 type t
 
-val create : ?stats:Stats.t -> Netgraph.Digraph.t -> float array -> t
+val create :
+  ?stats:Stats.t -> ?probe:Probe.t -> Netgraph.Digraph.t -> float array -> t
 (** Caches are lazy: nothing is computed until first use.  The weight
-    vector is copied.  @raise Invalid_argument on a length mismatch or
-    a non-positive weight. *)
+    vector is copied.  [probe] (default {!Probe.null}) receives spans
+    for the engine's hot paths: ["ev:eval"] around {!evaluate},
+    ["ev:spf_full"] around a from-scratch Dijkstra, ["ev:repair"]
+    around the dirty-destination repair of one weight change, and
+    ["ev:undo"] around {!undo}.  @raise Invalid_argument on a length
+    mismatch or a non-positive weight. *)
 
 val copy : ?stats:Stats.t -> t -> t
 (** Deep clone for parallel search: the clone captures the source's
@@ -51,8 +56,10 @@ val copy : ?stats:Stats.t -> t -> t
     are structurally shared, so a copy is cheap and clones may run on
     separate domains.  [stats] defaults to a {e fresh} [Stats.t]: a
     clone never shares its source's counters (merge them back with
-    {!Stats.merge} if desired).  Do not call [copy] while another
-    domain is concurrently using [t]. *)
+    {!Stats.merge} if desired).  The clone's probe is reset to
+    {!Probe.null}: worker-domain span streams would depend on dynamic
+    task scheduling, so clones are never traced implicitly.  Do not
+    call [copy] while another domain is concurrently using [t]. *)
 
 val graph : t -> Netgraph.Digraph.t
 
@@ -61,6 +68,11 @@ val weights : t -> float array
     {!set_weight} / {!set_weights}. *)
 
 val stats : t -> Stats.t
+
+val set_probe : t -> Probe.t -> unit
+(** Replaces the span probe installed at {!create} time.  Install
+    {!Probe.null} to stop tracing; only ever call from the domain that
+    owns the evaluator. *)
 
 (** {1 Shortest-path state} *)
 

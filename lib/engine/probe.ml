@@ -1,0 +1,12 @@
+(* Span hooks the evaluator fires on its hot paths.  The engine sits
+   below the observability layer, so the tracer is injected as this
+   closure record; [null] keeps the disabled path to one field load and
+   a branch (no closure application, no allocation). *)
+
+type t = {
+  enabled : bool;
+  start : string -> int;
+  finish : int -> unit;
+}
+
+let null = { enabled = false; start = (fun _ -> -1); finish = ignore }

@@ -1,0 +1,21 @@
+(** Injected span hooks for the engine's hot paths.
+
+    The engine cannot depend on the observability layer above it, so
+    tracers hand the {!Evaluator} this record of closures instead.
+    [start name] opens a span and returns a token; [finish token]
+    closes it.  Implementations must be cheap and exception-free — the
+    evaluator calls them with its own invariants mid-flight.
+
+    The [enabled] flag is the fast path: instrumented sites read it and
+    skip both closures when false, so the {!null} probe costs one load
+    and a branch per site and allocates nothing. *)
+
+type t = {
+  enabled : bool;
+  start : string -> int;  (** open a span by name, returning a token *)
+  finish : int -> unit;  (** close the span for a token from [start] *)
+}
+
+val null : t
+(** The disabled probe: [enabled = false], [start] returns [-1],
+    [finish] ignores. *)

@@ -42,7 +42,7 @@ type node = {
 let frac x = x -. Float.round x
 
 let solve_ext ?(max_nodes = 200_000) ?(int_tol = 1e-6) ?initial ?(warm = true)
-    (lp : Simplex.problem) ~integer_vars =
+    ?(probe = Simplex.null_probe) (lp : Simplex.problem) ~integer_vars =
   let sp = Simplex.Sparse.of_problem lp in
   let maximizing = lp.Simplex.sense = Simplex.Maximize in
   let better a b = if maximizing then a > b +. 1e-9 else a < b -. 1e-9 in
@@ -78,7 +78,9 @@ let solve_ext ?(max_nodes = 200_000) ?(int_tol = 1e-6) ?initial ?(warm = true)
   let solve_node node =
     let basis = if warm then node.nbasis else None in
     incr lp_solves;
-    let r = Simplex.Sparse.solve ~bounds:node.nbounds ?basis sp in
+    let ntok = if probe.Simplex.enabled then probe.Simplex.start "milp:node" else -1 in
+    let r = Simplex.Sparse.solve ~bounds:node.nbounds ?basis ~probe sp in
+    if ntok >= 0 then probe.Simplex.finish ntok;
     let record iters =
       lp_pivots := !lp_pivots + iters;
       match basis with
@@ -218,5 +220,5 @@ let solve_ext ?(max_nodes = 200_000) ?(int_tol = 1e-6) ?initial ?(warm = true)
   in
   (result, effort)
 
-let solve ?max_nodes ?int_tol ?initial ?warm lp ~integer_vars =
-  fst (solve_ext ?max_nodes ?int_tol ?initial ?warm lp ~integer_vars)
+let solve ?max_nodes ?int_tol ?initial ?warm ?probe lp ~integer_vars =
+  fst (solve_ext ?max_nodes ?int_tol ?initial ?warm ?probe lp ~integer_vars)

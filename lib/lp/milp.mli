@@ -37,6 +37,7 @@ val solve :
   ?int_tol:float ->
   ?initial:float array ->
   ?warm:bool ->
+  ?probe:Simplex.probe ->
   Simplex.problem ->
   integer_vars:int list ->
   result
@@ -46,13 +47,17 @@ val solve :
     integer point (silently ignored if it is not one), so the result is
     never worse than it even under the node limit.  [warm] (default
     [true]) controls parent-basis warm starting of child relaxations;
-    disabling it never changes the result, only the pivot counts. *)
+    disabling it never changes the result, only the pivot counts.
+    [probe] (default {!Simplex.null_probe}) receives a ["milp:node"]
+    span per explored node, with the node's ["lp:solve"] /
+    ["lp:factor"] spans nested inside. *)
 
 val solve_ext :
   ?max_nodes:int ->
   ?int_tol:float ->
   ?initial:float array ->
   ?warm:bool ->
+  ?probe:Simplex.probe ->
   Simplex.problem ->
   integer_vars:int list ->
   result * effort

@@ -1,3 +1,11 @@
+type probe = {
+  enabled : bool;
+  start : string -> int;
+  finish : int -> unit;
+}
+
+let null_probe = { enabled = false; start = (fun _ -> -1); finish = ignore }
+
 type relation = Le | Ge | Eq
 
 type sense = Maximize | Minimize
@@ -444,7 +452,7 @@ module Sparse = struct
 
   let default_iter_limit p = 20_000 + (50 * (p.ncols + p.nrows))
 
-  let solve ?max_iters ?(bounds = []) ?basis p =
+  let solve_raw ?max_iters ?(bounds = []) ?basis ?(probe = null_probe) p =
     let ncols = p.ncols and nrows = p.nrows in
     let n = ncols + nrows in
     let lower = Array.copy p.lower and upper = Array.copy p.upper in
@@ -541,6 +549,7 @@ module Sparse = struct
       in
       let lu = ref None in
       let factorize () =
+        let ftok = if probe.enabled then probe.start "lp:factor" else -1 in
         (match Sparse_lu.factor ~n:nrows (build_cols ()) with
         | Some f -> lu := Some f
         | None ->
@@ -548,6 +557,7 @@ module Sparse = struct
              factorable slack basis; phase 1 restarts from there. *)
           install_slack ();
           lu := Sparse_lu.factor ~n:nrows (build_cols ()));
+        if ftok >= 0 then probe.finish ftok;
         match !lu with Some f -> f | None -> assert false
       in
       let xb = Array.make (max nrows 1) 0. in
@@ -849,6 +859,15 @@ module Sparse = struct
       done;
       match !result with Some r -> r | None -> assert false
     end
+
+  let solve ?max_iters ?bounds ?basis ?probe p =
+    match probe with
+    | Some pr when pr.enabled ->
+      let tok = pr.start "lp:solve" in
+      let r = solve_raw ?max_iters ?bounds ?basis ~probe:pr p in
+      pr.finish tok;
+      r
+    | _ -> solve_raw ?max_iters ?bounds ?basis p
 end
 
 (* ------------------------------------------------------------------ *)

@@ -12,6 +12,20 @@
     (non-negative variables, [a.x (<= | = | >=) b]) but is routed
     through the sparse solver. *)
 
+type probe = {
+  enabled : bool;
+  start : string -> int;  (** open a span by name, returning a token *)
+  finish : int -> unit;  (** close the span for a token from [start] *)
+}
+(** Injected span hooks, mirroring [Engine.Probe.t] (this library does
+    not depend on the engine).  The solvers fire ["lp:solve"] around
+    each {!Sparse.solve}, ["lp:factor"] around basis refactorizations,
+    and {!Milp} fires ["milp:node"] per branch-and-bound node.  With
+    [enabled = false] every instrumented site is a load and a branch. *)
+
+val null_probe : probe
+(** The disabled probe ([enabled = false]; [start] returns [-1]). *)
+
 type relation = Le | Ge | Eq
 
 type sense = Maximize | Minimize
@@ -133,11 +147,14 @@ module Sparse : sig
     ?max_iters:int ->
     ?bounds:(int * float * float) list ->
     ?basis:basis ->
+    ?probe:probe ->
     t ->
     outcome
   (** [bounds] lists per-variable overrides [(j, lo, hi)] that {e
       tighten} the stored bounds (lower is raised to [lo], upper cut to
       [hi]); the problem itself is not mutated, so one [t] serves a
       whole branch-and-bound tree.  [basis] warm-starts from a previous
-      {!Optimal} basis of the same-shaped problem. *)
+      {!Optimal} basis of the same-shaped problem.  [probe] (default
+      {!null_probe}) receives an ["lp:solve"] span per call and an
+      ["lp:factor"] span per basis (re)factorization. *)
 end

@@ -1,0 +1,676 @@
+(* Structured tracing/metrics.  See obs.mli for the design contract;
+   the load-bearing invariant throughout is determinism: exported span
+   streams and metric dumps must be pure functions of the computation,
+   never of worker scheduling, so fan-out work records into detached
+   child buffers grafted back under deterministic keys. *)
+
+module Mono = Engine.Mono
+module Stats = Engine.Stats
+
+module Attr = struct
+  type value = Int of int | Float of float | Str of string | Bool of bool
+
+  type t = string * value
+
+  let int k v = (k, Int v)
+
+  let float k v = (k, Float v)
+
+  let str k v = (k, Str v)
+
+  let bool k v = (k, Bool v)
+end
+
+module Span = struct
+  type t = {
+    id : int;
+    parent : int;
+    depth : int;
+    name : string;
+    t0 : float;
+    dur : float;
+    attrs : Attr.t list;
+  }
+end
+
+module Tracer = struct
+  (* Internal span representation: [parent]/[depth] are buffer-local;
+     the export renumbers them across grafted children. *)
+  type srec = {
+    s_name : string;
+    s_parent : int;  (* index in the same buffer, -1 = buffer root *)
+    s_depth : int;
+    s_t0 : float;
+    mutable s_dur : float;  (* -1. while open *)
+    mutable s_attrs : Attr.t list;  (* reversed insertion order *)
+  }
+
+  type buf = {
+    cap : int;
+    engine_detail : bool;
+    epoch : float;  (* shared with children: t0s are comparable *)
+    mutable arr : srec array;
+    mutable len : int;
+    mutable stack : int list;  (* open span indices, innermost first *)
+    mutable dropped : int;
+    mutable misnest : int;
+    (* grafted children, newest first: (attach index | -1, key, child) *)
+    mutable kids : (int * int * buf) list;
+  }
+
+  type t = Noop | Buf of buf
+
+  let noop = Noop
+
+  let dummy =
+    { s_name = ""; s_parent = -1; s_depth = 0; s_t0 = 0.; s_dur = 0.;
+      s_attrs = [] }
+
+  let mk_buf ~cap ~engine_detail ~epoch =
+    { cap; engine_detail; epoch; arr = Array.make 64 dummy; len = 0;
+      stack = []; dropped = 0; misnest = 0; kids = [] }
+
+  let create ?(cap = 65536) ?(engine_detail = false) () =
+    Buf (mk_buf ~cap ~engine_detail ~epoch:(Mono.now ()))
+
+  let enabled = function Noop -> false | Buf _ -> true
+
+  let start t name =
+    match t with
+    | Noop -> -1
+    | Buf b ->
+      if b.len >= b.cap then begin
+        b.dropped <- b.dropped + 1;
+        -1
+      end
+      else begin
+        if b.len = Array.length b.arr then begin
+          let bigger =
+            Array.make (min b.cap (2 * Array.length b.arr)) dummy
+          in
+          Array.blit b.arr 0 bigger 0 b.len;
+          b.arr <- bigger
+        end;
+        let s_parent, s_depth =
+          match b.stack with
+          | [] -> (-1, 0)
+          | i :: _ -> (i, b.arr.(i).s_depth + 1)
+        in
+        let s =
+          { s_name = name; s_parent; s_depth; s_t0 = Mono.now () -. b.epoch;
+            s_dur = -1.; s_attrs = [] }
+        in
+        b.arr.(b.len) <- s;
+        b.stack <- b.len :: b.stack;
+        b.len <- b.len + 1;
+        b.len - 1
+      end
+
+  let finish t tok =
+    match t with
+    | Noop -> ()
+    | Buf b ->
+      if tok >= 0 && tok < b.len then begin
+        let now = Mono.now () -. b.epoch in
+        let s = b.arr.(tok) in
+        if s.s_dur < 0. then s.s_dur <- now -. s.s_t0;
+        if List.mem tok b.stack then begin
+          (* Force-close anything opened after [tok] and left open: the
+             trace stays a forest even under misuse. *)
+          let rec pop = function
+            | [] -> []
+            | i :: rest ->
+              if i = tok then rest
+              else begin
+                b.misnest <- b.misnest + 1;
+                let a = b.arr.(i) in
+                if a.s_dur < 0. then a.s_dur <- now -. a.s_t0;
+                pop rest
+              end
+          in
+          b.stack <- pop b.stack
+        end
+        else b.misnest <- b.misnest + 1
+      end
+
+  let attr t tok a =
+    match t with
+    | Noop -> ()
+    | Buf b ->
+      if tok >= 0 && tok < b.len then
+        b.arr.(tok).s_attrs <- a :: b.arr.(tok).s_attrs
+
+  let with_span t ?(attrs = []) name f =
+    match t with
+    | Noop -> f ()
+    | Buf _ -> (
+      let tok = start t name in
+      List.iter (fun a -> attr t tok a) attrs;
+      match f () with
+      | v ->
+        finish t tok;
+        v
+      | exception e ->
+        finish t tok;
+        raise e)
+
+  let instant t ?(attrs = []) name =
+    match t with
+    | Noop -> ()
+    | Buf _ ->
+      let tok = start t name in
+      List.iter (fun a -> attr t tok a) attrs;
+      finish t tok
+
+  let child = function
+    | Noop -> Noop
+    | Buf b ->
+      Buf (mk_buf ~cap:b.cap ~engine_detail:b.engine_detail ~epoch:b.epoch)
+
+  let graft t ~key c =
+    match (t, c) with
+    | Buf b, Buf cb ->
+      let attach = match b.stack with [] -> -1 | i :: _ -> i in
+      b.kids <- (attach, key, cb) :: b.kids
+    | _ -> ()
+
+  let probe t =
+    match t with
+    | Buf b when b.engine_detail ->
+      {
+        Engine.Probe.enabled = true;
+        start = (fun name -> start t name);
+        finish = (fun tok -> finish t tok);
+      }
+    | _ -> Engine.Probe.null
+
+  let lp_probe t =
+    match t with
+    | Buf _ ->
+      {
+        Linprog.Simplex.enabled = true;
+        start = (fun name -> start t name);
+        finish = (fun tok -> finish t tok);
+      }
+    | Noop -> Linprog.Simplex.null_probe
+
+  let rec fold_bufs f acc = function
+    | Noop -> acc
+    | Buf b ->
+      let acc = f acc b in
+      List.fold_left (fun acc (_, _, cb) -> fold_bufs f acc (Buf cb)) acc
+        b.kids
+
+  let span_count t = fold_bufs (fun acc b -> acc + b.len) 0 t
+
+  let dropped t = fold_bufs (fun acc b -> acc + b.dropped) 0 t
+
+  let misnested t = fold_bufs (fun acc b -> acc + b.misnest) 0 t
+
+  (* Deterministic flatten: a buffer's own spans in recording order,
+     then its grafted children ordered by (attachment point, key,
+     graft order), depth-shifted under their attachment span. *)
+  let spans t =
+    let out = ref [] in
+    let counter = ref 0 in
+    let rec emit ~parent_id ~depth_shift b =
+      let idmap = Array.make (max 1 b.len) (-1) in
+      for i = 0 to b.len - 1 do
+        let s = b.arr.(i) in
+        let id = !counter in
+        incr counter;
+        idmap.(i) <- id;
+        let parent =
+          if s.s_parent = -1 then parent_id else idmap.(s.s_parent)
+        in
+        out :=
+          {
+            Span.id;
+            parent;
+            depth = s.s_depth + depth_shift;
+            name = s.s_name;
+            t0 = s.s_t0;
+            dur = s.s_dur;
+            attrs = List.rev s.s_attrs;
+          }
+          :: !out
+      done;
+      let kids =
+        List.stable_sort
+          (fun (a1, k1, _) (a2, k2, _) ->
+            let c = compare a1 a2 in
+            if c <> 0 then c else compare k1 k2)
+          (List.rev b.kids)
+      in
+      List.iter
+        (fun (attach, _key, cb) ->
+          let pid, dsh =
+            if attach = -1 then (parent_id, depth_shift)
+            else (idmap.(attach), b.arr.(attach).s_depth + depth_shift + 1)
+          in
+          emit ~parent_id:pid ~depth_shift:dsh cb)
+        kids
+    in
+    (match t with Noop -> () | Buf b -> emit ~parent_id:(-1) ~depth_shift:0 b);
+    List.rev !out
+
+  let totals ?(max_depth = max_int) t =
+    let tbl = Hashtbl.create 16 in
+    List.iter
+      (fun (s : Span.t) ->
+        if s.depth <= max_depth then begin
+          let dur, n =
+            match Hashtbl.find_opt tbl s.name with
+            | Some (d, n) -> (d, n)
+            | None -> (0., 0)
+          in
+          let d = if s.dur < 0. then 0. else s.dur in
+          Hashtbl.replace tbl s.name (dur +. d, n + 1)
+        end)
+      (spans t);
+    Hashtbl.fold (fun name (d, n) acc -> (name, d, n) :: acc) tbl []
+    |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b)
+
+  let phase_totals t =
+    List.map (fun (name, d, _) -> (name, d)) (totals ~max_depth:0 t)
+end
+
+module Metrics = struct
+  (* Decade buckets sized for durations in seconds; min/max/sum stay
+     exact for observations at any scale. *)
+  let bounds = [| 1e-6; 1e-5; 1e-4; 1e-3; 1e-2; 0.1; 1.; 10.; 100. |]
+
+  type hrec = {
+    mutable h_n : int;
+    mutable h_sum : float;
+    mutable h_min : float;
+    mutable h_max : float;
+    h_counts : int array;  (* length bounds + 1; last = overflow *)
+  }
+
+  type t = {
+    c : (string, int ref) Hashtbl.t;
+    g : (string, float ref) Hashtbl.t;
+    h : (string, hrec) Hashtbl.t;
+  }
+
+  let create () =
+    { c = Hashtbl.create 16; g = Hashtbl.create 8; h = Hashtbl.create 8 }
+
+  let incr t ?(by = 1) name =
+    match Hashtbl.find_opt t.c name with
+    | Some r -> r := !r + by
+    | None -> Hashtbl.add t.c name (ref by)
+
+  let gauge t name v =
+    match Hashtbl.find_opt t.g name with
+    | Some r -> r := v
+    | None -> Hashtbl.add t.g name (ref v)
+
+  let hrec_create () =
+    { h_n = 0; h_sum = 0.; h_min = infinity; h_max = neg_infinity;
+      h_counts = Array.make (Array.length bounds + 1) 0 }
+
+  let observe t name v =
+    let h =
+      match Hashtbl.find_opt t.h name with
+      | Some h -> h
+      | None ->
+        let h = hrec_create () in
+        Hashtbl.add t.h name h;
+        h
+    in
+    h.h_n <- h.h_n + 1;
+    h.h_sum <- h.h_sum +. v;
+    if v < h.h_min then h.h_min <- v;
+    if v > h.h_max then h.h_max <- v;
+    let i = ref 0 in
+    while !i < Array.length bounds && v > bounds.(!i) do
+      Stdlib.incr i
+    done;
+    h.h_counts.(!i) <- h.h_counts.(!i) + 1
+
+  let merge ~into src =
+    Hashtbl.iter (fun name r -> incr into ~by:!r name) src.c;
+    Hashtbl.iter (fun name r -> gauge into name !r) src.g;
+    Hashtbl.iter
+      (fun name h ->
+        let dst =
+          match Hashtbl.find_opt into.h name with
+          | Some d -> d
+          | None ->
+            let d = hrec_create () in
+            Hashtbl.add into.h name d;
+            d
+        in
+        dst.h_n <- dst.h_n + h.h_n;
+        dst.h_sum <- dst.h_sum +. h.h_sum;
+        if h.h_min < dst.h_min then dst.h_min <- h.h_min;
+        if h.h_max > dst.h_max then dst.h_max <- h.h_max;
+        Array.iteri
+          (fun i c -> dst.h_counts.(i) <- dst.h_counts.(i) + c)
+          h.h_counts)
+      src.h
+
+  let absorb_stats t (s : Stats.t) =
+    let add name v = if v <> 0 then incr t ~by:v ("engine." ^ name) in
+    add "evaluations" s.Stats.evaluations;
+    add "full_spf" s.Stats.full_spf;
+    add "incr_spf" s.Stats.incr_spf;
+    add "spf_nodes_touched" s.Stats.spf_nodes_touched;
+    add "dag_hits" s.Stats.dag_hits;
+    add "dag_misses" s.Stats.dag_misses;
+    add "unit_hits" s.Stats.unit_hits;
+    add "unit_misses" s.Stats.unit_misses;
+    add "weight_updates" s.Stats.weight_updates;
+    add "dirty_dests" s.Stats.dirty_dests;
+    add "clean_dests" s.Stats.clean_dests;
+    add "commits" s.Stats.commits;
+    add "undos" s.Stats.undos;
+    add "scenarios" s.Stats.scenarios;
+    add "edges_disabled" s.Stats.edges_disabled;
+    add "par_regions" s.Stats.par_regions;
+    add "par_tasks" s.Stats.par_tasks;
+    add "milp_nodes" s.Stats.milp_nodes;
+    add "lp_solves" s.Stats.lp_solves;
+    add "lp_pivots" s.Stats.lp_pivots;
+    add "lp_warm_solves" s.Stats.lp_warm_solves;
+    add "lp_cycle_limits" s.Stats.lp_cycle_limits;
+    add "worker_evals_total"
+      (Array.fold_left ( + ) 0 s.Stats.worker_evals);
+    if s.Stats.par_wall > 0. then gauge t "engine.par_wall" s.Stats.par_wall;
+    if s.Stats.par_busy > 0. then gauge t "engine.par_busy" s.Stats.par_busy;
+    List.iter
+      (fun (name, secs) -> gauge t ("engine.time." ^ name) secs)
+      (Stats.timers s)
+
+  let counters t =
+    Hashtbl.fold (fun name r acc -> (name, !r) :: acc) t.c []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+  let gauges t =
+    Hashtbl.fold (fun name r acc -> (name, !r) :: acc) t.g []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+  type hist = {
+    n : int;
+    sum : float;
+    min : float;
+    max : float;
+    buckets : (float * int) list;
+  }
+
+  let histograms t =
+    Hashtbl.fold
+      (fun name h acc ->
+        let buckets =
+          List.init
+            (Array.length h.h_counts)
+            (fun i ->
+              let ub =
+                if i < Array.length bounds then bounds.(i) else infinity
+              in
+              (ub, h.h_counts.(i)))
+        in
+        (name, { n = h.h_n; sum = h.h_sum; min = h.h_min; max = h.h_max;
+                 buckets })
+        :: acc)
+      t.h []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+  let json_float f =
+    if Float.is_nan f then "null"
+    else if f = infinity then "1e999"
+    else if f = neg_infinity then "-1e999"
+    else Printf.sprintf "%.17g" f
+
+  let to_json t =
+    let counters =
+      counters t
+      |> List.map (fun (k, v) -> Printf.sprintf "%S: %d" k v)
+      |> String.concat ", "
+    in
+    let gauges =
+      gauges t
+      |> List.map (fun (k, v) -> Printf.sprintf "%S: %s" k (json_float v))
+      |> String.concat ", "
+    in
+    let hists =
+      histograms t
+      |> List.map (fun (k, h) ->
+             Printf.sprintf
+               "%S: {\"n\": %d, \"sum\": %s, \"min\": %s, \"max\": %s, \
+                \"counts\": [%s]}"
+               k h.n (json_float h.sum) (json_float h.min) (json_float h.max)
+               (String.concat ", "
+                  (List.map (fun (_, c) -> string_of_int c) h.buckets)))
+      |> String.concat ", "
+    in
+    Printf.sprintf
+      "{\"counters\": {%s}, \"gauges\": {%s}, \"histograms\": {%s}}" counters
+      gauges hists
+end
+
+module Ctx = struct
+  type t = {
+    stats : Stats.t;
+    tracer : Tracer.t;
+    metrics : Metrics.t;
+    pool : Par.Pool.t;
+    seed : int;
+    deadline : float option;
+  }
+
+  let make ?stats ?(tracer = Tracer.noop) ?metrics ?(pool = Par.Pool.sequential)
+      ?(seed = 0) ?deadline () =
+    {
+      stats = (match stats with Some s -> s | None -> Stats.create ());
+      tracer;
+      metrics = (match metrics with Some m -> m | None -> Metrics.create ());
+      pool;
+      seed;
+      deadline;
+    }
+
+  let default () = make ()
+
+  let jobs t = Par.Pool.jobs t.pool
+
+  let expired t =
+    match t.deadline with None -> false | Some d -> Mono.now () > d
+
+  let span t ?attrs name f = Tracer.with_span t.tracer ?attrs name f
+
+  let phase t name f =
+    Tracer.with_span t.tracer name (fun () ->
+        Stats.time t.stats ("phase:" ^ name) f)
+
+  let probe t = Tracer.probe t.tracer
+
+  let fork t =
+    {
+      t with
+      stats = Stats.create ();
+      metrics = Metrics.create ();
+      tracer = Tracer.child t.tracer;
+    }
+
+  let join ~key ~into forked =
+    Stats.merge ~into:into.stats forked.stats;
+    Metrics.merge ~into:into.metrics forked.metrics;
+    Tracer.graft into.tracer ~key forked.tracer
+end
+
+module Export = struct
+  (* The current git revision, read straight from .git (no subprocess):
+     HEAD is either a hash or "ref: <path>", and the ref lives in its
+     own file or in packed-refs. *)
+  let git_rev () =
+    let read_line path =
+      try
+        let ic = open_in path in
+        let l = try input_line ic with End_of_file -> "" in
+        close_in ic;
+        Some (String.trim l)
+      with Sys_error _ -> None
+    in
+    let packed_ref name =
+      try
+        let ic = open_in (Filename.concat ".git" "packed-refs") in
+        let found = ref None in
+        (try
+           while !found = None do
+             let l = input_line ic in
+             match String.index_opt l ' ' with
+             | Some i when String.sub l (i + 1) (String.length l - i - 1) = name
+               ->
+               found := Some (String.sub l 0 i)
+             | _ -> ()
+           done
+         with End_of_file -> ());
+        close_in ic;
+        !found
+      with Sys_error _ -> None
+    in
+    match read_line (Filename.concat ".git" "HEAD") with
+    | None -> "unknown"
+    | Some head ->
+      if String.length head > 5 && String.sub head 0 5 = "ref: " then begin
+        let name = String.trim (String.sub head 5 (String.length head - 5)) in
+        match read_line (Filename.concat ".git" name) with
+        | Some sha when sha <> "" -> sha
+        | _ -> ( match packed_ref name with Some sha -> sha | None -> "unknown")
+      end
+      else if head <> "" then head
+      else "unknown"
+
+  let host_cores () = Domain.recommended_domain_count ()
+
+  let json_str s =
+    let b = Buffer.create (String.length s + 2) in
+    Buffer.add_char b '"';
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | '\t' -> Buffer.add_string b "\\t"
+        | '\r' -> Buffer.add_string b "\\r"
+        | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.add_char b '"';
+    Buffer.contents b
+
+  let json_float = Metrics.json_float
+
+  let provenance () =
+    [
+      ("git_rev", json_str (git_rev ()));
+      ("host_cores", string_of_int (host_cores ()));
+    ]
+
+  let envelope ~schema ?(fields = []) records =
+    let fields =
+      (("schema", json_str schema) :: provenance ()) @ fields
+    in
+    Printf.sprintf "{%s, \"records\": [\n%s\n]}\n"
+      (String.concat ", "
+         (List.map (fun (k, v) -> Printf.sprintf "%S: %s" k v) fields))
+      (String.concat ",\n" records)
+
+  let write_envelope ~path ~schema ?fields records =
+    let oc = open_out path in
+    output_string oc (envelope ~schema ?fields records);
+    close_out oc
+
+  let attr_json (k, v) =
+    Printf.sprintf "%s: %s" (json_str k)
+      (match v with
+      | Attr.Int i -> string_of_int i
+      | Attr.Float f -> json_float f
+      | Attr.Str s -> json_str s
+      | Attr.Bool b -> if b then "true" else "false")
+
+  let span_json ~times (s : Span.t) =
+    let b = Buffer.create 96 in
+    Buffer.add_string b
+      (Printf.sprintf "{\"id\": %d, \"parent\": %d, \"depth\": %d, \"name\": %s"
+         s.id s.parent s.depth (json_str s.name));
+    if times then
+      Buffer.add_string b
+        (Printf.sprintf ", \"t0\": %s, \"dur\": %s" (json_float s.t0)
+           (json_float s.dur));
+    if s.attrs <> [] then
+      Buffer.add_string b
+        (Printf.sprintf ", \"attrs\": {%s}"
+           (String.concat ", " (List.map attr_json s.attrs)));
+    Buffer.add_char b '}';
+    Buffer.contents b
+
+  let trace_lines ?(times = true) t =
+    let header =
+      let fields =
+        (("schema", json_str "trace/1") :: provenance ())
+        @ [
+            ("spans", string_of_int (Tracer.span_count t));
+            ("dropped", string_of_int (Tracer.dropped t));
+            ("misnested", string_of_int (Tracer.misnested t));
+          ]
+      in
+      Printf.sprintf "{%s}"
+        (String.concat ", "
+           (List.map (fun (k, v) -> Printf.sprintf "%S: %s" k v) fields))
+    in
+    header :: List.map (span_json ~times) (Tracer.spans t)
+
+  let write_trace ?times ~path t =
+    let oc = open_out path in
+    List.iter
+      (fun l ->
+        output_string oc l;
+        output_char oc '\n')
+      (trace_lines ?times t);
+    close_out oc
+
+  let run_summary ?wall ?(extra = []) (ctx : Ctx.t) =
+    let phases = Tracer.phase_totals ctx.Ctx.tracer in
+    let phase_sum = List.fold_left (fun a (_, d) -> a +. d) 0. phases in
+    let wall = match wall with Some w -> w | None -> phase_sum in
+    let coverage = if wall > 0. then phase_sum /. wall else nan in
+    let m = Metrics.create () in
+    Metrics.merge ~into:m ctx.Ctx.metrics;
+    Metrics.absorb_stats m ctx.Ctx.stats;
+    let fields =
+      (("schema", json_str "run-summary/1") :: provenance ())
+      @ [
+          ("jobs", string_of_int (Ctx.jobs ctx));
+          ("wall_seconds", json_float wall);
+          ( "phases",
+            Printf.sprintf "{%s}"
+              (String.concat ", "
+                 (List.map
+                    (fun (name, d) ->
+                      Printf.sprintf "%s: %s" (json_str name) (json_float d))
+                    phases)) );
+          ("phase_seconds", json_float phase_sum);
+          ("phase_coverage", json_float coverage);
+          ( "parallel_efficiency",
+            json_float (Stats.parallel_efficiency ctx.Ctx.stats) );
+          ("spans", string_of_int (Tracer.span_count ctx.Ctx.tracer));
+          ("spans_dropped", string_of_int (Tracer.dropped ctx.Ctx.tracer));
+          ("metrics", Metrics.to_json m);
+        ]
+      @ extra
+    in
+    Printf.sprintf "{%s}\n"
+      (String.concat ", "
+         (List.map (fun (k, v) -> Printf.sprintf "%S: %s" k v) fields))
+
+  let write_run_summary ?wall ?extra ~path ctx =
+    let oc = open_out path in
+    output_string oc (run_summary ?wall ?extra ctx);
+    close_out oc
+end

@@ -1,0 +1,287 @@
+(** Structured tracing and metrics for the TE solvers.
+
+    The paper's evaluation is about where time goes — local-search
+    probes, greedy waypoint scans, MILP nodes — and the flat
+    {!Engine.Stats} counter bag cannot answer that per phase.  This
+    layer adds:
+
+    - {!Tracer}: named, nested spans stamped with {!Engine.Mono},
+      recorded into a bounded per-domain buffer.  Disabled tracing is
+      the {!Tracer.noop} value: every instrumented site reduces to a
+      tag test, no closure is allocated on the fast path.
+    - {!Metrics}: counters / gauges / histograms with a deterministic
+      merge, superseding ad-hoc additions to [Engine.Stats].
+    - {!Ctx}: the run context every solver entry point takes — stats,
+      tracer, metrics, worker pool, RNG seed and an optional deadline —
+      replacing the [?stats ?jobs ?seed] optional-argument sprawl.
+    - {!Export}: the shared JSON writers ([trace/1] span streams,
+      [run-summary/1] digests, and the versioned envelope every
+      [BENCH_*.json] is stamped with).
+
+    {2 Determinism under [Par.Pool] fan-out}
+
+    Worker attribution inside a pool is scheduling-dependent, so worker
+    domains never write into a shared span buffer.  Instead the
+    orchestrating domain {!Tracer.child}s one detached buffer per
+    {e task} (restart, scenario, chunk — a deterministic key), hands it
+    to whichever worker runs the task, and {!Tracer.graft}s the buffers
+    back in key order at the join.  The exported trace is therefore a
+    pure function of the task decomposition, not of the schedule:
+    byte-identical across [--jobs] once timestamps are stripped
+    ([~times:false]). *)
+
+(** Span attributes: typed key/value pairs. *)
+module Attr : sig
+  type value = Int of int | Float of float | Str of string | Bool of bool
+
+  type t = string * value
+
+  val int : string -> int -> t
+  val float : string -> float -> t
+  val str : string -> string -> t
+  val bool : string -> bool -> t
+end
+
+(** The exported view of one closed (or still-open) span. *)
+module Span : sig
+  type t = {
+    id : int;  (** export-order identifier, dense from 0 *)
+    parent : int;  (** enclosing span id, [-1] for a root span *)
+    depth : int;  (** 0 for root spans *)
+    name : string;
+    t0 : float;  (** {!Engine.Mono} seconds since the tracer's epoch *)
+    dur : float;  (** seconds; [-1.] if the span was never finished *)
+    attrs : Attr.t list;  (** in attachment order *)
+  }
+end
+
+(** Bounded span recorder.  Not thread-safe: one tracer (or child
+    buffer) belongs to one domain at a time. *)
+module Tracer : sig
+  type t
+
+  val noop : t
+  (** The disabled tracer: every operation is a constant-time no-op and
+    allocates nothing. *)
+
+  val create : ?cap:int -> ?engine_detail:bool -> unit -> t
+  (** A live tracer.  [cap] (default [65536]) bounds the number of
+      spans each buffer retains; past it, new spans are counted in
+      {!dropped} instead of recorded (their children attach to the
+      nearest recorded ancestor).  [engine_detail] opts into the
+      high-frequency evaluator spans ([ev:*]) via {!probe}. *)
+
+  val enabled : t -> bool
+  (** [false] exactly for {!noop}. *)
+
+  val start : t -> string -> int
+  (** Opens a span nested under the innermost open span of this buffer
+      and returns its token ([-1] if disabled or dropped). *)
+
+  val finish : t -> int -> unit
+  (** Closes the span for a {!start} token, stamping its duration.
+      Tokens [-1] are ignored.  Finishing out of LIFO order force-pops
+      the spans opened since (counted in {!misnested}). *)
+
+  val attr : t -> int -> Attr.t -> unit
+  (** Attaches an attribute to the span for a token (ignored on [-1]). *)
+
+  val with_span : t -> ?attrs:Attr.t list -> string -> (unit -> 'a) -> 'a
+  (** [with_span t name f] brackets [f] in a span; the span is closed
+      (and re-raises) even if [f] raises. *)
+
+  val instant : t -> ?attrs:Attr.t list -> string -> unit
+  (** A zero-duration event span. *)
+
+  val child : t -> t
+  (** A detached buffer with the parent's [cap] and [engine_detail],
+      for one unit of fanned-out work.  {!child} of {!noop} is
+      {!noop}. *)
+
+  val graft : t -> key:int -> t -> unit
+  (** [graft parent ~key c] attaches child buffer [c] under the
+      innermost span currently open in [parent].  At export, children
+      of the same attachment point appear sorted by [key] — call it
+      with deterministic keys (task index, restart number) and the
+      merged trace is schedule-independent.  Grafting [noop] (or onto
+      [noop]) is a no-op. *)
+
+  val probe : t -> Engine.Probe.t
+  (** A probe for {!Engine.Evaluator.set_probe} feeding this buffer.
+      {!Engine.Probe.null} unless the tracer is live {e and} was
+      created with [~engine_detail:true]. *)
+
+  val lp_probe : t -> Linprog.Simplex.probe
+  (** The simplex / branch-and-bound hooks ([lp:*] / [milp:*] spans).
+      Unlike {!probe} these fire on the orchestrating domain at
+      branch-and-bound node granularity, so they are live whenever the
+      tracer is — no [engine_detail] opt-in. *)
+
+  val span_count : t -> int
+  (** Spans recorded in this buffer and every grafted child. *)
+
+  val dropped : t -> int
+  (** Spans discarded because a buffer was at capacity (incl. children). *)
+
+  val misnested : t -> int
+  (** Out-of-order {!finish} repairs (incl. children); 0 on a
+      well-formed trace. *)
+
+  val spans : t -> Span.t list
+  (** The merged forest, flattened deterministically: this buffer's
+      spans in recording order, then each grafted child (attachment
+      order, then key) with ids renumbered and depths shifted.  Open
+      spans appear with [dur = -1.]. *)
+
+  val totals : ?max_depth:int -> t -> (string * float * int) list
+  (** Per-name [(total_seconds, count)] over the merged spans of depth
+      [<= max_depth] (default: all), sorted by name.  Unfinished spans
+      count with zero duration. *)
+
+  val phase_totals : t -> (string * float) list
+  (** {!totals} restricted to root spans — the per-phase wall-time
+      breakdown of a run. *)
+end
+
+(** Counters, gauges and histograms with a deterministic merge. *)
+module Metrics : sig
+  type t
+
+  val create : unit -> t
+
+  val incr : t -> ?by:int -> string -> unit
+
+  val gauge : t -> string -> float -> unit
+  (** Last-write-wins value ({!merge} keeps the merged-in value). *)
+
+  val observe : t -> string -> float -> unit
+  (** Adds an observation to the named histogram (decade buckets from
+      1e-6, tuned for durations in seconds; min/max/sum/count are exact
+      for any scale). *)
+
+  val absorb_stats : t -> Engine.Stats.t -> unit
+  (** Imports every [Engine.Stats] counter as an [engine.*] counter and
+      every accumulated timer as an [engine.time.*] gauge, so one
+      metrics view covers both worlds. *)
+
+  val merge : into:t -> t -> unit
+
+  val counters : t -> (string * int) list
+  (** Sorted by name; likewise {!gauges} / {!histograms}. *)
+
+  val gauges : t -> (string * float) list
+
+  type hist = {
+    n : int;
+    sum : float;
+    min : float;  (** [infinity] when [n = 0] *)
+    max : float;  (** [neg_infinity] when [n = 0] *)
+    buckets : (float * int) list;  (** (upper bound, count), last is +inf *)
+  }
+
+  val histograms : t -> (string * hist) list
+
+  val to_json : t -> string
+  (** One-line JSON object [{"counters":{...},"gauges":{...},
+      "histograms":{...}}] with keys sorted. *)
+end
+
+(** The solver run context. *)
+module Ctx : sig
+  type t = {
+    stats : Engine.Stats.t;
+    tracer : Tracer.t;
+    metrics : Metrics.t;
+    pool : Par.Pool.t;
+    seed : int;
+    deadline : float option;
+        (** absolute {!Engine.Mono} time; advisory — solvers that honor
+            it check {!expired} at a coarse granularity (outer rounds)
+            so runs without a deadline stay deterministic *)
+  }
+
+  val make :
+    ?stats:Engine.Stats.t ->
+    ?tracer:Tracer.t ->
+    ?metrics:Metrics.t ->
+    ?pool:Par.Pool.t ->
+    ?seed:int ->
+    ?deadline:float ->
+    unit ->
+    t
+  (** Defaults: fresh stats and metrics, {!Tracer.noop},
+      {!Par.Pool.sequential}, seed [0], no deadline — equivalent to the
+      legacy entry points called with no optional arguments. *)
+
+  val default : unit -> t
+
+  val jobs : t -> int
+  (** Worker count of the context's pool. *)
+
+  val expired : t -> bool
+  (** Has the deadline passed?  [false] when none is set. *)
+
+  val span : t -> ?attrs:Attr.t list -> string -> (unit -> 'a) -> 'a
+  (** {!Tracer.with_span} on the context's tracer. *)
+
+  val phase : t -> string -> (unit -> 'a) -> 'a
+  (** A root-level phase: a span {e and} an {!Engine.Stats.time}
+      accumulator of the same name, so phase totals survive even when
+      tracing is off. *)
+
+  val probe : t -> Engine.Probe.t
+
+  val fork : t -> t
+  (** A context for one unit of fanned-out work: fresh stats and
+      metrics, a {!Tracer.child} buffer; pool, seed and deadline are
+      shared.  Merge back with {!join}. *)
+
+  val join : key:int -> into:t -> t -> unit
+  (** Merges a forked context back: stats and metrics merge, the span
+      buffer grafts under [key].  Call in deterministic key order. *)
+end
+
+(** Versioned JSON artifact writers (shared by te-tool and bench). *)
+module Export : sig
+  val git_rev : unit -> string
+  (** Current commit hash, read from [.git] directly; ["unknown"]
+      outside a repository. *)
+
+  val host_cores : unit -> int
+
+  val json_str : string -> string
+  (** JSON string literal with escaping. *)
+
+  val envelope :
+    schema:string -> ?fields:(string * string) list -> string list -> string
+  (** The shared artifact envelope: [{"schema":<schema>,"git_rev":...,
+      "host_cores":...,<fields>,"records":[...]}].  [fields] values and
+      records are pre-rendered JSON. *)
+
+  val write_envelope :
+    path:string ->
+    schema:string ->
+    ?fields:(string * string) list ->
+    string list ->
+    unit
+
+  val trace_lines : ?times:bool -> Tracer.t -> string list
+  (** The [trace/1] JSONL stream: a header object (schema + provenance
+      + span/drop counts), then one object per span of
+      {!Tracer.spans}.  [~times:false] omits [t0]/[dur] — used by the
+      determinism tests to compare traces byte-for-byte across
+      [--jobs]. *)
+
+  val write_trace : ?times:bool -> path:string -> Tracer.t -> unit
+
+  val run_summary :
+    ?wall:float -> ?extra:(string * string) list -> Ctx.t -> string
+  (** The [run-summary/1] digest of a finished run: provenance, jobs,
+      wall seconds ([wall] defaults to the sum of root-span times),
+      per-phase seconds with their coverage of the wall time, engine
+      counters and timers, parallel efficiency, metrics, span/drop
+      counts.  [extra] appends pre-rendered JSON fields. *)
+
+  val write_run_summary :
+    ?wall:float -> ?extra:(string * string) list -> path:string -> Ctx.t -> unit
+end

@@ -282,8 +282,10 @@ let commodities_for demands segs =
    optimizers build their own), so the outcome is a pure function of the
    spec — independent of which worker runs it and of anything cached in
    the sweep evaluators. *)
-let run_policy ~stats ~g ~deployed ~reopt_evals ~spec ~demands'
-    ~static_disconnected ~topo_disconnected ~static_mlu = function
+let run_policy ~(kctx : Obs.Ctx.t) ~g ~deployed ~reopt_evals ~spec ~demands'
+    ~static_disconnected ~topo_disconnected ~static_mlu policy =
+  Obs.Ctx.span kctx ("scn:policy:" ^ policy_name policy) @@ fun () ->
+  match policy with
   | Static ->
     {
       policy = Static;
@@ -304,7 +306,7 @@ let run_policy ~stats ~g ~deployed ~reopt_evals ~spec ~demands'
     else begin
       let wrep = Weights.of_ints deployed.weights in
       List.iter (fun e -> wrep.(e) <- infinity) spec.failed;
-      let r = Greedy_wpo.optimize ~stats g wrep demands' in
+      let r = Greedy_wpo.optimize_ctx kctx g wrep demands' in
       if static_disconnected = 0 && static_mlu <= r.Greedy_wpo.mlu +. 1e-12 then
         (* The deployed waypoints still route everything and are at
            least as good: keep them, zero churn. *)
@@ -341,7 +343,7 @@ let run_policy ~stats ~g ~deployed ~reopt_evals ~spec ~demands'
       }
     else begin
       let r =
-        Reopt.reoptimize ~stats
+        Reopt.reoptimize_ctx kctx
           ~ls_params:
             {
               Local_search.default_params with
@@ -361,18 +363,22 @@ let run_policy ~stats ~g ~deployed ~reopt_evals ~spec ~demands'
       }
     end
 
-let sweep ?stats ?(pool = Par.Pool.sequential) ?(chunk = 4)
-    ?(policies = [ Static ]) ?(reopt_evals = 400) ~deployed g demands specs =
+let sweep_ctx (octx : Obs.Ctx.t) ?(chunk = 4) ?(policies = [ Static ])
+    ?(reopt_evals = 400) ~deployed g demands specs =
   if Array.length deployed.weights <> Digraph.edge_count g then
     invalid_arg "Scenario.sweep: deployed weight length mismatch";
   if Array.length deployed.waypoints <> Array.length demands then
     invalid_arg "Scenario.sweep: deployed waypoint length mismatch";
+  let pool = octx.Obs.Ctx.pool in
   let segs =
     Array.mapi
       (fun i d -> Segments.segment_endpoints d deployed.waypoints.(i))
       demands
   in
-  let master = Engine.Evaluator.create ?stats g (Weights.of_ints deployed.weights) in
+  let master =
+    Engine.Evaluator.create ~stats:octx.Obs.Ctx.stats g
+      (Weights.of_ints deployed.weights)
+  in
   Engine.Evaluator.set_commodities master (commodities_for demands segs);
   (* Clones are built eagerly on the caller's domain; each worker then
      owns evaluator [worker] exclusively for the whole map. *)
@@ -382,8 +388,16 @@ let sweep ?stats ?(pool = Par.Pool.sequential) ?(chunk = 4)
   in
   let cur_shift = Array.make par No_shift in
   let cur_demands = Array.make par demands in
+  (* One child context per scenario, created up front on this domain and
+     grafted back in spec order: the trace and metrics are a pure
+     function of the spec list, never of worker scheduling. *)
+  let kids = Array.map (fun _ -> Obs.Ctx.fork octx) specs in
   let eval_spec ~worker i =
     let spec = specs.(i) in
+    let kctx = kids.(i) in
+    Obs.Ctx.span kctx ~attrs:[ Obs.Attr.int "spec" spec.id ] "scn:case"
+    @@ fun () ->
+    Obs.Metrics.incr kctx.Obs.Ctx.metrics "scn.cases";
     let ev = evs.(worker) in
     (* Attach this scenario's demand matrix — skipped when the worker's
        commodities already encode it (the whole point of chunked
@@ -419,9 +433,11 @@ let sweep ?stats ?(pool = Par.Pool.sequential) ?(chunk = 4)
       else fst (Engine.Evaluator.evaluate ev)
     in
     Engine.Evaluator.undo ev;
+    if !static_disconnected > 0 then
+      Obs.Metrics.incr kctx.Obs.Ctx.metrics "scn.disconnected";
     let pol =
       List.map
-        (run_policy ~stats:wstats ~g ~deployed ~reopt_evals ~spec ~demands'
+        (run_policy ~kctx ~g ~deployed ~reopt_evals ~spec ~demands'
            ~static_disconnected:!static_disconnected
            ~topo_disconnected:!topo_disconnected ~static_mlu)
         policies
@@ -435,13 +451,16 @@ let sweep ?stats ?(pool = Par.Pool.sequential) ?(chunk = 4)
     }
   in
   let out = Par.Pool.map_chunked pool ~chunk ~tasks:(Array.length specs) eval_spec in
-  (match stats with
-  | Some s ->
-    for w = 1 to par - 1 do
-      Engine.Stats.merge ~into:s (Engine.Evaluator.stats evs.(w))
-    done
-  | None -> ());
+  for w = 1 to par - 1 do
+    Engine.Stats.merge ~into:octx.Obs.Ctx.stats (Engine.Evaluator.stats evs.(w))
+  done;
+  Array.iteri (fun i kid -> Obs.Ctx.join ~key:specs.(i).id ~into:octx kid) kids;
   out
+
+let sweep ?stats ?(pool = Par.Pool.sequential) ?chunk ?policies ?reopt_evals
+    ~deployed g demands specs =
+  sweep_ctx (Obs.Ctx.make ?stats ~pool ()) ?chunk ?policies ?reopt_evals
+    ~deployed g demands specs
 
 let static_sweep_rebuild ~deployed g demands specs =
   let wf = Weights.of_ints deployed.weights in

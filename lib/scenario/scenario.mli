@@ -134,6 +134,40 @@ type outcome = {
   policies : policy_outcome list;  (** one entry per requested policy *)
 }
 
+val sweep_ctx :
+  Obs.Ctx.t ->
+  ?chunk:int ->
+  ?policies:policy list ->
+  ?reopt_evals:int ->
+  deployed:deployed ->
+  Netgraph.Digraph.t ->
+  Te.Network.demand array ->
+  spec array ->
+  outcome array
+(** The context-taking entry point: evaluates every spec, in id order.
+    [policies] defaults to [[Static]]; the static fields of each
+    outcome are computed regardless.  [chunk] (default 4) sizes the
+    streaming blocks handed to {!Par.Pool.map_chunked}; results are
+    bit-identical for every pool size and [chunk].  [reopt_evals]
+    (default 400) is the per-scenario search budget of [Reweight]; its
+    local-search seed derives from the spec id, never from scheduling.
+
+    Each scenario runs under its own forked child context: one
+    ["scn:case"] span (with a ["spec"] attribute) containing one
+    ["scn:policy:<name>"] span per requested policy (in turn containing
+    the reacting optimizer's own spans), and per-case [scn.cases] /
+    [scn.disconnected] metric ticks.  Children graft back in spec-id
+    order, so the trace and metrics are bit-identical for every pool
+    size too.
+
+    Policy semantics on disconnection: [Static] reports the deployed
+    segments' disconnections; [Repair] re-routes everything the
+    surviving topology allows (its count is [topo_disconnected]);
+    [Reweight] keeps the deployed waypoints and is skipped (reported
+    disconnected) when the deployed segments are broken.  The context's
+    stats accumulate engine counters from all workers, one
+    {!Engine.Stats.record_scenario} tick per spec. *)
+
 val sweep :
   ?stats:Engine.Stats.t ->
   ?pool:Par.Pool.t ->
@@ -145,21 +179,7 @@ val sweep :
   Te.Network.demand array ->
   spec array ->
   outcome array
-(** Evaluates every spec, in id order.  [policies] defaults to
-    [[Static]]; the static fields of each outcome are computed
-    regardless.  [chunk] (default 4) sizes the streaming blocks handed
-    to {!Par.Pool.map_chunked}; results are bit-identical for every
-    [pool] size and [chunk].  [reopt_evals] (default 400) is the
-    per-scenario search budget of [Reweight]; its local-search seed
-    derives from the spec id, never from scheduling.
-
-    Policy semantics on disconnection: [Static] reports the deployed
-    segments' disconnections; [Repair] re-routes everything the
-    surviving topology allows (its count is [topo_disconnected]);
-    [Reweight] keeps the deployed waypoints and is skipped (reported
-    disconnected) when the deployed segments are broken.  [stats]
-    accumulates engine counters from all workers, one
-    {!Engine.Stats.record_scenario} tick per spec. *)
+(** Deprecated optional-argument shim over {!sweep_ctx}. *)
 
 val static_sweep_rebuild :
   deployed:deployed ->

@@ -1,0 +1,402 @@
+(* Tests for lib/obs: span bookkeeping (nesting, bounded buffers,
+   misnest repair), metrics merge, exporters — and the two load-bearing
+   contracts of the run-context API: the deprecated optional-argument
+   shims are equivalent to the ctx entry points, and merged traces are
+   byte-identical for every pool size. *)
+
+open Te
+
+(* A small Abilene instance shared across the solver-level tests. *)
+let fixture =
+  lazy
+    (let g = Topology.Datasets.abilene () in
+     let demands =
+       Demand_gen.mcf_synthetic ~epsilon:0.15 ~seed:3 ~flows_per_pair:2 g
+     in
+     (g, demands))
+
+let ls_params =
+  { Local_search.default_params with max_evals = 150; seed = 5 }
+
+(* ------------------------------------------------------------------ *)
+(* Tracer                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Structural well-formedness of an exported span list: ids dense from
+   0, parents precede their children, depth chains by 1. *)
+let check_well_formed spans =
+  let arr = Array.of_list spans in
+  Array.iteri
+    (fun i (s : Obs.Span.t) ->
+      Alcotest.(check int) "dense ids" i s.Obs.Span.id;
+      if s.Obs.Span.parent = -1 then
+        Alcotest.(check int) "root depth" 0 s.Obs.Span.depth
+      else begin
+        Alcotest.(check bool) "parent precedes child" true
+          (s.Obs.Span.parent >= 0 && s.Obs.Span.parent < i);
+        Alcotest.(check int) "depth chains"
+          (arr.(s.Obs.Span.parent).Obs.Span.depth + 1)
+          s.Obs.Span.depth
+      end)
+    arr
+
+let test_tracer_nesting () =
+  let t = Obs.Tracer.create () in
+  Obs.Tracer.with_span t "a" (fun () ->
+      Obs.Tracer.with_span t "b" (fun () -> ());
+      Obs.Tracer.with_span t ~attrs:[ Obs.Attr.int "k" 7 ] "c" (fun () -> ()));
+  Obs.Tracer.instant t "d";
+  let spans = Obs.Tracer.spans t in
+  Alcotest.(check int) "span count" 4 (List.length spans);
+  Alcotest.(check int) "no misnesting" 0 (Obs.Tracer.misnested t);
+  check_well_formed spans;
+  let names = List.map (fun (s : Obs.Span.t) -> s.Obs.Span.name) spans in
+  Alcotest.(check (list string)) "recording order" [ "a"; "b"; "c"; "d" ] names;
+  let c = List.nth spans 2 in
+  Alcotest.(check int) "b/c nest under a" 0 c.Obs.Span.parent;
+  Alcotest.(check bool) "attr kept" true
+    (c.Obs.Span.attrs = [ ("k", Obs.Attr.Int 7) ]);
+  (* every closed span has a duration *)
+  List.iter
+    (fun (s : Obs.Span.t) ->
+      Alcotest.(check bool) "closed" true (s.Obs.Span.dur >= 0.))
+    spans
+
+let test_tracer_exception_closes () =
+  let t = Obs.Tracer.create () in
+  (try Obs.Tracer.with_span t "boom" (fun () -> failwith "x") with
+  | Failure _ -> ());
+  match Obs.Tracer.spans t with
+  | [ s ] ->
+    Alcotest.(check bool) "closed on raise" true (s.Obs.Span.dur >= 0.);
+    Alcotest.(check int) "well formed" 0 (Obs.Tracer.misnested t)
+  | l -> Alcotest.failf "expected 1 span, got %d" (List.length l)
+
+let test_tracer_misnest_repair () =
+  let t = Obs.Tracer.create () in
+  let a = Obs.Tracer.start t "a" in
+  let _b = Obs.Tracer.start t "b" in
+  Obs.Tracer.finish t a;
+  (* force-pops b *)
+  Alcotest.(check int) "repair counted" 1 (Obs.Tracer.misnested t);
+  check_well_formed (Obs.Tracer.spans t)
+
+let test_tracer_bounded () =
+  let t = Obs.Tracer.create ~cap:4 () in
+  for i = 1 to 10 do
+    Obs.Tracer.with_span t (Printf.sprintf "s%d" i) (fun () -> ())
+  done;
+  Alcotest.(check int) "cap retained" 4 (Obs.Tracer.span_count t);
+  Alcotest.(check int) "drops counted" 6 (Obs.Tracer.dropped t);
+  check_well_formed (Obs.Tracer.spans t)
+
+let test_tracer_noop () =
+  let t = Obs.Tracer.noop in
+  Alcotest.(check bool) "disabled" false (Obs.Tracer.enabled t);
+  Alcotest.(check int) "start is -1" (-1) (Obs.Tracer.start t "x");
+  let ran = ref false in
+  Obs.Tracer.with_span t "y" (fun () -> ran := true);
+  Alcotest.(check bool) "body runs" true !ran;
+  Alcotest.(check int) "records nothing" 0 (Obs.Tracer.span_count t);
+  Alcotest.(check bool) "probe is null" false (Obs.Tracer.probe t).Engine.Probe.enabled;
+  Alcotest.(check bool) "lp probe is null" false
+    (Obs.Tracer.lp_probe t).Linprog.Simplex.enabled
+
+let test_graft_key_order () =
+  let run keys =
+    let t = Obs.Tracer.create () in
+    Obs.Tracer.with_span t "root" (fun () ->
+        let kids =
+          List.map
+            (fun k ->
+              let c = Obs.Tracer.child t in
+              Obs.Tracer.with_span c (Printf.sprintf "task%d" k) (fun () -> ());
+              (k, c))
+            keys
+        in
+        List.iter (fun (k, c) -> Obs.Tracer.graft t ~key:k c) kids);
+    List.map (fun (s : Obs.Span.t) -> s.Obs.Span.name) (Obs.Tracer.spans t)
+  in
+  (* Same keys, two completion orders: identical merged traces. *)
+  Alcotest.(check (list string))
+    "sorted by key" [ "root"; "task0"; "task1"; "task2" ] (run [ 2; 0; 1 ]);
+  Alcotest.(check (list string))
+    "order independent" (run [ 0; 1; 2 ]) (run [ 2; 1; 0 ])
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_metrics_merge () =
+  let a = Obs.Metrics.create () and b = Obs.Metrics.create () in
+  Obs.Metrics.incr a "x";
+  Obs.Metrics.incr a ~by:4 "y";
+  Obs.Metrics.incr b ~by:2 "x";
+  Obs.Metrics.gauge a "g" 1.5;
+  Obs.Metrics.gauge b "g" 2.5;
+  Obs.Metrics.observe a "h" 0.1;
+  Obs.Metrics.observe b "h" 10.;
+  Obs.Metrics.merge ~into:a b;
+  Alcotest.(check (list (pair string int)))
+    "counters add" [ ("x", 3); ("y", 4) ] (Obs.Metrics.counters a);
+  Alcotest.(check (list (pair string (float 1e-9))))
+    "merged-in gauge wins" [ ("g", 2.5) ] (Obs.Metrics.gauges a);
+  (match Obs.Metrics.histograms a with
+  | [ ("h", h) ] ->
+    Alcotest.(check int) "hist n" 2 h.Obs.Metrics.n;
+    Alcotest.(check (float 1e-9)) "hist sum" 10.1 h.Obs.Metrics.sum;
+    Alcotest.(check (float 1e-9)) "hist min" 0.1 h.Obs.Metrics.min;
+    Alcotest.(check (float 1e-9)) "hist max" 10. h.Obs.Metrics.max
+  | _ -> Alcotest.fail "expected one histogram");
+  (* to_json is deterministic: rebuild the same metrics, same string. *)
+  let rebuild () =
+    let m = Obs.Metrics.create () in
+    Obs.Metrics.incr m ~by:3 "x";
+    Obs.Metrics.incr m ~by:4 "y";
+    Obs.Metrics.gauge m "g" 2.5;
+    Obs.Metrics.observe m "h" 0.1;
+    Obs.Metrics.observe m "h" 10.;
+    Obs.Metrics.to_json m
+  in
+  Alcotest.(check string) "json deterministic" (rebuild ()) (rebuild ());
+  Alcotest.(check string) "merge equals rebuild" (rebuild ())
+    (Obs.Metrics.to_json a)
+
+let test_metrics_absorb_stats () =
+  let s = Engine.Stats.create () in
+  Engine.Stats.record_scenario s;
+  Engine.Stats.record_scenario s;
+  Engine.Stats.add_time s "phase:solve" 0.25;
+  let m = Obs.Metrics.create () in
+  Obs.Metrics.absorb_stats m s;
+  Alcotest.(check int) "counter preserved" 2
+    (List.assoc "engine.scenarios" (Obs.Metrics.counters m));
+  Alcotest.(check (float 1e-9)) "timer becomes gauge" 0.25
+    (List.assoc "engine.time.phase:solve" (Obs.Metrics.gauges m))
+
+(* ------------------------------------------------------------------ *)
+(* Ctx                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_ctx_phase () =
+  let ctx = Obs.Ctx.make ~tracer:(Obs.Tracer.create ()) () in
+  let r = Obs.Ctx.phase ctx "load" (fun () -> 42) in
+  Alcotest.(check int) "phase returns" 42 r;
+  Alcotest.(check (list string)) "root span recorded" [ "load" ]
+    (List.map fst (Obs.Tracer.phase_totals ctx.Obs.Ctx.tracer));
+  (* the Stats timer survives even with a noop tracer *)
+  let plain = Obs.Ctx.make () in
+  ignore (Obs.Ctx.phase plain "solve" (fun () -> 1));
+  Alcotest.(check bool) "stats timer without tracer" true
+    (List.mem_assoc "phase:solve" (Engine.Stats.timers plain.Obs.Ctx.stats))
+
+let test_ctx_deadline () =
+  Alcotest.(check bool) "no deadline never expires" false
+    (Obs.Ctx.expired (Obs.Ctx.make ()));
+  let past = Obs.Ctx.make ~deadline:(Engine.Mono.now () -. 1.) () in
+  Alcotest.(check bool) "past deadline expired" true (Obs.Ctx.expired past);
+  (* an expired context still returns a valid (early-stopped) result *)
+  let g, demands = Lazy.force fixture in
+  let r = Local_search.optimize_ctx past ~params:ls_params g demands in
+  Alcotest.(check bool) "early stop still solves" true
+    (Float.is_finite r.Local_search.mlu && r.Local_search.evals >= 0)
+
+(* ------------------------------------------------------------------ *)
+(* Shim = ctx equivalence                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* The deprecated ?stats/?pool entry points must agree with the ctx
+   ones, and a live tracer must not change any result. *)
+
+let traced_ctx () =
+  Obs.Ctx.make ~tracer:(Obs.Tracer.create ~engine_detail:true ()) ()
+
+let test_shim_local_search () =
+  let g, demands = Lazy.force fixture in
+  let legacy = Local_search.optimize ~params:ls_params g demands in
+  let ctx = Local_search.optimize_ctx (Obs.Ctx.make ()) ~params:ls_params g demands in
+  let traced = Local_search.optimize_ctx (traced_ctx ()) ~params:ls_params g demands in
+  Alcotest.(check bool) "ctx = shim" true (legacy = ctx);
+  Alcotest.(check bool) "tracing changes nothing" true (legacy = traced)
+
+let test_shim_greedy_wpo () =
+  let g, demands = Lazy.force fixture in
+  let w = Weights.inverse_capacity g in
+  let legacy = Greedy_wpo.optimize g w demands in
+  let ctx = Greedy_wpo.optimize_ctx (Obs.Ctx.make ()) g w demands in
+  let traced = Greedy_wpo.optimize_ctx (traced_ctx ()) g w demands in
+  Alcotest.(check bool) "ctx = shim" true (legacy = ctx);
+  Alcotest.(check bool) "tracing changes nothing" true (legacy = traced)
+
+let test_shim_joint () =
+  let g, demands = Lazy.force fixture in
+  let legacy = Joint.optimize ~ls_params g demands in
+  let ctx = Joint.optimize_ctx (Obs.Ctx.make ()) ~ls_params g demands in
+  let traced = Joint.optimize_ctx (traced_ctx ()) ~ls_params g demands in
+  Alcotest.(check bool) "ctx = shim" true (legacy = ctx);
+  Alcotest.(check bool) "tracing changes nothing" true (legacy = traced)
+
+let test_shim_scenario_sweep () =
+  let g, demands = Lazy.force fixture in
+  let joint = Joint.optimize ~ls_params g demands in
+  let deployed =
+    { Scenario.weights = joint.Joint.int_weights;
+      Scenario.waypoints = joint.Joint.waypoints }
+  in
+  let cfg = { Scenario.default_config with Scenario.seed = 7; Scenario.jitters = 2 } in
+  let specs = Scenario.generate cfg g in
+  let legacy =
+    Scenario.sweep ~policies:[ Scenario.Static; Scenario.Repair ] ~deployed g
+      demands specs
+  in
+  let ctx =
+    Scenario.sweep_ctx (Obs.Ctx.make ())
+      ~policies:[ Scenario.Static; Scenario.Repair ] ~deployed g demands specs
+  in
+  let traced =
+    Scenario.sweep_ctx (traced_ctx ())
+      ~policies:[ Scenario.Static; Scenario.Repair ] ~deployed g demands specs
+  in
+  (* compare treats nan = nan, unlike (=). *)
+  Alcotest.(check bool) "ctx = shim" true (compare legacy ctx = 0);
+  Alcotest.(check bool) "tracing changes nothing" true (compare legacy traced = 0)
+
+(* ------------------------------------------------------------------ *)
+(* Trace determinism across pool sizes                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* The exported trace (timestamps stripped) and the metrics must be a
+   pure function of the task decomposition, not of the schedule. *)
+
+let trace_of ~jobs run =
+  let go pool =
+    let tracer = Obs.Tracer.create () in
+    let ctx = Obs.Ctx.make ~tracer ~pool () in
+    let r = run ctx in
+    ( r,
+      Obs.Export.trace_lines ~times:false tracer,
+      Obs.Metrics.to_json ctx.Obs.Ctx.metrics )
+  in
+  if jobs = 1 then go Par.Pool.sequential else Par.Pool.with_pool ~jobs go
+
+let check_jobs_invariant name run =
+  let r1, t1, m1 = trace_of ~jobs:1 run in
+  let r2, t2, m2 = trace_of ~jobs:2 run in
+  Alcotest.(check bool) (name ^ ": results identical") true (compare r1 r2 = 0);
+  Alcotest.(check (list string)) (name ^ ": trace byte-identical") t1 t2;
+  Alcotest.(check string) (name ^ ": metrics identical") m1 m2
+
+let test_trace_jobs_local_search () =
+  let g, demands = Lazy.force fixture in
+  check_jobs_invariant "restart fan-out" (fun ctx ->
+      Local_search.optimize_ctx ctx ~restarts:3 ~params:ls_params g demands)
+
+let test_trace_jobs_greedy_wpo () =
+  let g, demands = Lazy.force fixture in
+  let w = Weights.inverse_capacity g in
+  check_jobs_invariant "candidate scan" (fun ctx ->
+      Greedy_wpo.optimize_ctx ctx g w demands)
+
+let test_trace_jobs_scenario () =
+  let g, demands = Lazy.force fixture in
+  let joint = Joint.optimize ~ls_params g demands in
+  let deployed =
+    { Scenario.weights = joint.Joint.int_weights;
+      Scenario.waypoints = joint.Joint.waypoints }
+  in
+  let cfg = { Scenario.default_config with Scenario.seed = 7; Scenario.jitters = 2 } in
+  let specs = Scenario.generate cfg g in
+  check_jobs_invariant "scenario sweep" (fun ctx ->
+      Scenario.sweep_ctx ctx ~chunk:3
+        ~policies:[ Scenario.Static; Scenario.Repair ] ~deployed g demands
+        specs)
+
+(* ------------------------------------------------------------------ *)
+(* Export                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let test_export_trace_lines () =
+  let g, demands = Lazy.force fixture in
+  let tracer = Obs.Tracer.create () in
+  let ctx = Obs.Ctx.make ~tracer () in
+  ignore
+    (Obs.Ctx.phase ctx "solve" (fun () ->
+         Local_search.optimize_ctx ctx ~params:ls_params g demands));
+  match Obs.Export.trace_lines tracer with
+  | [] -> Alcotest.fail "empty trace"
+  | header :: spans ->
+    Alcotest.(check bool) "header schema" true
+      (contains ~sub:"\"schema\": \"trace/1\"" header);
+    Alcotest.(check bool) "header span count" true
+      (contains ~sub:(Printf.sprintf "\"spans\": %d" (List.length spans)) header);
+    Alcotest.(check int) "nothing dropped" 0 (Obs.Tracer.dropped tracer);
+    List.iter
+      (fun l ->
+        Alcotest.(check bool) "span line shape" true
+          (contains ~sub:"\"name\":" l))
+      spans
+
+let test_export_run_summary () =
+  let g, demands = Lazy.force fixture in
+  let tracer = Obs.Tracer.create () in
+  let ctx = Obs.Ctx.make ~tracer () in
+  ignore
+    (Obs.Ctx.phase ctx "solve" (fun () ->
+         Local_search.optimize_ctx ctx ~params:ls_params g demands));
+  let s = Obs.Export.run_summary ctx in
+  List.iter
+    (fun sub ->
+      Alcotest.(check bool) (Printf.sprintf "summary has %s" sub) true
+        (contains ~sub s))
+    [ "\"schema\": \"run-summary/1\""; "\"phases\""; "\"solve\"";
+      "\"phase_coverage\""; "\"engine.evaluations\"" ]
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "tracer",
+        [
+          Alcotest.test_case "nesting" `Quick test_tracer_nesting;
+          Alcotest.test_case "exception closes span" `Quick
+            test_tracer_exception_closes;
+          Alcotest.test_case "misnest repair" `Quick test_tracer_misnest_repair;
+          Alcotest.test_case "bounded buffer" `Quick test_tracer_bounded;
+          Alcotest.test_case "noop" `Quick test_tracer_noop;
+          Alcotest.test_case "graft key order" `Quick test_graft_key_order;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "merge" `Quick test_metrics_merge;
+          Alcotest.test_case "absorb stats" `Quick test_metrics_absorb_stats;
+        ] );
+      ( "ctx",
+        [
+          Alcotest.test_case "phase" `Quick test_ctx_phase;
+          Alcotest.test_case "deadline" `Quick test_ctx_deadline;
+        ] );
+      ( "shim-equivalence",
+        [
+          Alcotest.test_case "local search" `Quick test_shim_local_search;
+          Alcotest.test_case "greedy wpo" `Quick test_shim_greedy_wpo;
+          Alcotest.test_case "joint" `Quick test_shim_joint;
+          Alcotest.test_case "scenario sweep" `Quick test_shim_scenario_sweep;
+        ] );
+      ( "trace-determinism",
+        [
+          Alcotest.test_case "local search restarts" `Quick
+            test_trace_jobs_local_search;
+          Alcotest.test_case "greedy wpo scan" `Quick
+            test_trace_jobs_greedy_wpo;
+          Alcotest.test_case "scenario sweep" `Quick test_trace_jobs_scenario;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "trace lines" `Quick test_export_trace_lines;
+          Alcotest.test_case "run summary" `Quick test_export_run_summary;
+        ] );
+    ]
