@@ -13,6 +13,13 @@ open Te
 
 let full = ref false
 
+(* --scale: the engine experiment's size-scaling sweep loads real
+   TopologyZoo GraphML files from [data_dir] when present (see
+   examples/fetch_topologyzoo.sh) instead of the synthetic stand-ins. *)
+let scale = ref false
+
+let data_dir = ref "examples/data"
+
 (* Worker domains for the sharded sweeps (--jobs N).  The pool is
    created once in the driver; every experiment prints the same output
    for every pool size. *)
@@ -692,6 +699,93 @@ let exp_engine () =
            (float_of_int stats.Engine.Stats.incr_spf
            /. float_of_int (max 1 stats.Engine.Stats.full_spf))))
     topos);
+  (* Size-scaling curve: probe/evaluate/undo throughput as a function
+     of topology size, over the zoo-scale ladder (synthetic stand-ins
+     unless --scale finds real GraphML files under the data dir).  The
+     demand set is a fixed seeded pair sample per topology — no MCF
+     normalization, whose LP would dwarf the measurement on the
+     754-node instance. *)
+  row "\nSize-scaling curve (probe/evaluate/undo per topology size):\n";
+  row "%-12s %6s %6s %8s %7s %14s %11s\n" "topology" "nodes" "edges"
+    "commods" "moves" "engine ev/s" "full/incr";
+  Obs.Ctx.phase bctx "size-scaling" (fun () ->
+  List.iter
+    (fun name ->
+      let real =
+        !scale && Sys.file_exists (Filename.concat !data_dir (name ^ ".graphml"))
+      in
+      let g =
+        Topology.Datasets.load
+          ?data_dir:(if real then Some !data_dir else None)
+          name
+      in
+      let n = Digraph.node_count g and m = Digraph.edge_count g in
+      let st = Random.State.make [| 0x5ca1e; n |] in
+      let base =
+        Array.init m (fun _ -> float_of_int (1 + Random.State.int st 16))
+      in
+      let stats = Engine.Stats.create () in
+      let ev = Engine.Evaluator.create ~stats g base in
+      (* ~4 commodities per node, reachable pairs only (real zoo files
+         may have isolated fragments). *)
+      let target = 4 * n in
+      let comms = ref [] and tries = ref 0 and got = ref 0 in
+      while !got < target && !tries < 40 * target do
+        incr tries;
+        let s = Random.State.int st n and d = Random.State.int st n in
+        if s <> d && Engine.Evaluator.reachable ev ~src:s ~dst:d then begin
+          comms := (s, d, float_of_int (1 + Random.State.int st 9)) :: !comms;
+          incr got
+        end
+      done;
+      Engine.Evaluator.set_commodities ev (Array.of_list (List.rev !comms));
+      let moves = if !full then 1000 else 300 in
+      let seq =
+        Array.init moves (fun _ ->
+            (Random.State.int st m, float_of_int (1 + Random.State.int st 20)))
+      in
+      let cell = { Engine.Evaluator.mlu = 0.; phi = 0. } in
+      Engine.Evaluator.evaluate_into ev cell;
+      (* warm start: pools, DAGs and unit caches at steady state *)
+      Engine.Stats.reset stats;
+      let sink = ref 0. in
+      let t0 = Engine.Mono.now () in
+      Array.iter
+        (fun (e, wv) ->
+          Engine.Evaluator.set_weight ev ~edge:e wv;
+          Engine.Evaluator.evaluate_into ev cell;
+          sink := !sink +. cell.Engine.Evaluator.mlu;
+          Engine.Evaluator.undo ev)
+        seq;
+      let wall = Engine.Mono.now () -. t0 in
+      let eps = float_of_int moves /. wall in
+      let ratio =
+        float_of_int stats.Engine.Stats.full_spf
+        /. float_of_int (max 1 stats.Engine.Stats.incr_spf)
+      in
+      let ht = Engine.Stats.hot_times stats in
+      row "%-12s %6d %6d %8d %7d %14.0f %11.4f  (incr %.0f%% units %.0f%% \
+           loads %.0f%%)\n"
+        name n m !got moves eps ratio
+        (100. *. ht.(Engine.Stats.hot_spf_incr) /. wall)
+        (100. *. ht.(Engine.Stats.hot_units) /. wall)
+        (100. *. ht.(Engine.Stats.hot_loads) /. wall);
+      emit
+        (Printf.sprintf
+           "{\"topology\": %S, \"algorithm\": \"size-scaling-probe\", \
+            \"source\": %S, \"nodes\": %d, \"edges\": %d, \
+            \"commodities\": %d, \"moves\": %d, \"evals_per_sec\": %.1f, \
+            \"wall_seconds\": %.6f, \"full_spf\": %d, \"incr_spf\": %d, \
+            \"spf_nodes_touched\": %d, \"seconds_spf_incr\": %.6f, \
+            \"seconds_units\": %.6f, \"seconds_loads\": %.6f}"
+           name
+           (if real then "graphml" else "synthetic")
+           n m !got moves eps wall stats.Engine.Stats.full_spf
+           stats.Engine.Stats.incr_spf stats.Engine.Stats.spf_nodes_touched
+           ht.(Engine.Stats.hot_spf_incr)
+           ht.(Engine.Stats.hot_units)
+           ht.(Engine.Stats.hot_loads)))
+    Topology.Datasets.scale_names);
   (* The same instrumentation through a whole HeurOSPF run. *)
   row "\nHeurOSPF through the engine (Abilene):\n";
   let g = Topology.Datasets.abilene () in
@@ -1374,6 +1468,12 @@ let () =
     | [] -> List.rev acc
     | "--full" :: rest ->
       full := true;
+      parse acc rest
+    | "--scale" :: rest ->
+      scale := true;
+      parse acc rest
+    | "--data-dir" :: d :: rest ->
+      data_dir := d;
       parse acc rest
     | "--jobs" :: n :: rest ->
       jobs := int_of_string n;

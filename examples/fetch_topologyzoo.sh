@@ -1,0 +1,32 @@
+#!/bin/sh
+# Fetch the TopologyZoo GraphML files used by the size-scaling bench
+# (`bench engine --scale`) into examples/data/.  Without the files the
+# bench falls back to the deterministic synthetic stand-ins with the
+# published node/link counts, so running this script is optional — it
+# only swaps in the real link structures.
+#
+# Usage: sh examples/fetch_topologyzoo.sh [dest-dir]
+set -eu
+
+dest=${1:-"$(dirname "$0")/data"}
+base="http://www.topology-zoo.org/files"
+mkdir -p "$dest"
+
+for name in Interoute Deltacom GtsCe Colt UsCarrier Cogentco Kdl; do
+  out="$dest/$name.graphml"
+  if [ -s "$out" ]; then
+    echo "have  $out"
+    continue
+  fi
+  echo "fetch $base/$name.graphml"
+  if command -v curl >/dev/null 2>&1; then
+    curl -fsSL -o "$out" "$base/$name.graphml"
+  elif command -v wget >/dev/null 2>&1; then
+    wget -q -O "$out" "$base/$name.graphml"
+  else
+    echo "error: need curl or wget" >&2
+    exit 1
+  fi
+done
+
+echo "done: $(ls "$dest" | wc -l) files in $dest"

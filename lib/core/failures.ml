@@ -114,6 +114,7 @@ let sweep_with (ctx : Obs.Ctx.t) ?waypoints g weights demands groups =
                 (fun (d : Network.demand) ss ->
                   List.map (fun (a, b) -> (a, b, d.Network.size)) ss)
                 demands segs))));
+  let cell = { Engine.Evaluator.mlu = 0.; phi = 0. } in
   Obs.Ctx.span ctx
     ~attrs:[ Obs.Attr.int "cases" (List.length groups) ]
     "fail:sweep"
@@ -136,7 +137,11 @@ let sweep_with (ctx : Obs.Ctx.t) ?waypoints g weights demands groups =
           if !disconnected > 0 then
             Obs.Metrics.incr ctx.Obs.Ctx.metrics "fail.disconnecting";
           let mlu =
-            if !disconnected > 0 then nan else fst (Engine.Evaluator.evaluate ev)
+            if !disconnected > 0 then nan
+            else begin
+              Engine.Evaluator.evaluate_into ev cell;
+              cell.Engine.Evaluator.mlu
+            end
           in
           Engine.Evaluator.undo ev;
           { edge = edge_id; mlu; disconnected = !disconnected })

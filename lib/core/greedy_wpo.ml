@@ -37,12 +37,10 @@ let order_indices order demands =
 
 (* The greedy never changes weights, so the engine's DAG and unit-flow
    caches persist for the whole run; only the load vector is private
-   (the search trials waypoint insertions by patching a copy). *)
-let apply loads sign (s : Engine.Evaluator.sparse) scale =
-  for i = 0 to Array.length s.Engine.Evaluator.edges - 1 do
-    let e = s.Engine.Evaluator.edges.(i) in
-    loads.(e) <- loads.(e) +. (sign *. scale *. s.Engine.Evaluator.flows.(i))
-  done
+   (the search trials waypoint insertions by patching a copy).  All
+   segment arithmetic goes through [Evaluator.add_unit], which
+   accumulates straight from the engine's flat cached entries — no
+   sparse views are ever materialized on the scan path. *)
 
 (* ------------------------------------------------------------------ *)
 (* Parallel candidate scan                                             *)
@@ -62,6 +60,7 @@ let scan_chunk = 4
 type scan_ctx = {
   g : Digraph.t;
   m : int;
+  caps : float array; (* borrowed from the graph's CSR storage *)
   pool : Par.Pool.t;
   evs : Engine.Evaluator.t array; (* slot 0 is the main evaluator *)
   bufs : float array array; (* per-worker private load buffer *)
@@ -80,7 +79,8 @@ let make_ctx ?(tracer = Obs.Tracer.noop) pool ev =
   for w = 1 to par - 1 do
     evs.(w) <- Engine.Evaluator.copy ev
   done;
-  { g; m; pool; evs; bufs = Array.init par (fun _ -> Array.make m 0.);
+  { g; m; caps = Digraph.caps g; pool; evs;
+    bufs = Array.init par (fun _ -> Array.make m 0.);
     main_stats = Engine.Evaluator.stats ev; tracer }
 
 let merge_clone_stats ctx =
@@ -91,10 +91,11 @@ let merge_clone_stats ctx =
 
 (* Returns the strict (utilization, candidate index) argmin — the first
    candidate among those of minimal utilization — or [None] if no
-   candidate is routable.  [segs_of] maps a candidate to the segment
-   loads it would place, evaluated on the worker's own evaluator;
-   candidates raising [Unroutable] are skipped. *)
-let scan_candidates ctx ~loads ~size ~segs_of cands =
+   candidate is routable.  [add_cand ev buf c] accumulates the segment
+   loads candidate [c] would place onto [buf] (via
+   [Evaluator.add_unit] on the worker's own evaluator); candidates
+   raising [Unroutable] are skipped. *)
+let scan_candidates ctx ~loads ~add_cand cands =
   let ncand = Array.length cands in
   if ncand = 0 then None
   else begin
@@ -111,15 +112,14 @@ let scan_candidates ctx ~loads ~size ~segs_of cands =
           let ev = ctx.evs.(worker) and buf = ctx.bufs.(worker) in
           let best = ref None and nev = ref 0 in
           for j = start to start + len - 1 do
-            match segs_of ev cands.(j) with
+            Array.blit loads 0 buf 0 ctx.m;
+            match add_cand ev buf cands.(j) with
             | exception Engine.Evaluator.Unroutable _ -> ()
-            | segs ->
-              Array.blit loads 0 buf 0 ctx.m;
-              List.iter (fun s -> apply buf 1. s size) segs;
+            | () ->
               incr nev;
               let u = ref 0. in
               for e = 0 to ctx.m - 1 do
-                let r = buf.(e) /. Digraph.cap ctx.g e in
+                let r = buf.(e) /. ctx.caps.(e) in
                 if r > !u then u := r
               done;
               (match !best with
@@ -163,7 +163,9 @@ let optimize_multi_ctx (octx : Obs.Ctx.t) ?(order = Desc) ~rounds g weights
       ~probe:(Obs.Ctx.probe octx) g weights
   in
   Engine.Evaluator.set_commodities ev (Network.to_commodities demands);
-  let unit_load src dst = Engine.Evaluator.unit_load ev ~src ~dst in
+  let add src dst scale into =
+    Engine.Evaluator.add_unit ev ~src ~dst ~scale ~into
+  in
   let loads =
     try Array.copy (Engine.Evaluator.loads ev)
     with Engine.Evaluator.Unroutable (s, t) -> raise (Ecmp.Unroutable (s, t))
@@ -186,8 +188,7 @@ let optimize_multi_ctx (octx : Obs.Ctx.t) ?(order = Desc) ~rounds g weights
           match List.rev setting.(i) with w :: _ -> w | [] -> d.Network.src
         in
         if anchor <> d.Network.dst then begin
-          let last_seg = unit_load anchor d.Network.dst in
-          apply loads (-1.) last_seg size;
+          add anchor d.Network.dst (-.size) loads;
           let cands =
             let ways = ref [] in
             for w = n - 1 downto 0 do
@@ -195,20 +196,22 @@ let optimize_multi_ctx (octx : Obs.Ctx.t) ?(order = Desc) ~rounds g weights
             done;
             Array.of_list !ways
           in
-          let segs_of ev = function
+          let add_cand ev buf = function
             | Way w ->
-              [ Engine.Evaluator.unit_load ev ~src:anchor ~dst:w;
-                Engine.Evaluator.unit_load ev ~src:w ~dst:d.Network.dst ]
+              Engine.Evaluator.add_unit ev ~src:anchor ~dst:w ~scale:size
+                ~into:buf;
+              Engine.Evaluator.add_unit ev ~src:w ~dst:d.Network.dst
+                ~scale:size ~into:buf
             | Drop -> assert false
           in
-          match scan_candidates ctx ~loads ~size ~segs_of cands with
+          match scan_candidates ctx ~loads ~add_cand cands with
           | Some (u, j) when u < !u_min -. 1e-12 ->
             let w = match cands.(j) with Way w -> w | Drop -> assert false in
             setting.(i) <- setting.(i) @ [ w ];
             u_min := u;
-            apply loads 1. (unit_load anchor w) size;
-            apply loads 1. (unit_load w d.Network.dst) size
-          | _ -> apply loads 1. last_seg size
+            add anchor w size loads;
+            add w d.Network.dst size loads
+          | _ -> add anchor d.Network.dst size loads
         end)
       indices;
     let u = Engine.Evaluator.mlu_of_loads g loads in
@@ -239,7 +242,9 @@ let optimize_ctx (octx : Obs.Ctx.t) ?(order = Desc) ?(passes = 1) g weights
       ~probe:(Obs.Ctx.probe octx) g weights
   in
   Engine.Evaluator.set_commodities ev (Network.to_commodities demands);
-  let unit_load src dst = Engine.Evaluator.unit_load ev ~src ~dst in
+  let add src dst scale into =
+    Engine.Evaluator.add_unit ev ~src ~dst ~scale ~into
+  in
   let loads =
     try Array.copy (Engine.Evaluator.loads ev)
     with Engine.Evaluator.Unroutable (s, t) -> raise (Ecmp.Unroutable (s, t))
@@ -249,12 +254,15 @@ let optimize_ctx (octx : Obs.Ctx.t) ?(order = Desc) ?(passes = 1) g weights
   let waypoints = Array.make (Array.length demands) None in
   let indices = order_indices order demands in
   let u_min = ref initial_mlu in
-  (* The segments a demand currently loads onto the network. *)
-  let segments_of i =
+  (* Accumulates [scale] times the segments demand [i] currently loads
+     onto the network. *)
+  let add_segments i scale =
     let d = demands.(i) in
     match waypoints.(i) with
-    | None -> [ unit_load d.Network.src d.Network.dst ]
-    | Some w -> [ unit_load d.Network.src w; unit_load w d.Network.dst ]
+    | None -> add d.Network.src d.Network.dst scale loads
+    | Some w ->
+      add d.Network.src w scale loads;
+      add w d.Network.dst scale loads
   in
   (* Pass 1 is Algorithm 3 verbatim; later passes revisit each demand,
      allowing reassignment or removal of its waypoint (the sequential
@@ -267,7 +275,7 @@ let optimize_ctx (octx : Obs.Ctx.t) ?(order = Desc) ?(passes = 1) g weights
       (fun i ->
         let d = demands.(i) in
         let size = d.Network.size in
-        List.iter (fun s -> apply loads (-1.) s size) (segments_of i);
+        add_segments i (-.size);
         let cands =
           let ways = ref [] in
           for w = n - 1 downto 0 do
@@ -278,19 +286,22 @@ let optimize_ctx (octx : Obs.Ctx.t) ?(order = Desc) ?(passes = 1) g weights
           if pass > 1 && waypoints.(i) <> None then Array.of_list (Drop :: !ways)
           else Array.of_list !ways
         in
-        let segs_of ev = function
+        let add_cand ev buf = function
           | Drop ->
-            [ Engine.Evaluator.unit_load ev ~src:d.Network.src ~dst:d.Network.dst ]
+            Engine.Evaluator.add_unit ev ~src:d.Network.src ~dst:d.Network.dst
+              ~scale:size ~into:buf
           | Way w ->
-            [ Engine.Evaluator.unit_load ev ~src:d.Network.src ~dst:w;
-              Engine.Evaluator.unit_load ev ~src:w ~dst:d.Network.dst ]
+            Engine.Evaluator.add_unit ev ~src:d.Network.src ~dst:w ~scale:size
+              ~into:buf;
+            Engine.Evaluator.add_unit ev ~src:w ~dst:d.Network.dst ~scale:size
+              ~into:buf
         in
-        (match scan_candidates ctx ~loads ~size ~segs_of cands with
+        (match scan_candidates ctx ~loads ~add_cand cands with
         | Some (u, j) when u < !u_min -. 1e-12 ->
           waypoints.(i) <-
             (match cands.(j) with Drop -> None | Way w -> Some w)
         | _ -> ());
-        List.iter (fun s -> apply loads 1. s size) (segments_of i);
+        add_segments i size;
         u_min := Engine.Evaluator.mlu_of_loads g loads)
       indices;
     Obs.Tracer.attr tracer pass_tok (Obs.Attr.float "mlu" !u_min);

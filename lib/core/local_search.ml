@@ -66,12 +66,14 @@ let run_single (ctx : Obs.Ctx.t) ~params ?init g demands =
     if Hashtbl.length memo < 200_000 then Hashtbl.replace memo (Array.copy w) r
   in
   (* Evaluates the engine's current weight vector, which the caller has
-     already synced to [w] (the memo key). *)
+     already synced to [w] (the memo key).  Results land in a reused
+     metrics cell; only the memoized tuple and loads copy allocate. *)
+  let mcell = { Engine.Evaluator.mlu = 0.; phi = 0. } in
   let eval_engine w =
     incr evals;
-    let mlu, phi = Engine.Evaluator.evaluate ev in
+    Engine.Evaluator.evaluate_into ev mcell;
     let loads = Array.copy (Engine.Evaluator.loads ev) in
-    let r = (mlu, phi, loads) in
+    let r = (mcell.Engine.Evaluator.mlu, mcell.Engine.Evaluator.phi, loads) in
     memoize w r;
     r
   in
@@ -91,6 +93,11 @@ let run_single (ctx : Obs.Ctx.t) ~params ?init g demands =
   for w = 1 to par - 1 do
     clones.(w) <- Engine.Evaluator.copy ev
   done;
+  (* One metrics cell per worker: probe tasks write their (mlu, phi)
+     into their own cell, so a probe never allocates a result tuple. *)
+  let cells =
+    Array.init par (fun _ -> { Engine.Evaluator.mlu = 0.; phi = 0. })
+  in
   (* Keep every clone's committed state bitwise equal to the main
      evaluator's: mirror each accepted move and perturbation. *)
   let mirror_set_weight e wf =
@@ -110,6 +117,7 @@ let run_single (ctx : Obs.Ctx.t) ~params ?init g demands =
   let best_w = ref (Array.copy current) in
   let best_mlu = ref cur_mlu and best_phi = ref cur_phi in
   let stall = ref 0 in
+  let caps = Digraph.caps g in
   let pick_edge () =
     (* Bias towards congested links: the argmax-utilization link with
        probability ~0.55, one of five random samples' most utilized with
@@ -118,7 +126,7 @@ let run_single (ctx : Obs.Ctx.t) ~params ?init g demands =
     if r < 0.55 then begin
       let arg = ref 0 and best = ref neg_infinity in
       for e = 0 to m - 1 do
-        let u = !cur_loads.(e) /. Digraph.cap g e in
+        let u = !cur_loads.(e) /. caps.(e) in
         if u > !best then begin
           best := u;
           arg := e
@@ -130,7 +138,7 @@ let run_single (ctx : Obs.Ctx.t) ~params ?init g demands =
       let arg = ref (Random.State.int st m) and best = ref neg_infinity in
       for _ = 1 to 5 do
         let e = Random.State.int st m in
-        let u = !cur_loads.(e) /. Digraph.cap g e in
+        let u = !cur_loads.(e) /. caps.(e) in
         if u > !best then begin
           best := u;
           arg := e
@@ -202,12 +210,14 @@ let run_single (ctx : Obs.Ctx.t) ~params ?init g demands =
     let probe_results =
       Par.Pool.map pool ~tasks:(Array.length probes) (fun ~worker i ->
           let t0 = Engine.Mono.now () in
-          let evw = clones.(worker) in
+          let evw = clones.(worker) and c = cells.(worker) in
           Engine.Evaluator.set_weight evw ~edge:e (float_of_int probes.(i));
-          let mlu, phi = Engine.Evaluator.evaluate evw in
+          Engine.Evaluator.evaluate_into evw c;
           let loads = Array.copy (Engine.Evaluator.loads evw) in
           Engine.Evaluator.undo evw;
-          ((mlu, phi, loads), worker, Engine.Mono.now () -. t0))
+          ( (c.Engine.Evaluator.mlu, c.Engine.Evaluator.phi, loads),
+            worker,
+            Engine.Mono.now () -. t0 ))
     in
     Obs.Tracer.finish tracer round_tok;
     if Array.length probes > 0 then begin

@@ -18,8 +18,9 @@ let effective_capacities ?(prune = true) g ~usable ~source ~target =
     let v = order.(i) in
     if v <> target then begin
       let outs =
-        Array.of_list
-          (List.filter in_dag (Array.to_list (Digraph.out_edges g v)))
+        let acc = ref [] in
+        Digraph.iter_out g v (fun e -> if in_dag e then acc := e :: !acc);
+        Array.of_list (List.rev !acc)
       in
       let deg = Array.length outs in
       if deg > 0 then begin
@@ -52,9 +53,8 @@ let effective_capacities ?(prune = true) g ~usable ~source ~target =
       end
     end;
     (* Effective capacity of incoming DAG links of v (Definition 5.1). *)
-    Array.iter
-      (fun e -> if in_dag e then edge.(e) <- min usable.(e) node.(v))
-      (Digraph.in_edges g v)
+    Digraph.iter_in g v (fun e ->
+        if in_dag e then edge.(e) <- min usable.(e) node.(v))
   done;
   { node; edge; kept }
 
@@ -67,10 +67,8 @@ let weights_for_dag g ~keep ~target =
     let v = order.(i) in
     if v <> target then begin
       let best = ref neg_infinity in
-      Array.iter
-        (fun e ->
-          if keep e then best := max !best pot.(Digraph.dst g e))
-        (Digraph.out_edges g v);
+      Digraph.iter_out g v (fun e ->
+          if keep e then best := max !best pot.(Digraph.dst g e));
       if !best > neg_infinity then pot.(v) <- 1. +. !best
     end
   done;

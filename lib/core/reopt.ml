@@ -58,7 +58,15 @@ let reoptimize_ctx (ctx : Obs.Ctx.t) ?(ls_params = Local_search.default_params)
   Engine.Evaluator.set_commodities ev
     (Network.to_commodities (Segments.expand demands deployed_waypoints));
   let current = Array.copy deployed_weights in
-  let cur_mlu = ref (fst (Engine.Evaluator.evaluate ev)) in
+  (* Probe results land in one reused metrics cell — the budgeted probe
+     loop below allocates nothing per candidate. *)
+  let cell = { Engine.Evaluator.mlu = 0.; phi = 0. } in
+  let eval_mlu () =
+    Engine.Evaluator.evaluate_into ev cell;
+    cell.Engine.Evaluator.mlu
+  in
+  let caps = Digraph.caps g in
+  let cur_mlu = ref (eval_mlu ()) in
   let deployed_mlu = !cur_mlu in
   let changed = Hashtbl.create 8 in
   let changes () = Hashtbl.length changed in
@@ -76,7 +84,7 @@ let reoptimize_ctx (ctx : Obs.Ctx.t) ?(ls_params = Local_search.default_params)
         let loads = Engine.Evaluator.loads ev in
         let arg = ref 0 and best = ref neg_infinity in
         for e = 0 to m - 1 do
-          let u = loads.(e) /. Digraph.cap g e in
+          let u = loads.(e) /. caps.(e) in
           if u > !best && not (Hashtbl.mem frozen e) then begin
             best := u;
             arg := e
@@ -105,7 +113,7 @@ let reoptimize_ctx (ctx : Obs.Ctx.t) ?(ls_params = Local_search.default_params)
           if !evals < ls_params.Local_search.max_evals then begin
             incr evals;
             Engine.Evaluator.set_weight ev ~edge:e (float_of_int wv);
-            let mlu = fst (Engine.Evaluator.evaluate ev) in
+            let mlu = eval_mlu () in
             Engine.Evaluator.undo ev;
             match !best_cand with
             | Some (bm, _) when bm <= mlu -> ()

@@ -10,44 +10,137 @@ type dag = {
   order : int array;
 }
 
-(* Pre-change state of one destination, captured when a weight update
-   dirties it.  Undoing restores these pointers verbatim, so a probe
-   (set_weight / evaluate / undo) repairs forward exactly once and
-   never pays a repair on the way back. *)
-type snapshot = {
-  s_dest : int;
-  s_dag : dag option;
-  s_units : sparse option array;
-  s_dest_load : float array option;
+type metrics = { mutable mlu : float; mutable phi : float }
+
+(* ------------------------------------------------------------------ *)
+(* Flat internal state                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* The public [dag] / [sparse] records above are view-layer
+   materializations; internally everything lives in flat preallocated
+   arrays so the probe loop (set_weight / evaluate / undo) allocates
+   nothing once warm:
+
+   - [fdag]: one shortest-path DAG in CSR form — dist (n floats),
+     sp_cnt/sp_col (the per-node shortest-path out-edges, anchored at
+     the graph CSR row offsets so each row can be rebuilt on its own),
+     and the decreasing-distance propagation order.  Immutable once
+     filled.
+   - [urow]: one destination's unit-flow cache.  Entries for source s
+     live at [u_off.(s) .. u_off.(s)+u_len.(s)) in the bump-allocated
+     u_edges/u_flows storage; [u_stamp.(s) = u_gen] marks s as
+     materialized, so invalidating the whole row is one counter bump.
+   - [fvec]: one destination's cached load contribution (m floats).
+
+   All three come from per-evaluator grow-only pools.  An object may be
+   recycled into its pool only if it was born in the evaluator's current
+   epoch: {!copy} bumps the epoch, so anything a clone might share
+   (fdags and fvecs are shared by pointer; urows are deep-copied) is
+   never overwritten.  Sentinels ([no_dag] & co.) stand in for "absent"
+   so per-destination slots are plain arrays, not option arrays. *)
+
+type fdag = {
+  fdist : float array; (* n: distance to the destination *)
+  sp_cnt : int array; (* n: tight out-edges of v, at the graph row base *)
+  sp_col : int array; (* m: shortest-path out-edges, ascending per row *)
+  forder : int array; (* n: finite-dist nodes, decreasing distance *)
+  mutable forder_len : int;
+  mutable d_born : int;
 }
 
-type trail_entry = {
-  e_edge : int;
-  e_old_w : float;
-  e_saved : snapshot list;  (* dirty destinations, pre-change state *)
-  e_unknown : int list;  (* destinations with no DAG at change time *)
-  e_snap_valid : bool;  (* false: undo must fall back to a flush *)
+type urow = {
+  u_stamp : int array; (* n *)
+  mutable u_gen : int;
+  u_off : int array; (* n *)
+  u_len : int array; (* n *)
+  mutable u_edges : int array; (* grow-only entry storage *)
+  mutable u_flows : float array;
+  mutable u_used : int;
+  mutable u_born : int;
 }
+
+type fvec = { fv : float array; (* m *) mutable v_born : int }
+
+(* Shared sentinels; their [born] of [min_int] never matches an epoch,
+   so even an accidental recycle attempt is a no-op. *)
+let no_dag =
+  { fdist = [||]; sp_cnt = [||]; sp_col = [||]; forder = [||];
+    forder_len = 0; d_born = min_int }
+
+let no_urow =
+  { u_stamp = [||]; u_gen = 0; u_off = [||]; u_len = [||]; u_edges = [||];
+    u_flows = [||]; u_used = 0; u_born = min_int }
+
+let no_fvec = { fv = [||]; v_born = min_int }
 
 type t = {
   graph : Digraph.t;
+  n : int;
+  m : int;
   weights : float array;
   stats : Stats.t;
   mutable probe : Probe.t;
-  dags : dag option array; (* per destination *)
-  units : sparse option array array; (* [dst].[src] *)
-  (* commodity bookkeeping *)
-  mutable by_dest : (int * float) array array; (* dest -> (src, size) *)
+  (* borrowed graph CSR (never mutated) *)
+  g_src : int array;
+  g_dst : int array;
+  g_cap : float array;
+  g_out_row : int array;
+  g_out_col : int array;
+  g_in_row : int array;
+  g_in_col : int array;
+  (* installed per-destination state; sentinels mean "absent" *)
+  dags : fdag array;
+  urows : urow array;
+  dest_loads : fvec array;
+  (* commodity bookkeeping, flat per destination: bd_src.(d)/(bd_size.(d))
+     are the commodity sources and sizes in arrival order (a tuple array
+     would box every size behind a pointer on the hot accumulate path) *)
+  mutable bd_src : int array array;
+  mutable bd_size : float array array;
   mutable active_dests : int array; (* dests with traffic, ascending *)
-  dest_loads : float array option array; (* cached per-dest contribution *)
   loads_buf : float array;
   mutable loads_valid : bool;
-  (* undo trail: uncommitted weight changes, newest first *)
-  mutable trail : trail_entry list;
-  (* scratch buffers for unit-flow propagation *)
+  (* flat undo trail: entry i changed tr_edge.(i) from tr_oldw.(i); its
+     per-destination snapshots are the tr_nsaved.(i) newest rows of the
+     sv_* stack below it, its unmaterialized destinations the
+     tr_nunknown.(i) newest of uk_dest *)
+  mutable tr_edge : int array;
+  mutable tr_oldw : float array;
+  mutable tr_valid : bool array; (* false: undo falls back to a flush *)
+  mutable tr_nsaved : int array;
+  mutable tr_nunknown : int array;
+  mutable tr_len : int;
+  mutable sv_dest : int array;
+  mutable sv_dag : fdag array;
+  mutable sv_urow : urow array;
+  mutable sv_vec : fvec array;
+  mutable sv_len : int;
+  mutable uk_dest : int array;
+  mutable uk_len : int;
+  (* object pools *)
+  mutable pool_dag : fdag array;
+  mutable pool_dag_len : int;
+  mutable pool_urow : urow array;
+  mutable pool_urow_len : int;
+  mutable pool_vec : fvec array;
+  mutable pool_vec_len : int;
+  mutable epoch : int;
+  (* scratch *)
   node_flow : float array;
   edge_flow : float array;
   touched : int array;
+  (* DAG-repair scratch: generation-stamped membership marks plus the
+     changed-node / rebuilt-row / surviving-order staging arrays (all
+     length n) *)
+  ord_stamp : int array;
+  row_stamp : int array;
+  taint_stamp : int array;
+  ord_scratch : int array;
+  row_scratch : int array;
+  ord_surv : int array;
+  mutable scratch_gen : int;
+  pscratch : Paths.Scratch.t;
+  emetrics : metrics;
 }
 
 let rel_eps = 1e-9
@@ -68,51 +161,143 @@ let create ?(stats = Stats.create ()) ?(probe = Probe.null) graph weights =
   let n = Digraph.node_count graph and m = Digraph.edge_count graph in
   {
     graph;
+    n;
+    m;
     weights = Array.copy weights;
     stats;
     probe;
-    dags = Array.make n None;
-    units = Array.make_matrix n n None;
-    by_dest = Array.make n [||];
+    g_src = Digraph.srcs graph;
+    g_dst = Digraph.dsts graph;
+    g_cap = Digraph.caps graph;
+    g_out_row = Digraph.out_offsets graph;
+    g_out_col = Digraph.out_index graph;
+    g_in_row = Digraph.in_offsets graph;
+    g_in_col = Digraph.in_index graph;
+    dags = Array.make n no_dag;
+    urows = Array.make n no_urow;
+    dest_loads = Array.make n no_fvec;
+    bd_src = Array.make n [||];
+    bd_size = Array.make n [||];
     active_dests = [||];
-    dest_loads = Array.make n None;
     loads_buf = Array.make m 0.;
     loads_valid = false;
-    trail = [];
+    tr_edge = [||];
+    tr_oldw = [||];
+    tr_valid = [||];
+    tr_nsaved = [||];
+    tr_nunknown = [||];
+    tr_len = 0;
+    sv_dest = [||];
+    sv_dag = [||];
+    sv_urow = [||];
+    sv_vec = [||];
+    sv_len = 0;
+    uk_dest = [||];
+    uk_len = 0;
+    pool_dag = [||];
+    pool_dag_len = 0;
+    pool_urow = [||];
+    pool_urow_len = 0;
+    pool_vec = [||];
+    pool_vec_len = 0;
+    epoch = 0;
     node_flow = Array.make n 0.;
     edge_flow = Array.make m 0.;
     touched = Array.make m 0;
+    ord_stamp = Array.make n 0;
+    row_stamp = Array.make n 0;
+    taint_stamp = Array.make n 0;
+    ord_scratch = Array.make n 0;
+    row_scratch = Array.make n 0;
+    ord_surv = Array.make n 0;
+    scratch_gen = 0;
+    pscratch = Paths.Scratch.create ();
+    emetrics = { mlu = 0.; phi = 0. };
   }
 
-(* Deep clone for parallel search: the clone owns every array the
-   evaluator mutates in place ([weights], the cache index arrays, the
-   [units] rows and the scratch buffers), while the cached values they
-   point at — dag records, sparse unit-flow vectors, per-destination
-   load vectors — are immutable after construction and safely shared
-   across domains.  The clone starts with an empty trail: whatever
-   uncommitted weight changes the source held are captured as the
-   clone's committed state. *)
+let urow_copy ur =
+  if ur == no_urow then no_urow
+  else
+    {
+      u_stamp = Array.copy ur.u_stamp;
+      u_gen = ur.u_gen;
+      u_off = Array.copy ur.u_off;
+      u_len = Array.copy ur.u_len;
+      u_edges = Array.sub ur.u_edges 0 ur.u_used;
+      u_flows = Array.sub ur.u_flows 0 ur.u_used;
+      u_used = ur.u_used;
+      (* never recycled: the blit is bounded, the object just ages out *)
+      u_born = min_int;
+    }
+
+(* Clone for parallel search.  fdags and fvecs are immutable once
+   filled, so the clone shares them by pointer; bumping the source's
+   epoch guarantees neither side ever recycles a pre-copy object into
+   its pool.  urows are mutable caches (they grow as new sources are
+   materialized), so the clone gets bounded flat-array blits of the
+   materialized rows.  The clone starts with an empty trail: whatever
+   uncommitted weight changes the source held become the clone's
+   committed state. *)
 let copy ?stats t =
-  let n = Digraph.node_count t.graph and m = Digraph.edge_count t.graph in
+  t.epoch <- t.epoch + 1;
+  let n = t.n and m = t.m in
   {
     graph = t.graph;
+    n;
+    m;
     weights = Array.copy t.weights;
     stats = (match stats with Some s -> s | None -> Stats.create ());
     (* Clones run on worker domains whose scheduling is dynamic; they
        never inherit the tracer probe, or span streams would depend on
        which worker claimed which task. *)
     probe = Probe.null;
+    g_src = t.g_src;
+    g_dst = t.g_dst;
+    g_cap = t.g_cap;
+    g_out_row = t.g_out_row;
+    g_out_col = t.g_out_col;
+    g_in_row = t.g_in_row;
+    g_in_col = t.g_in_col;
     dags = Array.copy t.dags;
-    units = Array.map Array.copy t.units;
-    by_dest = Array.copy t.by_dest;
-    active_dests = Array.copy t.active_dests;
+    urows = Array.map urow_copy t.urows;
     dest_loads = Array.copy t.dest_loads;
+    bd_src = Array.copy t.bd_src;
+    bd_size = Array.copy t.bd_size;
+    active_dests = Array.copy t.active_dests;
     loads_buf = Array.copy t.loads_buf;
     loads_valid = t.loads_valid;
-    trail = [];
+    tr_edge = [||];
+    tr_oldw = [||];
+    tr_valid = [||];
+    tr_nsaved = [||];
+    tr_nunknown = [||];
+    tr_len = 0;
+    sv_dest = [||];
+    sv_dag = [||];
+    sv_urow = [||];
+    sv_vec = [||];
+    sv_len = 0;
+    uk_dest = [||];
+    uk_len = 0;
+    pool_dag = [||];
+    pool_dag_len = 0;
+    pool_urow = [||];
+    pool_urow_len = 0;
+    pool_vec = [||];
+    pool_vec_len = 0;
+    epoch = t.epoch;
     node_flow = Array.make n 0.;
     edge_flow = Array.make m 0.;
     touched = Array.make m 0;
+    ord_stamp = Array.make n 0;
+    row_stamp = Array.make n 0;
+    taint_stamp = Array.make n 0;
+    ord_scratch = Array.make n 0;
+    row_scratch = Array.make n 0;
+    ord_surv = Array.make n 0;
+    scratch_gen = 0;
+    pscratch = Paths.Scratch.create ();
+    emetrics = { mlu = 0.; phi = 0. };
   }
 
 let graph t = t.graph
@@ -123,122 +308,553 @@ let stats t = t.stats
 
 let set_probe t probe = t.probe <- probe
 
-let trail_length t = List.length t.trail
+let trail_length t = t.tr_len
+
+(* ------------------------------------------------------------------ *)
+(* Pools                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let dag_alloc t =
+  if t.pool_dag_len > 0 then begin
+    t.pool_dag_len <- t.pool_dag_len - 1;
+    let d = t.pool_dag.(t.pool_dag_len) in
+    t.pool_dag.(t.pool_dag_len) <- no_dag;
+    d.d_born <- t.epoch;
+    d
+  end
+  else begin
+    { fdist = Array.make t.n infinity; sp_cnt = Array.make t.n 0;
+      sp_col = Array.make t.m 0; forder = Array.make t.n 0; forder_len = 0;
+      d_born = t.epoch }
+  end
+
+let dag_recycle t d =
+  if d != no_dag && d.d_born = t.epoch then begin
+    if t.pool_dag_len = Array.length t.pool_dag then begin
+      let grown = Array.make (max 8 (2 * t.pool_dag_len)) no_dag in
+      Array.blit t.pool_dag 0 grown 0 t.pool_dag_len;
+      t.pool_dag <- grown
+    end;
+    t.pool_dag.(t.pool_dag_len) <- d;
+    t.pool_dag_len <- t.pool_dag_len + 1
+  end
+
+let urow_alloc t =
+  if t.pool_urow_len > 0 then begin
+    t.pool_urow_len <- t.pool_urow_len - 1;
+    let ur = t.pool_urow.(t.pool_urow_len) in
+    t.pool_urow.(t.pool_urow_len) <- no_urow;
+    ur.u_gen <- ur.u_gen + 1; (* one bump invalidates every source *)
+    ur.u_used <- 0;
+    ur.u_born <- t.epoch;
+    ur
+  end
+  else begin
+    { u_stamp = Array.make t.n 0; u_gen = 1; u_off = Array.make t.n 0;
+      u_len = Array.make t.n 0; u_edges = [||]; u_flows = [||]; u_used = 0;
+      u_born = t.epoch }
+  end
+
+let urow_recycle t ur =
+  if ur != no_urow && ur.u_born = t.epoch then begin
+    if t.pool_urow_len = Array.length t.pool_urow then begin
+      let grown = Array.make (max 8 (2 * t.pool_urow_len)) no_urow in
+      Array.blit t.pool_urow 0 grown 0 t.pool_urow_len;
+      t.pool_urow <- grown
+    end;
+    t.pool_urow.(t.pool_urow_len) <- ur;
+    t.pool_urow_len <- t.pool_urow_len + 1
+  end
+
+let fvec_alloc t =
+  if t.pool_vec_len > 0 then begin
+    t.pool_vec_len <- t.pool_vec_len - 1;
+    let v = t.pool_vec.(t.pool_vec_len) in
+    t.pool_vec.(t.pool_vec_len) <- no_fvec;
+    v.v_born <- t.epoch;
+    v
+  end
+  else begin
+    { fv = Array.make t.m 0.; v_born = t.epoch }
+  end
+
+let fvec_recycle t v =
+  if v != no_fvec && v.v_born = t.epoch then begin
+    if t.pool_vec_len = Array.length t.pool_vec then begin
+      let grown = Array.make (max 8 (2 * t.pool_vec_len)) no_fvec in
+      Array.blit t.pool_vec 0 grown 0 t.pool_vec_len;
+      t.pool_vec <- grown
+    end;
+    t.pool_vec.(t.pool_vec_len) <- v;
+    t.pool_vec_len <- t.pool_vec_len + 1
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Trail plumbing                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Reads the displaced weight from [t.weights] itself: taking it as a
+   float parameter would box it at this (non-inlinable) call boundary
+   on every probe.  Callers must push before writing the new value. *)
+let push_trail t edge =
+  let cap = Array.length t.tr_edge in
+  if t.tr_len = cap then begin
+    let nc = max 8 (2 * cap) in
+    let gi a = let b = Array.make nc 0 in Array.blit a 0 b 0 cap; b in
+    t.tr_edge <- gi t.tr_edge;
+    t.tr_nsaved <- gi t.tr_nsaved;
+    t.tr_nunknown <- gi t.tr_nunknown;
+    let bf = Array.make nc 0. in
+    Array.blit t.tr_oldw 0 bf 0 cap;
+    t.tr_oldw <- bf;
+    let bb = Array.make nc false in
+    Array.blit t.tr_valid 0 bb 0 cap;
+    t.tr_valid <- bb
+  end;
+  let i = t.tr_len in
+  t.tr_edge.(i) <- edge;
+  t.tr_oldw.(i) <- t.weights.(edge);
+  t.tr_valid.(i) <- true;
+  t.tr_nsaved.(i) <- 0;
+  t.tr_nunknown.(i) <- 0;
+  t.tr_len <- i + 1
+
+let push_saved t dest fd ur dl =
+  let cap = Array.length t.sv_dest in
+  if t.sv_len = cap then begin
+    let nc = max 8 (2 * cap) in
+    let b = Array.make nc 0 in
+    Array.blit t.sv_dest 0 b 0 cap;
+    t.sv_dest <- b;
+    let bd = Array.make nc no_dag in
+    Array.blit t.sv_dag 0 bd 0 cap;
+    t.sv_dag <- bd;
+    let bu = Array.make nc no_urow in
+    Array.blit t.sv_urow 0 bu 0 cap;
+    t.sv_urow <- bu;
+    let bv = Array.make nc no_fvec in
+    Array.blit t.sv_vec 0 bv 0 cap;
+    t.sv_vec <- bv
+  end;
+  let i = t.sv_len in
+  t.sv_dest.(i) <- dest;
+  t.sv_dag.(i) <- fd;
+  t.sv_urow.(i) <- ur;
+  t.sv_vec.(i) <- dl;
+  t.sv_len <- i + 1
+
+let push_unknown t dest =
+  let cap = Array.length t.uk_dest in
+  if t.uk_len = cap then begin
+    let b = Array.make (max 8 (2 * cap)) 0 in
+    Array.blit t.uk_dest 0 b 0 cap;
+    t.uk_dest <- b
+  end;
+  t.uk_dest.(t.uk_len) <- dest;
+  t.uk_len <- t.uk_len + 1
+
+(* ------------------------------------------------------------------ *)
+(* Monomorphic in-place sorts (no closures, no polymorphic compare)    *)
+(* ------------------------------------------------------------------ *)
+
+(* Heapsort over node ids keyed by (distance descending, id ascending).
+   The key is a total order, so any correct sort yields the exact
+   permutation the previous Array.sort-based code produced.  The
+   annotation pins the comparisons to floats: left polymorphic they
+   compile to [caml_lessthan] over a generic array, whose element reads
+   box one float each — the single allocation that kept the warm probe
+   loop off zero minor words. *)
+let order_after (dist : float array) a b =
+  let da = dist.(a) and db = dist.(b) in
+  if da < db then true else if da > db then false else a > b
+
+let sift_order a dist root len =
+  let r = ref root in
+  let continue = ref true in
+  while !continue do
+    let l = (2 * !r) + 1 in
+    if l >= len then continue := false
+    else begin
+      let c =
+        if l + 1 < len && order_after dist a.(l + 1) a.(l) then l + 1 else l
+      in
+      if order_after dist a.(c) a.(!r) then begin
+        let tmp = a.(c) in
+        a.(c) <- a.(!r);
+        a.(!r) <- tmp;
+        r := c
+      end
+      else continue := false
+    end
+  done
+
+let sort_order a len dist =
+  for i = (len / 2) - 1 downto 0 do
+    sift_order a dist i len
+  done;
+  for e = len - 1 downto 1 do
+    let tmp = a.(0) in
+    a.(0) <- a.(e);
+    a.(e) <- tmp;
+    sift_order a dist 0 e
+  done
+
+(* Ascending heapsort of an int prefix. *)
+let sift_int a root len =
+  let r = ref root in
+  let continue = ref true in
+  while !continue do
+    let l = (2 * !r) + 1 in
+    if l >= len then continue := false
+    else begin
+      let c = if l + 1 < len && a.(l + 1) > a.(l) then l + 1 else l in
+      if a.(c) > a.(!r) then begin
+        let tmp = a.(c) in
+        a.(c) <- a.(!r);
+        a.(!r) <- tmp;
+        r := c
+      end
+      else continue := false
+    end
+  done
+
+let sort_ints a len =
+  for i = (len / 2) - 1 downto 0 do
+    sift_int a i len
+  done;
+  for e = len - 1 downto 1 do
+    let tmp = a.(0) in
+    a.(0) <- a.(e);
+    a.(e) <- tmp;
+    sift_int a 0 e
+  done
 
 (* ------------------------------------------------------------------ *)
 (* Shortest-path DAGs                                                  *)
 (* ------------------------------------------------------------------ *)
 
-(* out_sp and order are pure functions of the distance array; shared by
-   the from-scratch build and the incremental repair. *)
-let dag_of_dist g w dist =
-  let n = Digraph.node_count g in
-  let out_sp =
-    Array.init n (fun v ->
-        if dist.(v) = infinity then [||]
-        else begin
-          let es = Digraph.out_edges g v in
-          let keep = ref [] in
-          for i = Array.length es - 1 downto 0 do
-            let e = es.(i) in
-            let u = Digraph.dst g e in
-            if
-              dist.(u) < infinity
-              && abs_float ((w.(e) +. dist.(u)) -. dist.(v))
-                 <= rel_eps *. (1. +. abs_float dist.(v))
-            then keep := e :: !keep
-          done;
-          Array.of_list !keep
-        end)
-  in
-  let finite = ref [] in
-  for v = n - 1 downto 0 do
-    if dist.(v) < infinity then finite := v :: !finite
-  done;
-  let order = Array.of_list !finite in
-  (* Decreasing distance; ties broken by node id for determinism. *)
-  Array.sort
-    (fun a b ->
-      let c = compare dist.(b) dist.(a) in
-      if c <> 0 then c else compare a b)
-    order;
-  { dist; out_sp; order }
+(* Rebuilds DAG row [v] from fd.fdist: the node's shortest-path
+   out-edges are its tight out-edges, in ascending edge-id order (the
+   CSR row order), written at the graph CSR row base.  A row's content
+   depends only on v's distance, its out-neighbours' distances and its
+   out-edge weights — nothing outside the row — which is what lets
+   [dag_repair] recompute rows selectively. *)
+let fill_row t fd v =
+  let dist = fd.fdist in
+  let dv = dist.(v) in
+  if dv = infinity then fd.sp_cnt.(v) <- 0
+  else begin
+    let w = t.weights in
+    let out_row = t.g_out_row and out_col = t.g_out_col and gdst = t.g_dst in
+    let tol = rel_eps *. (1. +. abs_float dv) in
+    let base = out_row.(v) in
+    let p = ref base in
+    for i = base to out_row.(v + 1) - 1 do
+      let e = out_col.(i) in
+      let u = gdst.(e) in
+      if dist.(u) < infinity && abs_float ((w.(e) +. dist.(u)) -. dv) <= tol
+      then begin
+        fd.sp_col.(!p) <- e;
+        incr p
+      end
+    done;
+    fd.sp_cnt.(v) <- !p - base
+  end
 
-let dag t ~target =
-  match t.dags.(target) with
-  | Some d ->
+(* Fills sp_cnt/sp_col/forder from fd.fdist (the from-scratch path). *)
+let dag_fill t fd =
+  let dist = fd.fdist in
+  for v = 0 to t.n - 1 do
+    fill_row t fd v
+  done;
+  let k = ref 0 in
+  for v = 0 to t.n - 1 do
+    if dist.(v) < infinity then begin
+      fd.forder.(!k) <- v;
+      incr k
+    end
+  done;
+  fd.forder_len <- !k;
+  sort_order fd.forder !k dist
+
+(* Repairs [nfd] (fresh; fdist already updated by the incremental
+   Dijkstra) from [old] (the pre-change DAG for the same destination)
+   after the weight of [edge] changed.  Rows whose inputs are unchanged
+   are taken from [old] wholesale (one blit); only the rows of
+   distance-changed nodes, of their in-neighbours, and of the changed
+   edge's source are recomputed.  forder is repaired by merging the
+   surviving old order (unchanged keys, so still sorted) with the
+   re-sorted changed nodes; the key is a total order, so the merge
+   reproduces the full sort's permutation bit for bit. *)
+let dag_repair t nfd old edge =
+  let n = t.n in
+  let odist = old.fdist and ndist = nfd.fdist in
+  Array.blit old.sp_col 0 nfd.sp_col 0 t.m;
+  Array.blit old.sp_cnt 0 nfd.sp_cnt 0 n;
+  (* distance-changed nodes (infinity = infinity compares equal); they
+     also seed the taint marks read by the unit-flow carry in
+     [apply_weight] — a distance change reorders the node in forder, so
+     any flow through it may accumulate in a different float order *)
+  t.scratch_gen <- t.scratch_gen + 1;
+  let gen = t.scratch_gen in
+  let stamp = t.ord_stamp and ch = t.ord_scratch and ts = t.taint_stamp in
+  let nch = ref 0 in
+  for v = 0 to n - 1 do
+    if odist.(v) <> ndist.(v) then begin
+      stamp.(v) <- gen;
+      ts.(v) <- gen;
+      ch.(!nch) <- v;
+      incr nch
+    end
+  done;
+  let rstamp = t.row_stamp and rows = t.row_scratch in
+  let in_row = t.g_in_row and in_col = t.g_in_col and gsrc = t.g_src in
+  let nrows = ref 0 in
+  for k = 0 to !nch - 1 do
+    let c = ch.(k) in
+    if rstamp.(c) <> gen then begin
+      rstamp.(c) <- gen;
+      rows.(!nrows) <- c;
+      incr nrows
+    end;
+    for i = in_row.(c) to in_row.(c + 1) - 1 do
+      let v = gsrc.(in_col.(i)) in
+      if rstamp.(v) <> gen then begin
+        rstamp.(v) <- gen;
+        rows.(!nrows) <- v;
+        incr nrows
+      end
+    done
+  done;
+  (let v = gsrc.(edge) in
+   if rstamp.(v) <> gen then begin
+     rstamp.(v) <- gen;
+     rows.(!nrows) <- v;
+     incr nrows
+   end);
+  for k = 0 to !nrows - 1 do
+    let v = rows.(k) in
+    fill_row t nfd v;
+    (* a rebuilt row whose content actually differs taints the node *)
+    if ts.(v) <> gen then begin
+      let cnt = nfd.sp_cnt.(v) in
+      if cnt <> old.sp_cnt.(v) then ts.(v) <- gen
+      else begin
+        let base = t.g_out_row.(v) in
+        let i = ref 0 in
+        while !i < cnt && nfd.sp_col.(base + !i) = old.sp_col.(base + !i) do
+          incr i
+        done;
+        if !i < cnt then ts.(v) <- gen
+      end
+    end
+  done;
+  (* surviving old order, then the still-finite changed nodes sorted *)
+  let surv = t.ord_surv in
+  let ns = ref 0 in
+  let ofo = old.forder in
+  for k = 0 to old.forder_len - 1 do
+    let v = ofo.(k) in
+    if stamp.(v) <> gen then begin
+      surv.(!ns) <- v;
+      incr ns
+    end
+  done;
+  let nf = ref 0 in
+  for k = 0 to !nch - 1 do
+    let v = ch.(k) in
+    if ndist.(v) < infinity then begin
+      ch.(!nf) <- v;
+      incr nf
+    end
+  done;
+  sort_order ch !nf ndist;
+  let out = nfd.forder in
+  let i = ref 0 and j = ref 0 and k = ref 0 in
+  while !i < !ns && !j < !nf do
+    if order_after ndist surv.(!i) ch.(!j) then begin
+      out.(!k) <- ch.(!j);
+      incr j
+    end
+    else begin
+      out.(!k) <- surv.(!i);
+      incr i
+    end;
+    incr k
+  done;
+  while !i < !ns do
+    out.(!k) <- surv.(!i);
+    incr i;
+    incr k
+  done;
+  while !j < !nf do
+    out.(!k) <- ch.(!j);
+    incr j;
+    incr k
+  done;
+  nfd.forder_len <- !k;
+  (* Taint propagation in increasing-distance order (DAG successors are
+     processed first): a source left unmarked provably keeps
+     bit-identical unit flows — its whole flow cone saw no distance or
+     row change, so the splits, the reached set AND the relative
+     propagation order (all cone nodes are merge survivors) are the
+     same, float op for float op. *)
+  let orow = t.g_out_row and gdst = t.g_dst in
+  for k = nfd.forder_len - 1 downto 0 do
+    let v = out.(k) in
+    if ts.(v) <> gen then begin
+      let base = orow.(v) in
+      let cnt = nfd.sp_cnt.(v) in
+      let i = ref 0 in
+      while !i < cnt do
+        if ts.(gdst.(nfd.sp_col.(base + !i))) = gen then begin
+          ts.(v) <- gen;
+          i := cnt
+        end
+        else incr i
+      done
+    end
+  done
+
+let fdag_for t dest =
+  let fd = t.dags.(dest) in
+  if fd != no_dag then begin
     t.stats.Stats.dag_hits <- t.stats.Stats.dag_hits + 1;
-    d
-  | None ->
+    fd
+  end
+  else begin
     t.stats.Stats.dag_misses <- t.stats.Stats.dag_misses + 1;
     t.stats.Stats.full_spf <- t.stats.Stats.full_spf + 1;
     let p = t.probe in
     let tok = if p.Probe.enabled then p.Probe.start "ev:spf_full" else -1 in
-    let d =
-      Stats.time t.stats "spf_full" (fun () ->
-          let dist = Paths.dijkstra_to t.graph ~weights:t.weights ~target in
-          dag_of_dist t.graph t.weights dist)
-    in
+    let t0 = Mono.now () in
+    let fd = dag_alloc t in
+    Paths.dijkstra_to_into t.pscratch t.graph ~weights:t.weights ~target:dest
+      ~dist:fd.fdist;
+    dag_fill t fd;
+    let ht = Stats.hot_times t.stats in
+    ht.(Stats.hot_spf_full) <-
+      ht.(Stats.hot_spf_full) +. (Mono.now () -. t0);
     if tok >= 0 then p.Probe.finish tok;
-    t.dags.(target) <- Some d;
-    d
+    t.dags.(dest) <- fd;
+    fd
+  end
+
+let dag t ~target =
+  let fd = fdag_for t target in
+  {
+    dist = Array.copy fd.fdist;
+    out_sp =
+      Array.init t.n (fun v ->
+          Array.sub fd.sp_col t.g_out_row.(v) fd.sp_cnt.(v));
+    order = Array.sub fd.forder 0 fd.forder_len;
+  }
 
 (* ------------------------------------------------------------------ *)
 (* Unit flows                                                          *)
 (* ------------------------------------------------------------------ *)
 
-let compute_unit t src dst =
-  if src = dst then { edges = [||]; flows = [||] }
+let ensure_urow t dest =
+  let ur = t.urows.(dest) in
+  if ur != no_urow then ur
   else begin
-    let d = dag t ~target:dst in
-    if d.dist.(src) = infinity then raise (Unroutable (src, dst));
-    let nf = t.node_flow and ef = t.edge_flow in
+    let ur = urow_alloc t in
+    t.urows.(dest) <- ur;
+    ur
+  end
+
+let urow_reserve ur need =
+  if Array.length ur.u_edges < need then begin
+    let nc = max 64 (max need (2 * Array.length ur.u_edges)) in
+    let be = Array.make nc 0 in
+    Array.blit ur.u_edges 0 be 0 ur.u_used;
+    ur.u_edges <- be;
+    let bf = Array.make nc 0. in
+    Array.blit ur.u_flows 0 bf 0 ur.u_used;
+    ur.u_flows <- bf
+  end
+
+(* Appends source [src]'s unit-flow entries to [ur] (the row of
+   destination [dst]).  Propagation runs in decreasing-distance order:
+   a node's whole inflow is known before it is processed because SP-DAG
+   edges strictly decrease the distance to the target. *)
+let compute_unit_into t ur src dst =
+  t.stats.Stats.unit_misses <- t.stats.Stats.unit_misses + 1;
+  if src = dst then begin
+    ur.u_off.(src) <- ur.u_used;
+    ur.u_len.(src) <- 0;
+    ur.u_stamp.(src) <- ur.u_gen
+  end
+  else begin
+    let fd = fdag_for t dst in
+    if fd.fdist.(src) = infinity then raise (Unroutable (src, dst));
+    let nf = t.node_flow and ef = t.edge_flow and tc = t.touched in
+    let gdst = t.g_dst and orow = t.g_out_row in
     let ntouched = ref 0 in
     nf.(src) <- 1.;
-    (* Propagate in decreasing-distance order; a node's whole inflow is
-       known before it is processed because SP-DAG edges strictly
-       decrease the distance to the target. *)
-    Array.iter
-      (fun v ->
-        let f = nf.(v) in
-        if f > 0. && v <> dst then begin
-          nf.(v) <- 0.;
-          let es = d.out_sp.(v) in
-          let share = f /. float_of_int (Array.length es) in
-          Array.iter
-            (fun e ->
-              if ef.(e) = 0. then begin
-                t.touched.(!ntouched) <- e;
-                incr ntouched
-              end;
-              ef.(e) <- ef.(e) +. share;
-              nf.(Digraph.dst t.graph e) <- nf.(Digraph.dst t.graph e) +. share)
-            es
-        end
-        else if v = dst then nf.(v) <- 0.)
-      d.order;
+    for k = 0 to fd.forder_len - 1 do
+      let v = fd.forder.(k) in
+      let f = nf.(v) in
+      if f > 0. && v <> dst then begin
+        nf.(v) <- 0.;
+        let lo = orow.(v) in
+        let hi = lo + fd.sp_cnt.(v) in
+        let share = f /. float_of_int (hi - lo) in
+        for i = lo to hi - 1 do
+          let e = fd.sp_col.(i) in
+          if ef.(e) = 0. then begin
+            tc.(!ntouched) <- e;
+            incr ntouched
+          end;
+          ef.(e) <- ef.(e) +. share;
+          nf.(gdst.(e)) <- nf.(gdst.(e)) +. share
+        done
+      end
+      else if v = dst then nf.(v) <- 0.
+    done;
     let k = !ntouched in
-    let ids = Array.sub t.touched 0 k in
-    Array.sort compare ids;
-    let flows = Array.map (fun e -> ef.(e)) ids in
-    Array.iter (fun e -> ef.(e) <- 0.) ids;
-    { edges = ids; flows }
+    sort_ints tc k;
+    urow_reserve ur (ur.u_used + k);
+    let base = ur.u_used in
+    let ue = ur.u_edges and uf = ur.u_flows in
+    for i = 0 to k - 1 do
+      let e = tc.(i) in
+      ue.(base + i) <- e;
+      uf.(base + i) <- ef.(e);
+      ef.(e) <- 0.
+    done;
+    ur.u_off.(src) <- base;
+    ur.u_len.(src) <- k;
+    ur.u_stamp.(src) <- ur.u_gen;
+    ur.u_used <- base + k
+  end
+
+(* The miss branch carries the hot_units timer pair; a hit costs no
+   clock read (two [Mono.now] calls are comparable to a whole cached
+   lookup). *)
+let unit_entry t ur src dst =
+  if ur.u_stamp.(src) = ur.u_gen then
+    t.stats.Stats.unit_hits <- t.stats.Stats.unit_hits + 1
+  else begin
+    let t0 = Mono.now () in
+    compute_unit_into t ur src dst;
+    let ht = Stats.hot_times t.stats in
+    ht.(Stats.hot_units) <- ht.(Stats.hot_units) +. (Mono.now () -. t0)
   end
 
 let unit_load t ~src ~dst =
-  match t.units.(dst).(src) with
-  | Some s ->
-    t.stats.Stats.unit_hits <- t.stats.Stats.unit_hits + 1;
-    s
-  | None ->
-    t.stats.Stats.unit_misses <- t.stats.Stats.unit_misses + 1;
-    let s = Stats.time t.stats "units" (fun () -> compute_unit t src dst) in
-    t.units.(dst).(src) <- Some s;
-    s
+  let ur = ensure_urow t dst in
+  unit_entry t ur src dst;
+  let off = ur.u_off.(src) and len = ur.u_len.(src) in
+  { edges = Array.sub ur.u_edges off len; flows = Array.sub ur.u_flows off len }
 
-let add_sparse acc s ~scale =
-  for i = 0 to Array.length s.edges - 1 do
-    acc.(s.edges.(i)) <- acc.(s.edges.(i)) +. (scale *. s.flows.(i))
+let add_unit t ~src ~dst ~scale ~into =
+  let ur = ensure_urow t dst in
+  unit_entry t ur src dst;
+  let off = ur.u_off.(src) and len = ur.u_len.(src) in
+  let ue = ur.u_edges and uf = ur.u_flows in
+  for j = off to off + len - 1 do
+    into.(ue.(j)) <- into.(ue.(j)) +. (scale *. uf.(j))
   done
 
 (* ------------------------------------------------------------------ *)
@@ -246,7 +862,7 @@ let add_sparse acc s ~scale =
 (* ------------------------------------------------------------------ *)
 
 let set_commodities t commodities =
-  let n = Digraph.node_count t.graph in
+  let n = t.n in
   let buckets = Array.make n [] in
   Array.iter
     (fun (src, dst, size) ->
@@ -256,43 +872,82 @@ let set_commodities t commodities =
     commodities;
   let active = ref [] in
   for dst = n - 1 downto 0 do
-    t.by_dest.(dst) <- Array.of_list (List.rev buckets.(dst));
-    t.dest_loads.(dst) <- None;
-    if buckets.(dst) <> [] then active := dst :: !active
+    let bucket = buckets.(dst) in
+    let k = List.length bucket in
+    let srcs = Array.make k 0 and sizes = Array.make k 0. in
+    (* [bucket] holds the commodities in reverse arrival order *)
+    let i = ref (k - 1) in
+    List.iter
+      (fun (s, sz) ->
+        srcs.(!i) <- s;
+        sizes.(!i) <- sz;
+        decr i)
+      bucket;
+    t.bd_src.(dst) <- srcs;
+    t.bd_size.(dst) <- sizes;
+    t.dest_loads.(dst) <- no_fvec;
+    if k > 0 then active := dst :: !active
   done;
   t.active_dests <- Array.of_list !active;
   (* Undo snapshots captured per-destination load contributions for the
      previous commodity set; they no longer apply. *)
-  t.trail <- List.map (fun en -> { en with e_snap_valid = false }) t.trail;
+  for i = 0 to t.tr_len - 1 do
+    t.tr_valid.(i) <- false
+  done;
   t.loads_valid <- false
 
+(* Rebuilds one destination's load-contribution vector.  The stamp
+   check is inlined and [compute_unit_into] is called raw so the whole
+   rebuild is covered by a single hot_units timer pair instead of one
+   clock read per commodity. *)
 let dest_contribution t dest =
-  match t.dest_loads.(dest) with
-  | Some v -> v
-  | None ->
-    let v = Array.make (Digraph.edge_count t.graph) 0. in
-    Array.iter
-      (fun (src, size) -> add_sparse v (unit_load t ~src ~dst:dest) ~scale:size)
-      t.by_dest.(dest);
-    t.dest_loads.(dest) <- Some v;
-    v
+  let dl = t.dest_loads.(dest) in
+  if dl != no_fvec then dl
+  else begin
+    let t0 = Mono.now () in
+    let dl = fvec_alloc t in
+    let v = dl.fv in
+    Array.fill v 0 t.m 0.;
+    let ur = ensure_urow t dest in
+    let srcs = t.bd_src.(dest) and sizes = t.bd_size.(dest) in
+    for i = 0 to Array.length srcs - 1 do
+      let src = srcs.(i) in
+      let size = sizes.(i) in
+      if ur.u_stamp.(src) = ur.u_gen then
+        t.stats.Stats.unit_hits <- t.stats.Stats.unit_hits + 1
+      else compute_unit_into t ur src dest;
+      let off = ur.u_off.(src) and len = ur.u_len.(src) in
+      let ue = ur.u_edges and uf = ur.u_flows in
+      for j = off to off + len - 1 do
+        v.(ue.(j)) <- v.(ue.(j)) +. (size *. uf.(j))
+      done
+    done;
+    t.dest_loads.(dest) <- dl;
+    let ht = Stats.hot_times t.stats in
+    ht.(Stats.hot_units) <- ht.(Stats.hot_units) +. (Mono.now () -. t0);
+    dl
+  end
 
 let loads t =
   if not t.loads_valid then begin
-    Stats.time t.stats "loads" (fun () ->
-        (* Re-summing cached per-destination vectors in a fixed order
-           keeps the aggregate deterministic and drift-free across long
-           update/undo sequences. *)
-        let m = Digraph.edge_count t.graph in
-        Array.fill t.loads_buf 0 m 0.;
-        Array.iter
-          (fun dest ->
-            let v = dest_contribution t dest in
-            for e = 0 to m - 1 do
-              t.loads_buf.(e) <- t.loads_buf.(e) +. v.(e)
-            done)
-          t.active_dests);
-    t.loads_valid <- true
+    let t0 = Mono.now () in
+    (* Re-summing cached per-destination vectors in a fixed order keeps
+       the aggregate deterministic and drift-free across long
+       update/undo sequences. *)
+    let m = t.m in
+    let buf = t.loads_buf in
+    Array.fill buf 0 m 0.;
+    let act = t.active_dests in
+    for i = 0 to Array.length act - 1 do
+      let dl = dest_contribution t act.(i) in
+      let v = dl.fv in
+      for e = 0 to m - 1 do
+        buf.(e) <- buf.(e) +. v.(e)
+      done
+    done;
+    t.loads_valid <- true;
+    let ht = Stats.hot_times t.stats in
+    ht.(Stats.hot_loads) <- ht.(Stats.hot_loads) +. (Mono.now () -. t0)
   end;
   t.loads_buf
 
@@ -338,87 +993,159 @@ let mlu t = mlu_of_loads t.graph (loads t)
 
 let phi t = phi_cost t.graph (loads t)
 
-let evaluate t =
+(* Same piecewise constants as [phi_hat], named so the inlined ladder in
+   [evaluate_into] reads like the loop it replaces. *)
+let bp1 = 1. /. 3.
+let bp2 = 2. /. 3.
+let bp3 = 0.9
+let bp4 = 1.
+let bp5 = 1.1
+
+let evaluate_into t r =
   t.stats.Stats.evaluations <- t.stats.Stats.evaluations + 1;
   let p = t.probe in
   let tok = if p.Probe.enabled then p.Probe.start "ev:eval" else -1 in
   let l = loads t in
-  let r = (mlu_of_loads t.graph l, phi_cost t.graph l) in
-  if tok >= 0 then p.Probe.finish tok;
-  r
+  let cap = t.g_cap in
+  let best = ref 0. in
+  let total = ref 0. in
+  for e = 0 to t.m - 1 do
+    let c = cap.(e) in
+    let u = l.(e) /. c in
+    if u > !best then best := u;
+    (* [phi_hat u], unrolled with the identical accumulation order (the
+       function itself cannot be inlined and a non-inlined call would
+       box [u] on every edge). *)
+    let ph =
+      if u > bp1 then begin
+        let a = 1. *. (bp1 -. 0.) in
+        if u > bp2 then begin
+          let a = a +. (3. *. (bp2 -. bp1)) in
+          if u > bp3 then begin
+            let a = a +. (10. *. (bp3 -. bp2)) in
+            if u > bp4 then begin
+              let a = a +. (70. *. (bp4 -. bp3)) in
+              if u > bp5 then begin
+                let a = a +. (500. *. (bp5 -. bp4)) in
+                a +. (5000. *. (u -. bp5))
+              end
+              else a +. (500. *. (u -. bp4))
+            end
+            else a +. (70. *. (u -. bp3))
+          end
+          else a +. (10. *. (u -. bp2))
+        end
+        else a +. (3. *. (u -. bp1))
+      end
+      else 1. *. (u -. 0.)
+    in
+    total := !total +. (c *. ph)
+  done;
+  r.mlu <- !best;
+  r.phi <- !total;
+  if tok >= 0 then p.Probe.finish tok
+
+let evaluate t =
+  evaluate_into t t.emetrics;
+  (t.emetrics.mlu, t.emetrics.phi)
 
 (* ------------------------------------------------------------------ *)
 (* Weight updates                                                      *)
 (* ------------------------------------------------------------------ *)
 
-(* The invalidation rule.  With dist = distance-to-dest under the OLD
+(* Applies a single weight change, repairing the dirty destinations
+   into fresh (pool-allocated) objects so the captured pre-change state
+   stays intact on the trail.
+
+   The invalidation rule: with dist = distance-to-dest under the OLD
    weights, changing edge (u, v) from [old_w] to [new_w] can alter the
    DAG towards dest only if the edge was on it (old weight tight) or
    lands on it (new weight tight or shorter).  If either endpoint
    cannot reach dest the edge is on no path to it, under any weights. *)
-let dest_dirty d u v ~old_w ~new_w =
-  let du = d.dist.(u) and dv = d.dist.(v) in
-  du < infinity && dv < infinity
-  && (let tol = dirty_eps *. (1. +. abs_float du) in
-      old_w +. dv <= du +. tol || new_w +. dv <= du +. tol)
-
-(* Applies a single weight change, repairing the dirty destinations
-   into FRESH arrays so the captured pre-change state stays intact, and
-   returns the trail entry that would revert it. *)
 let apply_weight t edge new_w =
   let old_w = t.weights.(edge) in
-  t.stats.Stats.weight_updates <- t.stats.Stats.weight_updates + 1;
+  let st = t.stats in
+  st.Stats.weight_updates <- st.Stats.weight_updates + 1;
   let p = t.probe in
   let tok = if p.Probe.enabled then p.Probe.start "ev:repair" else -1 in
-  let u = Digraph.src t.graph edge and v = Digraph.dst t.graph edge in
-  let n = Digraph.node_count t.graph in
-  let dirty = ref [] and unknown = ref [] in
-  for dest = n - 1 downto 0 do
-    match t.dags.(dest) with
-    | None -> unknown := dest :: !unknown
-    | Some d ->
-      if dest_dirty d u v ~old_w ~new_w then dirty := dest :: !dirty
-      else t.stats.Stats.clean_dests <- t.stats.Stats.clean_dests + 1
-  done;
+  let u = t.g_src.(edge) and v = t.g_dst.(edge) in
+  push_trail t edge;
+  let entry = t.tr_len - 1 in
   t.weights.(edge) <- new_w;
-  let saved =
-    List.map
-      (fun dest ->
-        t.stats.Stats.dirty_dests <- t.stats.Stats.dirty_dests + 1;
-        t.stats.Stats.incr_spf <- t.stats.Stats.incr_spf + 1;
-        let d = Option.get t.dags.(dest) in
-        let snap =
-          { s_dest = dest; s_dag = t.dags.(dest); s_units = t.units.(dest);
-            s_dest_load = t.dest_loads.(dest) }
+  let ht = Stats.hot_times st in
+  for dest = 0 to t.n - 1 do
+    let fd = t.dags.(dest) in
+    if fd == no_dag then begin
+      push_unknown t dest;
+      t.tr_nunknown.(entry) <- t.tr_nunknown.(entry) + 1
+    end
+    else begin
+      (* dest_dirty, inlined (a non-inlined call would box old_w/new_w
+         on every destination) *)
+      let du = fd.fdist.(u) and dv = fd.fdist.(v) in
+      let dirty =
+        du < infinity && dv < infinity
+        && (let tol = dirty_eps *. (1. +. abs_float du) in
+            old_w +. dv <= du +. tol || new_w +. dv <= du +. tol)
+      in
+      if dirty then begin
+        st.Stats.dirty_dests <- st.Stats.dirty_dests + 1;
+        st.Stats.incr_spf <- st.Stats.incr_spf + 1;
+        push_saved t dest fd t.urows.(dest) t.dest_loads.(dest);
+        t.tr_nsaved.(entry) <- t.tr_nsaved.(entry) + 1;
+        let t0 = Mono.now () in
+        let nfd = dag_alloc t in
+        Array.blit fd.fdist 0 nfd.fdist 0 t.n;
+        (Paths.Scratch.farg t.pscratch).(0) <- old_w;
+        let touched =
+          Paths.dijkstra_update_prepared t.pscratch t.graph
+            ~weights:t.weights ~dist:nfd.fdist ~edge
         in
-        let repaired =
-          Stats.time t.stats "spf_incr" (fun () ->
-              let dist = Array.copy d.dist in
-              let touched =
-                Paths.dijkstra_update_to t.graph ~weights:t.weights
-                  ~target:dest ~dist ~edge ~old_weight:old_w
-              in
-              t.stats.Stats.spf_nodes_touched <-
-                t.stats.Stats.spf_nodes_touched + touched;
-              dag_of_dist t.graph t.weights dist)
-        in
-        t.dags.(dest) <- Some repaired;
-        t.units.(dest) <- Array.make n None;
-        if Array.length t.by_dest.(dest) > 0 then begin
-          t.dest_loads.(dest) <- None;
-          t.loads_valid <- false
+        st.Stats.spf_nodes_touched <- st.Stats.spf_nodes_touched + touched;
+        dag_repair t nfd fd edge;
+        ht.(Stats.hot_spf_incr) <-
+          ht.(Stats.hot_spf_incr) +. (Mono.now () -. t0);
+        t.dags.(dest) <- nfd;
+        (* Fresh unit-flow row, carrying over the cached entries of
+           sources the repair's taint pass proved unaffected: their
+           recomputation would reproduce the same bits, so the blits
+           replace it outright. *)
+        let our = t.urows.(dest) in
+        let nur = urow_alloc t in
+        if our != no_urow then begin
+          let ts = t.taint_stamp and gen = t.scratch_gen in
+          let og = our.u_gen and ng = nur.u_gen in
+          let ost = our.u_stamp in
+          let carried = ref 0 in
+          for s = 0 to t.n - 1 do
+            if ost.(s) = og && ts.(s) <> gen then begin
+              let len = our.u_len.(s) in
+              urow_reserve nur (nur.u_used + len);
+              Array.blit our.u_edges our.u_off.(s) nur.u_edges nur.u_used len;
+              Array.blit our.u_flows our.u_off.(s) nur.u_flows nur.u_used len;
+              nur.u_off.(s) <- nur.u_used;
+              nur.u_len.(s) <- len;
+              nur.u_stamp.(s) <- ng;
+              nur.u_used <- nur.u_used + len;
+              incr carried
+            end
+          done;
+          st.Stats.unit_carried <- st.Stats.unit_carried + !carried
         end;
-        snap)
-      !dirty
-  in
-  if tok >= 0 then p.Probe.finish tok;
-  { e_edge = edge; e_old_w = old_w; e_saved = saved; e_unknown = !unknown;
-    e_snap_valid = true }
+        t.urows.(dest) <- nur;
+        if Array.length t.bd_src.(dest) > 0 then begin
+          t.dest_loads.(dest) <- no_fvec;
+          t.loads_valid <- false
+        end
+      end
+      else st.Stats.clean_dests <- st.Stats.clean_dests + 1
+    end
+  done;
+  if tok >= 0 then p.Probe.finish tok
 
 let set_weight t ~edge new_w =
   if not (new_w > 0.) then invalid_arg "Evaluator.set_weight: weight must be positive";
-  if t.weights.(edge) <> new_w then
-    t.trail <- apply_weight t edge new_w :: t.trail
+  if t.weights.(edge) <> new_w then apply_weight t edge new_w
 
 (* An infinite weight is exactly edge removal for shortest-path state:
    Dijkstra never relaxes through it, so no DAG contains the edge and a
@@ -430,98 +1157,133 @@ let disable_edge t ~edge =
 
 let edge_disabled t ~edge = t.weights.(edge) = infinity
 
-let reachable t ~src ~dst =
-  src = dst || (dag t ~target:dst).dist.(src) < infinity
+let reachable t ~src ~dst = src = dst || (fdag_for t dst).fdist.(src) < infinity
 
 (* Past this many changed entries a bulk update flushes the caches: the
    per-edge repairs would collectively touch most destinations anyway. *)
 let bulk_threshold = 4
 
 let flush t =
-  let n = Digraph.node_count t.graph in
-  for dest = 0 to n - 1 do
-    if t.dags.(dest) <> None then begin
-      t.dags.(dest) <- None;
-      for s = 0 to n - 1 do
-        t.units.(dest).(s) <- None
-      done
-    end;
-    t.dest_loads.(dest) <- None
+  for dest = 0 to t.n - 1 do
+    t.dags.(dest) <- no_dag;
+    t.urows.(dest) <- no_urow;
+    t.dest_loads.(dest) <- no_fvec
   done;
   t.loads_valid <- false
 
 let set_weights t w =
   check_weights t.graph w;
-  let m = Digraph.edge_count t.graph in
-  let diffs = ref [] and ndiff = ref 0 in
-  for e = m - 1 downto 0 do
-    if t.weights.(e) <> w.(e) then begin
-      diffs := e :: !diffs;
-      incr ndiff
-    end
+  let ndiff = ref 0 in
+  for e = 0 to t.m - 1 do
+    if t.weights.(e) <> w.(e) then incr ndiff
   done;
-  if !ndiff <= bulk_threshold then
-    List.iter (fun e -> set_weight t ~edge:e w.(e)) !diffs
+  if !ndiff <= bulk_threshold then begin
+    for e = 0 to t.m - 1 do
+      if t.weights.(e) <> w.(e) then set_weight t ~edge:e w.(e)
+    done
+  end
   else begin
-    List.iter
-      (fun e ->
-        t.trail <-
-          { e_edge = e; e_old_w = t.weights.(e); e_saved = []; e_unknown = [];
-            e_snap_valid = false }
-          :: t.trail;
-        t.weights.(e) <- w.(e))
-      !diffs;
+    for e = 0 to t.m - 1 do
+      if t.weights.(e) <> w.(e) then begin
+        push_trail t e;
+        t.tr_valid.(t.tr_len - 1) <- false;
+        t.weights.(e) <- w.(e)
+      end
+    done;
     t.stats.Stats.weight_updates <- t.stats.Stats.weight_updates + !ndiff;
     flush t
   end
 
+let clear_saved_refs t =
+  for i = 0 to t.sv_len - 1 do
+    t.sv_dag.(i) <- no_dag;
+    t.sv_urow.(i) <- no_urow;
+    t.sv_vec.(i) <- no_fvec
+  done;
+  t.sv_len <- 0;
+  t.uk_len <- 0;
+  t.tr_len <- 0
+
 let commit t =
-  if t.trail <> [] then begin
+  if t.tr_len > 0 then begin
     t.stats.Stats.commits <- t.stats.Stats.commits + 1;
-    t.trail <- []
+    (* The captured pre-change objects can never be restored now; feed
+       the current-epoch ones back to the pools. *)
+    for i = 0 to t.sv_len - 1 do
+      dag_recycle t t.sv_dag.(i);
+      urow_recycle t t.sv_urow.(i);
+      fvec_recycle t t.sv_vec.(i)
+    done;
+    clear_saved_refs t
   end
 
 let undo t =
-  if t.trail <> [] then begin
+  if t.tr_len > 0 then begin
     t.stats.Stats.undos <- t.stats.Stats.undos + 1;
     let p = t.probe in
     let tok = if p.Probe.enabled then p.Probe.start "ev:undo" else -1 in
-    let entries = t.trail in
-    t.trail <- [];
-    (* Newest first: restoring in reverse application order recovers the
-       exact original state even when one edge changed twice. *)
-    if List.for_all (fun en -> en.e_snap_valid) entries then
-      List.iter
-        (fun en ->
-          t.weights.(en.e_edge) <- en.e_old_w;
-          List.iter
-            (fun s ->
-              t.dags.(s.s_dest) <- s.s_dag;
-              t.units.(s.s_dest) <- s.s_units;
-              t.dest_loads.(s.s_dest) <- s.s_dest_load;
-              if Array.length t.by_dest.(s.s_dest) > 0 then
-                t.loads_valid <- false)
-            en.e_saved;
-          (* Destinations first materialized after the change were built
-             under the now-reverted weights: drop them. *)
-          List.iter
-            (fun dest ->
-              if t.dags.(dest) <> None then begin
-                t.dags.(dest) <- None;
-                t.units.(dest) <- Array.make (Digraph.node_count t.graph) None;
-                t.dest_loads.(dest) <- None;
-                if Array.length t.by_dest.(dest) > 0 then
-                  t.loads_valid <- false
-              end)
-            en.e_unknown)
-        entries
+    let all_valid = ref true in
+    for i = 0 to t.tr_len - 1 do
+      if not t.tr_valid.(i) then all_valid := false
+    done;
+    if !all_valid then begin
+      (* Newest first: restoring in reverse application order recovers
+         the exact original state even when one edge changed twice.
+         Objects installed by the reverted repairs are recycled — an
+         installed object is never referenced by any snapshot (snapshots
+         capture only pre-repair state), so this cannot double-free. *)
+      let sv_end = ref t.sv_len and uk_end = ref t.uk_len in
+      for i = t.tr_len - 1 downto 0 do
+        t.weights.(t.tr_edge.(i)) <- t.tr_oldw.(i);
+        let ns = t.tr_nsaved.(i) in
+        for j = !sv_end - ns to !sv_end - 1 do
+          let dest = t.sv_dest.(j) in
+          let cur = t.dags.(dest) in
+          if cur != t.sv_dag.(j) then dag_recycle t cur;
+          let curu = t.urows.(dest) in
+          if curu != t.sv_urow.(j) then urow_recycle t curu;
+          let curv = t.dest_loads.(dest) in
+          if curv != t.sv_vec.(j) then fvec_recycle t curv;
+          t.dags.(dest) <- t.sv_dag.(j);
+          t.urows.(dest) <- t.sv_urow.(j);
+          t.dest_loads.(dest) <- t.sv_vec.(j);
+          t.sv_dag.(j) <- no_dag;
+          t.sv_urow.(j) <- no_urow;
+          t.sv_vec.(j) <- no_fvec;
+          if Array.length t.bd_src.(dest) > 0 then t.loads_valid <- false
+        done;
+        sv_end := !sv_end - ns;
+        (* Destinations first materialized after the change were built
+           under the now-reverted weights: drop them. *)
+        let nu = t.tr_nunknown.(i) in
+        for j = !uk_end - nu to !uk_end - 1 do
+          let dest = t.uk_dest.(j) in
+          if t.dags.(dest) != no_dag then begin
+            dag_recycle t t.dags.(dest);
+            urow_recycle t t.urows.(dest);
+            fvec_recycle t t.dest_loads.(dest);
+            t.dags.(dest) <- no_dag;
+            t.urows.(dest) <- no_urow;
+            t.dest_loads.(dest) <- no_fvec;
+            if Array.length t.bd_src.(dest) > 0 then t.loads_valid <- false
+          end
+        done;
+        uk_end := !uk_end - nu
+      done;
+      t.sv_len <- 0;
+      t.uk_len <- 0;
+      t.tr_len <- 0
+    end
     else begin
       (* Some entry lost its snapshot (bulk update or a commodity swap
          mid-trail): revert the weights and rebuild lazily. *)
-      List.iter (fun en -> t.weights.(en.e_edge) <- en.e_old_w) entries;
+      for i = 0 to t.tr_len - 1 do
+        t.weights.(t.tr_edge.(i)) <- t.tr_oldw.(i)
+      done;
       t.stats.Stats.weight_updates <-
-        t.stats.Stats.weight_updates + List.length entries;
-      flush t
+        t.stats.Stats.weight_updates + t.tr_len;
+      flush t;
+      clear_saved_refs t
     end;
     if tok >= 0 then p.Probe.finish tok
   end

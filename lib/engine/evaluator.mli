@@ -35,6 +35,10 @@ type dag = {
   order : int array;  (** finite-distance nodes, decreasing distance *)
 }
 
+type metrics = { mutable mlu : float; mutable phi : float }
+(** Result cell for {!evaluate_into}: a float-only record, so writing a
+    result never allocates (unlike returning a tuple). *)
+
 type t
 
 val create :
@@ -78,12 +82,25 @@ val set_probe : t -> Probe.t -> unit
 
 val dag : t -> target:int -> dag
 (** The shortest-path DAG towards [target] under the current weights
-    (built on first use, then cached until invalidated). *)
+    (built on first use, then cached until invalidated).  The returned
+    record is a fresh materialization of the internal flat (CSR)
+    representation — an allocating view for cold callers; it stays
+    valid after further updates. *)
 
 val unit_load : t -> src:int -> dst:int -> sparse
 (** Per-edge load of one unit of ECMP flow from [src] to [dst]
-    ([src = dst] yields the empty vector).
+    ([src = dst] yields the empty vector).  Materializes a fresh view
+    of the cached flat entries on every call; hot accumulation loops
+    should use {!add_unit} instead.
     @raise Unroutable if [dst] is unreachable from [src]. *)
+
+val add_unit : t -> src:int -> dst:int -> scale:float -> into:float array -> unit
+(** [add_unit t ~src ~dst ~scale ~into] adds [scale] times the unit
+    ECMP flow of [(src, dst)] onto the caller's per-edge accumulator
+    [into] (length [m]), straight from the cached flat entries — the
+    allocation-free equivalent of folding {!unit_load} with a scale.
+    Identical float accumulation order to the [unit_load]-based loop it
+    replaces.  @raise Unroutable if [dst] is unreachable from [src]. *)
 
 (** {1 Commodities and evaluation} *)
 
@@ -109,7 +126,16 @@ val phi : t -> float
 
 val evaluate : t -> float * float
 (** [(mlu, phi)] of the current weights; counts one evaluation in the
-    stats (the granularity the local searches budget by). *)
+    stats (the granularity the local searches budget by).  Allocates
+    the result tuple; probe loops that must stay allocation-free use
+    {!evaluate_into}. *)
+
+val evaluate_into : t -> metrics -> unit
+(** {!evaluate} into a caller-owned {!metrics} cell.  Together with
+    {!set_weight} and {!undo} this forms the engine's zero-allocation
+    probe loop: after warmup (pools and scratch at steady state) one
+    probe iteration allocates no minor words at all — the invariant the
+    [@alloc-smoke] Gc test enforces. *)
 
 (** {1 Weight updates} *)
 

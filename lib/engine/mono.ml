@@ -1,1 +1,3 @@
-external now : unit -> float = "te_monotonic_seconds"
+external now : unit -> (float[@unboxed])
+  = "te_monotonic_seconds" "te_monotonic_seconds_unboxed"
+[@@noalloc]

@@ -1,6 +1,12 @@
 (** Monotonic time source for the engine's instrumentation. *)
 
-val now : unit -> float
+external now : unit -> (float[@unboxed])
+  = "te_monotonic_seconds" "te_monotonic_seconds_unboxed"
+[@@noalloc]
 (** Seconds since an arbitrary fixed origin, from [CLOCK_MONOTONIC]:
     strictly unaffected by wall-clock (NTP) adjustments.  Only
-    differences are meaningful. *)
+    differences are meaningful.  Declared as an unboxed [@@noalloc]
+    external in this interface on purpose: behind a plain [val] the
+    cross-module call returns a boxed float, which is exactly the kind
+    of hidden per-call allocation the engine's timer pairs must not
+    pay. *)

@@ -7,6 +7,7 @@ type t = {
   mutable dag_misses : int;
   mutable unit_hits : int;
   mutable unit_misses : int;
+  mutable unit_carried : int;
   mutable weight_updates : int;
   mutable dirty_dests : int;
   mutable clean_dests : int;
@@ -26,7 +27,19 @@ type t = {
   mutable lp_warm_solves : int;
   mutable lp_cycle_limits : int;
   timer_tbl : (string, float) Hashtbl.t;
+  hot : float array; (* flat accumulators for the hot phases below *)
 }
+
+(* Hot-phase timer slots.  The evaluator's inner loops must not allocate,
+   and accumulating a duration into the hashtable boxes the float on
+   every store; a float-array slot does not.  [timers] / [pp] / [to_json]
+   fold these back under their phase names, so consumers see one
+   namespace. *)
+let hot_spf_full = 0
+let hot_spf_incr = 1
+let hot_units = 2
+let hot_loads = 3
+let hot_phases = [| "spf_full"; "spf_incr"; "units"; "loads" |]
 
 let create () =
   {
@@ -38,6 +51,7 @@ let create () =
     dag_misses = 0;
     unit_hits = 0;
     unit_misses = 0;
+    unit_carried = 0;
     weight_updates = 0;
     dirty_dests = 0;
     clean_dests = 0;
@@ -57,7 +71,10 @@ let create () =
     lp_warm_solves = 0;
     lp_cycle_limits = 0;
     timer_tbl = Hashtbl.create 8;
+    hot = Array.make (Array.length hot_phases) 0.;
   }
+
+let hot_times s = s.hot
 
 let reset s =
   s.evaluations <- 0;
@@ -68,6 +85,7 @@ let reset s =
   s.dag_misses <- 0;
   s.unit_hits <- 0;
   s.unit_misses <- 0;
+  s.unit_carried <- 0;
   s.weight_updates <- 0;
   s.dirty_dests <- 0;
   s.clean_dests <- 0;
@@ -86,7 +104,8 @@ let reset s =
   s.lp_pivots <- 0;
   s.lp_warm_solves <- 0;
   s.lp_cycle_limits <- 0;
-  Hashtbl.reset s.timer_tbl
+  Hashtbl.reset s.timer_tbl;
+  Array.fill s.hot 0 (Array.length s.hot) 0.
 
 let add_time s phase dt =
   let prev = try Hashtbl.find s.timer_tbl phase with Not_found -> 0. in
@@ -134,6 +153,7 @@ let merge ~into s =
   into.dag_misses <- into.dag_misses + s.dag_misses;
   into.unit_hits <- into.unit_hits + s.unit_hits;
   into.unit_misses <- into.unit_misses + s.unit_misses;
+  into.unit_carried <- into.unit_carried + s.unit_carried;
   into.weight_updates <- into.weight_updates + s.weight_updates;
   into.dirty_dests <- into.dirty_dests + s.dirty_dests;
   into.clean_dests <- into.clean_dests + s.clean_dests;
@@ -153,7 +173,10 @@ let merge ~into s =
   into.lp_cycle_limits <- into.lp_cycle_limits + s.lp_cycle_limits;
   Array.iteri (fun w n -> if n <> 0 then record_worker_evals into ~worker:w n)
     s.worker_evals;
-  Hashtbl.iter (fun phase dt -> add_time into phase dt) s.timer_tbl
+  Hashtbl.iter (fun phase dt -> add_time into phase dt) s.timer_tbl;
+  for i = 0 to Array.length s.hot - 1 do
+    into.hot.(i) <- into.hot.(i) +. s.hot.(i)
+  done
 
 let time s phase f =
   let t0 = Mono.now () in
@@ -167,7 +190,18 @@ let time s phase f =
     raise e
 
 let timers s =
-  Hashtbl.fold (fun k v acc -> (k, v) :: acc) s.timer_tbl []
+  let acc = Hashtbl.fold (fun k v acc -> (k, v) :: acc) s.timer_tbl [] in
+  (* Fold the flat hot-phase slots under their names (summing with any
+     hashtable entry of the same name, e.g. after a cross-version merge). *)
+  let acc =
+    Array.to_list
+      (Array.mapi
+         (fun i name ->
+           (name, s.hot.(i) +. (List.assoc_opt name acc |> Option.value ~default:0.)))
+         hot_phases)
+    @ List.filter (fun (k, _) -> not (Array.mem k hot_phases)) acc
+  in
+  List.filter (fun (_, dt) -> dt <> 0.) acc
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
 let full_rebuild_fraction s =
@@ -179,6 +213,7 @@ let counters s =
     ("incr_spf", s.incr_spf); ("spf_nodes_touched", s.spf_nodes_touched);
     ("dag_hits", s.dag_hits); ("dag_misses", s.dag_misses);
     ("unit_hits", s.unit_hits); ("unit_misses", s.unit_misses);
+    ("unit_carried", s.unit_carried);
     ("weight_updates", s.weight_updates); ("dirty_dests", s.dirty_dests);
     ("clean_dests", s.clean_dests); ("commits", s.commits);
     ("undos", s.undos); ("scenarios", s.scenarios);

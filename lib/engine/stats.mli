@@ -19,6 +19,10 @@ type t = {
   mutable dag_misses : int;  (** destination DAG had to be (re)built *)
   mutable unit_hits : int;  (** memoized unit-flow vector reused *)
   mutable unit_misses : int;  (** unit-flow vector recomputed *)
+  mutable unit_carried : int;
+      (** unit-flow vector carried across a repair untouched: the taint
+          pass proved the source's flow cone saw no distance or DAG-row
+          change, so the cached entries are bit-identical *)
   mutable weight_updates : int;  (** single-weight [set_weight] calls *)
   mutable dirty_dests : int;
       (** destinations invalidated by weight updates *)
@@ -52,7 +56,29 @@ type t = {
   timer_tbl : (string, float) Hashtbl.t;
       (** accumulated monotonic-clock seconds per phase; use {!time} /
           {!add_time} / {!timers} rather than touching this directly *)
+  hot : float array;
+      (** flat accumulators for the engine's hot phases (see
+          {!hot_spf_full} and friends); folded back under the usual
+          phase names by {!timers} / {!pp} / {!to_json} *)
 }
+
+(** {1 Hot-phase timer slots}
+
+    [Stats.time] closes over its thunk and the hashtable boxes every
+    accumulated float, so the evaluator's allocation-free inner loops
+    instead accumulate durations straight into [hot]:
+    {[ let ht = Stats.hot_times s in
+       ht.(Stats.hot_units) <- ht.(Stats.hot_units) +. dt ]}
+    (a float-array store never boxes).  The slots surface in {!timers}
+    under the same names the hashtable path would use. *)
+
+val hot_spf_full : int
+val hot_spf_incr : int
+val hot_units : int
+val hot_loads : int
+
+val hot_times : t -> float array
+(** The [hot] array itself (borrowed). *)
 
 val create : unit -> t
 

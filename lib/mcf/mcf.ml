@@ -68,8 +68,8 @@ let build_mlu_lp g comms =
       for v = 0 to n - 1 do
         if v <> t then begin
           let row = ref [] in
-          Array.iter (fun e -> row := (fvar ti e, 1.) :: !row) (Digraph.out_edges g v);
-          Array.iter (fun e -> row := (fvar ti e, -1.) :: !row) (Digraph.in_edges g v);
+          Digraph.iter_out g v (fun e -> row := (fvar ti e, 1.) :: !row);
+          Digraph.iter_in g v (fun e -> row := (fvar ti e, -1.) :: !row);
           Simplex.Sparse.add_row b !row Simplex.Eq supply.(ti).(v)
         end
       done)
@@ -169,9 +169,13 @@ let max_concurrent_flow ?(epsilon = 0.1) g comms =
   (* Initial scale estimate from trivial cut bounds: lambda is at most
      min_k min(out-cap(src), in-cap(dst)) / d_k. *)
   let cap_out v =
-    Array.fold_left (fun acc e -> acc +. Digraph.cap g e) 0. (Digraph.out_edges g v)
+    let acc = ref 0. in
+    Digraph.iter_out g v (fun e -> acc := !acc +. Digraph.cap g e);
+    !acc
   and cap_in v =
-    Array.fold_left (fun acc e -> acc +. Digraph.cap g e) 0. (Digraph.in_edges g v)
+    let acc = ref 0. in
+    Digraph.iter_in g v (fun e -> acc := !acc +. Digraph.cap g e);
+    !acc
   in
   let ub =
     Array.fold_left

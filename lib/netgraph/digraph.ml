@@ -1,14 +1,40 @@
+(* The adjacency is stored in CSR (compressed sparse row) form: one
+   row-pointer array of length n+1 and one column-index array of length
+   m per direction.  Edge ids in a row appear in ascending order (the
+   counting pass scans edges in id order), which fixes the iteration
+   order every DAG / unit-flow computation depends on. *)
 type t = {
   n : int;
   m : int;
   esrc : int array;
   edst : int array;
   ecap : float array;
-  outs : int array array;
-  ins : int array array;
+  out_row : int array; (* length n+1: out-edges of v are out_col.(out_row.(v)) .. *)
+  out_col : int array; (* length m: edge ids, ascending within each row *)
+  in_row : int array; (* length n+1 *)
+  in_col : int array; (* length m *)
   names : string array;
   by_name : (string, int) Hashtbl.t;
 }
+
+(* Counting sort of [key.(e)] for e = 0..m-1 into (row, col).  Scanning
+   edge ids in ascending order makes every row ascending too. *)
+let csr_of_keys n m key =
+  let row = Array.make (n + 1) 0 in
+  for e = 0 to m - 1 do
+    row.(key.(e) + 1) <- row.(key.(e) + 1) + 1
+  done;
+  for v = 1 to n do
+    row.(v) <- row.(v) + row.(v - 1)
+  done;
+  let col = Array.make m 0 in
+  let cursor = Array.copy row in
+  for e = 0 to m - 1 do
+    let v = key.(e) in
+    col.(cursor.(v)) <- e;
+    cursor.(v) <- cursor.(v) + 1
+  done;
+  (row, col)
 
 module Builder = struct
   type graph = t
@@ -65,22 +91,12 @@ module Builder = struct
         let e = m - 1 - i in
         esrc.(e) <- u; edst.(e) <- v; ecap.(e) <- c)
       b.edges;
-    let outd = Array.make n 0 and ind = Array.make n 0 in
-    for e = 0 to m - 1 do
-      outd.(esrc.(e)) <- outd.(esrc.(e)) + 1;
-      ind.(edst.(e)) <- ind.(edst.(e)) + 1
-    done;
-    let outs = Array.init n (fun v -> Array.make outd.(v) 0) in
-    let ins = Array.init n (fun v -> Array.make ind.(v) 0) in
-    let oi = Array.make n 0 and ii = Array.make n 0 in
-    for e = 0 to m - 1 do
-      let u = esrc.(e) and v = edst.(e) in
-      outs.(u).(oi.(u)) <- e; oi.(u) <- oi.(u) + 1;
-      ins.(v).(ii.(v)) <- e; ii.(v) <- ii.(v) + 1
-    done;
+    let out_row, out_col = csr_of_keys n m esrc in
+    let in_row, in_col = csr_of_keys n m edst in
     let names = Array.make n "" in
     List.iteri (fun i nm -> names.(n - 1 - i) <- nm) b.node_names;
-    { n; m; esrc; edst; ecap; outs; ins; names; by_name = Hashtbl.copy b.name_tbl }
+    { n; m; esrc; edst; ecap; out_row; out_col; in_row; in_col; names;
+      by_name = Hashtbl.copy b.name_tbl }
 end
 
 let of_edges ?names ~n edge_list =
@@ -104,18 +120,37 @@ let node_of_name g name =
   | Some v -> v
   | None -> raise Not_found
 
-let out_edges g v = g.outs.(v)
-let in_edges g v = g.ins.(v)
-let out_degree g v = Array.length g.outs.(v)
-let in_degree g v = Array.length g.ins.(v)
+(* Borrowed views of the flat arrays, for allocation-free hot loops. *)
+let srcs g = g.esrc
+let dsts g = g.edst
+let caps g = g.ecap
+let out_offsets g = g.out_row
+let out_index g = g.out_col
+let in_offsets g = g.in_row
+let in_index g = g.in_col
+
+let out_edges g v = Array.sub g.out_col g.out_row.(v) (g.out_row.(v + 1) - g.out_row.(v))
+let in_edges g v = Array.sub g.in_col g.in_row.(v) (g.in_row.(v + 1) - g.in_row.(v))
+let out_degree g v = g.out_row.(v + 1) - g.out_row.(v)
+let in_degree g v = g.in_row.(v + 1) - g.in_row.(v)
+
+let iter_out g v f =
+  for i = g.out_row.(v) to g.out_row.(v + 1) - 1 do
+    f g.out_col.(i)
+  done
+
+let iter_in g v f =
+  for i = g.in_row.(v) to g.in_row.(v + 1) - 1 do
+    f g.in_col.(i)
+  done
 
 let find_edge g ~src ~dst =
-  let rec scan i es =
-    if i >= Array.length es then None
-    else if g.edst.(es.(i)) = dst then Some es.(i)
-    else scan (i + 1) es
+  let rec scan i =
+    if i >= g.out_row.(src + 1) then None
+    else if g.edst.(g.out_col.(i)) = dst then Some g.out_col.(i)
+    else scan (i + 1)
   in
-  scan 0 g.outs.(src)
+  scan g.out_row.(src)
 
 let edges g =
   List.init g.m (fun e -> (g.esrc.(e), g.edst.(e), g.ecap.(e)))
@@ -128,7 +163,9 @@ let with_capacities g caps =
   { g with ecap = Array.copy caps }
 
 let reverse g =
-  { g with esrc = g.edst; edst = g.esrc; outs = g.ins; ins = g.outs }
+  { g with esrc = g.edst; edst = g.esrc;
+    out_row = g.in_row; out_col = g.in_col;
+    in_row = g.out_row; in_col = g.out_col }
 
 let max_capacity g = Array.fold_left max neg_infinity g.ecap
 let min_capacity g = Array.fold_left min infinity g.ecap
@@ -143,15 +180,13 @@ let is_connected_from g s =
     | [] -> ()
     | v :: rest ->
       stack := rest;
-      Array.iter
-        (fun e ->
+      iter_out g v (fun e ->
           let w = g.edst.(e) in
           if not seen.(w) then begin
             seen.(w) <- true;
             incr count;
             stack := w :: !stack
-          end)
-        g.outs.(v);
+          end);
       go ()
   in
   go ();

@@ -4,7 +4,16 @@
     dense integers [0 .. n-1], edges are dense integers [0 .. m-1] with a
     source, a destination and a strictly positive capacity.  The structure
     is immutable once built; incremental construction goes through
-    {!Builder}. *)
+    {!Builder}.
+
+    Adjacency is stored in CSR (compressed sparse row) form: a
+    row-pointer array of length [n+1] plus a column-index array of
+    length [m] per direction.  Within a row the edge ids appear in
+    ascending order — the iteration order every shortest-path DAG and
+    unit-flow computation in the repo is keyed to.  Hot paths borrow the
+    flat arrays directly ({!out_offsets} / {!out_index} and friends) and
+    run allocation-free; {!out_edges} / {!in_edges} remain as
+    (allocating) view-layer conveniences for cold callers. *)
 
 type t
 
@@ -60,14 +69,48 @@ val node_of_name : t -> string -> int
 (** @raise Not_found if no node carries this name. *)
 
 val out_edges : t -> int -> int array
-(** Edge ids leaving a node.  Do not mutate the returned array. *)
+(** Edge ids leaving a node, ascending.  Allocates a fresh view of the
+    CSR row on every call — fine for cold paths; hot loops should use
+    {!iter_out} or borrow {!out_offsets} / {!out_index}. *)
 
 val in_edges : t -> int -> int array
-(** Edge ids entering a node.  Do not mutate the returned array. *)
+(** Edge ids entering a node, ascending.  Allocates; see {!out_edges}. *)
 
 val out_degree : t -> int -> int
 
 val in_degree : t -> int -> int
+
+val iter_out : t -> int -> (int -> unit) -> unit
+(** [iter_out g v f] applies [f] to each edge id leaving [v], in
+    ascending edge-id order, without allocating. *)
+
+val iter_in : t -> int -> (int -> unit) -> unit
+(** [iter_in g v f]: {!iter_out} on the incoming edges. *)
+
+(** {2 Borrowed flat arrays}
+
+    Zero-copy access to the underlying CSR storage for allocation-free
+    hot loops (the evaluation engine, Dijkstra arenas).  The returned
+    arrays are the graph's own: NEVER mutate them.  Out-edges of node
+    [v] are [out_index.(i)] for [out_offsets.(v) <= i < out_offsets.(v+1)];
+    the arrays have lengths [n+1] (offsets) and [m] (index). *)
+
+val srcs : t -> int array
+(** Per edge id: source node.  Borrowed; do not mutate. *)
+
+val dsts : t -> int array
+(** Per edge id: destination node.  Borrowed; do not mutate. *)
+
+val caps : t -> float array
+(** Per edge id: capacity.  Borrowed; do not mutate. *)
+
+val out_offsets : t -> int array
+
+val out_index : t -> int array
+
+val in_offsets : t -> int array
+
+val in_index : t -> int array
 
 val find_edge : t -> src:int -> dst:int -> int option
 (** First edge from [src] to [dst], if any. *)

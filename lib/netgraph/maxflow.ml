@@ -120,8 +120,7 @@ let remove_cycles g fl =
     let cycle = ref None in
     let rec dfs v =
       color.(v) <- 1;
-      Array.iter
-        (fun e ->
+      Digraph.iter_out g v (fun e ->
           if !cycle = None && f.(e) > eps then begin
             let w = Digraph.dst g e in
             if color.(w) = 0 then begin
@@ -138,8 +137,7 @@ let remove_cycles g fl =
               in
               cycle := Some (e :: collect v [])
             end
-          end)
-        (Digraph.out_edges g v);
+          end);
       if color.(v) = 1 then color.(v) <- 2
     in
     let v = ref 0 in
@@ -177,9 +175,8 @@ let decompose g ~source ~target fl =
       if v = target then Some (List.rev acc)
       else begin
         let next = ref None in
-        Array.iter
-          (fun e -> if !next = None && f.(e) > eps then next := Some e)
-          (Digraph.out_edges g v);
+        Digraph.iter_out g v (fun e ->
+            if !next = None && f.(e) > eps then next := Some e);
         match !next with
         | None -> None
         | Some e -> walk (Digraph.dst g e) (e :: acc)

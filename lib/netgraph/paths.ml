@@ -1,14 +1,26 @@
 (* Binary min-heap keyed by float priority, holding node ids.  We allow
    duplicate entries and skip stale pops, which keeps the code simple and
-   is the usual trade-off for Dijkstra. *)
+   is the usual trade-off for Dijkstra.
+
+   The heap is part of the reusable {!Scratch} arena, so its operations
+   must not allocate.  Without flambda the native compiler boxes floats
+   crossing a non-inlined function boundary, so the hot entry points
+   never take or return a float: the key travels through the one-slot
+   [karg] float array (stores into a float array stay unboxed), and pops
+   read [keys.(0)] / [vals.(0)] directly before calling {!Heap.drop}. *)
 module Heap = struct
   type t = {
     mutable keys : float array;
     mutable vals : int array;
     mutable size : int;
+    karg : float array; (* 1-slot argument channel: push key, unboxed *)
   }
 
-  let create cap = { keys = Array.make (max 1 cap) 0.; vals = Array.make (max 1 cap) 0; size = 0 }
+  let create cap =
+    { keys = Array.make (max 1 cap) 0.; vals = Array.make (max 1 cap) 0;
+      size = 0; karg = Array.make 1 0. }
+
+  let clear h = h.size <- 0
 
   let is_empty h = h.size = 0
 
@@ -20,8 +32,10 @@ module Heap = struct
     h.keys <- keys;
     h.vals <- vals
 
-  let push h k v =
+  (* Pushes [(karg.(0), v)]; grow-only, so allocation-free once warm. *)
+  let push_karg h v =
     if h.size = Array.length h.keys then grow h;
+    let k = h.karg.(0) in
     let i = ref h.size in
     h.size <- h.size + 1;
     h.keys.(!i) <- k;
@@ -34,8 +48,9 @@ module Heap = struct
       i := p
     done
 
-  let pop h =
-    let k = h.keys.(0) and v = h.vals.(0) in
+  (* Removes the minimum; the caller reads [keys.(0)] / [vals.(0)]
+     before dropping. *)
+  let drop h =
     h.size <- h.size - 1;
     h.keys.(0) <- h.keys.(h.size);
     h.vals.(0) <- h.vals.(h.size);
@@ -54,9 +69,45 @@ module Heap = struct
         h.keys.(!i) <- tk; h.vals.(!i) <- tv;
         i := s
       end
-    done;
-    (k, v)
+    done
 end
+
+(* ------------------------------------------------------------------ *)
+(* Reusable scratch arena                                              *)
+(* ------------------------------------------------------------------ *)
+
+module Scratch = struct
+  type t = {
+    heap : Heap.t;
+    mutable mark : int array; (* stamped membership: mark.(v) = stamp *)
+    mutable stamp : int;
+    mutable stack : int array; (* DFS work stack *)
+    farg : float array; (* 1-slot float argument channel (see Heap.karg) *)
+  }
+
+  let create () =
+    { heap = Heap.create 64; mark = [||]; stamp = 0; stack = [||];
+      farg = Array.make 1 0. }
+
+  (* Grow-only: after the first call at a given size every later call is
+     allocation-free. *)
+  let ensure s n =
+    if Array.length s.mark < n then begin
+      s.mark <- Array.make n 0;
+      s.stamp <- 0;
+      s.stack <- Array.make n 0
+    end
+
+  let farg s = s.farg
+end
+
+(* Per-domain scratch for the legacy (arena-less) entry points: they
+   keep their historical signatures but stop thrashing the minor heap
+   with per-call heap/bucket allocations.  Domain-local, so parallel
+   sweeps on worker domains never share one. *)
+let dls_scratch = Domain.DLS.new_key (fun () -> Scratch.create ())
+
+let domain_scratch () = Domain.DLS.get dls_scratch
 
 let check_weights g weights =
   if Array.length weights <> Digraph.edge_count g then
@@ -65,34 +116,65 @@ let check_weights g weights =
     (fun w -> if not (w > 0.) then invalid_arg "Paths: weights must be positive")
     weights
 
-let dijkstra_generic out_of g weights source =
-  check_weights g weights;
-  let n = Digraph.node_count g in
-  let dist = Array.make n infinity in
-  let heap = Heap.create (n + 1) in
-  dist.(source) <- 0.;
-  Heap.push heap 0. source;
-  while not (Heap.is_empty heap) do
-    let d, v = Heap.pop heap in
+(* Core settle loop over one CSR direction: [row]/[col] index the edges
+   incident to a settled node, [ep.(e)] is the node an edge leads to in
+   the traversal direction (edst for forward, esrc for reversed). *)
+let settle_loop h row col ep weights dist =
+  while not (Heap.is_empty h) do
+    let d = h.Heap.keys.(0) and v = h.Heap.vals.(0) in
+    Heap.drop h;
     if d <= dist.(v) then
-      Array.iter
-        (fun e ->
-          let w = Digraph.dst g e in
-          (* [out_of] decides traversal direction; on reversed traversal
-             the "dst" is the edge's source. *)
-          let w = if out_of then w else Digraph.src g e in
-          let nd = d +. weights.(e) in
-          if nd < dist.(w) then begin
-            dist.(w) <- nd;
-            Heap.push heap nd w
-          end)
-        (if out_of then Digraph.out_edges g v else Digraph.in_edges g v)
-  done;
+      for i = row.(v) to row.(v + 1) - 1 do
+        let e = col.(i) in
+        let u = ep.(e) in
+        let nd = d +. weights.(e) in
+        if nd < dist.(u) then begin
+          dist.(u) <- nd;
+          h.Heap.karg.(0) <- nd;
+          Heap.push_karg h u
+        end
+      done
+  done
+
+let dijkstra_into scratch g ~weights ~source ~dist =
+  let n = Digraph.node_count g in
+  if Array.length dist <> n then
+    invalid_arg "Paths.dijkstra_into: dist length mismatch";
+  Scratch.ensure scratch n;
+  let h = scratch.Scratch.heap in
+  Heap.clear h;
+  Array.fill dist 0 n infinity;
+  dist.(source) <- 0.;
+  h.Heap.karg.(0) <- 0.;
+  Heap.push_karg h source;
+  settle_loop h (Digraph.out_offsets g) (Digraph.out_index g) (Digraph.dsts g)
+    weights dist
+
+let dijkstra_to_into scratch g ~weights ~target ~dist =
+  let n = Digraph.node_count g in
+  if Array.length dist <> n then
+    invalid_arg "Paths.dijkstra_to_into: dist length mismatch";
+  Scratch.ensure scratch n;
+  let h = scratch.Scratch.heap in
+  Heap.clear h;
+  Array.fill dist 0 n infinity;
+  dist.(target) <- 0.;
+  h.Heap.karg.(0) <- 0.;
+  Heap.push_karg h target;
+  settle_loop h (Digraph.in_offsets g) (Digraph.in_index g) (Digraph.srcs g)
+    weights dist
+
+let dijkstra g ~weights ~source =
+  check_weights g weights;
+  let dist = Array.make (Digraph.node_count g) infinity in
+  dijkstra_into (domain_scratch ()) g ~weights ~source ~dist;
   dist
 
-let dijkstra g ~weights ~source = dijkstra_generic true g weights source
-
-let dijkstra_to g ~weights ~target = dijkstra_generic false g weights target
+let dijkstra_to g ~weights ~target =
+  check_weights g weights;
+  let dist = Array.make (Digraph.node_count g) infinity in
+  dijkstra_to_into (domain_scratch ()) g ~weights ~target ~dist;
+  dist
 
 (* Incremental single-edge repair of a distance-to-target array.
 
@@ -107,139 +189,189 @@ let dijkstra_to g ~weights ~target = dijkstra_generic false g weights target
    in it gets its distance recomputed from scratch. *)
 let tight_eps = 1e-9
 
-let is_tight w du dv =
-  du < infinity && dv < infinity
-  && abs_float ((w +. dv) -. du) <= tight_eps *. (1. +. abs_float du)
-
-let update_decrease g weights dist edge =
+let update_decrease scratch g weights dist edge =
   let u = Digraph.src g edge and v = Digraph.dst g edge in
   let nd = weights.(edge) +. dist.(v) in
   if dist.(v) = infinity || nd >= dist.(u) then 0
   else begin
-    let heap = Heap.create 16 in
+    let h = scratch.Scratch.heap in
+    Heap.clear h;
+    let in_row = Digraph.in_offsets g and in_col = Digraph.in_index g in
+    let esrc = Digraph.srcs g in
     dist.(u) <- nd;
-    Heap.push heap nd u;
+    h.Heap.karg.(0) <- nd;
+    Heap.push_karg h u;
     let changed = ref 1 in
-    while not (Heap.is_empty heap) do
-      let d, x = Heap.pop heap in
+    while not (Heap.is_empty h) do
+      let d = h.Heap.keys.(0) and x = h.Heap.vals.(0) in
+      Heap.drop h;
       if d <= dist.(x) then
-        Array.iter
-          (fun e ->
-            let p = Digraph.src g e in
-            let cand = d +. weights.(e) in
-            if cand < dist.(p) then begin
-              incr changed;
-              dist.(p) <- cand;
-              Heap.push heap cand p
-            end)
-          (Digraph.in_edges g x)
+        for i = in_row.(x) to in_row.(x + 1) - 1 do
+          let e = in_col.(i) in
+          let p = esrc.(e) in
+          let cand = d +. weights.(e) in
+          if cand < dist.(p) then begin
+            incr changed;
+            dist.(p) <- cand;
+            h.Heap.karg.(0) <- cand;
+            Heap.push_karg h p
+          end
+        done
     done;
     !changed
   end
 
-let update_increase g weights dist edge ~old_weight =
+(* Reads the old weight from [scratch.farg.(0)]: a float parameter would
+   be boxed at this (non-inlinable) function's call boundary, defeating
+   the allocation-free repair path. *)
+let update_increase scratch g weights dist edge =
+  let old_weight = scratch.Scratch.farg.(0) in
   let u = Digraph.src g edge and v = Digraph.dst g edge in
-  if not (is_tight old_weight dist.(u) dist.(v)) then 0
+  (* [is_tight] inlined by hand: the call may not be inlined by the
+     compiler, and a non-inlined call boxes its float arguments. *)
+  let du = dist.(u) and dv = dist.(v) in
+  if
+    not
+      (du < infinity && dv < infinity
+      && abs_float ((old_weight +. dv) -. du)
+         <= tight_eps *. (1. +. abs_float du))
+  then 0
   else begin
     let n = Digraph.node_count g in
+    Scratch.ensure scratch n;
+    let in_row = Digraph.in_offsets g and in_col = Digraph.in_index g in
+    let out_row = Digraph.out_offsets g and out_col = Digraph.out_index g in
+    let esrc = Digraph.srcs g and edst = Digraph.dsts g in
     (* Affected over-approximation: nodes with a tight path (under the
-       old weight) through [edge]. *)
-    let affected = Array.make n false in
-    affected.(u) <- true;
-    let stack = ref [ u ] in
-    while !stack <> [] do
-      match !stack with
-      | [] -> ()
-      | x :: rest ->
-        stack := rest;
-        Array.iter
-          (fun e ->
-            let p = Digraph.src g e in
-            if (not affected.(p)) && e <> edge
-               && is_tight weights.(e) dist.(p) dist.(x)
-            then begin
-              affected.(p) <- true;
-              stack := p :: !stack
-            end)
-          (Digraph.in_edges g x)
+       old weight) through [edge].  Membership is a stamp in the arena's
+       mark array, so clearing it between probes is one counter bump. *)
+    scratch.Scratch.stamp <- scratch.Scratch.stamp + 1;
+    let stamp = scratch.Scratch.stamp in
+    let mark = scratch.Scratch.mark and stack = scratch.Scratch.stack in
+    mark.(u) <- stamp;
+    stack.(0) <- u;
+    let sp = ref 1 in
+    while !sp > 0 do
+      decr sp;
+      let x = stack.(!sp) in
+      for i = in_row.(x) to in_row.(x + 1) - 1 do
+        let e = in_col.(i) in
+        let p = esrc.(e) in
+        if
+          mark.(p) <> stamp && e <> edge
+          && dist.(p) < infinity && dist.(x) < infinity
+          && abs_float ((weights.(e) +. dist.(x)) -. dist.(p))
+             <= tight_eps *. (1. +. abs_float dist.(p))
+        then begin
+          mark.(p) <- stamp;
+          stack.(!sp) <- p;
+          incr sp
+        end
+      done
     done;
     (* Re-seed every affected node from its unaffected out-neighbours
        (current weights, including the new value on [edge]). *)
-    let heap = Heap.create 16 in
+    let h = scratch.Scratch.heap in
+    Heap.clear h;
     let count = ref 0 in
     for x = 0 to n - 1 do
-      if affected.(x) then begin
+      if mark.(x) = stamp then begin
         incr count;
         let best = ref infinity in
-        Array.iter
-          (fun e ->
-            let y = Digraph.dst g e in
-            if not affected.(y) then begin
-              let cand = weights.(e) +. dist.(y) in
-              if cand < !best then best := cand
-            end)
-          (Digraph.out_edges g x);
+        for i = out_row.(x) to out_row.(x + 1) - 1 do
+          let e = out_col.(i) in
+          let y = edst.(e) in
+          if mark.(y) <> stamp then begin
+            let cand = weights.(e) +. dist.(y) in
+            if cand < !best then best := cand
+          end
+        done;
         dist.(x) <- !best;
-        if !best < infinity then Heap.push heap !best x
+        if !best < infinity then begin
+          h.Heap.karg.(0) <- !best;
+          Heap.push_karg h x
+        end
       end
     done;
     (* Dijkstra restricted to the affected region. *)
-    while not (Heap.is_empty heap) do
-      let d, x = Heap.pop heap in
+    while not (Heap.is_empty h) do
+      let d = h.Heap.keys.(0) and x = h.Heap.vals.(0) in
+      Heap.drop h;
       if d <= dist.(x) then
-        Array.iter
-          (fun e ->
-            let p = Digraph.src g e in
-            if affected.(p) then begin
-              let cand = d +. weights.(e) in
-              if cand < dist.(p) then begin
-                dist.(p) <- cand;
-                Heap.push heap cand p
-              end
-            end)
-          (Digraph.in_edges g x)
+        for i = in_row.(x) to in_row.(x + 1) - 1 do
+          let e = in_col.(i) in
+          let p = esrc.(e) in
+          if mark.(p) = stamp then begin
+            let cand = d +. weights.(e) in
+            if cand < dist.(p) then begin
+              dist.(p) <- cand;
+              h.Heap.karg.(0) <- cand;
+              Heap.push_karg h p
+            end
+          end
+        done
     done;
     !count
   end
 
-let dijkstra_update_to g ~weights ~target:_ ~dist ~edge ~old_weight =
-  (* Hot path: called once per dirty destination per weight change, so
-     only the changed entry is validated (a full [check_weights] scan
-     here measurably slows incremental evaluation on small graphs). *)
+(* Allocation-free repair core: the old weight travels through the
+   arena's [farg] slot instead of a (boxed) float argument — the form
+   the engine's zero-allocation probe loop calls. *)
+let dijkstra_update_prepared scratch g ~weights ~dist ~edge =
   if Array.length weights <> Digraph.edge_count g then
     invalid_arg "Paths: weight vector length mismatch";
   if Array.length dist <> Digraph.node_count g then
-    invalid_arg "Paths.dijkstra_update_to: dist length mismatch";
+    invalid_arg "Paths.dijkstra_update: dist length mismatch";
+  let old_weight = scratch.Scratch.farg.(0) in
   let w = weights.(edge) in
   if not (w > 0.) then invalid_arg "Paths: weights must be positive";
   if w = old_weight then 0
-  else if w < old_weight then update_decrease g weights dist edge
-  else update_increase g weights dist edge ~old_weight
+  else if w < old_weight then update_decrease scratch g weights dist edge
+  else update_increase scratch g weights dist edge
+
+let dijkstra_update_to_into scratch g ~weights ~target:_ ~dist ~edge
+    ~old_weight =
+  scratch.Scratch.farg.(0) <- old_weight;
+  dijkstra_update_prepared scratch g ~weights ~dist ~edge
+
+let dijkstra_update_to g ~weights ~target ~dist ~edge ~old_weight =
+  (* Hot path: called once per dirty destination per weight change, so
+     only the changed entry is validated (a full [check_weights] scan
+     here measurably slows incremental evaluation on small graphs). *)
+  dijkstra_update_to_into (domain_scratch ()) g ~weights ~target ~dist ~edge
+    ~old_weight
 
 let dijkstra_with_parents ?stop_at g ~weights ~source =
   check_weights g weights;
   let n = Digraph.node_count g in
   let dist = Array.make n infinity in
   let parent = Array.make n (-1) in
-  let heap = Heap.create (n + 1) in
+  let scratch = domain_scratch () in
+  let h = scratch.Scratch.heap in
+  Heap.clear h;
+  let out_row = Digraph.out_offsets g and out_col = Digraph.out_index g in
+  let edst = Digraph.dsts g in
   dist.(source) <- 0.;
-  Heap.push heap 0. source;
+  h.Heap.karg.(0) <- 0.;
+  Heap.push_karg h source;
   let stopped = ref false in
-  while not (!stopped || Heap.is_empty heap) do
-    let d, v = Heap.pop heap in
+  while not (!stopped || Heap.is_empty h) do
+    let d = h.Heap.keys.(0) and v = h.Heap.vals.(0) in
+    Heap.drop h;
     if d <= dist.(v) then begin
       if stop_at = Some v then stopped := true
       else
-        Array.iter
-          (fun e ->
-            let w = Digraph.dst g e in
-            let nd = d +. weights.(e) in
-            if nd < dist.(w) then begin
-              dist.(w) <- nd;
-              parent.(w) <- e;
-              Heap.push heap nd w
-            end)
-          (Digraph.out_edges g v)
+        for i = out_row.(v) to out_row.(v + 1) - 1 do
+          let e = out_col.(i) in
+          let w = edst.(e) in
+          let nd = d +. weights.(e) in
+          if nd < dist.(w) then begin
+            dist.(w) <- nd;
+            parent.(w) <- e;
+            h.Heap.karg.(0) <- nd;
+            Heap.push_karg h w
+          end
+        done
     end
   done;
   (dist, parent)
@@ -280,8 +412,7 @@ let topo_order g ~keep =
   while !head < !tail do
     let v = order.(!head) in
     incr head;
-    Array.iter
-      (fun e ->
+    Digraph.iter_out g v (fun e ->
         if keep e then begin
           let w = Digraph.dst g e in
           indeg.(w) <- indeg.(w) - 1;
@@ -290,7 +421,6 @@ let topo_order g ~keep =
             incr tail
           end
         end)
-      (Digraph.out_edges g v)
   done;
   if !tail <> n then failwith "Paths.topo_order: subgraph has a cycle";
   order
@@ -308,14 +438,12 @@ let reachable g ~source =
     | [] -> ()
     | v :: rest ->
       let stack = ref rest in
-      Array.iter
-        (fun e ->
+      Digraph.iter_out g v (fun e ->
           let w = Digraph.dst g e in
           if not seen.(w) then begin
             seen.(w) <- true;
             stack := w :: !stack
-          end)
-        (Digraph.out_edges g v);
+          end);
       go !stack
   in
   seen.(source) <- true;
@@ -335,11 +463,9 @@ let all_simple_paths ?(max_paths = 10_000) g ~source ~target =
       end
       else begin
         on_path.(v) <- true;
-        Array.iter
-          (fun e ->
+        Digraph.iter_out g v (fun e ->
             let w = Digraph.dst g e in
-            if not on_path.(w) then dfs w (e :: acc))
-          (Digraph.out_edges g v);
+            if not on_path.(w) then dfs w (e :: acc));
         on_path.(v) <- false
       end
     end

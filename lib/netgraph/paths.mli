@@ -1,4 +1,28 @@
-(** Shortest paths and DAG utilities over {!Digraph}. *)
+(** Shortest paths and DAG utilities over {!Digraph}.
+
+    All searches run over a reusable {!Scratch} arena (heap, stamped
+    mark array, work stack) so the hot entry points are allocation-free
+    once the arena is warm.  The legacy signatures ({!dijkstra},
+    {!dijkstra_to}, {!dijkstra_update_to}) remain and transparently use
+    a per-domain arena. *)
+
+(** Caller-owned reusable search state.  One arena serves graphs of any
+    size (it grows monotonically and never shrinks) but must not be
+    shared across domains — each worker owns its own, or uses the
+    legacy entry points which keep a domain-local one. *)
+module Scratch : sig
+  type t
+
+  val create : unit -> t
+
+  val farg : t -> float array
+  (** One-slot float argument channel for {!dijkstra_update_prepared}:
+      storing into a float array never boxes, unlike passing a float to
+      a non-inlined function.  Borrowed; length 1. *)
+end
+
+val domain_scratch : unit -> Scratch.t
+(** The calling domain's arena (the one the legacy entry points use). *)
 
 val dijkstra : Digraph.t -> weights:float array -> source:int -> float array
 (** Distance from [source] to every node along directed edges; unreachable
@@ -7,6 +31,19 @@ val dijkstra : Digraph.t -> weights:float array -> source:int -> float array
 
 val dijkstra_to : Digraph.t -> weights:float array -> target:int -> float array
 (** Distance from every node {e to} [target] (runs on the reversed graph). *)
+
+val dijkstra_into :
+  Scratch.t -> Digraph.t -> weights:float array -> source:int ->
+  dist:float array -> unit
+(** [dijkstra] into a caller-owned [dist] array (length [n], fully
+    overwritten).  Allocation-free once [scratch] is warm.  Does not
+    validate [weights]; callers owning the weight vector are expected to
+    maintain positivity themselves. *)
+
+val dijkstra_to_into :
+  Scratch.t -> Digraph.t -> weights:float array -> target:int ->
+  dist:float array -> unit
+(** {!dijkstra_into} on the reversed graph (distance-to-[target]). *)
 
 val dijkstra_update_to :
   Digraph.t -> weights:float array -> target:int -> dist:float array ->
@@ -20,6 +57,20 @@ val dijkstra_update_to :
     shortest paths ran through the edge.  Returns the number of nodes
     whose stored distance was recomputed — [0] means the update provably
     left every distance unchanged. *)
+
+val dijkstra_update_to_into :
+  Scratch.t -> Digraph.t -> weights:float array -> target:int ->
+  dist:float array -> edge:int -> old_weight:float -> int
+(** {!dijkstra_update_to} with a caller-owned arena. *)
+
+val dijkstra_update_prepared :
+  Scratch.t -> Digraph.t -> weights:float array -> dist:float array ->
+  edge:int -> int
+(** Boxing-free form of {!dijkstra_update_to_into}: reads the old weight
+    from [Scratch.farg scratch] (slot 0), which the caller must have
+    stored beforehand.  This is the entry the engine's zero-allocation
+    probe loop uses — a labelled [old_weight:float] argument would box
+    the float at the call boundary. *)
 
 val dijkstra_with_parents :
   ?stop_at:int ->

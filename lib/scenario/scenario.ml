@@ -388,6 +388,11 @@ let sweep_ctx (octx : Obs.Ctx.t) ?(chunk = 4) ?(policies = [ Static ])
   in
   let cur_shift = Array.make par No_shift in
   let cur_demands = Array.make par demands in
+  (* Per-worker metrics cells: the static probe of each scenario writes
+     its (mlu, phi) here instead of allocating a result tuple. *)
+  let cells =
+    Array.init par (fun _ -> { Engine.Evaluator.mlu = 0.; phi = 0. })
+  in
   (* One child context per scenario, created up front on this domain and
      grafted back in spec order: the trace and metrics are a pure
      function of the spec list, never of worker scheduling. *)
@@ -430,7 +435,11 @@ let sweep_ctx (octx : Obs.Ctx.t) ?(chunk = 4) ?(policies = [ Static ])
       demands;
     let static_mlu =
       if !static_disconnected > 0 then nan
-      else fst (Engine.Evaluator.evaluate ev)
+      else begin
+        let c = cells.(worker) in
+        Engine.Evaluator.evaluate_into ev c;
+        c.Engine.Evaluator.mlu
+      end
     in
     Engine.Evaluator.undo ev;
     if !static_disconnected > 0 then

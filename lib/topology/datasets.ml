@@ -59,11 +59,26 @@ let synthetic_catalog =
     ("Geant", 22, 36);
   ]
 
+(* TopologyZoo instances at data-plane stress scale (published node and
+   undirected-link counts).  Like the fig4 set they default to
+   deterministic synthetic stand-ins; the real GraphML files drop in via
+   [load ~data_dir] (see examples/fetch_topologyzoo.sh). *)
+let zoo_scale_catalog =
+  [
+    ("Interoute", 110, 148);
+    ("Deltacom", 113, 161);
+    ("GtsCe", 149, 193);
+    ("Colt", 153, 191);
+    ("UsCarrier", 158, 189);
+    ("Cogentco", 197, 245);
+    ("Kdl", 754, 899);
+  ]
+
 let all =
   { name = "Abilene"; nodes = 12; links = 15; kind = Embedded }
   :: List.map
        (fun (name, nodes, links) -> { name; nodes; links; kind = Synthetic })
-       synthetic_catalog
+       (synthetic_catalog @ zoo_scale_catalog)
 
 let fig4_names =
   [ "Cost266"; "Germany50"; "Giul39"; "Janos-US-CA"; "Myren"; "Pioro40";
@@ -71,16 +86,31 @@ let fig4_names =
 
 let fig6_names = [ "Abilene"; "Germany50"; "Geant" ]
 
-let load name =
+(* The evals/sec-vs-n size-scaling suite: one familiar small and medium
+   instance, then the zoo-scale ladder up to Kdl's 754 nodes. *)
+let scale_names =
+  [ "Abilene"; "Germany50"; "Interoute"; "GtsCe"; "Cogentco"; "Kdl" ]
+
+let load ?data_dir name =
   let lname = String.lowercase_ascii name in
-  if lname = "abilene" then abilene ()
-  else
-    match
-      List.find_opt
-        (fun (n, _, _) -> String.lowercase_ascii n = lname)
-        synthetic_catalog
-    with
-    | Some (n, nodes, links) -> Gen.synthetic ~name:n ~nodes ~links ()
-    | None -> raise Not_found
+  let from_file =
+    match data_dir with
+    | None -> None
+    | Some dir ->
+      let path = Filename.concat dir (name ^ ".graphml") in
+      if Sys.file_exists path then Some (Graphml.load_file path) else None
+  in
+  match from_file with
+  | Some g -> g
+  | None ->
+    if lname = "abilene" then abilene ()
+    else (
+      match
+        List.find_opt
+          (fun (n, _, _) -> String.lowercase_ascii n = lname)
+          (synthetic_catalog @ zoo_scale_catalog)
+      with
+      | Some (n, nodes, links) -> Gen.synthetic ~name:n ~nodes ~links ()
+      | None -> raise Not_found)
 
 let _ = Digraph.node_count (* silence unused-open warnings in some setups *)

@@ -25,8 +25,17 @@ val fig4_names : string list
 val fig6_names : string list
 (** Abilene, Germany50, Géant (Figure 6). *)
 
-val load : string -> Netgraph.Digraph.t
-(** Case-insensitive lookup.  @raise Not_found for unknown names. *)
+val scale_names : string list
+(** The size-scaling bench suite: Abilene and Germany50 plus
+    TopologyZoo-size instances up to Kdl (754 nodes) — the evaluation
+    engine's evals/sec-vs-n curve is measured over these. *)
+
+val load : ?data_dir:string -> string -> Netgraph.Digraph.t
+(** Case-insensitive lookup.  When [data_dir] is given and
+    [<data_dir>/<Name>.graphml] exists, the real TopologyZoo file is
+    loaded through {!Graphml.load_file} instead of the synthetic
+    stand-in (see examples/fetch_topologyzoo.sh).
+    @raise Not_found for unknown names. *)
 
 val abilene : unit -> Netgraph.Digraph.t
 (** The embedded Abilene backbone (12 nodes, 15 links). *)

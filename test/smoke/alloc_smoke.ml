@@ -1,0 +1,109 @@
+(* Allocation-discipline smoke: proves the engine's documented
+   zero-allocation contracts with [Gc.minor_words] bracketing on real
+   topologies, larger and longer than the tier-1 unit variants.  Two
+   invariants:
+
+   - the probe loop (set_weight / evaluate_into / undo) allocates no
+     minor words per iteration once warm;
+   - a whole-topology failure sweep (disable_edge / reachable /
+     evaluate_into / undo) allocates no minor words per sweep once warm.
+
+   Run with `dune build @alloc-smoke' (part of the `@smoke' umbrella).
+   Exits 0 in bytecode without measuring: outside native code every
+   float operation boxes, so the invariant only holds natively. *)
+
+open Netgraph
+open Te
+
+let gc_buf = Array.make 2 0.
+
+let minor_delta f =
+  gc_buf.(0) <- Gc.minor_words ();
+  f ();
+  gc_buf.(1) <- Gc.minor_words ();
+  gc_buf.(1) -. gc_buf.(0)
+
+let rec routable_from ev demands i =
+  i >= Array.length demands
+  ||
+  let s, d, _ = demands.(i) in
+  Engine.Evaluator.reachable ev ~src:s ~dst:d
+  && routable_from ev demands (i + 1)
+
+let demands_of g ~count ~seed =
+  let n = Digraph.node_count g in
+  let st = Random.State.make [| seed |] in
+  Array.init count (fun _ ->
+      let s = Random.State.int st n in
+      let d = (s + 1 + Random.State.int st (n - 1)) mod n in
+      (s, d, float_of_int (1 + Random.State.int st 6)))
+
+let check_probe_loop name g =
+  let w = Weights.inverse_capacity g in
+  let m = Digraph.edge_count g in
+  let demands = demands_of g ~count:60 ~seed:0x41c in
+  let ev = Engine.Evaluator.create g w in
+  Engine.Evaluator.set_commodities ev demands;
+  let mx = { Engine.Evaluator.mlu = 0.; phi = 0. } in
+  (* materialize the base-weight state first: destinations first built
+     under probed weights are unknown to the undo trail and dropped on
+     undo, so without this the warm state never forms *)
+  Engine.Evaluator.evaluate_into ev mx;
+  let moves = Array.init m (fun e -> (e, (w.(e) *. 1.5) +. 1.)) in
+  let pass () =
+    for i = 0 to m - 1 do
+      let e, pw = moves.(i) in
+      Engine.Evaluator.set_weight ev ~edge:e pw;
+      Engine.Evaluator.evaluate_into ev mx;
+      Engine.Evaluator.undo ev
+    done
+  in
+  for _ = 1 to 3 do
+    pass ()
+  done;
+  let words = minor_delta pass in
+  Printf.printf "%-12s probe loop   %4d edges  %8.0f minor words/pass\n" name m
+    words;
+  if words <> 0. then (
+    Printf.eprintf "FAIL: %s warm probe pass allocated %.0f minor words\n" name
+      words;
+    exit 1)
+
+let check_failure_sweep name g =
+  let w = Weights.inverse_capacity g in
+  let m = Digraph.edge_count g in
+  let demands = demands_of g ~count:40 ~seed:0x9a7 in
+  let ev = Engine.Evaluator.create g w in
+  Engine.Evaluator.set_commodities ev demands;
+  let mx = { Engine.Evaluator.mlu = 0.; phi = 0. } in
+  Engine.Evaluator.evaluate_into ev mx;
+  let sweep () =
+    for e = 0 to m - 1 do
+      Engine.Evaluator.disable_edge ev ~edge:e;
+      if routable_from ev demands 0 then Engine.Evaluator.evaluate_into ev mx;
+      Engine.Evaluator.undo ev
+    done
+  in
+  for _ = 1 to 3 do
+    sweep ()
+  done;
+  let words = minor_delta sweep in
+  Printf.printf "%-12s fail sweep   %4d edges  %8.0f minor words/sweep\n" name
+    m words;
+  if words <> 0. then (
+    Printf.eprintf "FAIL: %s warm failure sweep allocated %.0f minor words\n"
+      name words;
+    exit 1)
+
+let () =
+  match Sys.backend_type with
+  | Sys.Bytecode | Sys.Other _ ->
+      print_endline "alloc smoke: skipped (requires native code)"
+  | Sys.Native ->
+      List.iter
+        (fun name ->
+          let g = Topology.Datasets.load name in
+          check_probe_loop name g;
+          check_failure_sweep name g)
+        [ "Abilene"; "Germany50" ];
+      print_endline "alloc smoke OK"

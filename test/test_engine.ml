@@ -232,6 +232,116 @@ let test_stats_merge_and_json () =
     (String.length j > 0 && j.[0] = '{');
   checkf "fraction" (5. /. 12.) (Engine.Stats.full_rebuild_fraction a)
 
+(* ------------------------------------------------------------------ *)
+(* Allocation discipline                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Brackets [f] between two [Gc.minor_words] readings stored straight
+   into a float array: the external is [@unboxed] [@@noalloc] and a
+   float-array store never boxes, so the measurement itself contributes
+   no minor words. *)
+let gc_buf = Array.make 2 0.
+
+let minor_delta f =
+  gc_buf.(0) <- Gc.minor_words ();
+  f ();
+  gc_buf.(1) <- Gc.minor_words ();
+  gc_buf.(1) -. gc_buf.(0)
+
+(* [true] iff every demand stays routable; written recursively so the
+   check allocates nothing (a [ref]-based loop would). *)
+let rec routable_from ev demands i =
+  i >= Array.length demands
+  ||
+  let s, d, _ = demands.(i) in
+  Engine.Evaluator.reachable ev ~src:s ~dst:d
+  && routable_from ev demands (i + 1)
+
+(* The documented zero-allocation probe loop: after warmup (pools and
+   scratch at steady state) one set_weight / evaluate_into / undo
+   iteration must allocate no minor words at all.  The probe weights
+   are precomputed as [(edge, weight)] pairs so the float box already
+   exists — reading a flat float array at the call site would box one
+   float per probe. *)
+let test_probe_loop_zero_alloc () =
+  match Sys.backend_type with
+  | Sys.Bytecode | Sys.Other _ -> () (* floats box per op outside native code *)
+  | Sys.Native ->
+      let g, w, demands, _ = instance 3 in
+      let ev = Engine.Evaluator.create g w in
+      Engine.Evaluator.set_commodities ev demands;
+      let m = Digraph.edge_count g in
+      let moves = Array.init m (fun e -> (e, w.(e) +. 1.)) in
+      let mx = { Engine.Evaluator.mlu = 0.; phi = 0. } in
+      (* materialize the base-weight state first: destinations first
+         built under probed weights are unknown to the trail and dropped
+         on undo, so without this the warm state never forms *)
+      Engine.Evaluator.evaluate_into ev mx;
+      let pass () =
+        for i = 0 to m - 1 do
+          let e, pw = moves.(i) in
+          Engine.Evaluator.set_weight ev ~edge:e pw;
+          Engine.Evaluator.evaluate_into ev mx;
+          Engine.Evaluator.undo ev
+        done
+      in
+      for _ = 1 to 3 do
+        pass ()
+      done;
+      checkf "warm probe pass minor words" 0. (minor_delta pass);
+      Alcotest.(check bool) "probe saw finite mlu" true
+        (mx.Engine.Evaluator.mlu > 0. && mx.Engine.Evaluator.mlu < infinity)
+
+(* Failure sweep on Germany50: disable every link in turn, check
+   reachability, evaluate the survivors and restore.  After one warm
+   sweep the whole pass must stay allocation-free — the regression this
+   guards against is any per-failure O(n^2) or per-evaluation heap
+   traffic creeping back into disable_edge / reachable / undo. *)
+let test_failure_sweep_alloc_free () =
+  match Sys.backend_type with
+  | Sys.Bytecode | Sys.Other _ -> ()
+  | Sys.Native ->
+      let g = Topology.Datasets.load "Germany50" in
+      let n = Digraph.node_count g and m = Digraph.edge_count g in
+      let w = Weights.inverse_capacity g in
+      let ev = Engine.Evaluator.create g w in
+      let st = Random.State.make [| 0x9a7 |] in
+      let demands =
+        Array.init 40 (fun _ ->
+            let s = Random.State.int st n in
+            let d = (s + 1 + Random.State.int st (n - 1)) mod n in
+            (s, d, float_of_int (1 + Random.State.int st 4)))
+      in
+      Engine.Evaluator.set_commodities ev demands;
+      let mx = { Engine.Evaluator.mlu = 0.; phi = 0. } in
+      (* materialize the base-weight state before any failure is probed
+         (see the probe-loop test above for why) *)
+      Engine.Evaluator.evaluate_into ev mx;
+      (* the first sweep warms every cache and records which failures
+         keep all demands routable — evaluating a disconnected
+         commodity raises (and so allocates) by contract *)
+      let safe = Array.make m false in
+      for e = 0 to m - 1 do
+        Engine.Evaluator.disable_edge ev ~edge:e;
+        safe.(e) <- routable_from ev demands 0;
+        if safe.(e) then Engine.Evaluator.evaluate_into ev mx;
+        Engine.Evaluator.undo ev
+      done;
+      let sweep () =
+        for e = 0 to m - 1 do
+          Engine.Evaluator.disable_edge ev ~edge:e;
+          if routable_from ev demands 0 then
+            Engine.Evaluator.evaluate_into ev mx;
+          Engine.Evaluator.undo ev
+        done
+      in
+      for _ = 1 to 2 do
+        sweep ()
+      done;
+      checkf "warm failure sweep minor words" 0. (minor_delta sweep);
+      Alcotest.(check bool) "some failure disconnects nothing" true
+        (Array.exists (fun b -> b) safe)
+
 let () =
   Alcotest.run "engine"
     [
@@ -259,4 +369,11 @@ let () =
         ] );
       ( "stats",
         [ Alcotest.test_case "merge and json" `Quick test_stats_merge_and_json ] );
+      ( "allocation",
+        [
+          Alcotest.test_case "probe loop allocation-free" `Quick
+            test_probe_loop_zero_alloc;
+          Alcotest.test_case "failure sweep allocation-free" `Quick
+            test_failure_sweep_alloc_free;
+        ] );
     ]

@@ -227,8 +227,14 @@ let test_abilene () =
   | None -> Alcotest.fail "ATLAM5 link missing")
 
 let test_registry () =
-  Alcotest.(check int) "12 topologies" 12 (List.length Datasets.all);
+  Alcotest.(check int) "19 topologies" 19 (List.length Datasets.all);
   Alcotest.(check int) "fig4 has 10" 10 (List.length Datasets.fig4_names);
+  Alcotest.(check int) "scale suite has 6" 6 (List.length Datasets.scale_names);
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) (name ^ " registered") true
+        (List.exists (fun i -> i.Datasets.name = name) Datasets.all))
+    Datasets.scale_names;
   List.iter
     (fun info ->
       let g = Datasets.load info.Datasets.name in
