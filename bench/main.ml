@@ -49,12 +49,13 @@ let phases_json phases =
             Printf.sprintf "%s: %.6f" (Obs.Export.json_str name) d)
           phases))
 
-let write_bench ?(ctx : Obs.Ctx.t option) ~file ~bench records =
+let write_bench ?(ctx : Obs.Ctx.t option) ?(extra = []) ~file ~bench records =
   let fields =
-    match ctx with
+    (match ctx with
     | None -> []
     | Some ctx ->
-      [ ("phases", phases_json (Obs.Tracer.phase_totals ctx.Obs.Ctx.tracer)) ]
+      [ ("phases", phases_json (Obs.Tracer.phase_totals ctx.Obs.Ctx.tracer)) ])
+    @ extra
   in
   Obs.Export.write_envelope ~path:file
     ~schema:(Printf.sprintf "bench/%s/1" bench)
@@ -1398,6 +1399,173 @@ let exp_obs () =
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
+(* ------------------------------------------------------------------ *)
+(* Candidate pruning                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* The Prune preprocessing pass: the quality-vs-k curve of GreedyWPO on
+   the Figure 4 suite (objective delta vs the unpruned scan, candidates
+   scanned, wall time), the pool-mode comparison at the default k, and
+   the scale demonstration — a completed pruned run on the largest
+   zoo-ladder topology, against the unpruned scan cost measured on a
+   demand prefix and extrapolated (running it in full would dwarf the
+   harness; the record says so).  BENCH_prune.json. *)
+let exp_prune () =
+  section "Candidate pruning: quality vs k, pool modes, scale";
+  let bctx = bench_ctx () in
+  let records = ref [] in
+  let emit r = records := r :: !records in
+  let scanned (st : Engine.Stats.t) =
+    Array.fold_left ( + ) 0 st.Engine.Stats.worker_evals
+  in
+  let run ?prune g w demands =
+    let stats = Engine.Stats.create () in
+    let ctx = Obs.Ctx.make ~stats ~pool:!the_pool () in
+    let t0 = Engine.Mono.now () in
+    let r = Greedy_wpo.optimize_ctx ctx ?prune g w demands in
+    let wall = Engine.Mono.now () -. t0 in
+    (r, stats, wall)
+  in
+  let ks = if !full then [ 4; 8; 16; 32; 64 ] else [ 4; 8; 16; 32 ] in
+  let kd = Prune.default_k in
+  row "%-14s %8s" "topology" "full";
+  List.iter (fun k -> row " %8s" (Printf.sprintf "k=%d" k)) ks;
+  row "   (GreedyWPO MLU; pool mode centrality)\n";
+  Obs.Ctx.phase bctx "fig4-quality" (fun () ->
+      List.iter
+        (fun name ->
+          let g = Topology.Datasets.load name in
+          let flows = max 2 (Digraph.edge_count g / 16) in
+          let demands =
+            Demand_gen.mcf_synthetic ~epsilon:0.15 ~seed:1 ~flows_per_pair:flows
+              g
+          in
+          let w = Weights.inverse_capacity g in
+          let base, base_st, base_wall = run g w demands in
+          let base_scanned = scanned base_st in
+          row "%-14s %8.3f" name base.Greedy_wpo.mlu;
+          let record ~mode ~k =
+            let prune = Prune.spec ~mode k in
+            let r, st, wall = run ~prune g w demands in
+            let delta =
+              100. *. (r.Greedy_wpo.mlu -. base.Greedy_wpo.mlu)
+              /. base.Greedy_wpo.mlu
+            in
+            emit
+              (Printf.sprintf
+                 "{\"topology\": %S, \"mode\": %S, \"k\": %d, \"mlu\": %.6f, \
+                  \"unpruned_mlu\": %.6f, \"objective_delta_pct\": %.4f, \
+                  \"scanned\": %d, \"unpruned_scanned\": %d, \
+                  \"scan_reduction\": %.2f, \"candidates_pruned\": %d, \
+                  \"candidates_kept\": %d, \"wall_seconds\": %.6f, \
+                  \"unpruned_wall_seconds\": %.6f}"
+                 name (Prune.mode_name mode) k r.Greedy_wpo.mlu
+                 base.Greedy_wpo.mlu delta (scanned st) base_scanned
+                 (float_of_int base_scanned
+                 /. float_of_int (max 1 (scanned st)))
+                 st.Engine.Stats.candidates_pruned
+                 st.Engine.Stats.candidates_kept wall base_wall);
+            r
+          in
+          List.iter
+            (fun k ->
+              let r = record ~mode:Prune.Centrality ~k in
+              row " %8.3f" r.Greedy_wpo.mlu)
+            ks;
+          ignore (record ~mode:Prune.Coverage ~k:kd);
+          ignore (record ~mode:Prune.Reach ~k:kd);
+          (* The acceptance check rides on Germany50 at the default k:
+             >= 5x fewer scanned candidates, <= 1% objective delta. *)
+          if name = "Germany50" then begin
+            let r, st, _ = run ~prune:(Prune.spec kd) g w demands in
+            let reduction =
+              float_of_int base_scanned /. float_of_int (max 1 (scanned st))
+            in
+            let delta =
+              100. *. (r.Greedy_wpo.mlu -. base.Greedy_wpo.mlu)
+              /. base.Greedy_wpo.mlu
+            in
+            emit
+              (Printf.sprintf
+                 "{\"topology\": \"Germany50\", \"check\": \"acceptance\", \
+                  \"mode\": \"centrality\", \"k\": %d, \
+                  \"scan_reduction\": %.2f, \"objective_delta_pct\": %.4f, \
+                  \"meets_reduction_5x\": %b, \"meets_delta_1pct\": %b}"
+                 kd reduction delta (reduction >= 5.) (delta <= 1.))
+          end;
+          row "\n%!")
+        Topology.Datasets.fig4_names);
+  (* Scale demonstration on the largest zoo-ladder topology: the pruned
+     scan completes; the unpruned scan cost is measured on a demand
+     prefix and extrapolated linearly (each demand scans n-2 candidates
+     regardless of how many demands follow). *)
+  Obs.Ctx.phase bctx "scale" (fun () ->
+      let name = "Kdl" in
+      let real =
+        !scale && Sys.file_exists (Filename.concat !data_dir (name ^ ".graphml"))
+      in
+      let g =
+        Topology.Datasets.load
+          ?data_dir:(if real then Some !data_dir else None)
+          name
+      in
+      let n = Digraph.node_count g and m = Digraph.edge_count g in
+      let w = Weights.inverse_capacity g in
+      let st = Random.State.make [| 0x5ca1e; n |] in
+      let probe = Engine.Evaluator.create g w in
+      let target = (if !full then 4 else 2) * n in
+      let ds = ref [] and tries = ref 0 and got = ref 0 in
+      while !got < target && !tries < 40 * target do
+        incr tries;
+        let s = Random.State.int st n and d = Random.State.int st n in
+        if s <> d && Engine.Evaluator.reachable probe ~src:s ~dst:d then begin
+          ds :=
+            Network.demand s d (float_of_int (1 + Random.State.int st 9))
+            :: !ds;
+          incr got
+        end
+      done;
+      let demands = Array.of_list (List.rev !ds) in
+      let r, stp, pruned_wall = run ~prune:(Prune.spec kd) g w demands in
+      let prefix_len = min 24 (Array.length demands) in
+      let prefix = Array.sub demands 0 prefix_len in
+      let _, _, prefix_wall = run g w prefix in
+      let extrapolated =
+        prefix_wall /. float_of_int prefix_len
+        *. float_of_int (Array.length demands)
+      in
+      row "\nScale demo (%s, %s): %d nodes, %d edges, %d demands\n" name
+        (if real then "graphml" else "synthetic")
+        n m (Array.length demands);
+      row "  pruned (k=%d):       MLU %.3f in %.2f s (%d scanned, %d pruned)\n"
+        kd r.Greedy_wpo.mlu pruned_wall (scanned stp)
+        stp.Engine.Stats.candidates_pruned;
+      row "  unpruned, estimated: %.2f s (measured %.2f s on a %d-demand \
+           prefix, extrapolated)\n"
+        extrapolated prefix_wall prefix_len;
+      emit
+        (Printf.sprintf
+           "{\"topology\": %S, \"check\": \"scale\", \"source\": %S, \
+            \"nodes\": %d, \"edges\": %d, \"demands\": %d, \
+            \"mode\": \"centrality\", \"k\": %d, \"pruned_mlu\": %.6f, \
+            \"pruned_wall_seconds\": %.6f, \"pruned_scanned\": %d, \
+            \"candidates_pruned\": %d, \"unpruned_prefix_demands\": %d, \
+            \"unpruned_prefix_wall_seconds\": %.6f, \
+            \"unpruned_extrapolated_seconds\": %.6f, \
+            \"unpruned_extrapolated\": true, \
+            \"unpruned_exceeds_pruned_budget\": %b}"
+           name
+           (if real then "graphml" else "synthetic")
+           n m (Array.length demands) kd r.Greedy_wpo.mlu pruned_wall
+           (scanned stp) stp.Engine.Stats.candidates_pruned prefix_len
+           prefix_wall extrapolated
+           (extrapolated > pruned_wall)));
+  write_bench ~ctx:bctx
+    ~extra:
+      [ ("prune_mode", Obs.Export.json_str "centrality");
+        ("prune_k", string_of_int kd) ]
+    ~file:"BENCH_prune.json" ~bench:"prune" (List.rev !records)
+
 let exp_perf () =
   section "Micro-benchmarks (bechamel; ns per run, OLS fit)";
   let open Bechamel in
@@ -1459,7 +1627,7 @@ let experiments =
     ("fig6", exp_fig6); ("fig7", exp_fig7); ("milp", exp_milp);
     ("ablation", exp_ablation); ("engine", exp_engine);
     ("parallel", exp_parallel); ("robust", exp_robust); ("lp", exp_lp);
-    ("obs", exp_obs); ("perf", exp_perf) ]
+    ("obs", exp_obs); ("prune", exp_prune); ("perf", exp_perf) ]
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in

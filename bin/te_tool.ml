@@ -271,6 +271,31 @@ let full_pipeline_arg =
   Arg.(value & flag & info [ "full-pipeline" ]
          ~doc:"Run Algorithm 2 steps 3-4 (split demands, re-optimize weights).")
 
+let prune_arg =
+  Arg.(value & opt (some int) None & info [ "prune" ] ~docv:"K"
+         ~doc:"Prune the waypoint candidate scan: keep a pool of K \
+               centrality-scored middlepoints and cap each demand's \
+               candidate list at K (a non-positive K selects the built-in \
+               default).  Off when omitted — results are then \
+               byte-identical to runs without the flag.")
+
+let prune_mode_arg =
+  Arg.(value & opt string "centrality" & info [ "prune-mode" ] ~docv:"MODE"
+         ~doc:"Middlepoint pool selection under --prune: centrality (top-K \
+               ECMP betweenness), coverage (greedy marginal group \
+               coverage), or reach (per-demand filters only).")
+
+let prune_spec_of k mode =
+  match k with
+  | None -> None
+  | Some k -> (
+    let k = if k <= 0 then Prune.default_k else k in
+    match Prune.mode_of_string mode with
+    | Ok mode -> Some (Prune.spec ~mode k)
+    | Error msg ->
+      Printf.eprintf "%s\n" msg;
+      exit 2)
+
 let lwo_conf =
   Term.(const (fun seed evals restarts ->
             ( Solver.heur_ospf ~restarts
@@ -280,19 +305,23 @@ let lwo_conf =
         $ seed_arg $ evals_arg $ restarts_arg)
 
 let wpo_conf =
-  Term.(const (fun wsetting ->
-            ( Solver.greedy_wpo ~weights:(fun g -> weights_of g wsetting) (),
+  Term.(const (fun wsetting prune prune_mode ->
+            ( Solver.greedy_wpo ?prune:(prune_spec_of prune prune_mode)
+                ~weights:(fun g -> weights_of g wsetting)
+                (),
               print_wpo wsetting ))
-        $ weights_arg)
+        $ weights_arg $ prune_arg $ prune_mode_arg)
 
 let joint_conf =
-  Term.(const (fun seed evals restarts full_pipeline ->
+  Term.(const (fun seed evals restarts full_pipeline prune prune_mode ->
             ( Solver.joint_heur ~restarts
                 ~ls_params:
                   { Local_search.default_params with max_evals = evals; seed }
-                ~full_pipeline (),
+                ~full_pipeline
+                ?prune:(prune_spec_of prune prune_mode) (),
               print_joint ))
-        $ seed_arg $ evals_arg $ restarts_arg $ full_pipeline_arg)
+        $ seed_arg $ evals_arg $ restarts_arg $ full_pipeline_arg $ prune_arg
+        $ prune_mode_arg)
 
 let solver_cmds =
   List.map solver_cmd
@@ -550,9 +579,10 @@ let robust_cmd =
 
 (* exact *)
 let exact_cmd =
-  let run alg topo file seed kind flows wsetting i m max_nodes cold stats trace
-      summary =
+  let run alg topo file seed kind flows wsetting i m max_nodes cold prune
+      prune_mode stats trace summary =
     let warm = not cold in
+    let prune = prune_spec_of prune prune_mode in
     with_ctx ~jobs:1 ~stats ~trace ~summary (fun ctx ->
         match alg with
         | "wpo" ->
@@ -566,7 +596,7 @@ let exact_cmd =
           let w = weights_of g wsetting in
           let r =
             Obs.Ctx.phase ctx "solve" (fun () ->
-                Wpo_milp.solve_ctx ctx ?max_nodes ~warm g w demands)
+                Wpo_milp.solve_ctx ctx ?max_nodes ~warm ?prune g w demands)
           in
           let used =
             Array.fold_left
@@ -636,7 +666,8 @@ let exact_cmd =
              pivot effort alongside the engine counters.")
     Term.(const run $ alg_arg $ topo_arg $ file_arg $ seed_arg $ demands_arg
           $ flows_arg $ weights_arg $ instance_arg $ exact_m_arg
-          $ max_nodes_arg $ cold_arg $ stats_arg $ trace_arg $ summary_arg)
+          $ max_nodes_arg $ cold_arg $ prune_arg $ prune_mode_arg $ stats_arg
+          $ trace_arg $ summary_arg)
 
 (* export *)
 let export_cmd =

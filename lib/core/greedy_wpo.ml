@@ -153,8 +153,25 @@ let scan_candidates ctx ~loads ~add_cand cands =
 (* Multi-round greedy (one more waypoint per round)                    *)
 (* ------------------------------------------------------------------ *)
 
-let optimize_multi_ctx (octx : Obs.Ctx.t) ?(order = Desc) ~rounds g weights
-    demands =
+(* Pruned candidate-list construction, shared by both greedies: the
+   exact residual-MLU bound first (an empty scan is provably identical
+   to scanning and rejecting every candidate), then the preprocessing
+   pass's per-pair list.  [full] is the size the unpruned list would
+   have had; the difference feeds the effectiveness counters.  All of
+   this runs on the orchestrating domain, so pruned runs keep the
+   bit-identical-across-jobs guarantee. *)
+let pruned_cands ctx p ~loads ~u_min ~src ~dst ~full ~wrap =
+  let cands =
+    if Prune.scan_skippable p ~loads ~u_min then [||]
+    else wrap (Prune.candidates p ~src ~dst)
+  in
+  Engine.Stats.record_pruning ctx.main_stats
+    ~pruned:(max 0 (full - Array.length cands))
+    ~kept:(Array.length cands);
+  cands
+
+let optimize_multi_ctx (octx : Obs.Ctx.t) ?(order = Desc) ?prune ~rounds g
+    weights demands =
   if rounds < 1 then invalid_arg "Greedy_wpo.optimize_multi: rounds >= 1";
   let n = Digraph.node_count g in
   let pool = octx.Obs.Ctx.pool and tracer = octx.Obs.Ctx.tracer in
@@ -171,6 +188,7 @@ let optimize_multi_ctx (octx : Obs.Ctx.t) ?(order = Desc) ~rounds g weights
     with Engine.Evaluator.Unroutable (s, t) -> raise (Ecmp.Unroutable (s, t))
   in
   let ctx = make_ctx ~tracer pool ev in
+  let pruner = Option.map (fun s -> Prune.prepare octx s ev demands) prune in
   let setting = Array.make (Array.length demands) [] in
   let indices = order_indices order demands in
   let u_min = ref (Engine.Evaluator.mlu_of_loads g loads) in
@@ -190,11 +208,17 @@ let optimize_multi_ctx (octx : Obs.Ctx.t) ?(order = Desc) ~rounds g weights
         if anchor <> d.Network.dst then begin
           add anchor d.Network.dst (-.size) loads;
           let cands =
-            let ways = ref [] in
-            for w = n - 1 downto 0 do
-              if w <> anchor && w <> d.Network.dst then ways := Way w :: !ways
-            done;
-            Array.of_list !ways
+            match pruner with
+            | None ->
+              let ways = ref [] in
+              for w = n - 1 downto 0 do
+                if w <> anchor && w <> d.Network.dst then ways := Way w :: !ways
+              done;
+              Array.of_list !ways
+            | Some p ->
+              pruned_cands ctx p ~loads ~u_min:!u_min ~src:anchor
+                ~dst:d.Network.dst ~full:(n - 2)
+                ~wrap:(Array.map (fun w -> Way w))
           in
           let add_cand ev buf = function
             | Way w ->
@@ -223,17 +247,17 @@ let optimize_multi_ctx (octx : Obs.Ctx.t) ?(order = Desc) ~rounds g weights
   { setting; mlu = Engine.Evaluator.mlu_of_loads g loads;
     round_mlu = List.rev !round_mlu }
 
-let optimize_multi ?stats ?(pool = Par.Pool.sequential) ?order ~rounds g
-    weights demands =
-  optimize_multi_ctx (Obs.Ctx.make ?stats ~pool ()) ?order ~rounds g weights
-    demands
+let optimize_multi ?stats ?(pool = Par.Pool.sequential) ?order ?prune ~rounds
+    g weights demands =
+  optimize_multi_ctx (Obs.Ctx.make ?stats ~pool ()) ?order ?prune ~rounds g
+    weights demands
 
 (* ------------------------------------------------------------------ *)
 (* Single-waypoint greedy (Algorithm 3 + improvement passes)           *)
 (* ------------------------------------------------------------------ *)
 
-let optimize_ctx (octx : Obs.Ctx.t) ?(order = Desc) ?(passes = 1) g weights
-    demands =
+let optimize_ctx (octx : Obs.Ctx.t) ?(order = Desc) ?(passes = 1) ?prune g
+    weights demands =
   if passes < 1 then invalid_arg "Greedy_wpo.optimize: passes >= 1";
   let n = Digraph.node_count g in
   let pool = octx.Obs.Ctx.pool and tracer = octx.Obs.Ctx.tracer in
@@ -250,6 +274,7 @@ let optimize_ctx (octx : Obs.Ctx.t) ?(order = Desc) ?(passes = 1) g weights
     with Engine.Evaluator.Unroutable (s, t) -> raise (Ecmp.Unroutable (s, t))
   in
   let ctx = make_ctx ~tracer pool ev in
+  let pruner = Option.map (fun s -> Prune.prepare octx s ev demands) prune in
   let initial_mlu = Engine.Evaluator.mlu_of_loads g loads in
   let waypoints = Array.make (Array.length demands) None in
   let indices = order_indices order demands in
@@ -276,15 +301,33 @@ let optimize_ctx (octx : Obs.Ctx.t) ?(order = Desc) ?(passes = 1) g weights
         let d = demands.(i) in
         let size = d.Network.size in
         add_segments i (-.size);
+        (* On improvement passes, also consider dropping the waypoint. *)
+        let drop = pass > 1 && waypoints.(i) <> None in
         let cands =
-          let ways = ref [] in
-          for w = n - 1 downto 0 do
-            if w <> d.Network.src && w <> d.Network.dst && Some w <> waypoints.(i)
-            then ways := Way w :: !ways
-          done;
-          (* On improvement passes, also consider dropping the waypoint. *)
-          if pass > 1 && waypoints.(i) <> None then Array.of_list (Drop :: !ways)
-          else Array.of_list !ways
+          match pruner with
+          | None ->
+            let ways = ref [] in
+            for w = n - 1 downto 0 do
+              if w <> d.Network.src && w <> d.Network.dst && Some w <> waypoints.(i)
+              then ways := Way w :: !ways
+            done;
+            if drop then Array.of_list (Drop :: !ways)
+            else Array.of_list !ways
+          | Some p ->
+            let full =
+              n - 2
+              - (if waypoints.(i) <> None then 1 else 0)
+              + (if drop then 1 else 0)
+            in
+            pruned_cands ctx p ~loads ~u_min:!u_min ~src:d.Network.src
+              ~dst:d.Network.dst ~full ~wrap:(fun ws ->
+                let ways = ref [] in
+                for j = Array.length ws - 1 downto 0 do
+                  if Some ws.(j) <> waypoints.(i) then
+                    ways := Way ws.(j) :: !ways
+                done;
+                if drop then Array.of_list (Drop :: !ways)
+                else Array.of_list !ways)
         in
         let add_cand ev buf = function
           | Drop ->
@@ -311,6 +354,7 @@ let optimize_ctx (octx : Obs.Ctx.t) ?(order = Desc) ?(passes = 1) g weights
   let final_mlu = Engine.Evaluator.mlu_of_loads g loads in
   { waypoints; mlu = final_mlu; initial_mlu }
 
-let optimize ?stats ?(pool = Par.Pool.sequential) ?order ?passes g weights
-    demands =
-  optimize_ctx (Obs.Ctx.make ?stats ~pool ()) ?order ?passes g weights demands
+let optimize ?stats ?(pool = Par.Pool.sequential) ?order ?passes ?prune g
+    weights demands =
+  optimize_ctx (Obs.Ctx.make ?stats ~pool ()) ?order ?passes ?prune g weights
+    demands

@@ -18,6 +18,7 @@ val optimize_ctx :
   Obs.Ctx.t ->
   ?order:order ->
   ?passes:int ->
+  ?prune:Prune.spec ->
   Netgraph.Digraph.t ->
   Weights.t ->
   Network.demand array ->
@@ -37,6 +38,15 @@ val optimize_ctx :
     on a private {!Engine.Evaluator.copy} clone and load buffer, and the
     per-chunk argmins reduce in chunk-index order — the result is
     bit-identical for every pool size (asserted by the test suite).
+
+    [prune] (default off: all results byte-identical to previous
+    releases) runs the {!Prune} preprocessing pass once up front and
+    scans only each demand's pruned candidate list; scans that the
+    exact residual-MLU bound proves fruitless are skipped entirely.
+    The effectiveness lands in the [candidates_pruned] /
+    [candidates_kept] stats counters, and candidate lists are built on
+    the orchestrating domain, so pruned runs stay bit-identical across
+    pool sizes too.
     @raise Ecmp.Unroutable if a demand itself is unroutable (candidate
     waypoints that would make a segment unroutable are skipped). *)
 
@@ -45,6 +55,7 @@ val optimize :
   ?pool:Par.Pool.t ->
   ?order:order ->
   ?passes:int ->
+  ?prune:Prune.spec ->
   Netgraph.Digraph.t ->
   Weights.t ->
   Network.demand array ->
@@ -61,6 +72,7 @@ type multi_result = {
 val optimize_multi_ctx :
   Obs.Ctx.t ->
   ?order:order ->
+  ?prune:Prune.spec ->
   rounds:int ->
   Netgraph.Digraph.t ->
   Weights.t ->
@@ -70,13 +82,15 @@ val optimize_multi_ctx :
     the greedy [rounds] times; round [k] may append one more waypoint to
     each demand's list (so W <= rounds), greedily re-splitting the last
     segment.  [rounds = 1] coincides with {!optimize_ctx}.  The tracer
-    records one ["wpo:round"] span per round.  The context's pool
-    behaves as in {!optimize_ctx}. *)
+    records one ["wpo:round"] span per round.  The context's pool and
+    [prune] behave as in {!optimize_ctx}; later rounds look up pruned
+    candidates for the current segment anchor. *)
 
 val optimize_multi :
   ?stats:Engine.Stats.t ->
   ?pool:Par.Pool.t ->
   ?order:order ->
+  ?prune:Prune.spec ->
   rounds:int ->
   Netgraph.Digraph.t ->
   Weights.t ->

@@ -18,7 +18,7 @@ let setting_mlu_ctx (ctx : Obs.Ctx.t) g w demands setting =
 
 let optimize_iterated_ctx (ctx : Obs.Ctx.t) ?restarts
     ?(ls_params = Local_search.default_params) ?(iterations = 3)
-    ?(waypoint_rounds = 1) g demands =
+    ?(waypoint_rounds = 1) ?prune g demands =
   if iterations < 1 then invalid_arg "Joint.optimize_iterated: iterations >= 1";
   let best = ref None in
   let consider stage int_w setting mlu stages =
@@ -59,7 +59,8 @@ let optimize_iterated_ctx (ctx : Obs.Ctx.t) ?restarts
         ~attrs:[ Obs.Attr.int "iteration" it ]
         "joint:waypoints"
         (fun () ->
-          Greedy_wpo.optimize_multi_ctx ctx ~rounds:waypoint_rounds g w demands)
+          Greedy_wpo.optimize_multi_ctx ctx ?prune ~rounds:waypoint_rounds g w
+            demands)
     in
     setting := wpo.Greedy_wpo.setting;
     stages :=
@@ -73,12 +74,12 @@ let optimize_iterated_ctx (ctx : Obs.Ctx.t) ?restarts
   | None -> assert false (* iterations >= 1 always records a candidate *)
 
 let optimize_iterated ?stats ?(pool = Par.Pool.sequential) ?restarts ?ls_params
-    ?iterations ?waypoint_rounds g demands =
+    ?iterations ?waypoint_rounds ?prune g demands =
   optimize_iterated_ctx (Obs.Ctx.make ?stats ~pool ()) ?restarts ?ls_params
-    ?iterations ?waypoint_rounds g demands
+    ?iterations ?waypoint_rounds ?prune g demands
 
 let optimize_ctx (ctx : Obs.Ctx.t) ?restarts
-    ?(ls_params = Local_search.default_params) ?(full_pipeline = false) g
+    ?(ls_params = Local_search.default_params) ?(full_pipeline = false) ?prune g
     demands =
   (* Step 1: link-weight optimization. *)
   let ls =
@@ -89,7 +90,7 @@ let optimize_ctx (ctx : Obs.Ctx.t) ?restarts
   (* Step 2: greedy waypoints under those weights. *)
   let wpo =
     Obs.Ctx.span ctx "joint:waypoints" (fun () ->
-        Greedy_wpo.optimize_ctx ctx g w1 demands)
+        Greedy_wpo.optimize_ctx ctx ?prune g w1 demands)
   in
   let setting = Segments.of_single wpo.Greedy_wpo.waypoints in
   let stage2 = wpo.Greedy_wpo.mlu in
@@ -122,6 +123,6 @@ let optimize_ctx (ctx : Obs.Ctx.t) ?restarts
   end
 
 let optimize ?stats ?(pool = Par.Pool.sequential) ?restarts ?ls_params
-    ?full_pipeline g demands =
+    ?full_pipeline ?prune g demands =
   optimize_ctx (Obs.Ctx.make ?stats ~pool ()) ?restarts ?ls_params
-    ?full_pipeline g demands
+    ?full_pipeline ?prune g demands

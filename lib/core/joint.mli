@@ -22,6 +22,7 @@ val optimize_ctx :
   ?restarts:int ->
   ?ls_params:Local_search.params ->
   ?full_pipeline:bool ->
+  ?prune:Prune.spec ->
   Netgraph.Digraph.t ->
   Network.demand array ->
   result
@@ -34,7 +35,9 @@ val optimize_ctx :
     The context's pool and [restarts] are forwarded to the stages
     ({!Local_search.optimize_ctx} probe fan-out and multi-restart,
     {!Greedy_wpo.optimize_ctx} candidate scan); results stay
-    bit-identical across pool sizes. *)
+    bit-identical across pool sizes.  [prune] (default off) forwards to
+    the greedy waypoint stage as in {!Greedy_wpo.optimize_ctx}; the
+    weight search is unaffected. *)
 
 val optimize :
   ?stats:Engine.Stats.t ->
@@ -42,6 +45,7 @@ val optimize :
   ?restarts:int ->
   ?ls_params:Local_search.params ->
   ?full_pipeline:bool ->
+  ?prune:Prune.spec ->
   Netgraph.Digraph.t ->
   Network.demand array ->
   result
@@ -54,6 +58,7 @@ val optimize_iterated_ctx :
   ?ls_params:Local_search.params ->
   ?iterations:int ->
   ?waypoint_rounds:int ->
+  ?prune:Prune.spec ->
   Netgraph.Digraph.t ->
   Network.demand array ->
   result
@@ -73,6 +78,7 @@ val optimize_iterated :
   ?ls_params:Local_search.params ->
   ?iterations:int ->
   ?waypoint_rounds:int ->
+  ?prune:Prune.spec ->
   Netgraph.Digraph.t ->
   Network.demand array ->
   result

@@ -38,13 +38,14 @@ let heur_ospf ?(restarts = 1) ?(params = Local_search.default_params) () : t =
       }
   end)
 
-let greedy_wpo ?order ?passes ?(weights = Weights.inverse_capacity) () : t =
+let greedy_wpo ?order ?passes ?prune ?(weights = Weights.inverse_capacity) () :
+    t =
   (module struct
     let name = "wpo"
 
     let solve ctx g demands =
       let w = weights g in
-      let r = Greedy_wpo.optimize_ctx ctx ?order ?passes g w demands in
+      let r = Greedy_wpo.optimize_ctx ctx ?order ?passes ?prune g w demands in
       {
         solver = name;
         mlu = r.Greedy_wpo.mlu;
@@ -56,12 +57,15 @@ let greedy_wpo ?order ?passes ?(weights = Weights.inverse_capacity) () : t =
       }
   end)
 
-let joint_heur ?restarts ?ls_params ?full_pipeline () : t =
+let joint_heur ?restarts ?ls_params ?full_pipeline ?prune () : t =
   (module struct
     let name = "joint"
 
     let solve ctx g demands =
-      let r = Joint.optimize_ctx ctx ?restarts ?ls_params ?full_pipeline g demands in
+      let r =
+        Joint.optimize_ctx ctx ?restarts ?ls_params ?full_pipeline ?prune g
+          demands
+      in
       {
         solver = name;
         mlu = r.Joint.mlu;

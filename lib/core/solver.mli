@@ -44,18 +44,22 @@ val heur_ospf : ?restarts:int -> ?params:Local_search.params -> unit -> t
 val greedy_wpo :
   ?order:Greedy_wpo.order ->
   ?passes:int ->
+  ?prune:Prune.spec ->
   ?weights:(Netgraph.Digraph.t -> Weights.t) ->
   unit ->
   t
 (** {!Greedy_wpo.optimize_ctx} packed as ["wpo"]; [weights] (default
     {!Weights.inverse_capacity}) fixes the weight setting the waypoints
-    are chosen under. *)
+    are chosen under, and [prune] (default off) enables the {!Prune}
+    candidate preprocessing. *)
 
 val joint_heur :
   ?restarts:int ->
   ?ls_params:Local_search.params ->
   ?full_pipeline:bool ->
+  ?prune:Prune.spec ->
   unit ->
   t
 (** {!Joint.optimize_ctx} packed as ["joint"]; [stages] is the
-    pipeline's stage trail. *)
+    pipeline's stage trail and [prune] forwards to the greedy waypoint
+    stage. *)

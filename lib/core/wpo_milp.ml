@@ -10,7 +10,7 @@ type t = {
 }
 
 let solve_ctx (octx : Obs.Ctx.t) ?(max_nodes = 50_000) ?candidates
-    ?(max_waypoints = 1) ?warm g weights demands =
+    ?(max_waypoints = 1) ?warm ?prune g weights demands =
   if max_waypoints < 1 then invalid_arg "Wpo_milp.solve: max_waypoints >= 1";
   Obs.Ctx.span octx "milp:wpo" @@ fun () ->
   let n = Digraph.node_count g and m = Digraph.edge_count g in
@@ -18,6 +18,19 @@ let solve_ctx (octx : Obs.Ctx.t) ?(max_nodes = 50_000) ?candidates
   let ctx = Ecmp.make g weights in
   let candidates =
     match candidates with Some c -> c | None -> List.init n Fun.id
+  in
+  (* The preprocessing pass restricts each demand's waypoint universe
+     before any z variable is created, shrinking the MILP itself. *)
+  let pruner =
+    Option.map
+      (fun spec ->
+        let ev =
+          Engine.Evaluator.create ~stats:octx.Obs.Ctx.stats
+            ~probe:(Obs.Ctx.probe octx) g weights
+        in
+        Engine.Evaluator.set_commodities ev (Network.to_commodities demands);
+        Prune.prepare octx spec ev demands)
+      prune
   in
   (* Per demand: the list of options (ordered waypoint sequences of
      length 0..max_waypoints) with their sparse load vectors.  Options
@@ -29,6 +42,19 @@ let solve_ctx (octx : Obs.Ctx.t) ?(max_nodes = 50_000) ?candidates
           List.filter
             (fun w -> w <> d.Network.src && w <> d.Network.dst)
             candidates
+        in
+        let usable =
+          match pruner with
+          | None -> usable
+          | Some p ->
+            let keep =
+              Prune.candidates p ~src:d.Network.src ~dst:d.Network.dst
+            in
+            let kept = List.filter (fun w -> Array.exists (( = ) w) keep) usable in
+            Engine.Stats.record_pruning octx.Obs.Ctx.stats
+              ~pruned:(List.length usable - List.length kept)
+              ~kept:(List.length kept);
+            kept
         in
         (* All ordered sequences up to the length cap, without immediate
            repeats (a repeat is a degenerate hop). *)
@@ -116,7 +142,7 @@ let solve_ctx (octx : Obs.Ctx.t) ?(max_nodes = 50_000) ?candidates
   let initial =
     let greedy =
       Obs.Ctx.span octx "milp:warm-start" (fun () ->
-          Greedy_wpo.optimize_ctx octx g weights demands)
+          Greedy_wpo.optimize_ctx octx ?prune g weights demands)
     in
     let x = Array.make nvars 0. in
     let loads = Array.make m 0. in
@@ -189,6 +215,7 @@ let solve_ctx (octx : Obs.Ctx.t) ?(max_nodes = 50_000) ?candidates
     { waypoints = Array.make k []; mlu; exact = false; nodes_explored = max_nodes }
 
 
-let solve ?max_nodes ?candidates ?max_waypoints ?warm ?stats g weights demands =
+let solve ?max_nodes ?candidates ?max_waypoints ?warm ?prune ?stats g weights
+    demands =
   solve_ctx (Obs.Ctx.make ?stats ()) ?max_nodes ?candidates ?max_waypoints
-    ?warm g weights demands
+    ?warm ?prune g weights demands

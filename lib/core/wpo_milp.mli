@@ -24,12 +24,18 @@ val solve_ctx :
   ?candidates:int list ->
   ?max_waypoints:int ->
   ?warm:bool ->
+  ?prune:Prune.spec ->
   Netgraph.Digraph.t ->
   Weights.t ->
   Network.demand array ->
   t
 (** The context-taking entry point.  [candidates] restricts the waypoint
-    universe (default: every node).  [max_waypoints] is the per-demand
+    universe (default: every node); [prune] (default off) intersects it
+    further with the {!Prune} pass's per-demand candidate lists before
+    any z variable is created — the MILP shrinks, the warm-start greedy
+    scans the same pruned lists, and the [candidates_pruned] /
+    [candidates_kept] stats counters report the reduction.
+    [max_waypoints] is the per-demand
     sequence-length cap W (default 1; options grow as candidates^W, so
     W >= 2 is for small instances).  [max_nodes] bounds the
     branch-and-bound tree (default 50_000).  [warm] (default true)
@@ -47,6 +53,7 @@ val solve :
   ?candidates:int list ->
   ?max_waypoints:int ->
   ?warm:bool ->
+  ?prune:Prune.spec ->
   ?stats:Engine.Stats.t ->
   Netgraph.Digraph.t ->
   Weights.t ->

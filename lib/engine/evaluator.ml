@@ -750,6 +750,39 @@ let dag t ~target =
     order = Array.sub fd.forder 0 fd.forder_len;
   }
 
+(* ECMP node throughflow of one (src, dst) unit, straight off the cached
+   destination DAG: a single decreasing-distance propagation (the same
+   sweep as [compute_unit_into]) whose per-node inflow is kept instead
+   of consumed.  [into.(v)] is the fraction of the flow unit passing
+   through [v] — the ECMP-aware betweenness contribution of the pair to
+   node [v] — so preprocessing passes can score waypoint candidates
+   without any new SPF run beyond the DAGs the load computation already
+   built. *)
+let node_flows t ~src ~dst ~into =
+  if Array.length into <> t.n then
+    invalid_arg "Evaluator.node_flows: array length <> node count";
+  Array.fill into 0 t.n 0.;
+  if src = dst then into.(src) <- 1.
+  else begin
+    let fd = fdag_for t dst in
+    if fd.fdist.(src) = infinity then raise (Unroutable (src, dst));
+    let gdst = t.g_dst and orow = t.g_out_row in
+    into.(src) <- 1.;
+    for k = 0 to fd.forder_len - 1 do
+      let v = fd.forder.(k) in
+      let f = into.(v) in
+      if f > 0. && v <> dst then begin
+        let lo = orow.(v) in
+        let hi = lo + fd.sp_cnt.(v) in
+        let share = f /. float_of_int (hi - lo) in
+        for i = lo to hi - 1 do
+          let u = gdst.(fd.sp_col.(i)) in
+          into.(u) <- into.(u) +. share
+        done
+      end
+    done
+  end
+
 (* ------------------------------------------------------------------ *)
 (* Unit flows                                                          *)
 (* ------------------------------------------------------------------ *)

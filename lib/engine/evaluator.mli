@@ -87,6 +87,17 @@ val dag : t -> target:int -> dag
     representation — an allocating view for cold callers; it stays
     valid after further updates. *)
 
+val node_flows : t -> src:int -> dst:int -> into:float array -> unit
+(** [node_flows t ~src ~dst ~into] writes the ECMP node throughflow of
+    one [(src, dst)] flow unit into the caller's per-node accumulator
+    [into] (length [n], fully overwritten): [into.(v)] is the fraction
+    of the unit passing through [v] — [1.] at the endpoints, [0.] off
+    every shortest path — i.e. the pair's ECMP-aware betweenness
+    contribution to [v].  Computed by one decreasing-distance sweep of
+    the cached destination DAG, so scoring passes (candidate pruning)
+    cost no SPF run beyond what evaluating the loads already built.
+    @raise Unroutable if [dst] is unreachable from [src]. *)
+
 val unit_load : t -> src:int -> dst:int -> sparse
 (** Per-edge load of one unit of ECMP flow from [src] to [dst]
     ([src = dst] yields the empty vector).  Materializes a fresh view

@@ -21,6 +21,8 @@ type t = {
   mutable par_wall : float;
   mutable par_busy : float;
   mutable worker_evals : int array;
+  mutable candidates_pruned : int;
+  mutable candidates_kept : int;
   mutable milp_nodes : int;
   mutable lp_solves : int;
   mutable lp_pivots : int;
@@ -65,6 +67,8 @@ let create () =
     par_wall = 0.;
     par_busy = 0.;
     worker_evals = [||];
+    candidates_pruned = 0;
+    candidates_kept = 0;
     milp_nodes = 0;
     lp_solves = 0;
     lp_pivots = 0;
@@ -99,6 +103,8 @@ let reset s =
   s.par_wall <- 0.;
   s.par_busy <- 0.;
   s.worker_evals <- [||];
+  s.candidates_pruned <- 0;
+  s.candidates_kept <- 0;
   s.milp_nodes <- 0;
   s.lp_solves <- 0;
   s.lp_pivots <- 0;
@@ -130,6 +136,12 @@ let record_milp s ~nodes ~lp_solves ~lp_pivots ~warm_solves ~cycle_limits =
 let record_lp_solve s ~pivots =
   s.lp_solves <- s.lp_solves + 1;
   s.lp_pivots <- s.lp_pivots + pivots
+
+let record_pruning s ~pruned ~kept =
+  if pruned < 0 || kept < 0 then
+    invalid_arg "Stats.record_pruning: negative count";
+  s.candidates_pruned <- s.candidates_pruned + pruned;
+  s.candidates_kept <- s.candidates_kept + kept
 
 let record_worker_evals s ~worker n =
   if worker < 0 then invalid_arg "Stats.record_worker_evals: negative worker";
@@ -166,6 +178,8 @@ let merge ~into s =
   if s.par_jobs > into.par_jobs then into.par_jobs <- s.par_jobs;
   into.par_wall <- into.par_wall +. s.par_wall;
   into.par_busy <- into.par_busy +. s.par_busy;
+  into.candidates_pruned <- into.candidates_pruned + s.candidates_pruned;
+  into.candidates_kept <- into.candidates_kept + s.candidates_kept;
   into.milp_nodes <- into.milp_nodes + s.milp_nodes;
   into.lp_solves <- into.lp_solves + s.lp_solves;
   into.lp_pivots <- into.lp_pivots + s.lp_pivots;
@@ -219,6 +233,8 @@ let counters s =
     ("undos", s.undos); ("scenarios", s.scenarios);
     ("edges_disabled", s.edges_disabled); ("par_regions", s.par_regions);
     ("par_tasks", s.par_tasks); ("par_jobs", s.par_jobs);
+    ("candidates_pruned", s.candidates_pruned);
+    ("candidates_kept", s.candidates_kept);
     ("milp_nodes", s.milp_nodes); ("lp_solves", s.lp_solves);
     ("lp_pivots", s.lp_pivots); ("lp_warm_solves", s.lp_warm_solves);
     ("lp_cycle_limits", s.lp_cycle_limits) ]

@@ -46,6 +46,14 @@ type t = {
       (** candidate evaluations per worker slot; grown on demand by
           {!record_worker_evals} (scheduling-dependent attribution —
           instrumentation only, never part of a deterministic result) *)
+  mutable candidates_pruned : int;
+      (** waypoint candidates removed before the scan by a candidate
+          preprocessing pass (pool restriction, per-commodity filters,
+          or the exact residual-MLU scan skip) *)
+  mutable candidates_kept : int;
+      (** waypoint candidates actually handed to the scan by a pruning
+          pass; [kept / (kept + pruned)] is the surviving fraction.
+          Both stay 0 when pruning is off *)
   mutable milp_nodes : int;  (** branch-and-bound nodes explored *)
   mutable lp_solves : int;  (** LP (relaxation) solves *)
   mutable lp_pivots : int;  (** total simplex iterations *)
@@ -105,6 +113,11 @@ val record_worker_evals : t -> worker:int -> int -> unit
 val record_scenario : t -> unit
 (** Counts one robustness scenario evaluated (the granularity
     [lib/scenario] sweeps budget by). *)
+
+val record_pruning : t -> pruned:int -> kept:int -> unit
+(** Accounts one pruned candidate-list construction: [pruned] candidates
+    removed before the scan, [kept] handed to it.
+    @raise Invalid_argument on a negative count. *)
 
 (** {1 LP / MILP effort} *)
 

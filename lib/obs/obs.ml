@@ -362,6 +362,7 @@ module Metrics = struct
     add "dag_misses" s.Stats.dag_misses;
     add "unit_hits" s.Stats.unit_hits;
     add "unit_misses" s.Stats.unit_misses;
+    add "unit_carried" s.Stats.unit_carried;
     add "weight_updates" s.Stats.weight_updates;
     add "dirty_dests" s.Stats.dirty_dests;
     add "clean_dests" s.Stats.clean_dests;
@@ -371,6 +372,8 @@ module Metrics = struct
     add "edges_disabled" s.Stats.edges_disabled;
     add "par_regions" s.Stats.par_regions;
     add "par_tasks" s.Stats.par_tasks;
+    add "candidates_pruned" s.Stats.candidates_pruned;
+    add "candidates_kept" s.Stats.candidates_kept;
     add "milp_nodes" s.Stats.milp_nodes;
     add "lp_solves" s.Stats.lp_solves;
     add "lp_pivots" s.Stats.lp_pivots;
