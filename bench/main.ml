@@ -1566,6 +1566,146 @@ let exp_prune () =
         ("prune_k", string_of_int kd) ]
     ~file:"BENCH_prune.json" ~bench:"prune" (List.rev !records)
 
+(* ------------------------------------------------------------------ *)
+(* Serving: streaming re-optimization latency and quality              *)
+(* ------------------------------------------------------------------ *)
+
+let exp_serve () =
+  section "Serving: diurnal + flash-crowd replays through the daemon";
+  let bctx = bench_ctx () in
+  let records = ref [] in
+  let emit r = records := r :: !records in
+  (* Drives a replay through [Serve.Daemon.handle_line] directly (no
+     process boundary), returning the daemon, the response lines and
+     the wall time spent inside the event loop. *)
+  let run_replay ?(timings = true) ?(deadline_ms = 10_000.) ?(lp_every = 1)
+      ?(lp = true) ~pool ~deployed g demands lines =
+    let weights, waypoints = deployed in
+    let stats = Engine.Stats.create () in
+    let ctx = Obs.Ctx.make ~stats ~pool () in
+    let cfg =
+      { Serve.Daemon.default_config with
+        deadline_ms; timings; lp_bound = lp; lp_every; seed = 1 }
+    in
+    let d =
+      Serve.Daemon.create ctx cfg ~deployed_weights:weights
+        ~deployed_waypoints:waypoints g demands
+    in
+    let responses = ref [] in
+    let t0 = Engine.Mono.now () in
+    List.iter
+      (fun line ->
+        match Serve.Daemon.handle_line d line with
+        | Some r -> responses := r :: !responses
+        | None -> ())
+      lines;
+    let wall = Engine.Mono.now () -. t0 in
+    (d, List.rev !responses, wall)
+  in
+  let gap_of r =
+    match Serve.Sjson.parse r with
+    | Error _ -> None
+    | Ok j -> Option.bind (Serve.Sjson.member "gap" j) Serve.Sjson.to_float
+  in
+  (* (name, steps, lp_every): on Germany50 even a warm LP solve costs
+     ~30 s, so the bound trajectory samples every k-th update there. *)
+  let topos =
+    if !full then [ ("Abilene", 1000, 1); ("Germany50", 1000, 100) ]
+    else [ ("Abilene", 120, 1); ("Germany50", 60, 30) ]
+  in
+  let evals = if !full then 1500 else 300 in
+  row "%-12s %7s %9s %9s %9s %10s %8s %8s  %s\n" "topology" "events"
+    "p50 ms" "p99 ms" "upd/s" "final MLU" "rescr." "gap" "deterministic";
+  List.iter
+    (fun (name, steps, lp_every) ->
+      Obs.Ctx.phase bctx name (fun () ->
+          let g = Topology.Datasets.load name in
+          let flows = max 2 (Digraph.edge_count g / 16) in
+          let demands =
+            Demand_gen.mcf_synthetic ~epsilon:0.15 ~seed:1 ~flows_per_pair:flows
+              g
+          in
+          let joint =
+            Joint.optimize ~ls_params:(ls_params ~seed:1 ~evals) g demands
+          in
+          let deployed = (joint.Joint.int_weights, joint.Joint.waypoints) in
+          let replay =
+            { Scenario.default_replay with replay_seed = 1; steps }
+          in
+          let lines = Scenario.replay_events replay demands in
+          (* Timed pass: latency percentiles, throughput, gap
+             trajectory. *)
+          let d, responses, wall =
+            run_replay ~lp_every ~pool:!the_pool ~deployed g demands lines
+          in
+          let s = Serve.Daemon.summary d in
+          let lat = s.Serve.Daemon.latencies in
+          let p50 = 1000. *. Serve.Daemon.quantile lat 0.5 in
+          let p99 = 1000. *. Serve.Daemon.quantile lat 0.99 in
+          let pmax = 1000. *. Array.fold_left max 0. lat in
+          (* Throughput over time spent *inside* updates: the wall also
+             carries the off-clock LP solves, which [lp_every] makes a
+             sampling choice, not a serving cost. *)
+          let ups =
+            float_of_int s.Serve.Daemon.updates
+            /. Array.fold_left ( +. ) 0. lat
+          in
+          let gaps = List.filter_map gap_of responses in
+          let mean_gap = if gaps = [] then nan else mean gaps in
+          let final_gap =
+            match List.rev gaps with [] -> nan | gp :: _ -> gp
+          in
+          (* Quality gate: the incumbent after the whole drift vs a
+             from-scratch Joint re-solve on the final matrix. *)
+          let _, final_demands, _ = Serve.Daemon.state d in
+          let rescratch =
+            Joint.optimize ~ls_params:(ls_params ~seed:1 ~evals) g
+              final_demands
+          in
+          let within10 =
+            s.Serve.Daemon.mlu <= 1.1 *. rescratch.Joint.mlu +. 1e-9
+          in
+          (* Determinism gate: timings off, deadline off, sequential
+             pool vs a 2-domain pool must emit identical bytes.  LP off:
+             the solver is single-threaded (its output cannot depend on
+             the pool) and re-solving the whole bound trajectory twice
+             more would dominate the experiment. *)
+          let det_run pool =
+            let _, rs, _ =
+              run_replay ~timings:false ~deadline_ms:(-1.) ~lp:false ~pool
+                ~deployed g demands lines
+            in
+            String.concat "\n" rs
+          in
+          let seq_out = det_run Par.Pool.sequential in
+          let par_out = Par.Pool.with_pool ~jobs:2 det_run in
+          let deterministic = String.equal seq_out par_out in
+          row "%-12s %7d %9.2f %9.2f %9.1f %10.3f %8.3f %8.3f  %b\n" name
+            (List.length lines) p50 p99 ups s.Serve.Daemon.mlu
+            rescratch.Joint.mlu mean_gap deterministic;
+          emit
+            (Printf.sprintf
+               "{\"topology\": %S, \"lp_every\": %d, \"events\": %d, \
+                \"updates\": %d, \
+                \"improved\": %d, \"degraded\": %d, \"deadline_hits\": %d, \
+                \"p50_ms\": %.4f, \"p99_ms\": %.4f, \"max_ms\": %.4f, \
+                \"updates_per_sec\": %.2f, \"wall_seconds\": %.6f, \
+                \"weight_churn_total\": %d, \"waypoint_churn_total\": %d, \
+                \"mlu_final\": %.6f, \"lp_bound_final\": %.6f, \
+                \"rescratch_mlu\": %.6f, \"within_10pct\": %b, \
+                \"mean_gap\": %.6f, \"final_gap\": %.6f, \
+                \"deterministic_across_jobs\": %b}"
+               name lp_every (List.length lines) s.Serve.Daemon.updates
+               s.Serve.Daemon.improved s.Serve.Daemon.degraded
+               s.Serve.Daemon.deadline_hits p50 p99 pmax ups wall
+               s.Serve.Daemon.weight_churn_total
+               s.Serve.Daemon.waypoint_churn_total s.Serve.Daemon.mlu
+               s.Serve.Daemon.lp_bound rescratch.Joint.mlu within10 mean_gap
+               final_gap deterministic)))
+    topos;
+  write_bench ~ctx:bctx ~file:"BENCH_serve.json" ~bench:"serve"
+    (List.rev !records)
+
 let exp_perf () =
   section "Micro-benchmarks (bechamel; ns per run, OLS fit)";
   let open Bechamel in
@@ -1627,7 +1767,8 @@ let experiments =
     ("fig6", exp_fig6); ("fig7", exp_fig7); ("milp", exp_milp);
     ("ablation", exp_ablation); ("engine", exp_engine);
     ("parallel", exp_parallel); ("robust", exp_robust); ("lp", exp_lp);
-    ("obs", exp_obs); ("prune", exp_prune); ("perf", exp_perf) ]
+    ("obs", exp_obs); ("prune", exp_prune); ("serve", exp_serve);
+    ("perf", exp_perf) ]
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in

@@ -669,6 +669,216 @@ let exact_cmd =
           $ max_nodes_arg $ cold_arg $ prune_arg $ prune_mode_arg $ stats_arg
           $ trace_arg $ summary_arg)
 
+(* replay *)
+let replay_cmd =
+  let run topo file seed kind flows steps days flash flash_pairs flash_factor
+      flash_len report_every no_quit out =
+    let g, file_demands = load_topology topo file in
+    let demands = make_demands ~file_demands g ~seed ~kind ~flows in
+    let spec =
+      {
+        Scenario.replay_seed = seed;
+        steps;
+        days;
+        flash_crowds = flash;
+        flash_pairs;
+        flash_factor;
+        flash_len;
+        report_every;
+        quit = not no_quit;
+      }
+    in
+    let lines = Scenario.replay_events spec demands in
+    match out with
+    | Some path ->
+      let oc = open_out path in
+      List.iter
+        (fun l ->
+          output_string oc l;
+          output_char oc '\n')
+        lines;
+      close_out oc;
+      Printf.printf "wrote %d events to %s\n" (List.length lines) path
+    | None -> List.iter print_endline lines
+  in
+  let steps_arg =
+    Arg.(value & opt int 100 & info [ "steps" ] ~docv:"N"
+           ~doc:"Diurnal steps (at most one delta event each).")
+  in
+  let days_arg =
+    Arg.(value & opt float 1. & info [ "days" ]
+           ~doc:"Diurnal periods the steps sweep through.")
+  in
+  let flash_arg =
+    Arg.(value & opt int 2 & info [ "flash" ] ~docv:"N"
+           ~doc:"Flash-crowd bursts layered over the diurnal drift.")
+  in
+  let flash_pairs_arg =
+    Arg.(value & opt int 3 & info [ "flash-pairs" ] ~docv:"N"
+           ~doc:"Demand pairs scaled by each burst.")
+  in
+  let flash_factor_arg =
+    Arg.(value & opt float 3. & info [ "flash-factor" ] ~docv:"F"
+           ~doc:"Burst demand multiplier.")
+  in
+  let flash_len_arg =
+    Arg.(value & opt int 8 & info [ "flash-len" ] ~docv:"N"
+           ~doc:"Steps each burst stays active.")
+  in
+  let report_every_arg =
+    Arg.(value & opt int 0 & info [ "report-every" ] ~docv:"K"
+           ~doc:"Interleave a report event every K steps (0 = never).")
+  in
+  let no_quit_arg =
+    Arg.(value & flag & info [ "no-quit" ]
+           ~doc:"Omit the trailing quit event (the daemon then runs to EOF).")
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"PATH"
+           ~doc:"Write the event JSONL to a file instead of stdout.")
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:"Generate a serve/1 event trace: the topology's demand matrix \
+             drifting through diurnal phases with seeded flash-crowd \
+             bursts, rendered as demand-delta JSONL for `te-tool serve'.  \
+             Deterministic: same options, byte-identical trace.")
+    Term.(const run $ topo_arg $ file_arg $ seed_arg $ demands_arg $ flows_arg
+          $ steps_arg $ days_arg $ flash_arg $ flash_pairs_arg
+          $ flash_factor_arg $ flash_len_arg $ report_every_arg $ no_quit_arg
+          $ out_arg)
+
+(* serve *)
+let serve_cmd =
+  let run topo file seed kind flows evals jobs stats trace summary deploy
+      deadline_ms churn_budget reopt_evals resolve_evals no_lp lp_every
+      no_prune no_timings input output =
+    with_ctx ~jobs ~stats ~trace ~summary (fun ctx ->
+        let g, file_demands =
+          Obs.Ctx.phase ctx "load" (fun () -> load_topology topo file)
+        in
+        let demands =
+          Obs.Ctx.phase ctx "demands" (fun () ->
+              make_demands ~file_demands g ~seed ~kind ~flows)
+        in
+        (* Deploy a starting setting, then serve the event stream
+           against it. *)
+        let deployed_weights, deployed_waypoints =
+          Obs.Ctx.phase ctx "deploy" (fun () ->
+              match deploy with
+              | "joint" ->
+                let ls_params =
+                  { Local_search.default_params with max_evals = evals; seed }
+                in
+                let joint = Joint.optimize_ctx ctx ~ls_params g demands in
+                (joint.Joint.int_weights, joint.Joint.waypoints)
+              | setting ->
+                ( Weights.round_to_range ~wmax:16 (weights_of g setting),
+                  Segments.none demands ))
+        in
+        let cfg =
+          {
+            Serve.Daemon.deadline_ms;
+            churn_budget;
+            reopt_evals;
+            resolve_evals;
+            lp_bound = not no_lp;
+            lp_every;
+            prune = not no_prune;
+            timings = not no_timings;
+            seed;
+          }
+        in
+        let daemon =
+          Serve.Daemon.create ctx cfg ~deployed_weights ~deployed_waypoints g
+            demands
+        in
+        let ic = match input with None -> stdin | Some p -> open_in p in
+        let oc = match output with None -> stdout | Some p -> open_out p in
+        Obs.Ctx.phase ctx "serve" (fun () -> Serve.Daemon.run daemon ic oc);
+        if input <> None then close_in ic;
+        if output <> None then close_out oc;
+        let s = Serve.Daemon.summary daemon in
+        let lat = s.Serve.Daemon.latencies in
+        Printf.eprintf
+          "serve: %d events (%d updates, %d improved, %d degraded, %d \
+           errors), final MLU %.4f"
+          s.Serve.Daemon.events s.Serve.Daemon.updates
+          s.Serve.Daemon.improved s.Serve.Daemon.degraded
+          s.Serve.Daemon.errors s.Serve.Daemon.mlu;
+        if Float.is_finite s.Serve.Daemon.lp_bound then
+          Printf.eprintf " (LP bound %.4f)" s.Serve.Daemon.lp_bound;
+        if Array.length lat > 0 then
+          Printf.eprintf "; latency p50 %.1f ms p99 %.1f ms"
+            (1000. *. Serve.Daemon.quantile lat 0.5)
+            (1000. *. Serve.Daemon.quantile lat 0.99);
+        prerr_newline ())
+  in
+  let deploy_arg =
+    Arg.(value & opt string "joint" & info [ "deploy" ] ~docv:"SETTING"
+           ~doc:"Initial deployment: joint (optimize weights+waypoints \
+                 first, --evals budget) or unit/invcap static weights.")
+  in
+  let deadline_arg =
+    Arg.(value & opt float 1000. & info [ "deadline-ms" ] ~docv:"MS"
+           ~doc:"Per-update latency budget.  A search overrunning it stops \
+                 early with the best setting so far; 0 degrades every \
+                 update to the incumbent; negative disables the deadline.")
+  in
+  let churn_arg =
+    Arg.(value & opt int 0 & info [ "churn-budget" ] ~docv:"K"
+           ~doc:"Max links re-weighted per update (0 = |E|/10).")
+  in
+  let reopt_evals_arg =
+    Arg.(value & opt int 400 & info [ "reopt-evals" ]
+           ~doc:"Local-search evaluation budget per update.")
+  in
+  let resolve_evals_arg =
+    Arg.(value & opt int 4000 & info [ "resolve-evals" ]
+           ~doc:"Evaluation budget for resolve events.")
+  in
+  let no_lp_arg =
+    Arg.(value & flag & info [ "no-lp" ]
+           ~doc:"Skip the per-update warm-basis LP lower bound (no \
+                 optimality-gap readout in responses).")
+  in
+  let lp_every_arg =
+    Arg.(value & opt int 1 & info [ "lp-every" ] ~docv:"K"
+           ~doc:"Solve the LP bound only on every K-th update (resolve \
+                 always solves); thins the cadence on topologies where \
+                 even a warm solve dwarfs the re-optimization.")
+  in
+  let no_prune_arg =
+    Arg.(value & flag & info [ "no-prune" ]
+           ~doc:"Disable candidate pruning in the waypoint re-pick.")
+  in
+  let no_timings_arg =
+    Arg.(value & flag & info [ "no-timings" ]
+           ~doc:"Omit latency fields from responses, making the response \
+                 stream byte-identical across runs and --jobs.")
+  in
+  let input_arg =
+    Arg.(value & opt (some file) None & info [ "i"; "input" ] ~docv:"PATH"
+           ~doc:"Read events from a file instead of stdin.")
+  in
+  let output_arg =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"PATH"
+           ~doc:"Write responses to a file instead of stdout.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"TE-as-a-service: a long-running loop reading demand deltas, \
+             matrix swaps and link up/down events as JSONL (see `te-tool \
+             replay'), answering each with a churn-budgeted incremental \
+             re-optimization under a latency deadline, one serve/1 JSON \
+             response line per event.  Holds a warm evaluator and warm LP \
+             bases across the whole stream; a summary line goes to stderr.")
+    Term.(const run $ topo_arg $ file_arg $ seed_arg $ demands_arg $ flows_arg
+          $ evals_arg $ jobs_arg $ stats_arg $ trace_arg $ summary_arg
+          $ deploy_arg $ deadline_arg $ churn_arg $ reopt_evals_arg
+          $ resolve_evals_arg $ no_lp_arg $ lp_every_arg $ no_prune_arg
+          $ no_timings_arg $ input_arg $ output_arg)
+
 (* export *)
 let export_cmd =
   let run topo file fmt out =
@@ -706,4 +916,4 @@ let () =
        (Cmd.group info
           (topos_cmd :: mlu_cmd :: solver_cmds
           @ [ gap_cmd; lwo_apx_cmd; nanonet_cmd; failures_cmd; robust_cmd;
-              exact_cmd; export_cmd ])))
+              replay_cmd; serve_cmd; exact_cmd; export_cmd ])))

@@ -25,8 +25,8 @@ type result = {
 }
 
 let reoptimize_ctx (ctx : Obs.Ctx.t) ?(ls_params = Local_search.default_params)
-    ?max_weight_changes ?(frozen_edges = []) ~deployed_weights
-    ~deployed_waypoints g demands =
+    ?max_weight_changes ?(frozen_edges = []) ?ev ?prune
+    ?(repick_waypoints = true) ~deployed_weights ~deployed_waypoints g demands =
   let stats = ctx.Obs.Ctx.stats in
   let m = Digraph.edge_count g in
   if Array.length deployed_weights <> m then
@@ -46,10 +46,20 @@ let reoptimize_ctx (ctx : Obs.Ctx.t) ?(ls_params = Local_search.default_params)
   (* One evaluator carries the whole budgeted search: the deployed
      waypoints are fixed, so the commodity list (one per segment) never
      changes, and every candidate weight is probed as an incremental
-     single-weight move against it. *)
+     single-weight move against it.  A caller-supplied warm evaluator
+     (the serving loop keeps one alive across updates) is re-synced
+     incrementally instead of rebuilt. *)
   let ev =
-    Engine.Evaluator.create ~stats ~probe:(Obs.Ctx.probe ctx) g
-      (Weights.of_ints deployed_weights)
+    match ev with
+    | Some ev ->
+      if Engine.Evaluator.graph ev != g then
+        invalid_arg "Reopt.reoptimize: warm evaluator built on another graph";
+      Engine.Evaluator.set_weights ev (Weights.of_ints deployed_weights);
+      Engine.Evaluator.commit ev;
+      ev
+    | None ->
+      Engine.Evaluator.create ~stats ~probe:(Obs.Ctx.probe ctx) g
+        (Weights.of_ints deployed_weights)
   in
   (* Failed links are frozen at infinite weight: absent from every DAG,
      never a move candidate, committed so no undo restores them. *)
@@ -137,19 +147,27 @@ let reoptimize_ctx (ctx : Obs.Ctx.t) ?(ls_params = Local_search.default_params)
     else incr evals
   done);
   (* Waypoint step: re-pick greedily under the new weights (not
-     budgeted; segment-stack changes are local to ingresses). *)
-  let best_w_float = Weights.of_ints !best_w in
-  Hashtbl.iter (fun e () -> best_w_float.(e) <- infinity) frozen;
-  let wpo =
-    Obs.Ctx.span ctx "reopt:waypoints" (fun () ->
-        Greedy_wpo.optimize_ctx ctx g best_w_float demands)
+     budgeted; segment-stack changes are local to ingresses).  Skipped
+     when the caller pins the deployed waypoints ([repick_waypoints] is
+     false — e.g. a latency-bound serving loop on a pure weight tick). *)
+  let greedy_candidate =
+    if not repick_waypoints then []
+    else begin
+      let best_w_float = Weights.of_ints !best_w in
+      Hashtbl.iter (fun e () -> best_w_float.(e) <- infinity) frozen;
+      let wpo =
+        Obs.Ctx.span ctx "reopt:waypoints" (fun () ->
+            Greedy_wpo.optimize_ctx ctx ?prune g best_w_float demands)
+      in
+      [ (!best_w, Segments.of_single wpo.Greedy_wpo.waypoints,
+         wpo.Greedy_wpo.mlu) ]
+    end
   in
-  let greedy_setting = Segments.of_single wpo.Greedy_wpo.waypoints in
   (* Candidates, cheapest-churn first so ties keep the network stable. *)
   let candidates =
-    [ (Array.copy deployed_weights, deployed_waypoints, deployed_mlu);
-      (!best_w, deployed_waypoints, !best_mlu);
-      (!best_w, greedy_setting, wpo.Greedy_wpo.mlu) ]
+    (Array.copy deployed_weights, deployed_waypoints, deployed_mlu)
+    :: (!best_w, deployed_waypoints, !best_mlu)
+    :: greedy_candidate
   in
   let weights, waypoints, mlu =
     List.fold_left

@@ -37,6 +37,9 @@ val reoptimize_ctx :
   ?ls_params:Local_search.params ->
   ?max_weight_changes:int ->
   ?frozen_edges:int list ->
+  ?ev:Engine.Evaluator.t ->
+  ?prune:Prune.spec ->
+  ?repick_waypoints:bool ->
   deployed_weights:int array ->
   deployed_waypoints:Segments.setting ->
   Netgraph.Digraph.t ->
@@ -50,6 +53,18 @@ val reoptimize_ctx :
     ["reopt:waypoints"]; a context deadline stops the weight search
     early (the waypoint step always runs).  The context's pool
     parallelizes the waypoint scan as in {!Greedy_wpo.optimize_ctx}.
+
+    [ev] supplies a warm evaluator built on the same graph (physical
+    equality is checked): it is re-synced to the deployed weights with
+    an incremental [set_weights] + [commit] instead of a full rebuild —
+    the serving loop keeps one evaluator alive across a whole update
+    stream this way.  On return its weights/commodities reflect the
+    search's last probe state, not necessarily the returned candidate;
+    callers must re-sync it to whatever they deploy.  [prune] forwards
+    a candidate-pruning spec to the greedy waypoint re-pick (see
+    {!Prune}); [repick_waypoints] (default [true]) set to [false] skips
+    the waypoint step entirely and keeps the deployed waypoints — the
+    cheap mode for latency-bound weight-only ticks.
 
     [frozen_edges] (default none) marks failed links: they are pinned at
     infinite weight for every evaluation — equivalent to removal, see

@@ -1114,12 +1114,20 @@ let apply_weight t edge new_w =
     end
     else begin
       (* dest_dirty, inlined (a non-inlined call would box old_w/new_w
-         on every destination) *)
+         on every destination).  [dv] never depends on edge (u, v) — a
+         shortest path v -> dest revisiting v would be a cycle — so the
+         edge matters only when v reaches dest.  An unreachable u
+         ([du = infinity], i.e. the edge was disabled) goes dirty
+         exactly when the new weight is finite: re-enabling may create
+         the first path u -> dest, the link-up half of a flap. *)
       let du = fd.fdist.(u) and dv = fd.fdist.(v) in
       let dirty =
-        du < infinity && dv < infinity
-        && (let tol = dirty_eps *. (1. +. abs_float du) in
-            old_w +. dv <= du +. tol || new_w +. dv <= du +. tol)
+        dv < infinity
+        &&
+        if du = infinity then new_w < infinity
+        else
+          let tol = dirty_eps *. (1. +. abs_float du) in
+          old_w +. dv <= du +. tol || new_w +. dv <= du +. tol
       in
       if dirty then begin
         st.Stats.dirty_dests <- st.Stats.dirty_dests + 1;
@@ -1189,6 +1197,18 @@ let disable_edge t ~edge =
   set_weight t ~edge infinity
 
 let edge_disabled t ~edge = t.weights.(edge) = infinity
+
+(* Link repair is just the opposite weight change: restoring a finite
+   weight re-inserts the edge into every relevant DAG through the same
+   dirty-destination repair, so a disable/enable round trip needs no
+   rebuild and leaves no residue (asserted byte-identical by
+   test_engine). *)
+let enable_edge t ~edge w =
+  if not (edge_disabled t ~edge) then
+    invalid_arg "Evaluator.enable_edge: edge is not disabled";
+  if not (w > 0.) || w = infinity then
+    invalid_arg "Evaluator.enable_edge: weight must be positive and finite";
+  set_weight t ~edge w
 
 let reachable t ~src ~dst = src = dst || (fdag_for t dst).fdist.(src) < infinity
 

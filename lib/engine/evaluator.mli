@@ -166,6 +166,15 @@ val disable_edge : t -> edge:int -> unit
 
 val edge_disabled : t -> edge:int -> bool
 
+val enable_edge : t -> edge:int -> float -> unit
+(** Brings a {!disable_edge}d link back at the given (finite, positive)
+    weight — the link-up half of a flap.  Like any weight change it
+    rides the undo trail and repairs incrementally; a committed
+    disable followed by a committed enable at the original weight
+    round-trips to byte-identical evaluator results with no full
+    rebuild.  @raise Invalid_argument if the edge is not currently
+    disabled or the weight is not positive and finite. *)
+
 val reachable : t -> src:int -> dst:int -> bool
 (** Is [dst] reachable from [src] under the current weights (disabled
     edges excluded)?  Served from the cached destination DAG; unlike

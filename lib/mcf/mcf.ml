@@ -84,17 +84,29 @@ let build_mlu_lp g comms =
   done;
   Simplex.Sparse.finish b
 
-let opt_mlu_lp_warm ?basis g comms =
+type warm_solve = {
+  value : float;
+  basis : Simplex.Sparse.basis;
+  pivots : int;
+  warm : bool;
+}
+
+let opt_mlu_lp_warm_ext ?basis g comms =
   let comms = aggregate comms in
   check_routable g comms;
   let p = build_mlu_lp g comms in
   match Simplex.Sparse.solve ?basis p with
-  | Simplex.Sparse.Optimal { value; basis; _ } -> (value, basis)
+  | Simplex.Sparse.Optimal { value; basis = b; iters; _ } ->
+    { value; basis = b; pivots = iters; warm = basis <> None }
   | Simplex.Sparse.Infeasible ->
     failwith "Mcf.opt_mlu_lp: infeasible (unroutable demand?)"
   | Simplex.Sparse.Unbounded -> failwith "Mcf.opt_mlu_lp: unbounded (internal error)"
   | Simplex.Sparse.CycleLimit _ ->
     failwith "Mcf.opt_mlu_lp: simplex iteration limit exceeded"
+
+let opt_mlu_lp_warm ?basis g comms =
+  let r = opt_mlu_lp_warm_ext ?basis g comms in
+  (r.value, r.basis)
 
 let opt_mlu_lp g comms = fst (opt_mlu_lp_warm g comms)
 

@@ -36,6 +36,24 @@ val opt_mlu_lp_warm :
     demand-scaling sweeps — re-solve in a handful of pivots.  A stale
     basis never changes the result, only the iteration count. *)
 
+type warm_solve = {
+  value : float;  (** the optimal MLU *)
+  basis : Linprog.Simplex.Sparse.basis;  (** for the next warm solve *)
+  pivots : int;  (** simplex iterations this solve took *)
+  warm : bool;  (** whether a caller basis seeded the solve *)
+}
+
+val opt_mlu_lp_warm_ext :
+  ?basis:Linprog.Simplex.Sparse.basis ->
+  Netgraph.Digraph.t ->
+  commodity array ->
+  warm_solve
+(** {!opt_mlu_lp_warm} with the solve effort exposed: [pivots] is the
+    simplex iteration count (callers tracking engine statistics record
+    it via [Engine.Stats.record_lp_solve]) and [warm] reports whether a
+    starting basis was supplied.  Serving loops use this to prove that
+    basis reuse across a demand-delta stream actually cuts pivots. *)
+
 val max_concurrent_flow :
   ?epsilon:float -> Netgraph.Digraph.t -> commodity array -> float
 (** FPTAS for the maximum concurrent flow factor [lambda]; the result is

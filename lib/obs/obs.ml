@@ -421,6 +421,31 @@ module Metrics = struct
       t.h []
     |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
+  (* Quantile estimate off the decade buckets: find the bucket holding
+     the rank and interpolate linearly inside it, clamped to the exact
+     [min, max] envelope so single-observation histograms (and the tail
+     +inf bucket) stay finite. *)
+  let hist_quantile (h : hist) q =
+    if h.n = 0 then nan
+    else if q <= 0. then h.min
+    else if q >= 1. then h.max
+    else begin
+      let rank = q *. float_of_int h.n in
+      let rec go lower cum = function
+        | [] -> h.max
+        | (ub, c) :: rest ->
+          let cum' = cum +. float_of_int c in
+          if c > 0 && cum' >= rank then begin
+            let lo = Float.max lower h.min in
+            let hi = Float.min (if ub = infinity then h.max else ub) h.max in
+            let hi = Float.max hi lo in
+            lo +. ((rank -. cum) /. float_of_int c *. (hi -. lo))
+          end
+          else go ub cum' rest
+      in
+      go 0. 0. h.buckets
+    end
+
   let json_float f =
     if Float.is_nan f then "null"
     else if f = infinity then "1e999"
@@ -443,8 +468,10 @@ module Metrics = struct
       |> List.map (fun (k, h) ->
              Printf.sprintf
                "%S: {\"n\": %d, \"sum\": %s, \"min\": %s, \"max\": %s, \
-                \"counts\": [%s]}"
+                \"p50\": %s, \"p99\": %s, \"counts\": [%s]}"
                k h.n (json_float h.sum) (json_float h.min) (json_float h.max)
+               (json_float (hist_quantile h 0.5))
+               (json_float (hist_quantile h 0.99))
                (String.concat ", "
                   (List.map (fun (_, c) -> string_of_int c) h.buckets)))
       |> String.concat ", "

@@ -181,9 +181,17 @@ module Metrics : sig
 
   val histograms : t -> (string * hist) list
 
+  val hist_quantile : hist -> float -> float
+  (** Estimated [q]-quantile of a histogram: linear interpolation inside
+      the decade bucket holding the rank, clamped to the exact
+      [[min, max]] envelope (so it is exact for [n <= 1] and never
+      infinite).  [nan] when the histogram is empty. *)
+
   val to_json : t -> string
   (** One-line JSON object [{"counters":{...},"gauges":{...},
-      "histograms":{...}}] with keys sorted. *)
+      "histograms":{...}}] with keys sorted; each histogram carries
+      estimated [p50] / [p99] quantiles next to the exact
+      n/sum/min/max/counts. *)
 end
 
 (** The solver run context. *)

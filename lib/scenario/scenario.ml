@@ -196,6 +196,101 @@ let apply_shift shift demands =
         { d with Network.size = d.Network.size *. (0.4 +. (0.8 *. x)) })
       demands
 
+(* ------------------------------------------------------------------ *)
+(* Serving replays                                                      *)
+(* ------------------------------------------------------------------ *)
+
+type replay = {
+  replay_seed : int;
+  steps : int;
+  days : float;
+  flash_crowds : int;
+  flash_pairs : int;
+  flash_factor : float;
+  flash_len : int;
+  report_every : int;
+  quit : bool;
+}
+
+let default_replay =
+  {
+    replay_seed = 1;
+    steps = 100;
+    days = 1.;
+    flash_crowds = 2;
+    flash_pairs = 3;
+    flash_factor = 3.;
+    flash_len = 8;
+    report_every = 0;
+    quit = true;
+  }
+
+let replay_events r demands =
+  if r.steps <= 0 then invalid_arg "Scenario.replay_events: steps must be positive";
+  if r.flash_crowds < 0 || r.flash_pairs < 0 || r.flash_len < 0 then
+    invalid_arg "Scenario.replay_events: negative flash-crowd parameter";
+  if not (r.flash_factor > 0.) then
+    invalid_arg "Scenario.replay_events: flash factor must be positive";
+  let base = Network.aggregate demands in
+  (* Each flash crowd is a seeded hotspot burst over a contiguous step
+     window; the window start and the pair pick both derive from the
+     replay seed, so the trace is a pure function of the spec. *)
+  let crowds =
+    List.init r.flash_crowds (fun c ->
+        let st = Random.State.make [| 0x5e2e; r.replay_seed; c |] in
+        let start = Random.State.int st (max 1 (r.steps - r.flash_len + 1)) in
+        let hs =
+          Hotspot
+            {
+              seed = (r.replay_seed * 131071) + c;
+              pairs = r.flash_pairs;
+              factor = r.flash_factor;
+            }
+        in
+        (start, hs))
+  in
+  let prev = Array.map (fun (d : Network.demand) -> d.Network.size) base in
+  let buf = Buffer.create 4096 in
+  let lines = ref [] in
+  for t = 0 to r.steps - 1 do
+    let level =
+      let x = r.days *. float_of_int (t + 1) /. float_of_int r.steps in
+      x -. Float.of_int (int_of_float x)
+    in
+    let matrix = apply_shift (Diurnal { level }) base in
+    let matrix =
+      List.fold_left
+        (fun m (start, hs) ->
+          if t >= start && t < start + r.flash_len then apply_shift hs m
+          else m)
+        matrix crowds
+    in
+    Buffer.clear buf;
+    let changes = ref 0 in
+    Array.iteri
+      (fun i (d : Network.demand) ->
+        let s = d.Network.size in
+        if abs_float (s -. prev.(i)) > 1e-12 *. (1. +. abs_float prev.(i))
+        then begin
+          if !changes > 0 then Buffer.add_char buf ',';
+          Buffer.add_string buf
+            (Printf.sprintf "{\"src\":%d,\"dst\":%d,\"size\":%.17g}"
+               d.Network.src d.Network.dst s);
+          incr changes;
+          prev.(i) <- s
+        end)
+      matrix;
+    if !changes > 0 then
+      lines :=
+        Printf.sprintf "{\"ev\":\"delta\",\"changes\":[%s]}"
+          (Buffer.contents buf)
+        :: !lines;
+    if r.report_every > 0 && (t + 1) mod r.report_every = 0 then
+      lines := "{\"ev\":\"report\"}" :: !lines
+  done;
+  if r.quit then lines := "{\"ev\":\"quit\"}" :: !lines;
+  List.rev !lines
+
 let shift_label = function
   | No_shift -> "nominal"
   | Uniform f -> Printf.sprintf "scale=%.2f" f

@@ -89,6 +89,36 @@ val apply_shift : shift -> Te.Network.demand array -> Te.Network.demand array
 val spec_label : Netgraph.Digraph.t -> spec -> string
 (** Human-readable label, e.g. ["fail:A>B+B>A jitter#0 s=0.25"]. *)
 
+(** {1 Serving replays} *)
+
+type replay = {
+  replay_seed : int;  (** drives flash-crowd windows and pair picks *)
+  steps : int;  (** diurnal steps; at most one [delta] event each *)
+  days : float;  (** diurnal periods the steps sweep through *)
+  flash_crowds : int;  (** independent flash-crowd bursts *)
+  flash_pairs : int;  (** demands scaled per burst *)
+  flash_factor : float;  (** burst multiplier *)
+  flash_len : int;  (** steps a burst stays active *)
+  report_every : int;  (** a [report] event every k steps; 0 = never *)
+  quit : bool;  (** end the trace with a [quit] event *)
+}
+
+val default_replay : replay
+(** Seed 1, 100 steps over one day, two 8-step flash crowds scaling 3
+    pairs by 3x, no reports, trailing [quit]. *)
+
+val replay_events : replay -> Te.Network.demand array -> string list
+(** Renders the diurnal + flash-crowd drift of the (aggregated) base
+    matrix into [serve/1] event JSONL lines for [te-tool serve]: one
+    [{"ev":"delta","changes":[...]}] line per step carrying the entries
+    whose absolute size changed since the previous step (steps where
+    nothing moves emit no line), interleaved [report]s, and a final
+    [quit] when requested.  The daemon must be booted on the same base
+    matrix for step 0's delta to mean what it says.  Deterministic:
+    same replay record + same demands = byte-identical lines.
+    @raise Invalid_argument on non-positive [steps] or flash factor, or
+    negative counts. *)
+
 (** {1 Policies} *)
 
 type policy =

@@ -1,0 +1,133 @@
+open Netgraph
+
+type change = { src : int; dst : int; size : float }
+
+type t =
+  | Delta of change list
+  | Set_matrix of change list
+  | Link_down of int list
+  | Link_up of int list
+  | Report
+  | Resolve
+  | Quit
+
+let name = function
+  | Delta _ -> "delta"
+  | Set_matrix _ -> "set-matrix"
+  | Link_down _ -> "link-down"
+  | Link_up _ -> "link-up"
+  | Report -> "report"
+  | Resolve -> "resolve"
+  | Quit -> "quit"
+
+(* Total parsing: every validation failure raises [Bad] internally and
+   surfaces as [Error reason]. *)
+exception Bad of string
+
+let bad fmt = Printf.ksprintf (fun msg -> raise (Bad msg)) fmt
+
+let node g field v =
+  match v with
+  | Sjson.Num _ ->
+    let i =
+      match Sjson.to_int v with
+      | Some i -> i
+      | None -> bad "field %S: node id must be an integer" field
+    in
+    if i < 0 || i >= Digraph.node_count g then
+      bad "field %S: node %d outside the graph (n = %d)" field i
+        (Digraph.node_count g);
+    i
+  | Sjson.Str s -> (
+    match Digraph.node_of_name g s with
+    | i -> i
+    | exception Not_found -> bad "field %S: unknown node name %S" field s)
+  | _ -> bad "field %S: expected a node id or name" field
+
+let change g v =
+  let src = node g "src" (Option.value (Sjson.member "src" v) ~default:Sjson.Null) in
+  let dst = node g "dst" (Option.value (Sjson.member "dst" v) ~default:Sjson.Null) in
+  if src = dst then bad "demand entry: src = dst (%d)" src;
+  let size =
+    match Sjson.member "size" v with
+    | Some s -> (
+      match Sjson.to_float s with
+      | Some f when Float.is_finite f && f >= 0. -> f
+      | _ -> bad "demand entry %d->%d: size must be a finite non-negative number" src dst)
+    | None -> bad "demand entry %d->%d: missing \"size\"" src dst
+  in
+  { src; dst; size }
+
+let changes g key v =
+  match Sjson.member key v with
+  | Some entries -> (
+    match Sjson.to_list entries with
+    | Some l -> List.map (change g) l
+    | None -> bad "field %S: expected an array of demand entries" key)
+  | None -> bad "missing field %S" key
+
+let edge_id g v =
+  let m = Digraph.edge_count g in
+  match Sjson.member "edge" v with
+  | Some e -> (
+    match Sjson.to_int e with
+    | Some i when i >= 0 && i < m -> [ i ]
+    | Some i -> bad "edge %d outside the graph (m = %d)" i m
+    | None -> bad "field \"edge\": expected an integer edge id")
+  | None -> (
+    match Sjson.member "edges" v with
+    | Some es -> (
+      match Sjson.to_list es with
+      | Some l ->
+        List.map
+          (fun e ->
+            match Sjson.to_int e with
+            | Some i when i >= 0 && i < m -> i
+            | Some i -> bad "edge %d outside the graph (m = %d)" i m
+            | None -> bad "field \"edges\": expected integer edge ids")
+          l
+      | None -> bad "field \"edges\": expected an array")
+    | None ->
+      (* Addressed by endpoints: the directed edge src -> dst. *)
+      let src = node g "src" (Option.value (Sjson.member "src" v) ~default:Sjson.Null) in
+      let dst = node g "dst" (Option.value (Sjson.member "dst" v) ~default:Sjson.Null) in
+      (match Digraph.find_edge g ~src ~dst with
+      | Some e -> [ e ]
+      | None -> bad "no edge %d -> %d in the graph" src dst))
+
+let dedup_edges l =
+  match List.sort_uniq Int.compare l with
+  | [] -> bad "field \"edges\": empty edge list"
+  | l -> l
+
+let parse g line =
+  match Sjson.parse line with
+  | Result.Error msg -> Result.Error ("invalid JSON: " ^ msg)
+  | Ok v -> (
+    match v with
+    | Sjson.Obj _ -> (
+      try
+        match Sjson.member "ev" v with
+        | None -> Result.Error "missing field \"ev\""
+        | Some ev -> (
+          match Sjson.to_string ev with
+          | None -> Result.Error "field \"ev\": expected a string"
+          | Some evname ->
+            Ok
+              (match evname with
+              | "delta" ->
+                let cs = changes g "changes" v in
+                if cs = [] then bad "field \"changes\": empty delta";
+                Delta cs
+              | "set-matrix" ->
+                let cs = changes g "demands" v in
+                if cs = [] then bad "field \"demands\": empty matrix";
+                Set_matrix cs
+              | "link-down" -> Link_down (dedup_edges (edge_id g v))
+              | "link-up" -> Link_up (dedup_edges (edge_id g v))
+              | "report" -> Report
+              | "resolve" -> Resolve
+              | "quit" -> Quit
+              | other -> bad "unknown event %S" other))
+      with Bad msg -> Result.Error msg)
+    | _ -> Result.Error "expected a JSON object")

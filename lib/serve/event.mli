@@ -1,0 +1,41 @@
+(** The serving event grammar ([serve/1] request lines).
+
+    One JSON object per line, discriminated by the ["ev"] field:
+
+    - [{"ev":"delta","changes":[{"src":S,"dst":D,"size":X},...]}] —
+      set the named demand entries to the given absolute sizes
+      (a size of [0] removes the pair);
+    - [{"ev":"set-matrix","demands":[...]}] — replace the whole matrix
+      (same entry shape as [delta]);
+    - [{"ev":"link-down","edge":E}] / [{"ev":"link-up","edge":E}] —
+      fail / restore a directed edge; [{"edges":[..]}] takes several at
+      once, and [{"src":S,"dst":D}] addresses the edge by endpoints;
+    - [{"ev":"report"}] — emit a state digest without re-optimizing;
+    - [{"ev":"resolve"}] — drop the churn budget for one update and
+      re-optimize as hard as the configured resolve budget allows;
+    - [{"ev":"quit"}] — acknowledge and stop the loop.
+
+    Nodes are either integer ids or node-name strings resolved against
+    the daemon's graph.  Parsing is total: every malformed line comes
+    back as [Error reason] and becomes an error response. *)
+
+type change = { src : int; dst : int; size : float }
+(** One demand-matrix entry: absolute size (not an increment), [0.]
+    removes the pair. *)
+
+type t =
+  | Delta of change list
+  | Set_matrix of change list
+  | Link_down of int list
+  | Link_up of int list
+  | Report
+  | Resolve
+  | Quit
+
+val name : t -> string
+(** The wire name ("delta", "set-matrix", ...), echoed in responses. *)
+
+val parse : Netgraph.Digraph.t -> string -> (t, string) result
+(** Parses one event line against the graph (node names and edge
+    endpoints are resolved and range-checked here, so the daemon state
+    machine only ever sees valid ids). *)

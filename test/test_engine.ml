@@ -292,6 +292,72 @@ let test_probe_loop_zero_alloc () =
       Alcotest.(check bool) "probe saw finite mlu" true
         (mx.Engine.Evaluator.mlu > 0. && mx.Engine.Evaluator.mlu < infinity)
 
+(* Link-flap round trip: a committed disable_edge must be durably
+   revertible — enable_edge + commit restores bit-identical state
+   (loads, metrics, reachability) with no rebuild.  This guards the
+   dirty-destination predicate in apply_weight: a destination whose
+   forward distance to some node went infinite while the link was down
+   must still be repaired when the link comes back, even though the
+   old distance is not finite. *)
+let test_link_flap_round_trip () =
+  let g = Topology.Datasets.abilene () in
+  let n = Digraph.node_count g and m = Digraph.edge_count g in
+  let w = Weights.inverse_capacity g in
+  let ev = Engine.Evaluator.create g w in
+  let st = Random.State.make [| 0xf1a9 |] in
+  let demands =
+    Array.init 20 (fun _ ->
+        let s = Random.State.int st n in
+        let d = (s + 1 + Random.State.int st (n - 1)) mod n in
+        (s, d, float_of_int (1 + Random.State.int st 4)))
+  in
+  Engine.Evaluator.set_commodities ev demands;
+  let mlu0, phi0 = Engine.Evaluator.evaluate ev in
+  let loads0 = Array.copy (Engine.Evaluator.loads ev) in
+  let reach () =
+    Array.init n (fun s ->
+        Array.init n (fun d -> Engine.Evaluator.reachable ev ~src:s ~dst:d))
+  in
+  let reach0 = reach () in
+  (* Edge 0 is node 0's only out-edge on Abilene: while it is down a
+     whole row of the reachability matrix goes false, which is exactly
+     the regime the repair predicate must handle on re-enable. *)
+  List.iter
+    (fun e ->
+      let orig = w.(e) in
+      Engine.Evaluator.disable_edge ev ~edge:e;
+      Engine.Evaluator.commit ev;
+      Alcotest.(check bool) "disabled after commit" true
+        (Engine.Evaluator.edge_disabled ev ~edge:e);
+      ignore (reach ());
+      Engine.Evaluator.enable_edge ev ~edge:e orig;
+      Engine.Evaluator.commit ev;
+      Alcotest.(check bool) "enabled after commit" false
+        (Engine.Evaluator.edge_disabled ev ~edge:e);
+      let mlu1, phi1 = Engine.Evaluator.evaluate ev in
+      Alcotest.(check bool)
+        (Printf.sprintf "edge %d: metrics bit-identical" e)
+        true
+        (mlu1 = mlu0 && phi1 = phi0);
+      Alcotest.(check bool)
+        (Printf.sprintf "edge %d: loads bit-identical" e)
+        true
+        (Engine.Evaluator.loads ev = loads0);
+      Alcotest.(check bool)
+        (Printf.sprintf "edge %d: reachability restored" e)
+        true
+        (reach () = reach0))
+    [ 0; m / 2; m - 1 ];
+  Alcotest.check_raises "enable on live edge rejected"
+    (Invalid_argument "Evaluator.enable_edge: edge is not disabled")
+    (fun () -> Engine.Evaluator.enable_edge ev ~edge:0 1.);
+  Engine.Evaluator.disable_edge ev ~edge:0;
+  Alcotest.check_raises "enable with infinite weight rejected"
+    (Invalid_argument
+       "Evaluator.enable_edge: weight must be positive and finite")
+    (fun () -> Engine.Evaluator.enable_edge ev ~edge:0 infinity);
+  Engine.Evaluator.undo ev
+
 (* Failure sweep on Germany50: disable every link in turn, check
    reachability, evaluate the survivors and restore.  After one warm
    sweep the whole pass must stay allocation-free — the regression this
@@ -354,6 +420,8 @@ let () =
           Alcotest.test_case "undo after commodity swap" `Quick
             test_undo_after_commodity_swap;
           Alcotest.test_case "ecmp shim" `Quick test_ecmp_shim;
+          Alcotest.test_case "link-flap round trip" `Quick
+            test_link_flap_round_trip;
         ] );
       ( "incremental spf",
         [

@@ -197,6 +197,75 @@ let prop_opt_lower_bounds_ecmp =
       let ecmp = Te.Ecmp.mlu_of g (Te.Weights.unit g) demands in
       opt <= ecmp +. 1e-6)
 
+(* Warm-basis re-solve over a drifting demand sequence: the serving
+   loop's contract.  Each step perturbs only the demand sizes (same
+   pair set, so the previous basis is structurally valid); the warm
+   solve must reach the same objective as a cold solve to 1e-6, and —
+   the point of carrying the basis at all — spend strictly fewer
+   simplex pivots in total. *)
+let test_warm_basis_drift () =
+  let g = Topology.Datasets.abilene () in
+  let demands =
+    Te.Demand_gen.mcf_synthetic ~epsilon:0.15 ~seed:7 ~flows_per_pair:2 g
+  in
+  let base =
+    Mcf.aggregate
+      (Array.map
+         (fun d ->
+           Mcf.commodity d.Te.Network.src d.Te.Network.dst d.Te.Network.size)
+         demands)
+  in
+  let drift step =
+    (* smooth per-pair factors in [0.55, 1.45], different every step *)
+    Array.mapi
+      (fun i c ->
+        let f =
+          1. +. (0.45 *. sin (float_of_int ((step * 37) + (i * 13)) /. 7.))
+        in
+        Mcf.commodity c.Mcf.src c.Mcf.dst (c.Mcf.demand *. f))
+      base
+  in
+  let warm_pivots = ref 0 and cold_pivots = ref 0 in
+  let basis = ref None in
+  for step = 1 to 20 do
+    let comms = drift step in
+    let cold = Mcf.opt_mlu_lp_warm_ext g comms in
+    let warm = Mcf.opt_mlu_lp_warm_ext ?basis:!basis g comms in
+    Alcotest.(check (float 1e-6))
+      (Printf.sprintf "step %d: warm objective = cold" step)
+      cold.Mcf.value warm.Mcf.value;
+    Alcotest.(check bool) "cold solve reports cold" false cold.Mcf.warm;
+    Alcotest.(check bool)
+      (Printf.sprintf "step %d: warm solve reports warm" step)
+      (step > 1) warm.Mcf.warm;
+    warm_pivots := !warm_pivots + warm.Mcf.pivots;
+    cold_pivots := !cold_pivots + cold.Mcf.pivots;
+    basis := Some warm.Mcf.basis
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "warm pivots (%d) strictly below cold (%d)" !warm_pivots
+       !cold_pivots)
+    true
+    (!warm_pivots < !cold_pivots)
+
+(* The warm path must also feed the engine counters the serving bench
+   reads: pivots recorded per solve, warm solves tallied. *)
+let test_warm_solve_stats () =
+  let g = parallel_links () in
+  let comms = [| Mcf.commodity 0 1 2. |] in
+  let stats = Engine.Stats.create () in
+  let r = Mcf.opt_mlu_lp_warm_ext g comms in
+  Engine.Stats.record_lp_solve stats ~pivots:r.Mcf.pivots;
+  let r2 = Mcf.opt_mlu_lp_warm_ext ~basis:r.Mcf.basis g comms in
+  Engine.Stats.record_lp_solve stats ~pivots:r2.Mcf.pivots;
+  if r2.Mcf.warm then
+    stats.Engine.Stats.lp_warm_solves <- stats.Engine.Stats.lp_warm_solves + 1;
+  checkf6 "same objective" r.Mcf.value r2.Mcf.value;
+  Alcotest.(check int) "two solves" 2 stats.Engine.Stats.lp_solves;
+  Alcotest.(check int) "one warm" 1 stats.Engine.Stats.lp_warm_solves;
+  Alcotest.(check bool) "warm re-solve needs no pivots beyond refactor" true
+    (r2.Mcf.pivots <= r.Mcf.pivots)
+
 let () =
   Alcotest.run "mcf"
     [
@@ -211,6 +280,9 @@ let () =
           Alcotest.test_case "uses both paths" `Quick test_lp_uses_both_paths;
           Alcotest.test_case "single pair via maxflow" `Quick test_single_pair_uses_maxflow;
           Alcotest.test_case "unroutable" `Quick test_unroutable_reported;
+          Alcotest.test_case "warm basis over drift" `Quick
+            test_warm_basis_drift;
+          Alcotest.test_case "warm solve stats" `Quick test_warm_solve_stats;
         ] );
       ( "garg-koenemann",
         [
