@@ -49,7 +49,8 @@ let phases_json phases =
             Printf.sprintf "%s: %.6f" (Obs.Export.json_str name) d)
           phases))
 
-let write_bench ?(ctx : Obs.Ctx.t option) ?(extra = []) ~file ~bench records =
+let write_bench ?(ctx : Obs.Ctx.t option) ?(version = 1) ?(extra = []) ~file
+    ~bench records =
   let fields =
     (match ctx with
     | None -> []
@@ -58,7 +59,7 @@ let write_bench ?(ctx : Obs.Ctx.t option) ?(extra = []) ~file ~bench records =
     @ extra
   in
   Obs.Export.write_envelope ~path:file
-    ~schema:(Printf.sprintf "bench/%s/1" bench)
+    ~schema:(Printf.sprintf "bench/%s/%d" bench version)
     ~fields records;
   row "\nwrote %s (%d records)\n" file (List.length records)
 
@@ -824,18 +825,37 @@ let exp_engine () =
 (* Parallel search runtime                                             *)
 (* ------------------------------------------------------------------ *)
 
+(* One measured (topology, jobs) point of the scheduler benchmark. *)
+type parallel_rec = {
+  pr_scan_evals : int;
+  pr_wpo_wall : float;
+  pr_ls_evals : int;
+  pr_ls_wall : float;
+  pr_overhead_us : float;  (* scheduler overhead per task, microseconds *)
+  pr_syncs : int;  (* clone-cache delta syncs, both heuristics *)
+  pr_copies : int;  (* clone-cache full copies, both heuristics *)
+  pr_steals : int;  (* deque steals during the two runs *)
+  pr_parks : int;  (* worker park events during the two runs *)
+  pr_efficiency : float;  (* par_busy / (par_wall * jobs); nan at jobs=1 *)
+}
+
 (* Scaling of lib/par: the GreedyWPO candidate scan and the HeurOSPF
-   probe fan-out, both running on per-worker Evaluator.copy clones, at
-   pool sizes 1/2/4/8.  Every run is checked bit-identical against the
-   jobs = 1 reference before its timing is reported — a speedup that
-   changes the answer would be a bug, not a result.  Results land in
-   BENCH_parallel.json together with the host's recommended domain
-   count, so numbers from a single-core container are recognizable as
-   such. *)
+   probe fan-out, both running on cached per-worker clones under the
+   work-stealing scheduler, at pool sizes 1/2/4/8.  Every run is checked
+   bit-identical against the jobs = 1 reference before its timing is
+   reported — a speedup that changes the answer would be a bug, not a
+   result.  Each record carries the scheduler's own counters (steals,
+   parks, per-task overhead) and the clone-cache amortization ratio;
+   two extra records report the sync-vs-copy microbenchmark and the
+   multicore efficiency gate, which is enforced only when the host
+   actually has >= 4 cores and recorded as skipped otherwise.  Results
+   land in BENCH_parallel.json under schema bench/parallel/2, stamped
+   (like every envelope) with the host's core count so numbers from a
+   single-core container are recognizable as such. *)
 let exp_parallel () =
-  section "Parallel search runtime: speedup vs worker domains (lib/par)";
+  section "Parallel search runtime: work-stealing scheduler (lib/par)";
   let bctx = bench_ctx () in
-  let cores = Domain.recommended_domain_count () in
+  let cores = Obs.Export.host_cores () in
   row "host: Domain.recommended_domain_count () = %d\n" cores;
   let records = ref [] in
   let emit r = records := r :: !records in
@@ -871,11 +891,15 @@ let exp_parallel () =
       let ref_wpo = ref None and ref_ls = ref None in
       List.iter
         (fun jobs ->
-          let (wpo, wpo_stats, wpo_wall), (ls, ls_stats, ls_wall) =
-            if jobs = 1 then (run_wpo Par.Pool.sequential, run_ls Par.Pool.sequential)
-            else
-              Par.Pool.with_pool ~jobs (fun pool ->
-                  (run_wpo pool, run_ls pool))
+          let measure pool =
+            let m0 = Par.Pool.metrics pool in
+            let wpo = run_wpo pool in
+            let ls = run_ls pool in
+            (wpo, ls, m0, Par.Pool.metrics pool)
+          in
+          let (wpo, wpo_stats, wpo_wall), (ls, ls_stats, ls_wall), m0, m1 =
+            if jobs = 1 then measure Par.Pool.sequential
+            else Par.Pool.with_pool ~jobs measure
           in
           (match !ref_wpo with
           | None -> ref_wpo := Some wpo
@@ -896,13 +920,37 @@ let exp_parallel () =
                 (Printf.sprintf
                    "HeurOSPF result at --jobs %d differs from jobs=1 on %s"
                    jobs name));
-          let scan_evals =
-            Array.fold_left ( + ) 0 wpo_stats.Engine.Stats.worker_evals
+          let tasks =
+            wpo_stats.Engine.Stats.par_tasks + ls_stats.Engine.Stats.par_tasks
+          in
+          let overhead_us =
+            if tasks = 0 then 0.
+            else
+              (wpo_stats.Engine.Stats.par_wall
+              +. ls_stats.Engine.Stats.par_wall
+              -. wpo_stats.Engine.Stats.par_busy
+              -. ls_stats.Engine.Stats.par_busy)
+              /. float_of_int tasks *. 1e6
           in
           emit
             ( (name, jobs),
-              (scan_evals, wpo_wall, ls_stats.Engine.Stats.evaluations, ls_wall)
-            ))
+              {
+                pr_scan_evals =
+                  Array.fold_left ( + ) 0 wpo_stats.Engine.Stats.worker_evals;
+                pr_wpo_wall = wpo_wall;
+                pr_ls_evals = ls_stats.Engine.Stats.evaluations;
+                pr_ls_wall = ls_wall;
+                pr_overhead_us = overhead_us;
+                pr_syncs =
+                  wpo_stats.Engine.Stats.clone_syncs
+                  + ls_stats.Engine.Stats.clone_syncs;
+                pr_copies =
+                  wpo_stats.Engine.Stats.clone_copies
+                  + ls_stats.Engine.Stats.clone_copies;
+                pr_steals = m1.Par.Pool.steals - m0.Par.Pool.steals;
+                pr_parks = m1.Par.Pool.parks - m0.Par.Pool.parks;
+                pr_efficiency = Engine.Stats.parallel_efficiency ls_stats;
+              } ))
         jobs_list)
     topos;
   (* Render and serialize: walk the records per topology so each row's
@@ -911,23 +959,28 @@ let exp_parallel () =
   let json = ref [] in
   List.iter
     (fun name ->
-      let base_wpo, base_ls =
-        match List.assoc (name, 1) records with
-        | _, w1, _, l1 -> (w1, l1)
-      in
-      row "\n%-12s %6s %12s %9s %8s %12s %9s %8s\n" name "jobs" "scan ev/s"
-        "wall" "speedup" "probe ev/s" "wall" "speedup";
+      let base = List.assoc (name, 1) records in
+      row "\n%-12s %6s %12s %8s %12s %8s %9s %7s %7s\n" name "jobs"
+        "scan ev/s" "speedup" "probe ev/s" "speedup" "ovh us/t" "steals"
+        "amort";
       List.iter
         (fun jobs ->
           match List.assoc_opt (name, jobs) records with
           | None -> ()
-          | Some (scan_evals, wpo_wall, ls_evals, ls_wall) ->
-            row "%-12s %6d %12.0f %8.3fs %7.2fx %12.0f %8.3fs %7.2fx\n" name
-              jobs
-              (float_of_int scan_evals /. wpo_wall)
-              wpo_wall (base_wpo /. wpo_wall)
-              (float_of_int ls_evals /. ls_wall)
-              ls_wall (base_ls /. ls_wall);
+          | Some r ->
+            let amort =
+              if r.pr_syncs + r.pr_copies = 0 then 0.
+              else
+                float_of_int r.pr_syncs
+                /. float_of_int (r.pr_syncs + r.pr_copies)
+            in
+            row "%-12s %6d %12.0f %7.2fx %12.0f %7.2fx %9.2f %7d %7.2f\n"
+              name jobs
+              (float_of_int r.pr_scan_evals /. r.pr_wpo_wall)
+              (base.pr_wpo_wall /. r.pr_wpo_wall)
+              (float_of_int r.pr_ls_evals /. r.pr_ls_wall)
+              (base.pr_ls_wall /. r.pr_ls_wall)
+              r.pr_overhead_us r.pr_steals amort;
             json :=
               Printf.sprintf
                 "{\"topology\": %S, \"jobs\": %d, \
@@ -935,18 +988,155 @@ let exp_parallel () =
                  \"scan_candidates\": %d, \"scan_wall_seconds\": %.6f, \
                  \"scan_evals_per_sec\": %.1f, \"scan_speedup\": %.3f, \
                  \"probe_evaluations\": %d, \"probe_wall_seconds\": %.6f, \
-                 \"probe_evals_per_sec\": %.1f, \"probe_speedup\": %.3f}"
-                name jobs scan_evals wpo_wall
-                (float_of_int scan_evals /. wpo_wall)
-                (base_wpo /. wpo_wall) ls_evals ls_wall
-                (float_of_int ls_evals /. ls_wall)
-                (base_ls /. ls_wall)
+                 \"probe_evals_per_sec\": %.1f, \"probe_speedup\": %.3f, \
+                 \"sched_overhead_us_per_task\": %.3f, \
+                 \"steals\": %d, \"parks\": %d, \
+                 \"clone_syncs\": %d, \"clone_copies\": %d, \
+                 \"clone_amortization\": %.3f, \"efficiency\": %s}"
+                name jobs r.pr_scan_evals r.pr_wpo_wall
+                (float_of_int r.pr_scan_evals /. r.pr_wpo_wall)
+                (base.pr_wpo_wall /. r.pr_wpo_wall)
+                r.pr_ls_evals r.pr_ls_wall
+                (float_of_int r.pr_ls_evals /. r.pr_ls_wall)
+                (base.pr_ls_wall /. r.pr_ls_wall)
+                r.pr_overhead_us r.pr_steals r.pr_parks r.pr_syncs
+                r.pr_copies amort
+                (if Float.is_nan r.pr_efficiency then "null"
+                 else Printf.sprintf "%.3f" r.pr_efficiency)
               :: !json)
         jobs_list)
     topos;
   row "\nall runs bit-identical to jobs=1\n";
-  write_bench ~ctx:bctx ~file:"BENCH_parallel.json" ~bench:"parallel"
-    (List.rev !json)
+  (* Sync-vs-copy microbenchmark on a warm Germany50 clone, two
+     regimes.  Steady state: the clone is already in sync when the next
+     fan-out arrives (repeated sweeps over an unchanged master, the
+     serving daemon re-entering between updates) — sync_from is a pure
+     O(m) diff scan and must beat a full copy by a wide margin; the
+     gate below enforces 3x there.  Delta: the search committed one
+     weight move since the last fan-out — sync_from pays a real
+     incremental repair while copy free-rides on the source's
+     just-repaired caches, so that regime is recorded honestly but not
+     gated. *)
+  let sync_us, copy_us =
+    Obs.Ctx.phase bctx "sync_vs_copy" @@ fun () ->
+    let g = Topology.Datasets.load "Germany50" in
+    let m = Digraph.edge_count g in
+    let demands =
+      Demand_gen.mcf_synthetic ~epsilon:0.15 ~seed:1
+        ~flows_per_pair:(max 2 (m / 16)) g
+    in
+    let src = Engine.Evaluator.create g (Weights.inverse_capacity g) in
+    Engine.Evaluator.set_commodities src (Network.to_commodities demands);
+    ignore (Engine.Evaluator.evaluate src);
+    let clone = Engine.Evaluator.copy src in
+    ignore (Engine.Evaluator.evaluate clone);
+    let reps = if !full then 400 else 100 in
+    let st = Random.State.make [| 0xc10e |] in
+    let move () =
+      Engine.Evaluator.set_weight src ~edge:(Random.State.int st m)
+        (float_of_int (1 + Random.State.int st 20));
+      Engine.Evaluator.commit src;
+      ignore (Engine.Evaluator.evaluate src)
+    in
+    (* Steady state: clone in sync, source unchanged between syncs. *)
+    Engine.Evaluator.sync_from ~src clone;
+    ignore (Engine.Evaluator.evaluate clone);
+    let t_sync = ref 0. in
+    for _ = 1 to reps do
+      let t0 = Engine.Mono.now () in
+      Engine.Evaluator.sync_from ~src clone;
+      t_sync := !t_sync +. (Engine.Mono.now () -. t0);
+      ignore (Engine.Evaluator.evaluate clone)
+    done;
+    let t_copy = ref 0. in
+    for _ = 1 to reps do
+      let t0 = Engine.Mono.now () in
+      let c = Engine.Evaluator.copy src in
+      t_copy := !t_copy +. (Engine.Mono.now () -. t0);
+      ignore (Engine.Evaluator.evaluate c)
+    done;
+    (* Delta: one committed move on the source between fan-outs. *)
+    let t_dsync = ref 0. in
+    for _ = 1 to reps do
+      move ();
+      let t0 = Engine.Mono.now () in
+      Engine.Evaluator.sync_from ~src clone;
+      t_dsync := !t_dsync +. (Engine.Mono.now () -. t0);
+      ignore (Engine.Evaluator.evaluate clone)
+    done;
+    let t_dcopy = ref 0. in
+    for _ = 1 to reps do
+      move ();
+      let t0 = Engine.Mono.now () in
+      let c = Engine.Evaluator.copy src in
+      t_dcopy := !t_dcopy +. (Engine.Mono.now () -. t0);
+      ignore (Engine.Evaluator.evaluate c)
+    done;
+    let per t = !t /. float_of_int reps *. 1e6 in
+    let sync_us = per t_sync and copy_us = per t_copy in
+    let dsync_us = per t_dsync and dcopy_us = per t_dcopy in
+    row "\nsync_from vs copy (Germany50, warm clone, %d reps)\n" reps;
+    row "  steady state (in sync): %.1f us vs %.1f us (%.1fx)\n"
+      sync_us copy_us (copy_us /. sync_us);
+    row "  one-move delta:         %.1f us vs %.1f us (%.1fx)\n"
+      dsync_us dcopy_us (dcopy_us /. dsync_us);
+    json :=
+      Printf.sprintf
+        "{\"microbench\": \"sync_vs_copy\", \"topology\": \"Germany50\", \
+         \"regime\": \"steady_state\", \"reps\": %d, \
+         \"sync_us\": %.3f, \"copy_us\": %.3f, \"sync_speedup\": %.2f}"
+        reps sync_us copy_us (copy_us /. sync_us)
+      :: !json;
+    json :=
+      Printf.sprintf
+        "{\"microbench\": \"sync_vs_copy\", \"topology\": \"Germany50\", \
+         \"regime\": \"one_move_delta\", \"reps\": %d, \
+         \"sync_us\": %.3f, \"copy_us\": %.3f, \"sync_speedup\": %.2f}"
+        reps dsync_us dcopy_us (dcopy_us /. dsync_us)
+      :: !json;
+    (sync_us, copy_us)
+  in
+  (* Multicore efficiency gate: >= 0.7 at Germany50 jobs=4, enforced
+     only where 4 workers can actually run in parallel.  On smaller
+     hosts the honest answer is "skipped", not a vacuous pass. *)
+  let g50_eff =
+    match List.assoc_opt ("Germany50", 4) records with
+    | Some r when not (Float.is_nan r.pr_efficiency) ->
+      Some r.pr_efficiency
+    | _ -> None
+  in
+  let status =
+    if cores >= 4 then
+      match g50_eff with
+      | Some e when e >= 0.7 -> "passed"
+      | _ -> "failed"
+    else
+      Printf.sprintf "skipped (%d core%s)" cores (if cores = 1 then "" else "s")
+  in
+  row "efficiency gate (Germany50 jobs=4, threshold 0.70): %s%s\n" status
+    (match g50_eff with
+    | Some e -> Printf.sprintf " [measured %.3f]" e
+    | None -> "");
+  json :=
+    Printf.sprintf
+      "{\"gate\": \"parallel_efficiency\", \"topology\": \"Germany50\", \
+       \"jobs\": 4, \"threshold\": 0.7, \"efficiency\": %s, \
+       \"host_cores\": %d, \"status\": %s}"
+      (match g50_eff with
+      | Some e -> Printf.sprintf "%.3f" e
+      | None -> "null")
+      cores
+      (Obs.Export.json_str status)
+    :: !json;
+  write_bench ~ctx:bctx ~version:2 ~file:"BENCH_parallel.json"
+    ~bench:"parallel" (List.rev !json);
+  if copy_us /. sync_us < 3. then
+    failwith
+      (Printf.sprintf
+         "sync_from only %.2fx cheaper than copy (gate: 3x)"
+         (copy_us /. sync_us));
+  if status = "failed" then
+    failwith "parallel efficiency below 0.7 at Germany50 jobs=4"
 
 (* ------------------------------------------------------------------ *)
 (* Robustness sweep throughput                                         *)
@@ -1793,7 +1983,7 @@ let () =
     | a :: rest -> parse (a :: acc) rest
   in
   let args = parse [] args in
-  if !jobs > 1 then the_pool := Par.Pool.create ~jobs:!jobs;
+  if !jobs > 1 then the_pool := Par.Pool.create ~jobs:!jobs ();
   let selected = if args = [] then List.map fst experiments else args in
   Printf.printf
     "Joint link-weight and segment optimization - reproduction harness%s%s\n"

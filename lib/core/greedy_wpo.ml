@@ -68,25 +68,35 @@ type scan_ctx = {
   tracer : Obs.Tracer.t;
 }
 
-(* Clones are made eagerly, on the calling domain, after the caches are
-   warm — [Evaluator.copy] must never race with another domain using the
-   source evaluator. *)
-let make_ctx ?(tracer = Obs.Tracer.noop) pool ev =
+(* Clones come from the context's persistent cache, on the calling
+   domain, after the caches are warm — neither [Evaluator.copy] nor
+   [Evaluator.sync_from] may race with another domain using the source
+   evaluator.  Slots already populated by an earlier fan-out (a previous
+   greedy run, or the local search sharing the same context) are
+   delta-synced instead of recopied. *)
+let make_ctx ?(tracer = Obs.Tracer.noop) ?clones pool ev =
   let g = Engine.Evaluator.graph ev in
   let m = Digraph.edge_count g in
   let par = Par.Pool.parallelism pool in
   let evs = Array.make par ev in
   for w = 1 to par - 1 do
-    evs.(w) <- Engine.Evaluator.copy ev
+    evs.(w) <-
+      (match clones with
+      | Some cache -> Engine.Evaluator.Clones.get cache ~worker:w ~src:ev
+      | None -> Engine.Evaluator.copy ev)
   done;
   { g; m; caps = Digraph.caps g; pool; evs;
     bufs = Array.init par (fun _ -> Array.make m 0.);
     main_stats = Engine.Evaluator.stats ev; tracer }
 
+(* Clones persist in the cache across fan-outs, so their counters are
+   folded into the run total and reset — leaving them live would
+   double-count on the next merge. *)
 let merge_clone_stats ctx =
   for w = 1 to Array.length ctx.evs - 1 do
-    Engine.Stats.merge ~into:ctx.main_stats
-      (Engine.Evaluator.stats ctx.evs.(w))
+    let cs = Engine.Evaluator.stats ctx.evs.(w) in
+    Engine.Stats.merge ~into:ctx.main_stats cs;
+    Engine.Stats.reset cs
   done
 
 (* Returns the strict (utilization, candidate index) argmin — the first
@@ -187,7 +197,7 @@ let optimize_multi_ctx (octx : Obs.Ctx.t) ?(order = Desc) ?prune ~rounds g
     try Array.copy (Engine.Evaluator.loads ev)
     with Engine.Evaluator.Unroutable (s, t) -> raise (Ecmp.Unroutable (s, t))
   in
-  let ctx = make_ctx ~tracer pool ev in
+  let ctx = make_ctx ~tracer ~clones:octx.Obs.Ctx.clones pool ev in
   let pruner = Option.map (fun s -> Prune.prepare octx s ev demands) prune in
   let setting = Array.make (Array.length demands) [] in
   let indices = order_indices order demands in
@@ -273,7 +283,7 @@ let optimize_ctx (octx : Obs.Ctx.t) ?(order = Desc) ?(passes = 1) ?prune g
     try Array.copy (Engine.Evaluator.loads ev)
     with Engine.Evaluator.Unroutable (s, t) -> raise (Ecmp.Unroutable (s, t))
   in
-  let ctx = make_ctx ~tracer pool ev in
+  let ctx = make_ctx ~tracer ~clones:octx.Obs.Ctx.clones pool ev in
   let pruner = Option.map (fun s -> Prune.prepare octx s ev demands) prune in
   let initial_mlu = Engine.Evaluator.mlu_of_loads g loads in
   let waypoints = Array.make (Array.length demands) None in

@@ -27,13 +27,17 @@ let evaluate g demands int_weights =
    The neighborhood probes fan out over the context's pool: candidate
    weight values for the picked edge are gated by the budget/memo rules
    sequentially (consuming no randomness), the cache misses are then
-   scored concurrently — each worker on its own
-   {!Engine.Evaluator.copy} clone — and the tracker updates replay in
-   candidate order.  Because every clone holds bitwise the same
-   committed state as the main evaluator (every accepted move and
-   perturbation is mirrored to them), a probe returns the same floats
-   no matter which worker runs it, so the walk is bit-identical for
-   every pool size, including the inline [parallelism = 1] case. *)
+   scored concurrently — each worker on its persistent cached clone
+   (see {!Engine.Evaluator.Clones}) — and the tracker updates replay in
+   candidate order.  Accepted moves are not eagerly mirrored into the
+   clones (that would put [par - 1] incremental repairs on the caller's
+   critical path per accepted move); instead the committed weights are
+   published to a shadow vector and each clone delta-syncs at the start
+   of its next probe task, on its own domain, and only if it actually
+   runs one.  A synced clone holds bitwise the same committed state as
+   the main evaluator, so a probe returns the same floats no matter
+   which worker runs it — the walk is bit-identical for every pool
+   size, including the inline [parallelism = 1] case. *)
 let run_single (ctx : Obs.Ctx.t) ~params ?init g demands =
   if params.wmax < 2 then invalid_arg "Local_search.optimize: wmax < 2";
   let pool = ctx.Obs.Ctx.pool in
@@ -84,33 +88,42 @@ let run_single (ctx : Obs.Ctx.t) ~params ?init g demands =
     | Some r -> r
     | None -> eval_engine current
   in
-  (* Worker clones, made eagerly on this domain once the caches are
-     warm.  [parallelism] is 1 when the walk itself runs inside a pool
-     task (multi-restart): the probe map then nests inline on worker 0
-     (the main evaluator) and no clones exist at all. *)
+  (* Worker clones from the context's persistent cache, synced on this
+     domain once the caches are warm: the first walk pays a full copy
+     per slot, later walks an incremental sync.  [parallelism] is 1
+     when the walk itself runs inside a pool task (multi-restart): the
+     probe map then nests inline on worker 0 (the main evaluator) and
+     no clones exist at all. *)
   let par = Par.Pool.parallelism pool in
   let clones = Array.make par ev in
   for w = 1 to par - 1 do
-    clones.(w) <- Engine.Evaluator.copy ev
+    clones.(w) <- Engine.Evaluator.Clones.get ctx.Obs.Ctx.clones ~worker:w ~src:ev
   done;
   (* One metrics cell per worker: probe tasks write their (mlu, phi)
      into their own cell, so a probe never allocates a result tuple. *)
   let cells =
     Array.init par (fun _ -> { Engine.Evaluator.mlu = 0.; phi = 0. })
   in
-  (* Keep every clone's committed state bitwise equal to the main
-     evaluator's: mirror each accepted move and perturbation. *)
-  let mirror_set_weight e wf =
-    for w = 1 to par - 1 do
-      Engine.Evaluator.set_weight clones.(w) ~edge:e wf;
-      Engine.Evaluator.commit clones.(w)
-    done
+  (* Lazy clone sync.  Accepted moves and perturbations publish the new
+     committed weights into [shadow] and bump [version]; a worker whose
+     clone is behind delta-syncs at the start of its next probe task.
+     The sync cost lands on the worker's own domain — and only if that
+     worker actually runs a task — instead of being paid [par - 1]
+     times on the caller's critical path per accepted move.  [shadow]
+     and [version] are plain (non-atomic) state: they are written by
+     the orchestrating domain between fan-outs and read by workers
+     inside one, and the scheduler's region submission/claim atomics
+     order those accesses. *)
+  let shadow =
+    if par > 1 then Array.copy (Engine.Evaluator.weights ev) else [||]
   in
-  let mirror_set_weights wf =
-    for w = 1 to par - 1 do
-      Engine.Evaluator.set_weights clones.(w) wf;
-      Engine.Evaluator.commit clones.(w)
-    done
+  let version = ref 0 in
+  let synced = Array.make par 0 in
+  let publish_weights () =
+    if par > 1 then begin
+      Array.blit (Engine.Evaluator.weights ev) 0 shadow 0 m;
+      incr version
+    end
   in
   let cur_obj = ref (objective (cur_mlu, cur_phi)) in
   let cur_loads = ref cur_loads in
@@ -211,6 +224,12 @@ let run_single (ctx : Obs.Ctx.t) ~params ?init g demands =
       Par.Pool.map pool ~tasks:(Array.length probes) (fun ~worker i ->
           let t0 = Engine.Mono.now () in
           let evw = clones.(worker) and c = cells.(worker) in
+          if worker > 0 && synced.(worker) <> !version then begin
+            Engine.Evaluator.sync_weights evw shadow;
+            let cs = Engine.Evaluator.stats evw in
+            cs.Engine.Stats.clone_syncs <- cs.Engine.Stats.clone_syncs + 1;
+            synced.(worker) <- !version
+          end;
           Engine.Evaluator.set_weight evw ~edge:e (float_of_int probes.(i));
           Engine.Evaluator.evaluate_into evw c;
           let loads = Array.copy (Engine.Evaluator.loads evw) in
@@ -265,7 +284,7 @@ let run_single (ctx : Obs.Ctx.t) ~params ?init g demands =
       current.(e) <- wv;
       Engine.Evaluator.set_weight ev ~edge:e (float_of_int wv);
       Engine.Evaluator.commit ev;
-      mirror_set_weight e (float_of_int wv);
+      publish_weights ();
       cur_obj := obj;
       cur_loads := loads
     in
@@ -293,7 +312,7 @@ let run_single (ctx : Obs.Ctx.t) ~params ?init g demands =
       let wf = Weights.of_ints current in
       Engine.Evaluator.set_weights ev wf;
       Engine.Evaluator.commit ev;
-      mirror_set_weights wf;
+      publish_weights ();
       let mlu, phi, loads =
         match Hashtbl.find_opt memo current with
         | Some r -> r
@@ -310,10 +329,12 @@ let run_single (ctx : Obs.Ctx.t) ~params ?init g demands =
     end
   done;
   (* Fold the clones' cache/SPF counters into the walk's stats (fixed
-     worker order, so the totals are reproducible too). *)
+     worker order) and reset them: the clones persist in the context's
+     cache, so unreset counters would double-count on their next use. *)
   for w = 1 to par - 1 do
-    Engine.Stats.merge ~into:(Engine.Evaluator.stats ev)
-      (Engine.Evaluator.stats clones.(w))
+    let cs = Engine.Evaluator.stats clones.(w) in
+    Engine.Stats.merge ~into:(Engine.Evaluator.stats ev) cs;
+    Engine.Stats.reset cs
   done;
   Obs.Tracer.attr tracer walk_tok (Obs.Attr.int "evals" !evals);
   Obs.Tracer.attr tracer walk_tok (Obs.Attr.float "mlu" !best_mlu);

@@ -23,6 +23,8 @@ type t = {
   mutable worker_evals : int array;
   mutable candidates_pruned : int;
   mutable candidates_kept : int;
+  mutable clone_syncs : int;
+  mutable clone_copies : int;
   mutable milp_nodes : int;
   mutable lp_solves : int;
   mutable lp_pivots : int;
@@ -69,6 +71,8 @@ let create () =
     worker_evals = [||];
     candidates_pruned = 0;
     candidates_kept = 0;
+    clone_syncs = 0;
+    clone_copies = 0;
     milp_nodes = 0;
     lp_solves = 0;
     lp_pivots = 0;
@@ -105,6 +109,8 @@ let reset s =
   s.worker_evals <- [||];
   s.candidates_pruned <- 0;
   s.candidates_kept <- 0;
+  s.clone_syncs <- 0;
+  s.clone_copies <- 0;
   s.milp_nodes <- 0;
   s.lp_solves <- 0;
   s.lp_pivots <- 0;
@@ -180,6 +186,8 @@ let merge ~into s =
   into.par_busy <- into.par_busy +. s.par_busy;
   into.candidates_pruned <- into.candidates_pruned + s.candidates_pruned;
   into.candidates_kept <- into.candidates_kept + s.candidates_kept;
+  into.clone_syncs <- into.clone_syncs + s.clone_syncs;
+  into.clone_copies <- into.clone_copies + s.clone_copies;
   into.milp_nodes <- into.milp_nodes + s.milp_nodes;
   into.lp_solves <- into.lp_solves + s.lp_solves;
   into.lp_pivots <- into.lp_pivots + s.lp_pivots;
@@ -235,6 +243,7 @@ let counters s =
     ("par_tasks", s.par_tasks); ("par_jobs", s.par_jobs);
     ("candidates_pruned", s.candidates_pruned);
     ("candidates_kept", s.candidates_kept);
+    ("clone_syncs", s.clone_syncs); ("clone_copies", s.clone_copies);
     ("milp_nodes", s.milp_nodes); ("lp_solves", s.lp_solves);
     ("lp_pivots", s.lp_pivots); ("lp_warm_solves", s.lp_warm_solves);
     ("lp_cycle_limits", s.lp_cycle_limits) ]

@@ -54,6 +54,16 @@ type t = {
       (** waypoint candidates actually handed to the scan by a pruning
           pass; [kept / (kept + pruned)] is the surviving fraction.
           Both stay 0 when pruning is off *)
+  mutable clone_syncs : int;
+      (** cached worker clones refreshed by {!Evaluator.sync_from} /
+          {!Evaluator.sync_weights} — an incremental delta instead of a
+          full copy; recorded on the clone and folded into the run total
+          when its stats are merged *)
+  mutable clone_copies : int;
+      (** worker clones built by a full {!Evaluator.copy} (first use of
+          a slot, topology change, or a weight diff past the sync
+          cutoff); [syncs / (syncs + copies)] is the clone-amortization
+          ratio *)
   mutable milp_nodes : int;  (** branch-and-bound nodes explored *)
   mutable lp_solves : int;  (** LP (relaxation) solves *)
   mutable lp_pivots : int;  (** total simplex iterations *)

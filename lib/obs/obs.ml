@@ -374,6 +374,8 @@ module Metrics = struct
     add "par_tasks" s.Stats.par_tasks;
     add "candidates_pruned" s.Stats.candidates_pruned;
     add "candidates_kept" s.Stats.candidates_kept;
+    add "clone_syncs" s.Stats.clone_syncs;
+    add "clone_copies" s.Stats.clone_copies;
     add "milp_nodes" s.Stats.milp_nodes;
     add "lp_solves" s.Stats.lp_solves;
     add "lp_pivots" s.Stats.lp_pivots;
@@ -386,6 +388,23 @@ module Metrics = struct
     List.iter
       (fun (name, secs) -> gauge t ("engine.time." ^ name) secs)
       (Stats.timers s)
+
+  (* Scheduler internals, cumulative since the pool was created.  Only
+     called on summary export (never into a live [Ctx.metrics]): the
+     counters reflect dynamic scheduling, so folding them into a
+     context's own metrics would break the jobs-invariance of
+     [Metrics.to_json ctx.metrics]. *)
+  let absorb_pool t (p : Par.Pool.t) =
+    let s = Par.Pool.metrics p in
+    let add name v = if v <> 0 then incr t ~by:v ("sched." ^ name) in
+    add "steals" s.Par.Pool.steals;
+    add "steal_races" s.Par.Pool.steal_races;
+    add "parks" s.Par.Pool.parks;
+    add "regions" s.Par.Pool.regions;
+    add "tasks" s.Par.Pool.tasks;
+    add "max_region" s.Par.Pool.max_region;
+    if s.Par.Pool.park_seconds > 0. then
+      gauge t "sched.park_seconds" s.Par.Pool.park_seconds
 
   let counters t =
     Hashtbl.fold (fun name r acc -> (name, !r) :: acc) t.c []
@@ -487,6 +506,7 @@ module Ctx = struct
     tracer : Tracer.t;
     metrics : Metrics.t;
     pool : Par.Pool.t;
+    clones : Engine.Evaluator.Clones.cache;
     seed : int;
     deadline : float option;
   }
@@ -498,6 +518,7 @@ module Ctx = struct
       tracer;
       metrics = (match metrics with Some m -> m | None -> Metrics.create ());
       pool;
+      clones = Engine.Evaluator.Clones.create ();
       seed;
       deadline;
     }
@@ -523,6 +544,10 @@ module Ctx = struct
       stats = Stats.create ();
       metrics = Metrics.create ();
       tracer = Tracer.child t.tracer;
+      (* forked kids run inside the parent's fan-out (parallelism 1),
+         so they never populate a cache — a fresh one avoids any chance
+         of two domains touching the parent's slots *)
+      clones = Engine.Evaluator.Clones.create ();
     }
 
   let join ~key ~into forked =
@@ -673,6 +698,7 @@ module Export = struct
     let m = Metrics.create () in
     Metrics.merge ~into:m ctx.Ctx.metrics;
     Metrics.absorb_stats m ctx.Ctx.stats;
+    Metrics.absorb_pool m ctx.Ctx.pool;
     let fields =
       (("schema", json_str "run-summary/1") :: provenance ())
       @ [

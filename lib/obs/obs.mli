@@ -164,6 +164,14 @@ module Metrics : sig
       every accumulated timer as an [engine.time.*] gauge, so one
       metrics view covers both worlds. *)
 
+  val absorb_pool : t -> Par.Pool.t -> unit
+  (** Imports the pool's scheduler counters (steals, parks, regions,
+      tasks, park time) as [sched.*] counters/gauges.  They are
+      cumulative since pool creation and inherently
+      scheduling-dependent, so this is only called on summary export —
+      never into a context's live metrics, whose JSON stays
+      jobs-invariant. *)
+
   val merge : into:t -> t -> unit
 
   val counters : t -> (string * int) list
@@ -201,6 +209,11 @@ module Ctx : sig
     tracer : Tracer.t;
     metrics : Metrics.t;
     pool : Par.Pool.t;
+    clones : Engine.Evaluator.Clones.cache;
+        (** persistent per-worker evaluator clones, reused (delta-synced)
+            across every fan-out issued through this context — including
+            successive updates of a long-running server holding one
+            context.  Touched only by the orchestrating domain. *)
     seed : int;
     deadline : float option;
         (** absolute {!Engine.Mono} time; advisory — solvers that honor
@@ -241,8 +254,9 @@ module Ctx : sig
 
   val fork : t -> t
   (** A context for one unit of fanned-out work: fresh stats and
-      metrics, a {!Tracer.child} buffer; pool, seed and deadline are
-      shared.  Merge back with {!join}. *)
+      metrics, a {!Tracer.child} buffer and a fresh (empty) clone
+      cache; pool, seed and deadline are shared.  Merge back with
+      {!join}. *)
 
   val join : key:int -> into:t -> t -> unit
   (** Merges a forked context back: stats and metrics merge, the span

@@ -1,20 +1,30 @@
-(** A small fixed-size domain pool for deterministic search fan-out.
+(** A work-stealing task scheduler for deterministic search fan-out.
 
     The pool owns [jobs - 1] worker domains (stdlib {!Domain}; the
     caller of {!map} participates as worker 0, so [jobs = 1] spawns
-    nothing and runs everything inline).  It exists to parallelize the
-    heuristics' candidate scans: the caller fans a fixed task list out,
-    workers claim task indices from a shared counter, and results come
-    back keyed by task index so reductions happen in a fixed order —
-    the foundation of the [--jobs N] ≡ [--jobs 1] bit-identity the
-    search code guarantees.
+    nothing and runs everything inline).  Each worker slot owns a
+    Chase–Lev deque of task indices: the submitting caller seeds its
+    own deque, idle workers steal from the top, and owners pop from the
+    bottom — the claim fast path is lock-free, the pool mutex is used
+    only to park idle workers and to wake the caller at region
+    completion.
+
+    Determinism: task indices are claimed dynamically, so which worker
+    runs which task — and in what order — is scheduling-dependent.
+    Results come back keyed by task index and reductions happen in a
+    fixed order, which is the foundation of the [--jobs N] ≡ [--jobs 1]
+    bit-identity the search code guarantees: a task's {e result} must
+    depend only on its task index, never on the worker slot or on steal
+    order.
 
     Memory model: tasks must not share mutable state across worker
-    indices.  The intended pattern is one cloned evaluator (and scratch
+    slots.  The intended pattern is one cloned evaluator (and scratch
     buffer) per worker slot, immutable shared inputs, and results
-    published only through the returned array (the pool's internal
-    mutex establishes the happens-before edge between a worker's last
-    write and the caller reading the results).
+    published only through the returned array.  All scheduler handoffs
+    (publication of the task region, claiming an index, dependency
+    release, the caller reading results after completion) go through
+    OCaml [Atomic] operations, which establish the happens-before edges
+    between a worker's last write and any later reader.
 
     Nesting: a [map] issued from inside a running task executes inline
     on the calling worker and presents worker index 0 to its tasks.
@@ -23,10 +33,20 @@
 
 type t
 
-val create : jobs:int -> t
-(** [create ~jobs] spawns [jobs - 1] worker domains.  [jobs = 1] is a
+val create : ?eager_wake:bool -> jobs:int -> unit -> t
+(** [create ~jobs ()] spawns [jobs - 1] worker domains.  [jobs = 1] is a
     valid degenerate pool that runs every task inline and touches no
     synchronization on {!map}.
+
+    [eager_wake] controls whether submissions and dependency releases
+    unpark sleeping workers.  It defaults to [true] exactly when the
+    host has more than one core: on a single-core host a woken worker
+    only timeslices against the caller, so the pool keeps workers
+    parked and the caller drives every region alone — same results
+    (the task decomposition never depends on who runs a task), none of
+    the unpark/steal/park overhead.  Pass [~eager_wake:true] to force
+    real cross-domain scheduling anyway — the race tests do, so the
+    deque protocol is exercised even on one core.
     @raise Invalid_argument if [jobs < 1]. *)
 
 val jobs : t -> int
@@ -36,15 +56,16 @@ val parallelism : t -> int
 (** How many workers a {!map} issued right now would actually use: the
     pool size, or 1 when the pool is busy (the call would nest and run
     inline) or shut down.  Lets callers skip building per-worker clones
-    that could never be used. *)
+    that could never be used.  A single relaxed atomic read — safe to
+    call from solver inner loops. *)
 
 val shutdown : t -> unit
 (** Terminates and joins the worker domains.  Idempotent.  Subsequent
-    {!map} calls run inline. *)
+    {!map} calls run inline.  Must not race an in-flight {!map}. *)
 
-val with_pool : jobs:int -> (t -> 'a) -> 'a
+val with_pool : ?eager_wake:bool -> jobs:int -> (t -> 'a) -> 'a
 (** [with_pool ~jobs f] runs [f] on a fresh pool and shuts it down
-    afterwards, also on exception. *)
+    afterwards, also on exception.  [eager_wake] as in {!create}. *)
 
 val sequential : t
 (** A shared [jobs = 1] pool for callers that were given none.  Safe to
@@ -58,7 +79,27 @@ val map : t -> tasks:int -> (worker:int -> int -> 'a) -> 'a array
     only on the task index, and use [worker] only to pick scratch
     resources.  If any task raises, every task still runs to completion
     and the exception of the lowest-index failing task is re-raised in
-    the caller. *)
+    the caller.  Results land in a single pre-sized array; the only
+    per-region allocations are that array and the region descriptor. *)
+
+val run_graph :
+  t -> tasks:int -> deps:int list array -> (worker:int -> int -> unit) -> unit
+(** [run_graph t ~tasks ~deps f] runs [f ~worker i] for every
+    [i < tasks], where task [i] starts only after every task in
+    [deps.(i)] has finished.  Dependencies must name {e earlier} tasks
+    ([deps.(i)] ⊆ [0 .. i-1]), which makes the graph acyclic by
+    construction and lets the inline ([jobs = 1] / nested) path run
+    tasks in ascending index order.  Completed tasks release their
+    dependents onto the finishing worker's own deque, so multi-stage
+    work pipelines without a barrier between stages: a stage-2 task
+    whose stage-1 input is ready runs even while other stage-1 tasks
+    are still in flight.  Dependency release is an atomic counter
+    decrement, so a dependent observes all memory effects of its
+    dependencies.  Exceptions behave as in {!map}: every task whose
+    dependencies completed still runs, and the lowest-index failure is
+    re-raised.
+    @raise Invalid_argument if [Array.length deps <> tasks] or some
+    dependency is not an earlier task index. *)
 
 val map_reduce :
   t -> tasks:int -> map:(worker:int -> int -> 'a) ->
@@ -85,3 +126,20 @@ val map_chunked :
     only on [chunk] and [tasks], never on the pool size.  Same
     determinism contract as {!map}: results must depend only on the task
     index. *)
+
+(** Scheduler counters, cumulative since pool creation.  Cheap to read
+    (atomic loads); meant for observability, not control flow. *)
+type metrics = {
+  steals : int;          (** tasks claimed from another slot's deque *)
+  steal_races : int;     (** CAS retries lost while stealing *)
+  parks : int;           (** times a worker went to sleep on the condvar *)
+  park_seconds : float;  (** total wall time workers spent parked *)
+  regions : int;         (** fan-outs submitted to the scheduler *)
+  tasks : int;           (** tasks submitted across all regions *)
+  max_region : int;      (** largest single region (task count) *)
+}
+
+val metrics : t -> metrics
+(** Snapshot of the scheduler counters.  The [jobs = 1] pool (and the
+    inline nested path) never touches the scheduler, so its metrics
+    stay zero. *)

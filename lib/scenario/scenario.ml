@@ -475,11 +475,18 @@ let sweep_ctx (octx : Obs.Ctx.t) ?(chunk = 4) ?(policies = [ Static ])
       (Weights.of_ints deployed.weights)
   in
   Engine.Evaluator.set_commodities master (commodities_for demands segs);
-  (* Clones are built eagerly on the caller's domain; each worker then
-     owns evaluator [worker] exclusively for the whole map. *)
+  (* Worker clones come from the context's persistent cache (slot 0 is
+     the master itself), still materialized on the caller's domain
+     before the fan-out; each worker then owns evaluator [worker]
+     exclusively for the whole sweep.  A daemon re-running sweeps on the
+     same topology pays an incremental sync here, not a full copy. *)
   let par = max 1 (Par.Pool.parallelism pool) in
   let evs =
-    Array.init par (fun w -> if w = 0 then master else Engine.Evaluator.copy master)
+    Array.init par (fun w ->
+        if w = 0 then master
+        else
+          Engine.Evaluator.Clones.get octx.Obs.Ctx.clones ~worker:w
+            ~src:master)
   in
   let cur_shift = Array.make par No_shift in
   let cur_demands = Array.make par demands in
@@ -492,11 +499,38 @@ let sweep_ctx (octx : Obs.Ctx.t) ?(chunk = 4) ?(policies = [ Static ])
      grafted back in spec order: the trace and metrics are a pure
      function of the spec list, never of worker scheduling. *)
   let kids = Array.map (fun _ -> Obs.Ctx.fork octx) specs in
-  let eval_spec ~worker i =
+  let nspec = Array.length specs in
+  (* The sweep is a two-stage task graph, not one flat map.  Stage A
+     (one task per chunk of specs) runs the static probes — commodity
+     streaming, failure injection, reachability, static MLU — on the
+     worker's own clone and records the outcome in per-spec arrays.
+     Stage B (one task per spec, depending only on its own chunk's
+     stage-A task) runs the re-optimization policies, which build their
+     own evaluators from the spec's forked context.  The scheduler
+     pipelines the stages: policies of early chunks overlap the static
+     probes of later chunks instead of waiting at a full-sweep barrier.
+     Every per-spec cell is written by exactly one stage-A task and read
+     by the one stage-B task that depends on it, so the decomposition
+     stays schedule-independent. *)
+  let ch = Par.Pool.chunks ~chunk nspec in
+  let nch = Array.length ch in
+  let static_disc = Array.make nspec 0 in
+  let topo_disc = Array.make nspec 0 in
+  let static_mlu_arr = Array.make nspec nan in
+  let spec_demands = Array.make nspec demands in
+  let case_toks = Array.make nspec (-1) in
+  let out = Array.make nspec None in
+  let probe_spec ~worker i =
     let spec = specs.(i) in
     let kctx = kids.(i) in
-    Obs.Ctx.span kctx ~attrs:[ Obs.Attr.int "spec" spec.id ] "scn:case"
-    @@ fun () ->
+    let tracer = kctx.Obs.Ctx.tracer in
+    (* The scn:case span opens here and closes at the end of the spec's
+       stage-B task, so policy spans nest under it exactly as they did
+       under the flat map.  The kid buffer is touched by the spec's two
+       tasks only, and the dependency edge orders them. *)
+    let tok = Obs.Tracer.start tracer "scn:case" in
+    Obs.Tracer.attr tracer tok (Obs.Attr.int "spec" spec.id);
+    case_toks.(i) <- tok;
     Obs.Metrics.incr kctx.Obs.Ctx.metrics "scn.cases";
     let ev = evs.(worker) in
     (* Attach this scenario's demand matrix — skipped when the worker's
@@ -509,7 +543,7 @@ let sweep_ctx (octx : Obs.Ctx.t) ?(chunk = 4) ?(policies = [ Static ])
       cur_shift.(worker) <- spec.shift;
       cur_demands.(worker) <- demands'
     end;
-    let demands' = cur_demands.(worker) in
+    spec_demands.(i) <- cur_demands.(worker);
     let wstats = Engine.Evaluator.stats ev in
     Engine.Stats.record_scenario wstats;
     List.iter (fun e -> Engine.Evaluator.disable_edge ev ~edge:e) spec.failed;
@@ -528,38 +562,64 @@ let sweep_ctx (octx : Obs.Ctx.t) ?(chunk = 4) ?(policies = [ Static ])
                ~dst:d.Network.dst)
         then incr topo_disconnected)
       demands;
-    let static_mlu =
-      if !static_disconnected > 0 then nan
-      else begin
-        let c = cells.(worker) in
-        Engine.Evaluator.evaluate_into ev c;
-        c.Engine.Evaluator.mlu
-      end
-    in
+    static_mlu_arr.(i) <-
+      (if !static_disconnected > 0 then nan
+       else begin
+         let c = cells.(worker) in
+         Engine.Evaluator.evaluate_into ev c;
+         c.Engine.Evaluator.mlu
+       end);
     Engine.Evaluator.undo ev;
+    static_disc.(i) <- !static_disconnected;
+    topo_disc.(i) <- !topo_disconnected;
     if !static_disconnected > 0 then
-      Obs.Metrics.incr kctx.Obs.Ctx.metrics "scn.disconnected";
+      Obs.Metrics.incr kctx.Obs.Ctx.metrics "scn.disconnected"
+  in
+  let policy_spec i =
+    let spec = specs.(i) in
+    let kctx = kids.(i) in
+    let static_mlu = static_mlu_arr.(i) in
     let pol =
       List.map
-        (run_policy ~kctx ~g ~deployed ~reopt_evals ~spec ~demands'
-           ~static_disconnected:!static_disconnected
-           ~topo_disconnected:!topo_disconnected ~static_mlu)
+        (run_policy ~kctx ~g ~deployed ~reopt_evals ~spec
+           ~demands':spec_demands.(i)
+           ~static_disconnected:static_disc.(i)
+           ~topo_disconnected:topo_disc.(i) ~static_mlu)
         policies
     in
-    {
-      spec;
-      static_disconnected = !static_disconnected;
-      topo_disconnected = !topo_disconnected;
-      static_mlu;
-      policies = pol;
-    }
+    Obs.Tracer.finish kctx.Obs.Ctx.tracer case_toks.(i);
+    out.(i) <-
+      Some
+        {
+          spec;
+          static_disconnected = static_disc.(i);
+          topo_disconnected = topo_disc.(i);
+          static_mlu;
+          policies = pol;
+        }
   in
-  let out = Par.Pool.map_chunked pool ~chunk ~tasks:(Array.length specs) eval_spec in
+  let deps = Array.make (nch + nspec) [] in
+  Array.iteri
+    (fun ci (start, len) ->
+      for i = start to start + len - 1 do
+        deps.(nch + i) <- [ ci ]
+      done)
+    ch;
+  Par.Pool.run_graph pool ~tasks:(nch + nspec) ~deps (fun ~worker t ->
+      if t < nch then begin
+        let start, len = ch.(t) in
+        for i = start to start + len - 1 do
+          probe_spec ~worker i
+        done
+      end
+      else policy_spec (t - nch));
   for w = 1 to par - 1 do
-    Engine.Stats.merge ~into:octx.Obs.Ctx.stats (Engine.Evaluator.stats evs.(w))
+    let ws = Engine.Evaluator.stats evs.(w) in
+    Engine.Stats.merge ~into:octx.Obs.Ctx.stats ws;
+    Engine.Stats.reset ws
   done;
   Array.iteri (fun i kid -> Obs.Ctx.join ~key:specs.(i).id ~into:octx kid) kids;
-  out
+  Array.map (function Some r -> r | None -> assert false) out
 
 let sweep ?stats ?(pool = Par.Pool.sequential) ?chunk ?policies ?reopt_evals
     ~deployed g demands specs =

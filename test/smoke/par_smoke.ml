@@ -21,7 +21,7 @@ let () =
   in
   let at_jobs f =
     let seq = f Par.Pool.sequential in
-    let par = Par.Pool.with_pool ~jobs:4 f in
+    let par = Par.Pool.with_pool ~eager_wake:true ~jobs:4 f in
     (seq, par)
   in
   Printf.printf "par smoke: Abilene, %d demands, jobs 1 vs 4\n%!"

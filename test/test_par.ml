@@ -18,14 +18,14 @@ let test_map_order () =
   List.iter
     (fun jobs ->
       let got =
-        Par.Pool.with_pool ~jobs (fun pool ->
+        Par.Pool.with_pool ~eager_wake:true ~jobs (fun pool ->
             Par.Pool.map pool ~tasks:23 (fun ~worker:_ i -> i * i))
       in
       Alcotest.(check bool)
         (Printf.sprintf "map order at jobs=%d" jobs)
         true (got = expected);
       let empty =
-        Par.Pool.with_pool ~jobs (fun pool ->
+        Par.Pool.with_pool ~eager_wake:true ~jobs (fun pool ->
             Par.Pool.map pool ~tasks:0 (fun ~worker:_ i -> i))
       in
       Alcotest.(check int)
@@ -41,7 +41,7 @@ let test_map_reduce_order () =
   List.iter
     (fun jobs ->
       let got =
-        Par.Pool.with_pool ~jobs (fun pool ->
+        Par.Pool.with_pool ~eager_wake:true ~jobs (fun pool ->
             Par.Pool.map_reduce pool ~tasks:9
               ~map:(fun ~worker:_ i -> i)
               ~init:7
@@ -59,7 +59,7 @@ let test_exception_propagation () =
     (fun jobs ->
       let ran = Atomic.make 0 in
       let result =
-        Par.Pool.with_pool ~jobs (fun pool ->
+        Par.Pool.with_pool ~eager_wake:true ~jobs (fun pool ->
             match
               Par.Pool.map pool ~tasks:17 (fun ~worker:_ i ->
                   Atomic.incr ran;
@@ -82,7 +82,7 @@ let test_exception_propagation () =
    pool-using code without deadlock — and [parallelism] reports 1 so
    callers skip building clones for it. *)
 let test_nested_map_inline () =
-  Par.Pool.with_pool ~jobs:3 (fun pool ->
+  Par.Pool.with_pool ~eager_wake:true ~jobs:3 (fun pool ->
       Alcotest.(check int) "parallelism when idle" 3 (Par.Pool.parallelism pool);
       let outer =
         Par.Pool.map pool ~tasks:4 (fun ~worker:_ i ->
@@ -102,6 +102,155 @@ let test_nested_map_inline () =
           Alcotest.(check int) "nested parallelism is 1" 1 inner_par;
           Alcotest.(check int) "nested sum" ((i * 50) + 10) sum)
         outer)
+
+(* Deterministic busy-work whose result feeds the task's answer, so the
+   optimizer cannot drop it and scheduling must not reorder it. *)
+let burn n =
+  let s = ref 0 in
+  for i = 1 to n do
+    s := !s + (i land 7)
+  done;
+  !s
+
+(* 100x-skewed task costs: one task in each run dwarfs the rest, so at
+   jobs > 1 the cheap tasks are stolen while the caller is pinned on the
+   expensive one — the stress case for the deque protocol.  Results must
+   stay bit-identical to the sequential run. *)
+let test_skewed_costs () =
+  let tasks = 40 in
+  let cost i = if i mod 13 = 0 then 200_000 else 2_000 in
+  let expected = Array.init tasks (fun i -> burn (cost i) + (i * i)) in
+  List.iter
+    (fun jobs ->
+      for round = 1 to 3 do
+        let got =
+          Par.Pool.with_pool ~eager_wake:true ~jobs (fun pool ->
+              Par.Pool.map pool ~tasks (fun ~worker:_ i ->
+                  burn (cost i) + (i * i)))
+        in
+        Alcotest.(check bool)
+          (Printf.sprintf "skewed map jobs=%d round=%d" jobs round)
+          true (got = expected)
+      done)
+    jobs_grid
+
+(* The caller is pinned on a single huge task 0 while the failing tasks
+   live at the tail — at jobs > 1 they are stolen, and the exception
+   surfaced must still be the lowest-index one. *)
+let test_stolen_exception () =
+  List.iter
+    (fun jobs ->
+      let ran = Atomic.make 0 in
+      let r =
+        Par.Pool.with_pool ~eager_wake:true ~jobs (fun pool ->
+            match
+              Par.Pool.map pool ~tasks:24 (fun ~worker:_ i ->
+                  Atomic.incr ran;
+                  ignore (Sys.opaque_identity (burn (if i = 0 then 400_000 else 400)));
+                  if i >= 20 then failwith (string_of_int i);
+                  i)
+            with
+            | _ -> None
+            | exception Failure m -> Some m)
+      in
+      Alcotest.(check (option string))
+        (Printf.sprintf "stolen exception lowest index jobs=%d" jobs)
+        (Some "20") r;
+      Alcotest.(check int)
+        (Printf.sprintf "all tasks ran jobs=%d" jobs)
+        24 (Atomic.get ran))
+    jobs_grid
+
+(* Maps issued from inside workers (which run inline) must not perturb
+   the outer result across worker counts. *)
+let test_nested_map_determinism () =
+  let run jobs =
+    Par.Pool.with_pool ~eager_wake:true ~jobs (fun pool ->
+        Par.Pool.map pool ~tasks:8 (fun ~worker:_ i ->
+            let inner =
+              Par.Pool.map pool ~tasks:6 (fun ~worker:_ j ->
+                  burn (100 * (j + 1)) + (i * j))
+            in
+            Array.fold_left (fun b a -> (b * 31) + a) i inner))
+  in
+  let expect = run 1 in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check bool)
+        (Printf.sprintf "nested determinism jobs=%d" jobs)
+        true (run jobs = expect))
+    jobs_grid
+
+(* ------------------------------------------------------------------ *)
+(* Dependency graphs                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Per-item diamond a -> (b, c) -> d, laid out stage-major so every
+   dependency points at a lower task index.  The join cell is only
+   correct if both branches saw the fully-written source cell —
+   i.e. if the scheduler's release edges really order the stages. *)
+let test_run_graph_diamond () =
+  let items = 5 in
+  let tasks = items * 4 in
+  List.iter
+    (fun jobs ->
+      Par.Pool.with_pool ~eager_wake:true ~jobs (fun pool ->
+          let acc = Array.make tasks 0 in
+          let deps =
+            Array.init tasks (fun t ->
+                let i = t mod items in
+                match t / items with
+                | 0 -> []
+                | 1 | 2 -> [ i ]
+                | _ -> [ items + i; (2 * items) + i ])
+          in
+          Par.Pool.run_graph pool ~tasks ~deps (fun ~worker:_ t ->
+              let i = t mod items in
+              acc.(t) <-
+                (match t / items with
+                | 0 -> i + 1
+                | 1 -> acc.(i) * 2
+                | 2 -> acc.(i) + 10
+                | _ -> acc.(items + i) + acc.((2 * items) + i)));
+          for i = 0 to items - 1 do
+            Alcotest.(check int)
+              (Printf.sprintf "diamond join i=%d jobs=%d" i jobs)
+              ((3 * (i + 1)) + 10)
+              acc.((3 * items) + i)
+          done))
+    jobs_grid
+
+let test_run_graph_validation () =
+  Par.Pool.with_pool ~eager_wake:true ~jobs:2 (fun pool ->
+      (match
+         Par.Pool.run_graph pool ~tasks:3 ~deps:[| [] |] (fun ~worker:_ _ -> ())
+       with
+      | exception Invalid_argument _ -> ()
+      | () -> Alcotest.fail "expected Invalid_argument on deps length");
+      (match
+         Par.Pool.run_graph pool ~tasks:2 ~deps:[| []; [ 1 ] |]
+           (fun ~worker:_ _ -> ())
+       with
+      | exception Invalid_argument _ -> ()
+      | () -> Alcotest.fail "expected Invalid_argument on non-earlier dep"))
+
+let test_scheduler_metrics () =
+  Par.Pool.with_pool ~eager_wake:true ~jobs:3 (fun pool ->
+      let m0 = Par.Pool.metrics pool in
+      ignore
+        (Par.Pool.map pool ~tasks:12 (fun ~worker:_ i ->
+             burn (1000 * (1 + (i mod 4)))));
+      let m1 = Par.Pool.metrics pool in
+      Alcotest.(check int)
+        "one region recorded" (m0.Par.Pool.regions + 1) m1.Par.Pool.regions;
+      Alcotest.(check int)
+        "12 tasks recorded" (m0.Par.Pool.tasks + 12) m1.Par.Pool.tasks;
+      Alcotest.(check bool)
+        "max region width" true (m1.Par.Pool.max_region >= 12);
+      Alcotest.(check bool)
+        "counters non-negative" true
+        (m1.Par.Pool.steals >= 0 && m1.Par.Pool.parks >= 0
+        && m1.Par.Pool.park_seconds >= 0.))
 
 let test_chunks () =
   Alcotest.(check bool)
@@ -218,7 +367,7 @@ let te_instance () =
 
 let at_jobs f =
   List.map
-    (fun jobs -> Par.Pool.with_pool ~jobs (fun pool -> f pool))
+    (fun jobs -> Par.Pool.with_pool ~eager_wake:true ~jobs (fun pool -> f pool))
     [ 1; 2; 4; 8 ]
 
 let check_all_equal msg = function
@@ -321,6 +470,21 @@ let () =
           Alcotest.test_case "nested maps run inline" `Quick
             test_nested_map_inline;
           Alcotest.test_case "chunks cover the range" `Quick test_chunks;
+          Alcotest.test_case "skewed costs stay bit-identical" `Quick
+            test_skewed_costs;
+          Alcotest.test_case "stolen-task exception propagation" `Quick
+            test_stolen_exception;
+          Alcotest.test_case "nested maps deterministic" `Quick
+            test_nested_map_determinism;
+          Alcotest.test_case "scheduler metrics" `Quick
+            test_scheduler_metrics;
+        ] );
+      ( "graph",
+        [
+          Alcotest.test_case "diamond dependencies" `Quick
+            test_run_graph_diamond;
+          Alcotest.test_case "dependency validation" `Quick
+            test_run_graph_validation;
         ] );
       ( "evaluator clones",
         [ Alcotest.test_case "copy isolation" `Quick test_copy_isolation ] );

@@ -95,7 +95,7 @@ let test_jobs_determinism () =
     (fun mode ->
       let prune = Prune.spec ~mode 8 in
       let seq = wpo ~prune g w demands in
-      let pool = Par.Pool.create ~jobs:4 in
+      let pool = Par.Pool.create ~eager_wake:true ~jobs:4 () in
       let par =
         Fun.protect
           ~finally:(fun () -> Par.Pool.shutdown pool)
