@@ -79,19 +79,45 @@ let fmax xs = List.fold_left max neg_infinity xs
 let ls_params ~seed ~evals =
   { Local_search.default_params with max_evals = evals; seed }
 
-(* The four heuristics of Figure 4, in the paper's order. *)
+(* GradWO needs the exact min-MLU LP (its gradient descends on the
+   per-edge optimal flows); above this variable count the solve would
+   dwarf the heuristics it is compared against, so the ladder and the
+   solver frontier skip it and say so.  1 + |targets| * |E| mirrors the
+   LP layout in lib/mcf. *)
+let grad_lp_limit = 3000
+
+let lp_var_count g demands =
+  let targets = Hashtbl.create 16 in
+  Array.iter
+    (fun (_, d, _) -> Hashtbl.replace targets d ())
+    (Network.to_commodities demands);
+  1 + (Hashtbl.length targets * Digraph.edge_count g)
+
+(* The four heuristics of Figure 4, in the paper's order, plus the two
+   diversity backends: OMW splitting on top of the HeurOSPF weights,
+   and GradWO where its LP fits under [grad_lp_limit]. *)
 let ladder g demands ~seed ~evals =
   let inv_w = Weights.inverse_capacity g in
   let inv = Ecmp.mlu_of g inv_w demands in
-  let ls = Local_search.optimize ~params:(ls_params ~seed ~evals) g demands in
-  let greedy = Greedy_wpo.optimize g inv_w demands in
+  let ls = Local_search.optimize_ctx (Obs.Ctx.default ()) ~params:(ls_params ~seed ~evals) g demands in
+  let greedy = Greedy_wpo.optimize_ctx (Obs.Ctx.default ()) g inv_w demands in
   let joint =
-    Joint.optimize ~ls_params:(ls_params ~seed ~evals) g demands
+    Joint.optimize_ctx (Obs.Ctx.default ()) ~ls_params:(ls_params ~seed ~evals) g demands
+  in
+  let omw =
+    Omw.optimize_ctx (Obs.Ctx.default ()) g ls.Local_search.weights demands
   in
   [ ("InverseCapacity", inv); ("HeurOSPF", ls.Local_search.mlu);
-    ("GreedyWaypoints", greedy.Greedy_wpo.mlu); ("JointHeur", joint.Joint.mlu) ]
+    ("GreedyWaypoints", greedy.Greedy_wpo.mlu); ("JointHeur", joint.Joint.mlu);
+    ("OMW", omw.Omw.mlu) ]
+  @
+  if lp_var_count g demands <= grad_lp_limit then
+    [ ("GradWO", (Grad_wo.optimize_ctx (Obs.Ctx.default ()) g demands).Grad_wo.mlu) ]
+  else []
 
-let alg_names = [ "InverseCapacity"; "HeurOSPF"; "GreedyWaypoints"; "JointHeur" ]
+let alg_names =
+  [ "InverseCapacity"; "HeurOSPF"; "GreedyWaypoints"; "JointHeur"; "OMW";
+    "GradWO" ]
 
 (* ------------------------------------------------------------------ *)
 (* Table 1                                                             *)
@@ -122,7 +148,7 @@ let exp_table1 () =
         if m <= 4 then
           snd (Exact.wpo g (Weights.unit g) net.Network.demands)
         else
-          (Greedy_wpo.optimize g (Weights.unit g) net.Network.demands).Greedy_wpo.mlu
+          (Greedy_wpo.optimize_ctx (Obs.Ctx.default ()) g (Weights.unit g) net.Network.demands).Greedy_wpo.mlu
       in
       row "%-34s %-12s %4d %12.2f %14s\n"
         (Printf.sprintf "I1(m=%d) optimal-LWO weights" m)
@@ -224,7 +250,7 @@ let exp_fig1 () =
           net.Network.demands
       in
       let wpo =
-        (Greedy_wpo.optimize g (Weights.unit g) net.Network.demands).Greedy_wpo.mlu
+        (Greedy_wpo.optimize_ctx (Obs.Ctx.default ()) g (Weights.unit g) net.Network.demands).Greedy_wpo.mlu
       in
       row "%6d %6d %10.3f %12.3f %12.3f %16s\n" m (m + 1) joint lwo wpo
         (Printf.sprintf "%.1f, %.1f" (float_of_int m /. 2.) (float_of_int m /. 3.)))
@@ -340,12 +366,20 @@ let run_ladder_table ~title ~names ~gen_demands ~seeds ~evals =
       done;
       row "%-14s" name;
       List.iter
-        (fun a -> row " %15.3f" (mean (Hashtbl.find per_alg a)))
+        (fun a ->
+          match Hashtbl.find per_alg a with
+          | [] -> row " %15s" "-"  (* GradWO skipped: LP too large *)
+          | xs -> row " %15.3f" (mean xs))
         alg_names;
       row "\n%!")
     names;
   row "%-14s" "AVERAGE";
-  List.iter (fun a -> row " %15.3f" (mean (Hashtbl.find sums a))) alg_names;
+  List.iter
+    (fun a ->
+      match Hashtbl.find sums a with
+      | [] -> row " %15s" "-"
+      | xs -> row " %15.3f" (mean xs))
+    alg_names;
   row "\n"
 
 let exp_fig4 () =
@@ -402,7 +436,7 @@ let exp_fig5 () =
     push "UnitWeights" (Ecmp.mlu_of g (Weights.unit g) demands);
     let inv_w = Weights.inverse_capacity g in
     push "InverseCapacity" (Ecmp.mlu_of g inv_w demands);
-    let ls = Local_search.optimize ~params:(ls_params ~seed ~evals) g demands in
+    let ls = Local_search.optimize_ctx (Obs.Ctx.default ()) ~params:(ls_params ~seed ~evals) g demands in
     push "HeurOSPF" ls.Local_search.mlu;
     (* ILP-Weights proxy: the best of several deeper local searches
        (see DESIGN.md: the weight MILP is out of reach for our B&B). *)
@@ -410,7 +444,7 @@ let exp_fig5 () =
       List.fold_left
         (fun best s ->
           let r =
-            Local_search.optimize
+            Local_search.optimize_ctx (Obs.Ctx.default ())
               ~params:
                 { Local_search.default_params with
                   max_evals = 2 * evals; seed = s; wmax = 24 }
@@ -422,7 +456,7 @@ let exp_fig5 () =
     in
     push "ILP-Weights*" deep;
     push "GreedyWaypoints"
-      (Greedy_wpo.optimize g inv_w demands).Greedy_wpo.mlu;
+      (Greedy_wpo.optimize_ctx (Obs.Ctx.default ()) g inv_w demands).Greedy_wpo.mlu;
     (* ILP Waypoints: the WPO MILP under the standard (inverse-capacity)
        weight setting, as in the paper's WPO-with-fixed-weights MILP. *)
     let milp =
@@ -432,11 +466,11 @@ let exp_fig5 () =
     push
       (if milp.Wpo_milp.exact then "ILP-Waypoints" else "ILP-Waypoints(cap)")
       milp.Wpo_milp.mlu;
-    let joint = Joint.optimize ~ls_params:(ls_params ~seed ~evals) g demands in
+    let joint = Joint.optimize_ctx (Obs.Ctx.default ()) ~ls_params:(ls_params ~seed ~evals) g demands in
     push "JointHeur" joint.Joint.mlu;
     (* ILP-Joint proxy: deep weights + exact WPO MILP on top. *)
     let deep_w =
-      (Local_search.optimize
+      (Local_search.optimize_ctx (Obs.Ctx.default ())
          ~params:
            { Local_search.default_params with max_evals = 2 * evals;
              seed = seed + 300; wmax = 24 }
@@ -534,7 +568,7 @@ let exp_ablation () =
   List.iter
     (fun (label, use_phi) ->
       let r =
-        Local_search.optimize
+        Local_search.optimize_ctx (Obs.Ctx.default ())
           ~params:
             { Local_search.default_params with max_evals = evals; seed = 5; use_phi }
           g demands
@@ -546,7 +580,7 @@ let exp_ablation () =
   let inv_w = Weights.inverse_capacity g in
   List.iter
     (fun (label, order) ->
-      let r = Greedy_wpo.optimize ~order g inv_w demands in
+      let r = Greedy_wpo.optimize_ctx (Obs.Ctx.default ()) ~order g inv_w demands in
       row "  %-18s MLU %.3f (from %.3f)\n" label r.Greedy_wpo.mlu
         r.Greedy_wpo.initial_mlu)
     [ ("descending (paper)", Greedy_wpo.Desc); ("ascending", Greedy_wpo.Asc);
@@ -556,7 +590,7 @@ let exp_ablation () =
   List.iter
     (fun (label, full_pipeline) ->
       let r =
-        Joint.optimize ~ls_params:(ls_params ~seed:5 ~evals) ~full_pipeline g demands
+        Joint.optimize_ctx (Obs.Ctx.default ()) ~ls_params:(ls_params ~seed:5 ~evals) ~full_pipeline g demands
       in
       row "  %-18s MLU %.3f\n" label r.Joint.mlu)
     [ ("steps 1-2", false); ("steps 1-4", true) ];
@@ -582,7 +616,7 @@ let exp_ablation () =
   in
   List.iter
     (fun passes ->
-      let r = Greedy_wpo.optimize ~passes g50 (Weights.inverse_capacity g50) d50 in
+      let r = Greedy_wpo.optimize_ctx (Obs.Ctx.default ()) ~passes g50 (Weights.inverse_capacity g50) d50 in
       row "  %d pass%s            MLU %.3f\n" passes
         (if passes = 1 then " " else "es")
         r.Greedy_wpo.mlu)
@@ -596,7 +630,7 @@ let exp_ablation () =
   List.iter
     (fun rounds ->
       let r =
-        Greedy_wpo.optimize_multi ~rounds n3.Network.graph
+        Greedy_wpo.optimize_multi_ctx (Obs.Ctx.default ()) ~rounds n3.Network.graph
           i3.Instances.Gap_instances.joint_weights n3.Network.demands
       in
       row "  W <= %d             MLU %.3f\n" rounds r.Greedy_wpo.mlu)
@@ -606,7 +640,7 @@ let exp_ablation () =
   List.iter
     (fun iterations ->
       let r =
-        Joint.optimize_iterated
+        Joint.optimize_iterated_ctx (Obs.Ctx.default ())
           ~ls_params:(ls_params ~seed:5 ~evals:(evals / iterations))
           ~iterations g demands
       in
@@ -799,7 +833,7 @@ let exp_engine () =
   let t0 = Engine.Mono.now () in
   let ls =
     Obs.Ctx.phase bctx "heurospf" (fun () ->
-        Local_search.optimize ~stats ~params:(ls_params ~seed:5 ~evals) g
+        Local_search.optimize_ctx (Obs.Ctx.make ~stats ()) ~params:(ls_params ~seed:5 ~evals) g
           demands)
   in
   let wall = Engine.Mono.now () -. t0 in
@@ -875,14 +909,14 @@ let exp_parallel () =
       let run_wpo pool =
         let stats = Engine.Stats.create () in
         let t0 = Engine.Mono.now () in
-        let r = Greedy_wpo.optimize ~stats ~pool g inv_w demands in
+        let r = Greedy_wpo.optimize_ctx (Obs.Ctx.make ~stats ~pool ()) g inv_w demands in
         (r, stats, Engine.Mono.now () -. t0)
       in
       let run_ls pool =
         let stats = Engine.Stats.create () in
         let t0 = Engine.Mono.now () in
         let r =
-          Local_search.optimize ~stats ~pool
+          Local_search.optimize_ctx (Obs.Ctx.make ~stats ~pool ())
             ~params:(ls_params ~seed:3 ~evals)
             g demands
         in
@@ -1168,7 +1202,7 @@ let exp_robust () =
           ~flows_per_pair:(max 2 (m / 16)) g
       in
       let evals = if !full then 2000 else 300 in
-      let joint = Joint.optimize ~ls_params:(ls_params ~seed:1 ~evals) g demands in
+      let joint = Joint.optimize_ctx (Obs.Ctx.default ()) ~ls_params:(ls_params ~seed:1 ~evals) g demands in
       let deployed =
         {
           Scenario.weights = joint.Joint.int_weights;
@@ -1194,7 +1228,7 @@ let exp_robust () =
       let t_rebuild = Engine.Mono.now () -. t0 in
       let run pool =
         let t0 = Engine.Mono.now () in
-        let out = Scenario.sweep ~pool ~deployed g demands specs in
+        let out = Scenario.sweep_ctx (Obs.Ctx.make ~pool ()) ~deployed g demands specs in
         (out, Engine.Mono.now () -. t0)
       in
       let reference = ref None in
@@ -1514,25 +1548,26 @@ let exp_lp () =
 (* ------------------------------------------------------------------ *)
 
 (* The zero-cost-when-disabled guard for lib/obs: the same HeurOSPF run
-   on Abilene through the legacy entry point, through a noop-tracer
-   {!Obs.Ctx.t}, and through a live tracer with evaluator-level spans
-   ([~engine_detail:true], the most expensive configuration).  All three
-   must return the identical result; the noop context must cost within
-   2% of the legacy path (best-of-[reps] wall clock).  Results land in
-   BENCH_obs.json. *)
+   on Abilene through the shared default context, through a fresh
+   noop-tracer {!Obs.Ctx.t}, and through a live tracer with
+   evaluator-level spans ([~engine_detail:true], the most expensive
+   configuration).  All three must return the identical result; the
+   noop context must cost within 2% of the default-context baseline
+   (best-of-[reps] wall clock).  Results land in BENCH_obs.json. *)
 let exp_obs () =
-  section "Observability: run-context overhead vs legacy entry points (lib/obs)";
+  section "Observability: run-context overhead (lib/obs)";
   let bctx = bench_ctx () in
   let g = Topology.Datasets.abilene () in
   let demands =
     Demand_gen.mcf_synthetic ~epsilon:0.05 ~seed:1 ~flows_per_pair:2 g
   in
   let evals = if !full then 4000 else 1000 in
-  let reps = if !full then 7 else 5 in
+  let reps = if !full then 15 else 11 in
   let params = ls_params ~seed:5 ~evals in
-  let legacy, t_legacy =
-    Obs.Ctx.phase bctx "legacy" (fun () ->
-        time_best reps (fun () -> Local_search.optimize ~params g demands))
+  let base, t_base =
+    Obs.Ctx.phase bctx "default-ctx" (fun () ->
+        time_best reps (fun () ->
+            Local_search.optimize_ctx (Obs.Ctx.default ()) ~params g demands))
   in
   let noop, t_noop =
     Obs.Ctx.phase bctx "noop-ctx" (fun () ->
@@ -1554,14 +1589,14 @@ let exp_obs () =
     && a.Local_search.weights = b.Local_search.weights
     && a.Local_search.evals = b.Local_search.evals
   in
-  let identical = same legacy noop && same legacy traced in
+  let identical = same base noop && same base traced in
   if not identical then
-    failwith "obs: legacy / noop-ctx / traced runs returned different results";
-  let disabled_overhead = (t_noop -. t_legacy) /. t_legacy in
-  let traced_overhead = (t_traced -. t_legacy) /. t_legacy in
+    failwith "obs: default / noop-ctx / traced runs returned different results";
+  let disabled_overhead = (t_noop -. t_base) /. t_base in
+  let traced_overhead = (t_traced -. t_base) /. t_base in
   let spans = Obs.Tracer.span_count !last_tracer in
   row "HeurOSPF Abilene, %d evals, best of %d (identical results):\n" evals reps;
-  row "  %-28s %10.4fs\n" "legacy (?stats)" t_legacy;
+  row "  %-28s %10.4fs\n" "Obs.Ctx.default" t_base;
   row "  %-28s %10.4fs  %+6.2f%%\n" "Obs.Ctx, noop tracer" t_noop
     (100. *. disabled_overhead);
   row "  %-28s %10.4fs  %+6.2f%%  (%d spans)\n" "Obs.Ctx, engine_detail trace"
@@ -1576,11 +1611,11 @@ let exp_obs () =
       Printf.sprintf
         "{\"topology\": \"Abilene\", \"algorithm\": \"HeurOSPF\", \
          \"evaluations\": %d, \"reps\": %d, \"results_identical\": %b, \
-         \"legacy_wall_seconds\": %.6f, \"noop_ctx_wall_seconds\": %.6f, \
+         \"default_ctx_wall_seconds\": %.6f, \"noop_ctx_wall_seconds\": %.6f, \
          \"traced_wall_seconds\": %.6f, \"disabled_overhead\": %.6f, \
          \"disabled_overhead_ok\": %b, \"traced_overhead\": %.6f, \
          \"trace_spans\": %d}"
-        evals reps identical t_legacy t_noop t_traced disabled_overhead
+        evals reps identical t_base t_noop t_traced disabled_overhead
         (disabled_overhead < 0.02)
         traced_overhead spans;
     ]
@@ -1816,7 +1851,7 @@ let exp_serve () =
               g
           in
           let joint =
-            Joint.optimize ~ls_params:(ls_params ~seed:1 ~evals) g demands
+            Joint.optimize_ctx (Obs.Ctx.default ()) ~ls_params:(ls_params ~seed:1 ~evals) g demands
           in
           let deployed = (joint.Joint.int_weights, joint.Joint.waypoints) in
           let replay =
@@ -1849,7 +1884,7 @@ let exp_serve () =
              from-scratch Joint re-solve on the final matrix. *)
           let _, final_demands, _ = Serve.Daemon.state d in
           let rescratch =
-            Joint.optimize ~ls_params:(ls_params ~seed:1 ~evals) g
+            Joint.optimize_ctx (Obs.Ctx.default ()) ~ls_params:(ls_params ~seed:1 ~evals) g
               final_demands
           in
           let within10 =
@@ -1896,6 +1931,160 @@ let exp_serve () =
   write_bench ~ctx:bctx ~file:"BENCH_serve.json" ~bench:"serve"
     (List.rev !records)
 
+(* ------------------------------------------------------------------ *)
+(* Solver frontier                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Every registered backend on Abilene + the Figure 4 suite: per
+   (topology, solver) record the MLU, the wall time, and the fraction
+   of the inverse-capacity -> LP-optimum gap the solver closes — the
+   quality-vs-time frontier the registry opens up.  The LP bound is
+   exact simplex where the LP fits under [grad_lp_limit] and the FPTAS
+   fallback otherwise ({!Mcf.opt_mlu}'s own dispatch); GradWO runs only
+   under the exact bound and skipped runs are emitted as records, not
+   silently dropped.  The two headline checks land in a closing
+   acceptance record: OMW must close a strictly larger gap fraction
+   than single-weight HeurOSPF on at least one topology, GradWO must
+   land within 10% of the LP bound on Abilene, and both new backends
+   must return bit-identical results for every pool size.
+   BENCH_solvers.json, schema bench/solvers/1. *)
+let exp_solvers () =
+  section "Solver frontier: registered backends on Abilene + the Figure 4 suite";
+  let bctx = bench_ctx () in
+  let records = ref [] in
+  let emit r = records := r :: !records in
+  let evals = if !full then 3000 else 400 in
+  let seed = 1 in
+  let config = { Solver.default_config with Solver.evals; Solver.seed } in
+  let topo_names = "Abilene" :: Topology.Datasets.fig4_names in
+  let heur_gap = Hashtbl.create 16 and omw_gap = Hashtbl.create 16 in
+  let grad_abilene = ref nan and lp_abilene = ref nan in
+  List.iter
+    (fun name ->
+      let g = Topology.Datasets.load name in
+      let flows =
+        if !full then max 1 (Digraph.edge_count g / 4)
+        else max 2 (Digraph.edge_count g / 16)
+      in
+      let epsilon = if !full then 0.08 else 0.15 in
+      let demands = Demand_gen.mcf_synthetic ~epsilon ~seed ~flows_per_pair:flows g in
+      let comms =
+        Array.map
+          (fun (src, dst, size) -> Mcf.commodity src dst size)
+          (Network.to_commodities demands)
+      in
+      let vars = lp_var_count g demands in
+      let lp_exact = vars <= grad_lp_limit in
+      let lp, t_lp =
+        Obs.Ctx.phase bctx "lp-bound" (fun () ->
+            time_best 1 (fun () ->
+                Mcf.opt_mlu ~lp_var_limit:grad_lp_limit g comms))
+      in
+      let inv = Ecmp.mlu_of g (Weights.inverse_capacity g) demands in
+      if name = "Abilene" then lp_abilene := lp;
+      let gap_denominator = inv -. lp in
+      row "%-14s invcap %.4f, LP bound %.4f (%s, %d vars, %.2fs)\n%!" name inv
+        lp
+        (if lp_exact then "exact" else "FPTAS")
+        vars t_lp;
+      let gap_closed mlu =
+        if gap_denominator > 1e-9 then (inv -. mlu) /. gap_denominator else nan
+      in
+      let json_gap gc =
+        if Float.is_nan gc then "null" else Printf.sprintf "%.6f" gc
+      in
+      List.iter
+        (fun (alg, _doc) ->
+          if (alg = "grad" || alg = "grad+wpo") && not lp_exact then begin
+            row "  %-10s skipped (LP %d vars > %d)\n%!" alg vars grad_lp_limit;
+            emit
+              (Printf.sprintf
+                 "{\"topology\": %s, \"solver\": %s, \"skipped\": true, \
+                  \"invcap_mlu\": %.6f, \"lp_bound\": %.6f, \"lp_exact\": %b, \
+                  \"lp_vars\": %d}"
+                 (Obs.Export.json_str name) (Obs.Export.json_str alg) inv lp
+                 lp_exact vars)
+          end
+          else
+            match Solver.find alg with
+            | None -> ()
+            | Some builder ->
+                let sv = builder config in
+                let r, wall =
+                  Obs.Ctx.phase bctx alg (fun () ->
+                      time_best 1 (fun () ->
+                          Solver.solve sv
+                            (Obs.Ctx.make ~pool:!the_pool ())
+                            g demands))
+                in
+                let gc = gap_closed r.Solver.mlu in
+                if alg = "lwo" then Hashtbl.replace heur_gap name gc;
+                if alg = "omw" then Hashtbl.replace omw_gap name gc;
+                if alg = "grad" && name = "Abilene" then
+                  grad_abilene := r.Solver.mlu;
+                row "  %-10s MLU %.4f  gap closed %s  %8.3fs  (%d evals)\n%!"
+                  alg r.Solver.mlu
+                  (if Float.is_nan gc then "   -" else Printf.sprintf "%4.0f%%" (100. *. gc))
+                  wall r.Solver.evals;
+                emit
+                  (Printf.sprintf
+                     "{\"topology\": %s, \"solver\": %s, \"skipped\": false, \
+                      \"mlu\": %.6f, \"invcap_mlu\": %.6f, \"lp_bound\": %.6f, \
+                      \"lp_exact\": %b, \"gap_closed\": %s, \
+                      \"wall_seconds\": %.6f, \"evaluations\": %d}"
+                     (Obs.Export.json_str name) (Obs.Export.json_str alg)
+                     r.Solver.mlu inv lp lp_exact (json_gap gc) wall
+                     r.Solver.evals))
+        (Solver.names ()))
+    topo_names;
+  (* Acceptance: OMW must close strictly more of the invcap->LP gap
+     than HeurOSPF somewhere; GradWO must sit within 10% of the LP
+     bound on Abilene; both backends bit-identical across pools. *)
+  let omw_wins =
+    List.filter
+      (fun name ->
+        match (Hashtbl.find_opt omw_gap name, Hashtbl.find_opt heur_gap name) with
+        | Some o, Some h -> (not (Float.is_nan o)) && not (Float.is_nan h) && o > h
+        | _ -> false)
+      topo_names
+  in
+  let grad_ok = !grad_abilene <= 1.1 *. !lp_abilene in
+  let jobs_identical =
+    let g = Topology.Datasets.abilene () in
+    let demands =
+      Demand_gen.mcf_synthetic ~epsilon:0.15 ~seed ~flows_per_pair:2 g
+    in
+    let solve alg pool =
+      match Solver.find alg with
+      | None -> None
+      | Some builder ->
+          Some (Solver.solve (builder config) (Obs.Ctx.make ~pool ()) g demands)
+    in
+    List.for_all
+      (fun alg ->
+        let seq = solve alg Par.Pool.sequential in
+        let par = Par.Pool.with_pool ~jobs:4 (solve alg) in
+        seq = par && seq <> None)
+      [ "grad"; "omw" ]
+  in
+  row "\nOMW closes a larger gap than HeurOSPF on: %s\n"
+    (if omw_wins = [] then "NONE (acceptance violated)"
+     else String.concat ", " omw_wins);
+  row "GradWO on Abilene: %.4f vs LP %.4f (within 10%%: %b)\n" !grad_abilene
+    !lp_abilene grad_ok;
+  row "grad/omw bit-identical across --jobs: %b\n" jobs_identical;
+  if omw_wins = [] || (not grad_ok) || not jobs_identical then
+    row "WARNING: solver-frontier acceptance checks failed\n";
+  emit
+    (Printf.sprintf
+       "{\"kind\": \"acceptance\", \"omw_beats_heurospf_on\": [%s], \
+        \"grad_abilene_mlu\": %.6f, \"abilene_lp_bound\": %.6f, \
+        \"grad_within_10pct_of_lp\": %b, \"jobs_identical\": %b}"
+       (String.concat ", " (List.map Obs.Export.json_str omw_wins))
+       !grad_abilene !lp_abilene grad_ok jobs_identical);
+  write_bench ~ctx:bctx ~file:"BENCH_solvers.json" ~bench:"solvers"
+    (List.rev !records)
+
 let exp_perf () =
   section "Micro-benchmarks (bechamel; ns per run, OLS fit)";
   let open Bechamel in
@@ -1929,7 +2118,7 @@ let exp_perf () =
       Test.make ~name:"simplex-12var" (Staged.stage (fun () ->
           ignore (Linprog.Simplex.solve lp)));
       Test.make ~name:"greedy-wpo-abilene" (Staged.stage (fun () ->
-          ignore (Greedy_wpo.optimize abilene unit_w_ab demands)));
+          ignore (Greedy_wpo.optimize_ctx (Obs.Ctx.default ()) abilene unit_w_ab demands)));
     ]
   in
   let grouped = Test.make_grouped ~name:"te" tests in
@@ -1958,7 +2147,7 @@ let experiments =
     ("ablation", exp_ablation); ("engine", exp_engine);
     ("parallel", exp_parallel); ("robust", exp_robust); ("lp", exp_lp);
     ("obs", exp_obs); ("prune", exp_prune); ("serve", exp_serve);
-    ("perf", exp_perf) ]
+    ("solvers", exp_solvers); ("perf", exp_perf) ]
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in

@@ -296,38 +296,96 @@ let prune_spec_of k mode =
       Printf.eprintf "%s\n" msg;
       exit 2)
 
+let passes_arg =
+  Arg.(value & opt int 1 & info [ "passes" ] ~docv:"N"
+         ~doc:"Greedy waypoint passes: later passes revisit every demand \
+               and may reassign or drop its waypoint.")
+
+(* The shared solver configuration, one term for every algorithm
+   command: each registered builder applies only the fields its
+   algorithm uses. *)
+let config_term =
+  Term.(const (fun seed evals restarts passes full_pipeline prune prune_mode
+                   wsetting ->
+            {
+              Solver.seed;
+              evals;
+              restarts;
+              passes;
+              full_pipeline;
+              prune = prune_spec_of prune prune_mode;
+              weights = (fun g -> weights_of g wsetting);
+            })
+        $ seed_arg $ evals_arg $ restarts_arg $ passes_arg $ full_pipeline_arg
+        $ prune_arg $ prune_mode_arg $ weights_arg)
+
+(* Every algorithm command resolves its solver through the registry —
+   the historical lwo/wpo/joint commands are aliases for `solve --alg'
+   with their historical printers. *)
+let solver_of_alg alg config =
+  match Solver.find alg with
+  | Some builder -> builder config
+  | None ->
+    Printf.eprintf "unknown algorithm %S; try `te-tool list-algs'\n" alg;
+    exit 2
+
+let print_generic _g _demands (r : Solver.result) =
+  List.iter
+    (fun (stage, mlu) -> Printf.printf "%-12s MLU %.4f\n" stage mlu)
+    r.Solver.stages;
+  Printf.printf "final        MLU %.4f" r.Solver.mlu;
+  if Float.is_finite r.Solver.initial_mlu then
+    Printf.printf " (start %.4f)" r.Solver.initial_mlu;
+  if r.Solver.evals > 0 then Printf.printf "; %d evaluations" r.Solver.evals;
+  (match r.Solver.waypoints with
+  | Some s -> Printf.printf "; %d waypoints" (Segments.count_waypoints s)
+  | None -> ());
+  (match r.Solver.splits with
+  | Some a ->
+    let split =
+      Array.fold_left (fun acc x -> if x < 1. then acc + 1 else acc) 0 a
+    in
+    Printf.printf "; %d/%d demands split onto the second system" split
+      (Array.length a)
+  | None -> ());
+  print_newline ()
+
+let alg_arg_of_solve =
+  Arg.(value & opt string "joint" & info [ "alg" ] ~docv:"NAME"
+         ~doc:"Registered solver to run (see `te-tool list-algs').")
+
 let lwo_conf =
-  Term.(const (fun seed evals restarts ->
-            ( Solver.heur_ospf ~restarts
-                ~params:{ Local_search.default_params with max_evals = evals; seed }
-                (),
-              print_lwo ))
-        $ seed_arg $ evals_arg $ restarts_arg)
+  Term.(const (fun cfg -> (solver_of_alg "lwo" cfg, print_lwo)) $ config_term)
 
 let wpo_conf =
-  Term.(const (fun wsetting prune prune_mode ->
-            ( Solver.greedy_wpo ?prune:(prune_spec_of prune prune_mode)
-                ~weights:(fun g -> weights_of g wsetting)
-                (),
-              print_wpo wsetting ))
-        $ weights_arg $ prune_arg $ prune_mode_arg)
+  Term.(const (fun cfg wsetting ->
+            (solver_of_alg "wpo" cfg, print_wpo wsetting))
+        $ config_term $ weights_arg)
 
 let joint_conf =
-  Term.(const (fun seed evals restarts full_pipeline prune prune_mode ->
-            ( Solver.joint_heur ~restarts
-                ~ls_params:
-                  { Local_search.default_params with max_evals = evals; seed }
-                ~full_pipeline
-                ?prune:(prune_spec_of prune prune_mode) (),
-              print_joint ))
-        $ seed_arg $ evals_arg $ restarts_arg $ full_pipeline_arg $ prune_arg
-        $ prune_mode_arg)
+  Term.(const (fun cfg -> (solver_of_alg "joint" cfg, print_joint))
+        $ config_term)
+
+let solve_conf =
+  Term.(const (fun alg cfg -> (solver_of_alg alg cfg, print_generic))
+        $ alg_arg_of_solve $ config_term)
 
 let solver_cmds =
   List.map solver_cmd
     [ ("lwo", "Link-weight optimization (HeurOSPF local search)", lwo_conf);
       ("wpo", "Waypoint optimization (Algorithm 3, GreedyWPO)", wpo_conf);
-      ("joint", "Joint optimization (Algorithm 2, JOINT-Heur)", joint_conf) ]
+      ("joint", "Joint optimization (Algorithm 2, JOINT-Heur)", joint_conf);
+      ("solve", "Run any registered solver (--alg NAME)", solve_conf) ]
+
+let list_algs_cmd =
+  let run () =
+    List.iter
+      (fun (name, doc) -> Printf.printf "%-10s %s\n" name doc)
+      (Solver.names ())
+  in
+  Cmd.v
+    (Cmd.info "list-algs" ~doc:"List the registered solver algorithms")
+    Term.(const run $ const ())
 
 (* gap *)
 let gap_cmd =
@@ -356,7 +414,8 @@ let gap_cmd =
       Printf.printf "  -> gap %.2f\n" (lwo /. joint)
     | None -> ());
     let wpo =
-      Greedy_wpo.optimize g (Weights.unit g) net.Network.demands
+      Greedy_wpo.optimize_ctx (Obs.Ctx.default ()) g (Weights.unit g)
+        net.Network.demands
     in
     Printf.printf "WPO greedy (unit weights)   MLU %.4f  -> gap %.2f\n"
       wpo.Greedy_wpo.mlu (wpo.Greedy_wpo.mlu /. joint)
@@ -413,7 +472,7 @@ let failures_cmd =
     let g, file_demands = load_topology topo file in
     let demands = make_demands ~file_demands g ~seed ~kind ~flows in
     let ls_params = { Local_search.default_params with max_evals = evals; seed } in
-    let joint = Joint.optimize ~ls_params g demands in
+    let joint = Joint.optimize_ctx (Obs.Ctx.default ()) ~ls_params g demands in
     Printf.printf "no-failure MLU %.4f; sweeping single link-pair failures:\n"
       joint.Joint.mlu;
     List.iter
@@ -914,6 +973,6 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          (topos_cmd :: mlu_cmd :: solver_cmds
+          (topos_cmd :: mlu_cmd :: list_algs_cmd :: solver_cmds
           @ [ gap_cmd; lwo_apx_cmd; nanonet_cmd; failures_cmd; robust_cmd;
               replay_cmd; serve_cmd; exact_cmd; export_cmd ])))

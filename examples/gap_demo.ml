@@ -38,7 +38,10 @@ let () =
   show_utilizations g loads;
 
   (* Strategy 2: optimal waypoints under unit weights (Lemma 3.7). *)
-  let wpo = Greedy_wpo.optimize g (Weights.unit g) net.Network.demands in
+  let wpo =
+    Greedy_wpo.optimize_ctx (Obs.Ctx.default ()) g (Weights.unit g)
+      net.Network.demands
+  in
   Printf.printf
     "\n2. Waypoints alone (greedy, unit weights): MLU = %.2f (paper: >= \
      (n-1)/3 = %.1f)\n"

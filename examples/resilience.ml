@@ -10,7 +10,7 @@ let () =
   let g = Topology.Datasets.abilene () in
   let demands = Demand_gen.mcf_synthetic ~epsilon:0.05 ~seed:11 ~flows_per_pair:2 g in
   let ls_params = { Local_search.default_params with max_evals = 800; seed = 11 } in
-  let joint = Joint.optimize ~ls_params g demands in
+  let joint = Joint.optimize_ctx (Obs.Ctx.default ()) ~ls_params g demands in
   Printf.printf "Abilene, optimized joint setting: MLU %.3f\n\n" joint.Joint.mlu;
 
   (* 1. Single-link failure sweep with the setting frozen. *)
@@ -51,7 +51,7 @@ let () =
     Ecmp.mlu_of ~waypoints:joint.Joint.waypoints g joint.Joint.weights shifted
   in
   Printf.printf "After the shift, the deployed setting degrades to MLU %.3f.\n" stale;
-  let fresh = Joint.optimize ~ls_params g shifted in
+  let fresh = Joint.optimize_ctx (Obs.Ctx.default ()) ~ls_params g shifted in
   let fresh_churn =
     Reopt.churn_between ~deployed_weights:joint.Joint.int_weights
       ~deployed_waypoints:joint.Joint.waypoints fresh.Joint.int_weights

@@ -257,11 +257,6 @@ let optimize_multi_ctx (octx : Obs.Ctx.t) ?(order = Desc) ?prune ~rounds g
   { setting; mlu = Engine.Evaluator.mlu_of_loads g loads;
     round_mlu = List.rev !round_mlu }
 
-let optimize_multi ?stats ?(pool = Par.Pool.sequential) ?order ?prune ~rounds
-    g weights demands =
-  optimize_multi_ctx (Obs.Ctx.make ?stats ~pool ()) ?order ?prune ~rounds g
-    weights demands
-
 (* ------------------------------------------------------------------ *)
 (* Single-waypoint greedy (Algorithm 3 + improvement passes)           *)
 (* ------------------------------------------------------------------ *)
@@ -363,8 +358,3 @@ let optimize_ctx (octx : Obs.Ctx.t) ?(order = Desc) ?(passes = 1) ?prune g
   merge_clone_stats ctx;
   let final_mlu = Engine.Evaluator.mlu_of_loads g loads in
   { waypoints; mlu = final_mlu; initial_mlu }
-
-let optimize ?stats ?(pool = Par.Pool.sequential) ?order ?passes ?prune g
-    weights demands =
-  optimize_ctx (Obs.Ctx.make ?stats ~pool ()) ?order ?passes ?prune g weights
-    demands

@@ -50,19 +50,6 @@ val optimize_ctx :
     @raise Ecmp.Unroutable if a demand itself is unroutable (candidate
     waypoints that would make a segment unroutable are skipped). *)
 
-val optimize :
-  ?stats:Engine.Stats.t ->
-  ?pool:Par.Pool.t ->
-  ?order:order ->
-  ?passes:int ->
-  ?prune:Prune.spec ->
-  Netgraph.Digraph.t ->
-  Weights.t ->
-  Network.demand array ->
-  result
-(** Deprecated optional-argument shim over {!optimize_ctx}: builds an
-    untraced context from [stats]/[pool] and forwards. *)
-
 type multi_result = {
   setting : Segments.setting;
   mlu : float;
@@ -85,15 +72,3 @@ val optimize_multi_ctx :
     records one ["wpo:round"] span per round.  The context's pool and
     [prune] behave as in {!optimize_ctx}; later rounds look up pruned
     candidates for the current segment anchor. *)
-
-val optimize_multi :
-  ?stats:Engine.Stats.t ->
-  ?pool:Par.Pool.t ->
-  ?order:order ->
-  ?prune:Prune.spec ->
-  rounds:int ->
-  Netgraph.Digraph.t ->
-  Weights.t ->
-  Network.demand array ->
-  multi_result
-(** Deprecated optional-argument shim over {!optimize_multi_ctx}. *)

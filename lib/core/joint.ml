@@ -73,11 +73,6 @@ let optimize_iterated_ctx (ctx : Obs.Ctx.t) ?restarts
     { weights; int_weights; waypoints; mlu; stage_mlu = List.rev !stages }
   | None -> assert false (* iterations >= 1 always records a candidate *)
 
-let optimize_iterated ?stats ?(pool = Par.Pool.sequential) ?restarts ?ls_params
-    ?iterations ?waypoint_rounds ?prune g demands =
-  optimize_iterated_ctx (Obs.Ctx.make ?stats ~pool ()) ?restarts ?ls_params
-    ?iterations ?waypoint_rounds ?prune g demands
-
 let optimize_ctx (ctx : Obs.Ctx.t) ?restarts
     ?(ls_params = Local_search.default_params) ?(full_pipeline = false) ?prune g
     demands =
@@ -121,8 +116,3 @@ let optimize_ctx (ctx : Obs.Ctx.t) ?restarts
       { weights = w1; int_weights = ls.Local_search.weights;
         waypoints = setting; mlu = stage2; stage_mlu = stages }
   end
-
-let optimize ?stats ?(pool = Par.Pool.sequential) ?restarts ?ls_params
-    ?full_pipeline ?prune g demands =
-  optimize_ctx (Obs.Ctx.make ?stats ~pool ()) ?restarts ?ls_params
-    ?full_pipeline ?prune g demands

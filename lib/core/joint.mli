@@ -39,19 +39,6 @@ val optimize_ctx :
     the greedy waypoint stage as in {!Greedy_wpo.optimize_ctx}; the
     weight search is unaffected. *)
 
-val optimize :
-  ?stats:Engine.Stats.t ->
-  ?pool:Par.Pool.t ->
-  ?restarts:int ->
-  ?ls_params:Local_search.params ->
-  ?full_pipeline:bool ->
-  ?prune:Prune.spec ->
-  Netgraph.Digraph.t ->
-  Network.demand array ->
-  result
-(** Deprecated optional-argument shim over {!optimize_ctx}: builds an
-    untraced context from [stats]/[pool] and forwards. *)
-
 val optimize_iterated_ctx :
   Obs.Ctx.t ->
   ?restarts:int ->
@@ -70,16 +57,3 @@ val optimize_iterated_ctx :
     waypoints per demand per iteration.  Each iteration records one
     ["joint:weights"] and one ["joint:waypoints"] span tagged with an
     ["iteration"] attribute. *)
-
-val optimize_iterated :
-  ?stats:Engine.Stats.t ->
-  ?pool:Par.Pool.t ->
-  ?restarts:int ->
-  ?ls_params:Local_search.params ->
-  ?iterations:int ->
-  ?waypoint_rounds:int ->
-  ?prune:Prune.spec ->
-  Netgraph.Digraph.t ->
-  Network.demand array ->
-  result
-(** Deprecated optional-argument shim over {!optimize_iterated_ctx}. *)

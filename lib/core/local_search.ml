@@ -392,9 +392,3 @@ let optimize_ctx (ctx : Obs.Ctx.t) ?(restarts = 1) ?params ?init g demands =
       runs;
     match !best with Some r -> r | None -> assert false (* restarts >= 1 *)
   end
-
-(* Deprecated shim: builds a context from the optional-argument
-   spelling and forwards. *)
-let optimize ?stats ?(pool = Par.Pool.sequential) ?(restarts = 1)
-    ?(params = default_params) ?init g demands =
-  optimize_ctx (Obs.Ctx.make ?stats ~pool ()) ~restarts ~params ?init g demands

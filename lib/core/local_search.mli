@@ -65,16 +65,3 @@ val optimize_ctx :
     so [restarts = 1] is the historical single walk) run as pool tasks,
     probing inline.  The returned result is the best-MLU restart (ties:
     lowest restart index), with its own walk's [evals] count. *)
-
-val optimize :
-  ?stats:Engine.Stats.t ->
-  ?pool:Par.Pool.t ->
-  ?restarts:int ->
-  ?params:params ->
-  ?init:int array ->
-  Netgraph.Digraph.t ->
-  Network.demand array ->
-  result
-(** Deprecated optional-argument shim over {!optimize_ctx}: builds an
-    untraced context from [stats]/[pool] and forwards.  Equivalent by
-    construction (and by test) to calling {!optimize_ctx} directly. *)

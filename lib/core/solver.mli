@@ -9,7 +9,12 @@
 
     Solver-specific knobs (budgets, restarts, orders) are captured when
     the module is packed, not at solve time: a packed solver is a fully
-    configured algorithm. *)
+    configured algorithm.
+
+    The {{!registry}registry} maps solver names to builders over one
+    shared {!config}, so front ends resolve ["--alg NAME"] through a
+    single table ({!register} / {!find} / {!names}) instead of
+    per-algorithm match arms. *)
 
 type result = {
   solver : string;  (** the packed solver's [name] *)
@@ -20,6 +25,13 @@ type result = {
           optimization); [nan] when the notion does not apply *)
   evals : int;  (** engine evaluations reported by the solver; 0 if n/a *)
   weights : int array option;  (** integer weight setting, when produced *)
+  weights2 : int array option;
+      (** the second weight system, when the solver produces one (OMW) *)
+  splits : float array option;
+      (** per-demand fraction routed on the first weight system,
+          parallel to the solver's aggregated (and, for waypointed
+          variants, segment-expanded) demand list; produced by the OMW
+          family *)
   waypoints : Segments.setting option;  (** waypoint setting, when produced *)
   stages : (string * float) list;
       (** per-stage MLU trail, ending at the returned setting *)
@@ -63,3 +75,75 @@ val joint_heur :
 (** {!Joint.optimize_ctx} packed as ["joint"]; [stages] is the
     pipeline's stage trail and [prune] forwards to the greedy waypoint
     stage. *)
+
+val gradient : ?params:Grad_wo.params -> unit -> t
+(** {!Grad_wo.optimize_ctx} packed as ["grad"]: gradient descent on
+    real-valued weights against the LP necessary capacities, rounded
+    back to the integer grid.  [stages] leads with the LP lower bound
+    the descent tracks (["LP-bound"]), then the returned setting. *)
+
+val omw :
+  ?restarts:int ->
+  ?ls_params:Local_search.params ->
+  ?params:Omw.params ->
+  unit ->
+  t
+(** {!Omw.optimize_ctx} packed as ["omw"]: HeurOSPF provides the first
+    weight system, then the one-more-weight descent splits traffic
+    between it and an optimized second system.  Never worse than the
+    HeurOSPF stage by construction. *)
+
+val gradient_wpo :
+  ?params:Grad_wo.params ->
+  ?order:Greedy_wpo.order ->
+  ?passes:int ->
+  ?prune:Prune.spec ->
+  unit ->
+  t
+(** ["grad+wpo"]: greedy waypoints chosen under the gradient-optimized
+    weight setting. *)
+
+val omw_wpo :
+  ?restarts:int ->
+  ?ls_params:Local_search.params ->
+  ?params:Omw.params ->
+  ?order:Greedy_wpo.order ->
+  ?passes:int ->
+  ?prune:Prune.spec ->
+  unit ->
+  t
+(** ["omw+wpo"]: HeurOSPF weights, greedy waypoints under them, then
+    the one-more-weight descent on the segment-expanded demand list, so
+    each segment's traffic may split across the two weight systems. *)
+
+(** {1:registry Registry} *)
+
+type config = {
+  seed : int;  (** forwarded to the stochastic stages (default 1) *)
+  evals : int;  (** local-search evaluation budget (default 1500) *)
+  restarts : int;
+      (** parallel reseeded walks for the local-search stages
+          (default 1) *)
+  passes : int;  (** greedy waypoint passes (default 1) *)
+  full_pipeline : bool;  (** joint: run Algorithm 2 steps 3–4 (default false) *)
+  prune : Prune.spec option;  (** waypoint candidate pruning (default off) *)
+  weights : Netgraph.Digraph.t -> Weights.t;
+      (** base weight setting for pure waypoint optimization
+          (default {!Weights.inverse_capacity}) *)
+}
+(** The knobs every front end already exposes, in one record: a
+    {!builder} turns it into a fully configured solver, applying only
+    the fields that algorithm uses. *)
+
+val default_config : config
+
+type builder = config -> t
+
+val register : ?doc:string -> string -> builder -> unit
+(** Adds (or replaces) a named builder.  The built-in solvers are
+    registered when this module is linked. *)
+
+val find : string -> builder option
+
+val names : unit -> (string * string) list
+(** [(name, doc)] pairs in registration order. *)

@@ -89,15 +89,37 @@ type warm_solve = {
   basis : Simplex.Sparse.basis;
   pivots : int;
   warm : bool;
+  edge_flows : float array;
 }
+
+(* The LP's variable layout is 0 = U, then f_{t,e} = 1 + ti*m + e; the
+   per-edge optimal flow is the sum over targets of that edge's
+   aggregated flow variables.  Read straight off the simplex solution —
+   no extra solve, and deterministic because the target order (and so
+   the summation order) is the sorted order [build_mlu_lp] fixed. *)
+let edge_flows_of_solution g comms solution =
+  let m = Digraph.edge_count g in
+  let nt =
+    List.length
+      (List.sort_uniq Int.compare
+         (Array.to_list (Array.map (fun c -> c.dst) comms)))
+  in
+  let flows = Array.make m 0. in
+  for ti = 0 to nt - 1 do
+    for e = 0 to m - 1 do
+      flows.(e) <- flows.(e) +. solution.(1 + (ti * m) + e)
+    done
+  done;
+  flows
 
 let opt_mlu_lp_warm_ext ?basis g comms =
   let comms = aggregate comms in
   check_routable g comms;
   let p = build_mlu_lp g comms in
   match Simplex.Sparse.solve ?basis p with
-  | Simplex.Sparse.Optimal { value; basis = b; iters; _ } ->
-    { value; basis = b; pivots = iters; warm = basis <> None }
+  | Simplex.Sparse.Optimal { value; basis = b; iters; solution } ->
+    { value; basis = b; pivots = iters; warm = basis <> None;
+      edge_flows = edge_flows_of_solution g comms solution }
   | Simplex.Sparse.Infeasible ->
     failwith "Mcf.opt_mlu_lp: infeasible (unroutable demand?)"
   | Simplex.Sparse.Unbounded -> failwith "Mcf.opt_mlu_lp: unbounded (internal error)"

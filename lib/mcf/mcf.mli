@@ -41,6 +41,13 @@ type warm_solve = {
   basis : Linprog.Simplex.Sparse.basis;  (** for the next warm solve *)
   pivots : int;  (** simplex iterations this solve took *)
   warm : bool;  (** whether a caller basis seeded the solve *)
+  edge_flows : float array;
+      (** per-edge total flow at the LP optimum (summed over the
+          destination-aggregated flow variables), read off the simplex
+          solution with no extra solve.  These are the "necessary
+          capacities" the gradient weight search descends against, and
+          give serving loops a per-link view of where the optimum routes
+          traffic, not just its MLU. *)
 }
 
 val opt_mlu_lp_warm_ext :

@@ -621,11 +621,6 @@ let sweep_ctx (octx : Obs.Ctx.t) ?(chunk = 4) ?(policies = [ Static ])
   Array.iteri (fun i kid -> Obs.Ctx.join ~key:specs.(i).id ~into:octx kid) kids;
   Array.map (function Some r -> r | None -> assert false) out
 
-let sweep ?stats ?(pool = Par.Pool.sequential) ?chunk ?policies ?reopt_evals
-    ~deployed g demands specs =
-  sweep_ctx (Obs.Ctx.make ?stats ~pool ()) ?chunk ?policies ?reopt_evals
-    ~deployed g demands specs
-
 let static_sweep_rebuild ~deployed g demands specs =
   let wf = Weights.of_ints deployed.weights in
   Array.map

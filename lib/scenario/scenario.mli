@@ -198,19 +198,6 @@ val sweep_ctx :
     stats accumulate engine counters from all workers, one
     {!Engine.Stats.record_scenario} tick per spec. *)
 
-val sweep :
-  ?stats:Engine.Stats.t ->
-  ?pool:Par.Pool.t ->
-  ?chunk:int ->
-  ?policies:policy list ->
-  ?reopt_evals:int ->
-  deployed:deployed ->
-  Netgraph.Digraph.t ->
-  Te.Network.demand array ->
-  spec array ->
-  outcome array
-(** Deprecated optional-argument shim over {!sweep_ctx}. *)
-
 val static_sweep_rebuild :
   deployed:deployed ->
   Netgraph.Digraph.t ->

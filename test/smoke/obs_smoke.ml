@@ -1,6 +1,6 @@
 (* Observability smoke: the run-context API end to end on Abilene —
    traced HeurOSPF + scenario sweep, trace well-formedness, jobs
-   invariance of the exported trace, shim equivalence, and a
+   invariance of the exported trace, ctx equivalence, and a
    run-summary sanity check.  Run with `dune build @obs-smoke'. *)
 
 open Te
@@ -39,11 +39,11 @@ let () =
   check "no misnesting" (Obs.Tracer.misnested tracer = 0);
   check "phase totals name the phase"
     (List.map fst (Obs.Tracer.phase_totals tracer) = [ "solve" ]);
-  (* Legacy shim and ctx entry point agree. *)
-  let legacy = Local_search.optimize ~restarts:2 ~params g demands in
+  (* Default and freshly built contexts agree. *)
+  let dflt = Local_search.optimize_ctx (Obs.Ctx.default ()) ~restarts:2 ~params g demands in
   let plain = Local_search.optimize_ctx (Obs.Ctx.make ()) ~restarts:2 ~params g demands in
-  check "shim = ctx" (legacy = plain);
-  check "tracing changes nothing" (legacy = r);
+  check "default ctx = fresh ctx" (dflt = plain);
+  check "tracing changes nothing" (dflt = r);
   (* Exported trace is byte-identical across pool sizes. *)
   let trace jobs =
     let go pool =
@@ -64,7 +64,7 @@ let () =
   check "summary engine counters"
     (contains ~sub:"\"engine.evaluations\"" summary);
   (* Scenario sweep under a forked-children trace. *)
-  let joint = Joint.optimize ~ls_params:params g demands in
+  let joint = Joint.optimize_ctx (Obs.Ctx.default ()) ~ls_params:params g demands in
   let deployed =
     { Scenario.weights = joint.Joint.int_weights;
       Scenario.waypoints = joint.Joint.waypoints }

@@ -29,27 +29,27 @@ let () =
   let params = { Local_search.default_params with max_evals = 400; seed = 7 } in
   let ls1, ls4 =
     at_jobs (fun pool ->
-        let r = Local_search.optimize ~pool ~params g demands in
+        let r = Local_search.optimize_ctx (Obs.Ctx.make ~pool ()) ~params g demands in
         (r.Local_search.weights, r.Local_search.mlu, r.Local_search.phi,
          r.Local_search.evals))
   in
   check "HeurOSPF bit-identical" (ls1 = ls4);
   let lsr1, lsr4 =
     at_jobs (fun pool ->
-        let r = Local_search.optimize ~pool ~restarts:3 ~params g demands in
+        let r = Local_search.optimize_ctx (Obs.Ctx.make ~pool ()) ~restarts:3 ~params g demands in
         (r.Local_search.weights, r.Local_search.mlu, r.Local_search.evals))
   in
   check "HeurOSPF restarts=3 bit-identical" (lsr1 = lsr4);
   let w = Weights.inverse_capacity g in
   let wpo1, wpo4 =
     at_jobs (fun pool ->
-        let r = Greedy_wpo.optimize ~pool g w demands in
+        let r = Greedy_wpo.optimize_ctx (Obs.Ctx.make ~pool ()) g w demands in
         (r.Greedy_wpo.waypoints, r.Greedy_wpo.mlu))
   in
   check "GreedyWPO bit-identical" (wpo1 = wpo4);
   let j1, j4 =
     at_jobs (fun pool ->
-        let r = Joint.optimize ~pool ~ls_params:params g demands in
+        let r = Joint.optimize_ctx (Obs.Ctx.make ~pool ()) ~ls_params:params g demands in
         (r.Joint.int_weights, r.Joint.waypoints, r.Joint.mlu, r.Joint.stage_mlu))
   in
   check "JOINT-Heur bit-identical" (j1 = j4);

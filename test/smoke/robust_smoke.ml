@@ -22,7 +22,7 @@ let () =
     Demand_gen.mcf_synthetic ~epsilon:0.15 ~seed:1 ~flows_per_pair:2 g
   in
   let ls_params = { Local_search.default_params with max_evals = 200; seed = 1 } in
-  let joint = Joint.optimize ~ls_params g demands in
+  let joint = Joint.optimize_ctx (Obs.Ctx.default ()) ~ls_params g demands in
   let deployed =
     {
       Scenario.weights = joint.Joint.int_weights;
@@ -46,7 +46,7 @@ let () =
     (Array.length specs);
   let policies = Scenario.policies_of_string "static,repair,reweight:3" in
   let run ~chunk pool =
-    Scenario.sweep ~pool ~chunk ~policies ~reopt_evals:60 ~deployed g demands
+    Scenario.sweep_ctx (Obs.Ctx.make ~pool ()) ~chunk ~policies ~reopt_evals:60 ~deployed g demands
       specs
   in
   let seq = run ~chunk:4 Par.Pool.sequential in

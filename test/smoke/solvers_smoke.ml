@@ -1,0 +1,85 @@
+(* Solver-registry smoke: every registered backend end to end on
+   Abilene through the one table front ends use — finite MLUs, the
+   invariants each backend promises (gradient tracks its LP bound, OMW
+   never loses to its HeurOSPF stage), and registry dispatch itself.
+   Run with `dune build @solvers-smoke'. *)
+
+open Te
+
+let mismatches = ref 0
+
+let check name ok =
+  if ok then Printf.printf "  ok   %s\n%!" name
+  else begin
+    incr mismatches;
+    Printf.printf "  FAIL %s\n%!" name
+  end
+
+let () =
+  let g = Topology.Datasets.abilene () in
+  let demands =
+    Demand_gen.mcf_synthetic ~epsilon:0.15 ~seed:1 ~flows_per_pair:2 g
+  in
+  let names = Solver.names () in
+  Printf.printf "solvers smoke: Abilene, %d demands, %d registered solvers\n%!"
+    (Array.length demands) (List.length names);
+  check "at least seven registered solvers" (List.length names >= 7);
+  let config = { Solver.default_config with Solver.evals = 400 } in
+  (* Every registered solver runs and reports a finite MLU. *)
+  let results =
+    List.map
+      (fun (name, _doc) ->
+        match Solver.find name with
+        | None ->
+            check (name ^ " resolvable") false;
+            (name, None)
+        | Some builder ->
+            let r = Solver.solve (builder config) (Obs.Ctx.default ()) g demands in
+            Printf.printf "  %-10s MLU %.4f  (%d evals)\n%!" name r.Solver.mlu
+              r.Solver.evals;
+            check (name ^ ": finite MLU") (Float.is_finite r.Solver.mlu);
+            check
+              (name ^ ": stages end at the returned MLU")
+              (match List.rev r.Solver.stages with
+              | (_, last) :: _ -> last = r.Solver.mlu
+              | [] -> false);
+            (name, Some r))
+      names
+  in
+  let get n = Option.join (List.assoc_opt n results) in
+  (* Backend-specific promises. *)
+  (match get "grad" with
+  | Some r ->
+      let lp = List.assoc "LP-bound" r.Solver.stages in
+      check "grad: MLU at or above its LP bound" (r.Solver.mlu >= lp -. 1e-9);
+      check "grad: never worse than its rounded start"
+        (r.Solver.mlu <= r.Solver.initial_mlu +. 1e-9)
+  | None -> check "grad ran" false);
+  (match get "omw" with
+  | Some r ->
+      let heur = List.assoc "HeurOSPF" r.Solver.stages in
+      check "omw: never worse than its HeurOSPF stage"
+        (r.Solver.mlu <= heur +. 1e-9);
+      check "omw: returns both weight systems"
+        (r.Solver.weights <> None && r.Solver.weights2 <> None
+        && r.Solver.splits <> None)
+  | None -> check "omw ran" false);
+  (match (get "omw", get "omw+wpo") with
+  | Some _, Some r ->
+      check "omw+wpo: waypoints recorded" (r.Solver.waypoints <> None)
+  | _ -> check "omw+wpo ran" false);
+  (* Registry dispatch is bit-deterministic across worker pools. *)
+  let run_omw pool =
+    match Solver.find "omw" with
+    | None -> None
+    | Some builder ->
+        Some (Solver.solve (builder config) (Obs.Ctx.make ~pool ()) g demands)
+  in
+  let r1 = run_omw Par.Pool.sequential in
+  let r4 = Par.Pool.with_pool ~jobs:4 run_omw in
+  check "omw bit-identical jobs 1 vs 4" (r1 = r4 && r1 <> None);
+  if !mismatches > 0 then begin
+    Printf.printf "solvers smoke: %d mismatch(es)\n" !mismatches;
+    exit 1
+  end;
+  print_endline "solvers smoke: every registered backend holds its contract"

@@ -304,8 +304,8 @@ let test_local_search_deterministic () =
       [| (0, 5, 3.); (3, 1, 2.); (6, 2, 4.); (4, 7, 1.) |]
   in
   let params = { Local_search.default_params with max_evals = 300; seed = 11 } in
-  let r1 = Local_search.optimize ~params g demands in
-  let r2 = Local_search.optimize ~params g demands in
+  let r1 = Local_search.optimize_ctx (Obs.Ctx.default ()) ~params g demands in
+  let r2 = Local_search.optimize_ctx (Obs.Ctx.default ()) ~params g demands in
   Alcotest.(check bool) "same weights" true
     (r1.Local_search.weights = r2.Local_search.weights);
   Alcotest.(check (float 0.)) "same mlu" r1.Local_search.mlu r2.Local_search.mlu;
@@ -321,7 +321,7 @@ let test_local_search_incremental_stats () =
   in
   let stats = Engine.Stats.create () in
   let params = { Local_search.default_params with max_evals = 500; seed = 7 } in
-  let r = Local_search.optimize ~stats ~params g demands in
+  let r = Local_search.optimize_ctx (Obs.Ctx.make ~stats ()) ~params g demands in
   Alcotest.(check bool) "some evaluations" true
     (stats.Engine.Stats.evaluations > 0);
   Alcotest.(check bool) "full SPF < evaluations" true

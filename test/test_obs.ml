@@ -1,7 +1,7 @@
 (* Tests for lib/obs: span bookkeeping (nesting, bounded buffers,
    misnest repair), metrics merge, exporters — and the two load-bearing
    contracts of the run-context API: the deprecated optional-argument
-   shims are equivalent to the ctx entry points, and merged traces are
+   observability never changes solver results, and merged traces are
    byte-identical for every pool size. *)
 
 open Te
@@ -202,51 +202,52 @@ let test_ctx_deadline () =
     (Float.is_finite r.Local_search.mlu && r.Local_search.evals >= 0)
 
 (* ------------------------------------------------------------------ *)
-(* Shim = ctx equivalence                                              *)
+(* Ctx equivalence                                                     *)
 (* ------------------------------------------------------------------ *)
 
-(* The deprecated ?stats/?pool entry points must agree with the ctx
-   ones, and a live tracer must not change any result. *)
+(* The default context, a freshly built one and a fully traced one
+   must all produce the same result: observability never changes what
+   a solver computes. *)
 
 let traced_ctx () =
   Obs.Ctx.make ~tracer:(Obs.Tracer.create ~engine_detail:true ()) ()
 
-let test_shim_local_search () =
+let test_ctx_local_search () =
   let g, demands = Lazy.force fixture in
-  let legacy = Local_search.optimize ~params:ls_params g demands in
+  let plain = Local_search.optimize_ctx (Obs.Ctx.default ()) ~params:ls_params g demands in
   let ctx = Local_search.optimize_ctx (Obs.Ctx.make ()) ~params:ls_params g demands in
   let traced = Local_search.optimize_ctx (traced_ctx ()) ~params:ls_params g demands in
-  Alcotest.(check bool) "ctx = shim" true (legacy = ctx);
-  Alcotest.(check bool) "tracing changes nothing" true (legacy = traced)
+  Alcotest.(check bool) "ctx = default" true (plain = ctx);
+  Alcotest.(check bool) "tracing changes nothing" true (plain = traced)
 
-let test_shim_greedy_wpo () =
+let test_ctx_greedy_wpo () =
   let g, demands = Lazy.force fixture in
   let w = Weights.inverse_capacity g in
-  let legacy = Greedy_wpo.optimize g w demands in
+  let plain = Greedy_wpo.optimize_ctx (Obs.Ctx.default ()) g w demands in
   let ctx = Greedy_wpo.optimize_ctx (Obs.Ctx.make ()) g w demands in
   let traced = Greedy_wpo.optimize_ctx (traced_ctx ()) g w demands in
-  Alcotest.(check bool) "ctx = shim" true (legacy = ctx);
-  Alcotest.(check bool) "tracing changes nothing" true (legacy = traced)
+  Alcotest.(check bool) "ctx = default" true (plain = ctx);
+  Alcotest.(check bool) "tracing changes nothing" true (plain = traced)
 
-let test_shim_joint () =
+let test_ctx_joint () =
   let g, demands = Lazy.force fixture in
-  let legacy = Joint.optimize ~ls_params g demands in
+  let plain = Joint.optimize_ctx (Obs.Ctx.default ()) ~ls_params g demands in
   let ctx = Joint.optimize_ctx (Obs.Ctx.make ()) ~ls_params g demands in
   let traced = Joint.optimize_ctx (traced_ctx ()) ~ls_params g demands in
-  Alcotest.(check bool) "ctx = shim" true (legacy = ctx);
-  Alcotest.(check bool) "tracing changes nothing" true (legacy = traced)
+  Alcotest.(check bool) "ctx = default" true (plain = ctx);
+  Alcotest.(check bool) "tracing changes nothing" true (plain = traced)
 
-let test_shim_scenario_sweep () =
+let test_ctx_scenario_sweep () =
   let g, demands = Lazy.force fixture in
-  let joint = Joint.optimize ~ls_params g demands in
+  let joint = Joint.optimize_ctx (Obs.Ctx.default ()) ~ls_params g demands in
   let deployed =
     { Scenario.weights = joint.Joint.int_weights;
       Scenario.waypoints = joint.Joint.waypoints }
   in
   let cfg = { Scenario.default_config with Scenario.seed = 7; Scenario.jitters = 2 } in
   let specs = Scenario.generate cfg g in
-  let legacy =
-    Scenario.sweep ~policies:[ Scenario.Static; Scenario.Repair ] ~deployed g
+  let plain =
+    Scenario.sweep_ctx (Obs.Ctx.default ()) ~policies:[ Scenario.Static; Scenario.Repair ] ~deployed g
       demands specs
   in
   let ctx =
@@ -258,8 +259,8 @@ let test_shim_scenario_sweep () =
       ~policies:[ Scenario.Static; Scenario.Repair ] ~deployed g demands specs
   in
   (* compare treats nan = nan, unlike (=). *)
-  Alcotest.(check bool) "ctx = shim" true (compare legacy ctx = 0);
-  Alcotest.(check bool) "tracing changes nothing" true (compare legacy traced = 0)
+  Alcotest.(check bool) "ctx = default" true (compare plain ctx = 0);
+  Alcotest.(check bool) "tracing changes nothing" true (compare plain traced = 0)
 
 (* ------------------------------------------------------------------ *)
 (* Trace determinism across pool sizes                                 *)
@@ -299,7 +300,7 @@ let test_trace_jobs_greedy_wpo () =
 
 let test_trace_jobs_scenario () =
   let g, demands = Lazy.force fixture in
-  let joint = Joint.optimize ~ls_params g demands in
+  let joint = Joint.optimize_ctx (Obs.Ctx.default ()) ~ls_params g demands in
   let deployed =
     { Scenario.weights = joint.Joint.int_weights;
       Scenario.waypoints = joint.Joint.waypoints }
@@ -379,12 +380,12 @@ let () =
           Alcotest.test_case "phase" `Quick test_ctx_phase;
           Alcotest.test_case "deadline" `Quick test_ctx_deadline;
         ] );
-      ( "shim-equivalence",
+      ( "ctx-equivalence",
         [
-          Alcotest.test_case "local search" `Quick test_shim_local_search;
-          Alcotest.test_case "greedy wpo" `Quick test_shim_greedy_wpo;
-          Alcotest.test_case "joint" `Quick test_shim_joint;
-          Alcotest.test_case "scenario sweep" `Quick test_shim_scenario_sweep;
+          Alcotest.test_case "local search" `Quick test_ctx_local_search;
+          Alcotest.test_case "greedy wpo" `Quick test_ctx_greedy_wpo;
+          Alcotest.test_case "joint" `Quick test_ctx_joint;
+          Alcotest.test_case "scenario sweep" `Quick test_ctx_scenario_sweep;
         ] );
       ( "trace-determinism",
         [

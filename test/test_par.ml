@@ -385,12 +385,12 @@ let test_lwo_bit_identical () =
   let params = { Local_search.default_params with max_evals = 250; seed = 9 } in
   check_all_equal "HeurOSPF"
     (at_jobs (fun pool ->
-         let r = Local_search.optimize ~pool ~params g demands in
+         let r = Local_search.optimize_ctx (Obs.Ctx.make ~pool ()) ~params g demands in
          (r.Local_search.weights, r.Local_search.mlu, r.Local_search.phi,
           r.Local_search.evals)));
   check_all_equal "HeurOSPF restarts=3"
     (at_jobs (fun pool ->
-         let r = Local_search.optimize ~pool ~restarts:3 ~params g demands in
+         let r = Local_search.optimize_ctx (Obs.Ctx.make ~pool ()) ~restarts:3 ~params g demands in
          (r.Local_search.weights, r.Local_search.mlu, r.Local_search.evals)))
 
 let test_wpo_bit_identical () =
@@ -398,11 +398,11 @@ let test_wpo_bit_identical () =
   let w = Weights.inverse_capacity g in
   check_all_equal "GreedyWPO"
     (at_jobs (fun pool ->
-         let r = Greedy_wpo.optimize ~pool g w demands in
+         let r = Greedy_wpo.optimize_ctx (Obs.Ctx.make ~pool ()) g w demands in
          (r.Greedy_wpo.waypoints, r.Greedy_wpo.mlu)));
   check_all_equal "GreedyWPO multi"
     (at_jobs (fun pool ->
-         let r = Greedy_wpo.optimize_multi ~pool ~rounds:2 g w demands in
+         let r = Greedy_wpo.optimize_multi_ctx (Obs.Ctx.make ~pool ()) ~rounds:2 g w demands in
          (r.Greedy_wpo.setting, r.Greedy_wpo.mlu)))
 
 let test_joint_bit_identical () =
@@ -410,7 +410,7 @@ let test_joint_bit_identical () =
   let ls_params = { Local_search.default_params with max_evals = 150; seed = 2 } in
   check_all_equal "JOINT-Heur"
     (at_jobs (fun pool ->
-         let r = Joint.optimize ~pool ~restarts:2 ~ls_params g demands in
+         let r = Joint.optimize_ctx (Obs.Ctx.make ~pool ()) ~restarts:2 ~ls_params g demands in
          (r.Joint.int_weights, r.Joint.waypoints, r.Joint.mlu,
           r.Joint.stage_mlu)))
 
@@ -419,8 +419,8 @@ let test_joint_bit_identical () =
 let test_restarts_no_worse () =
   let g, demands = te_instance () in
   let params = { Local_search.default_params with max_evals = 200; seed = 4 } in
-  let one = Local_search.optimize ~params g demands in
-  let three = Local_search.optimize ~restarts:3 ~params g demands in
+  let one = Local_search.optimize_ctx (Obs.Ctx.default ()) ~params g demands in
+  let three = Local_search.optimize_ctx (Obs.Ctx.default ()) ~restarts:3 ~params g demands in
   Alcotest.(check bool)
     "restarts=3 <= restarts=1" true
     (three.Local_search.mlu <= one.Local_search.mlu)

@@ -8,9 +8,10 @@
      from its own edge list must reproduce the flat arrays verbatim
      (iteration order and edge ids are what every shortest-path DAG and
      unit-flow computation downstream is keyed to).
-   - the deprecated optional-argument shims of the four solvers
-     (HeurOSPF local search, GreedyWPO, JOINT-Heur, Reopt) must return
-     exactly what their context-taking arena entry points return. *)
+   - repeated runs of the four solvers (HeurOSPF local search,
+     GreedyWPO, JOINT-Heur, Reopt) under independently built contexts
+     must return byte-identical results — context construction carries
+     no hidden state. *)
 
 open Netgraph
 open Te
@@ -115,7 +116,7 @@ let solver_instance seed =
   let nodes = 8 + (seed mod 4) in
   let links = nodes + 3 in
   let g =
-    Topology.Gen.synthetic ~seed ~name:(Printf.sprintf "shim%d" seed) ~nodes
+    Topology.Gen.synthetic ~seed ~name:(Printf.sprintf "solver%d" seed) ~nodes
       ~links ()
   in
   let st = Random.State.make [| 0x5b1; seed |] in
@@ -129,70 +130,70 @@ let solver_instance seed =
 
 let ls_params = { Local_search.default_params with max_evals = 120; seed = 11 }
 
-let test_shim_local_search () =
+let test_ctx_local_search () =
   for seed = 1 to 3 do
     let g, demands = solver_instance seed in
-    let shim = Local_search.optimize ~params:ls_params g demands in
+    let fresh = Local_search.optimize_ctx (Obs.Ctx.default ()) ~params:ls_params g demands in
     let arena =
       Local_search.optimize_ctx (Obs.Ctx.make ()) ~params:ls_params g demands
     in
     Alcotest.(check (array int)) "weights" arena.Local_search.weights
-      shim.Local_search.weights;
-    Alcotest.(check (float 0.)) "mlu" arena.Local_search.mlu shim.Local_search.mlu;
-    Alcotest.(check (float 0.)) "phi" arena.Local_search.phi shim.Local_search.phi;
-    Alcotest.(check int) "evals" arena.Local_search.evals shim.Local_search.evals
+      fresh.Local_search.weights;
+    Alcotest.(check (float 0.)) "mlu" arena.Local_search.mlu fresh.Local_search.mlu;
+    Alcotest.(check (float 0.)) "phi" arena.Local_search.phi fresh.Local_search.phi;
+    Alcotest.(check int) "evals" arena.Local_search.evals fresh.Local_search.evals
   done
 
-let test_shim_greedy_wpo () =
+let test_ctx_greedy_wpo () =
   for seed = 1 to 3 do
     let g, demands = solver_instance seed in
     let w = Weights.unit g in
-    let shim = Greedy_wpo.optimize g w demands in
+    let fresh = Greedy_wpo.optimize_ctx (Obs.Ctx.default ()) g w demands in
     let arena = Greedy_wpo.optimize_ctx (Obs.Ctx.make ()) g w demands in
     Alcotest.(check bool) "waypoints" true
-      (arena.Greedy_wpo.waypoints = shim.Greedy_wpo.waypoints);
-    Alcotest.(check (float 0.)) "mlu" arena.Greedy_wpo.mlu shim.Greedy_wpo.mlu;
+      (arena.Greedy_wpo.waypoints = fresh.Greedy_wpo.waypoints);
+    Alcotest.(check (float 0.)) "mlu" arena.Greedy_wpo.mlu fresh.Greedy_wpo.mlu;
     Alcotest.(check (float 0.)) "initial mlu" arena.Greedy_wpo.initial_mlu
-      shim.Greedy_wpo.initial_mlu
+      fresh.Greedy_wpo.initial_mlu
   done
 
-let test_shim_joint () =
+let test_ctx_joint () =
   for seed = 1 to 2 do
     let g, demands = solver_instance seed in
-    let shim = Joint.optimize ~ls_params g demands in
+    let fresh = Joint.optimize_ctx (Obs.Ctx.default ()) ~ls_params g demands in
     let arena = Joint.optimize_ctx (Obs.Ctx.make ()) ~ls_params g demands in
     Alcotest.(check (array int)) "int weights" arena.Joint.int_weights
-      shim.Joint.int_weights;
+      fresh.Joint.int_weights;
     Alcotest.(check bool) "waypoints" true
-      (arena.Joint.waypoints = shim.Joint.waypoints);
-    Alcotest.(check (float 0.)) "mlu" arena.Joint.mlu shim.Joint.mlu;
+      (arena.Joint.waypoints = fresh.Joint.waypoints);
+    Alcotest.(check (float 0.)) "mlu" arena.Joint.mlu fresh.Joint.mlu;
     Alcotest.(check bool) "stage mlus" true
-      (arena.Joint.stage_mlu = shim.Joint.stage_mlu)
+      (arena.Joint.stage_mlu = fresh.Joint.stage_mlu)
   done
 
-let test_shim_reopt () =
+let test_ctx_reopt () =
   for seed = 1 to 2 do
     let g, demands = solver_instance seed in
     let m = Digraph.edge_count g in
     let deployed_weights = Array.make m 1 in
     let deployed_waypoints = Segments.none demands in
-    let shim =
-      Reopt.reoptimize ~ls_params ~deployed_weights ~deployed_waypoints g
-        demands
+    let fresh =
+      Reopt.reoptimize_ctx (Obs.Ctx.default ()) ~ls_params ~deployed_weights
+        ~deployed_waypoints g demands
     in
     let arena =
       Reopt.reoptimize_ctx (Obs.Ctx.make ()) ~ls_params ~deployed_weights
         ~deployed_waypoints g demands
     in
-    Alcotest.(check (array int)) "weights" arena.Reopt.weights shim.Reopt.weights;
+    Alcotest.(check (array int)) "weights" arena.Reopt.weights fresh.Reopt.weights;
     Alcotest.(check bool) "waypoints" true
-      (arena.Reopt.waypoints = shim.Reopt.waypoints);
-    Alcotest.(check (float 0.)) "mlu" arena.Reopt.mlu shim.Reopt.mlu;
+      (arena.Reopt.waypoints = fresh.Reopt.waypoints);
+    Alcotest.(check (float 0.)) "mlu" arena.Reopt.mlu fresh.Reopt.mlu;
     Alcotest.(check int) "weight churn" arena.Reopt.churn.Reopt.weight_changes
-      shim.Reopt.churn.Reopt.weight_changes;
+      fresh.Reopt.churn.Reopt.weight_changes;
     Alcotest.(check int) "waypoint churn"
       arena.Reopt.churn.Reopt.waypoint_changes
-      shim.Reopt.churn.Reopt.waypoint_changes
+      fresh.Reopt.churn.Reopt.waypoint_changes
   done
 
 let () =
@@ -203,11 +204,11 @@ let () =
           Alcotest.test_case "200 seeded random graphs" `Quick
             test_csr_random_graphs;
         ] );
-      ( "shim=arena",
+      ( "ctx-equivalence",
         [
-          Alcotest.test_case "local search" `Quick test_shim_local_search;
-          Alcotest.test_case "greedy wpo" `Quick test_shim_greedy_wpo;
-          Alcotest.test_case "joint" `Quick test_shim_joint;
-          Alcotest.test_case "reopt" `Quick test_shim_reopt;
+          Alcotest.test_case "local search" `Quick test_ctx_local_search;
+          Alcotest.test_case "greedy wpo" `Quick test_ctx_greedy_wpo;
+          Alcotest.test_case "joint" `Quick test_ctx_joint;
+          Alcotest.test_case "reopt" `Quick test_ctx_reopt;
         ] );
     ]

@@ -16,7 +16,7 @@ let fixture =
      let ls_params =
        { Local_search.default_params with max_evals = 200; seed = 5 }
      in
-     let joint = Joint.optimize ~ls_params g demands in
+     let joint = Joint.optimize_ctx (Obs.Ctx.default ()) ~ls_params g demands in
      let deployed =
        {
          Scenario.weights = joint.Joint.int_weights;
@@ -171,7 +171,7 @@ let small_specs g =
 let test_sweep_matches_rebuild_oracle () =
   let g, demands, deployed = Lazy.force fixture in
   let specs = small_specs g in
-  let out = Scenario.sweep ~deployed g demands specs in
+  let out = Scenario.sweep_ctx (Obs.Ctx.default ()) ~deployed g demands specs in
   let oracle = Scenario.static_sweep_rebuild ~deployed g demands specs in
   Array.iteri
     (fun i (mlu, disc) ->
@@ -195,7 +195,7 @@ let test_sweep_scheduling_independent () =
   let specs = small_specs g in
   let policies = [ Scenario.Static; Scenario.Repair; Scenario.Reweight 3 ] in
   let run ~chunk pool =
-    Scenario.sweep ~pool ~chunk ~policies ~reopt_evals:60 ~deployed g demands
+    Scenario.sweep_ctx (Obs.Ctx.make ~pool ()) ~chunk ~policies ~reopt_evals:60 ~deployed g demands
       specs
   in
   let reference = run ~chunk:4 Par.Pool.sequential in
@@ -229,7 +229,7 @@ let test_sweep_policies () =
   let g, demands, deployed = Lazy.force fixture in
   let specs = small_specs g in
   let out =
-    Scenario.sweep
+    Scenario.sweep_ctx (Obs.Ctx.default ())
       ~policies:[ Scenario.Static; Scenario.Repair; Scenario.Reweight 2 ]
       ~reopt_evals:60 ~deployed g demands specs
   in
@@ -276,7 +276,7 @@ let test_summarize () =
   let g, demands, deployed = Lazy.force fixture in
   let specs = small_specs g in
   let out =
-    Scenario.sweep ~policies:[ Scenario.Static; Scenario.Repair ] ~deployed g
+    Scenario.sweep_ctx (Obs.Ctx.default ()) ~policies:[ Scenario.Static; Scenario.Repair ] ~deployed g
       demands specs
   in
   let r = Scenario.summarize ~topology:"Abilene" ~nominal_mlu:1.0 out in

@@ -306,7 +306,7 @@ let test_local_search_improves () =
   let net = inst.Instances.Gap_instances.network in
   let g = net.Network.graph in
   let params = { Local_search.default_params with max_evals = 400; seed = 7 } in
-  let r = Local_search.optimize ~params g net.Network.demands in
+  let r = Local_search.optimize_ctx (Obs.Ctx.default ()) ~params g net.Network.demands in
   let init_mlu, _ =
     Local_search.evaluate g net.Network.demands
       (Weights.round_to_range ~wmax:params.Local_search.wmax (Weights.inverse_capacity g))
@@ -324,8 +324,8 @@ let test_local_search_deterministic () =
   let inst = Instances.Gap_instances.instance1 ~m:4 in
   let net = inst.Instances.Gap_instances.network in
   let params = { Local_search.default_params with max_evals = 150; seed = 3 } in
-  let r1 = Local_search.optimize ~params net.Network.graph net.Network.demands in
-  let r2 = Local_search.optimize ~params net.Network.graph net.Network.demands in
+  let r1 = Local_search.optimize_ctx (Obs.Ctx.default ()) ~params net.Network.graph net.Network.demands in
+  let r2 = Local_search.optimize_ctx (Obs.Ctx.default ()) ~params net.Network.graph net.Network.demands in
   checkf "same mlu for same seed" r1.Local_search.mlu r2.Local_search.mlu
 
 (* ------------------------------------------------------------------ *)
@@ -336,7 +336,7 @@ let test_greedy_wpo_never_worse () =
   let inst = Instances.Gap_instances.instance1 ~m:5 in
   let net = inst.Instances.Gap_instances.network in
   let w = Weights.unit net.Network.graph in
-  let r = Greedy_wpo.optimize net.Network.graph w net.Network.demands in
+  let r = Greedy_wpo.optimize_ctx (Obs.Ctx.default ()) net.Network.graph w net.Network.demands in
   Alcotest.(check bool) "mlu <= initial" true
     (r.Greedy_wpo.mlu <= r.Greedy_wpo.initial_mlu +. 1e-9)
 
@@ -347,7 +347,7 @@ let test_greedy_wpo_improves_under_joint_weights () =
   let inst = Instances.Gap_instances.instance1 ~m:5 in
   let net = inst.Instances.Gap_instances.network in
   let r =
-    Greedy_wpo.optimize net.Network.graph inst.Instances.Gap_instances.joint_weights
+    Greedy_wpo.optimize_ctx (Obs.Ctx.default ()) net.Network.graph inst.Instances.Gap_instances.joint_weights
       net.Network.demands
   in
   checkf6 "no waypoints: everything on (s,t)" 5. r.Greedy_wpo.initial_mlu;
@@ -372,7 +372,7 @@ let test_greedy_wpo_orders () =
   let w = inst.Instances.Gap_instances.joint_weights in
   List.iter
     (fun order ->
-      let r = Greedy_wpo.optimize ~order net.Network.graph w net.Network.demands in
+      let r = Greedy_wpo.optimize_ctx (Obs.Ctx.default ()) ~order net.Network.graph w net.Network.demands in
       Alcotest.(check bool) "improves" true
         (r.Greedy_wpo.mlu <= r.Greedy_wpo.initial_mlu +. 1e-9))
     [ Greedy_wpo.Desc; Greedy_wpo.Asc; Greedy_wpo.Random 5 ]
@@ -385,7 +385,7 @@ let test_joint_heur_stages () =
   let inst = Instances.Gap_instances.instance1 ~m:4 in
   let net = inst.Instances.Gap_instances.network in
   let ls_params = { Local_search.default_params with max_evals = 300; seed = 11 } in
-  let r = Joint.optimize ~ls_params net.Network.graph net.Network.demands in
+  let r = Joint.optimize_ctx (Obs.Ctx.default ()) ~ls_params net.Network.graph net.Network.demands in
   Alcotest.(check int) "two stages" 2 (List.length r.Joint.stage_mlu);
   let heur = List.assoc "HeurOSPF" r.Joint.stage_mlu in
   Alcotest.(check bool) "joint <= heurospf" true (r.Joint.mlu <= heur +. 1e-9);
@@ -400,7 +400,7 @@ let test_joint_heur_full_pipeline () =
   let inst = Instances.Gap_instances.instance1 ~m:4 in
   let net = inst.Instances.Gap_instances.network in
   let ls_params = { Local_search.default_params with max_evals = 200; seed = 2 } in
-  let r = Joint.optimize ~ls_params ~full_pipeline:true net.Network.graph net.Network.demands in
+  let r = Joint.optimize_ctx (Obs.Ctx.default ()) ~ls_params ~full_pipeline:true net.Network.graph net.Network.demands in
   Alcotest.(check int) "three stages" 3 (List.length r.Joint.stage_mlu);
   let stage2 = List.assoc "GreedyWPO" r.Joint.stage_mlu in
   Alcotest.(check bool) "never worse than stage 2" true (r.Joint.mlu <= stage2 +. 1e-9)
@@ -557,7 +557,7 @@ let test_single_failures_matches_rebuild () =
     Demand_gen.mcf_synthetic ~epsilon:0.15 ~seed:7 ~flows_per_pair:2 g
   in
   let w = Weights.random ~seed:11 ~wmax:8 g in
-  let wpo = Greedy_wpo.optimize g w demands in
+  let wpo = Greedy_wpo.optimize_ctx (Obs.Ctx.default ()) g w demands in
   List.iter
     (fun waypoints ->
       let engine = Failures.single_failures ?waypoints g w demands in
@@ -765,9 +765,9 @@ let test_multi_round_one_matches_single () =
   let inst = Instances.Gap_instances.instance1 ~m:5 in
   let net = inst.Instances.Gap_instances.network in
   let w = inst.Instances.Gap_instances.joint_weights in
-  let single = Greedy_wpo.optimize net.Network.graph w net.Network.demands in
+  let single = Greedy_wpo.optimize_ctx (Obs.Ctx.default ()) net.Network.graph w net.Network.demands in
   let multi =
-    Greedy_wpo.optimize_multi ~rounds:1 net.Network.graph w net.Network.demands
+    Greedy_wpo.optimize_multi_ctx (Obs.Ctx.default ()) ~rounds:1 net.Network.graph w net.Network.demands
   in
   checkf6 "same mlu" single.Greedy_wpo.mlu multi.Greedy_wpo.mlu
 
@@ -776,7 +776,7 @@ let test_multi_rounds_monotone () =
   let net = inst.Instances.Gap_instances.network in
   let w = inst.Instances.Gap_instances.joint_weights in
   let r =
-    Greedy_wpo.optimize_multi ~rounds:3 net.Network.graph w net.Network.demands
+    Greedy_wpo.optimize_multi_ctx (Obs.Ctx.default ()) ~rounds:3 net.Network.graph w net.Network.demands
   in
   let rec check_desc = function
     | a :: (b :: _ as rest) ->
@@ -795,8 +795,8 @@ let test_multi_two_waypoints_help_instance3 () =
   let inst = Instances.Gap_instances.instance3 ~m:3 in
   let net = inst.Instances.Gap_instances.network in
   let w = inst.Instances.Gap_instances.joint_weights in
-  let one = Greedy_wpo.optimize_multi ~rounds:1 net.Network.graph w net.Network.demands in
-  let two = Greedy_wpo.optimize_multi ~rounds:2 net.Network.graph w net.Network.demands in
+  let one = Greedy_wpo.optimize_multi_ctx (Obs.Ctx.default ()) ~rounds:1 net.Network.graph w net.Network.demands in
+  let two = Greedy_wpo.optimize_multi_ctx (Obs.Ctx.default ()) ~rounds:2 net.Network.graph w net.Network.demands in
   Alcotest.(check bool)
     (Printf.sprintf "2 rounds (%g) <= 1 round (%g)" two.Greedy_wpo.mlu one.Greedy_wpo.mlu)
     true
@@ -806,8 +806,8 @@ let test_greedy_passes_never_worse () =
   let g = Topology.Datasets.abilene () in
   let demands = Demand_gen.mcf_synthetic ~epsilon:0.05 ~seed:3 ~flows_per_pair:2 g in
   let w = Weights.inverse_capacity g in
-  let p1 = Greedy_wpo.optimize ~passes:1 g w demands in
-  let p2 = Greedy_wpo.optimize ~passes:2 g w demands in
+  let p1 = Greedy_wpo.optimize_ctx (Obs.Ctx.default ()) ~passes:1 g w demands in
+  let p2 = Greedy_wpo.optimize_ctx (Obs.Ctx.default ()) ~passes:2 g w demands in
   Alcotest.(check bool)
     (Printf.sprintf "pass 2 (%g) <= pass 1 (%g)" p2.Greedy_wpo.mlu p1.Greedy_wpo.mlu)
     true
@@ -817,7 +817,7 @@ let test_iterated_joint () =
   let inst = Instances.Gap_instances.instance1 ~m:4 in
   let net = inst.Instances.Gap_instances.network in
   let ls_params = { Local_search.default_params with max_evals = 200; seed = 9 } in
-  let r = Joint.optimize_iterated ~ls_params ~iterations:2 net.Network.graph net.Network.demands in
+  let r = Joint.optimize_iterated_ctx (Obs.Ctx.default ()) ~ls_params ~iterations:2 net.Network.graph net.Network.demands in
   Alcotest.(check int) "four stages" 4 (List.length r.Joint.stage_mlu);
   let check =
     Ecmp.mlu_of ~waypoints:r.Joint.waypoints net.Network.graph r.Joint.weights
@@ -936,7 +936,7 @@ let prop_greedy_never_worse =
   QCheck.Test.make ~name:"GreedyWPO never increases MLU" ~count:80 arb_te_instance
     (fun spec ->
       let g, demands, _ = build_te spec in
-      let r = Greedy_wpo.optimize g (Weights.unit g) demands in
+      let r = Greedy_wpo.optimize_ctx (Obs.Ctx.default ()) g (Weights.unit g) demands in
       r.Greedy_wpo.mlu <= r.Greedy_wpo.initial_mlu +. 1e-9)
 
 let prop_opt_lower_bounds_everything =
